@@ -1,0 +1,58 @@
+//! Timing of the compound algorithm with passes disabled — what each
+//! transformation costs at compile time (the quality ablation lives in
+//! the `ablation_table` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmt_locality::compound::{compound_with, CompoundOptions};
+use cmt_locality::model::CostModel;
+use cmt_suite::suite;
+use std::hint::black_box;
+
+fn bench(cr: &mut Criterion) {
+    let model = CostModel::new(4);
+    let models = suite();
+    let variants: [(&str, CompoundOptions); 4] = [
+        ("full", CompoundOptions::default()),
+        (
+            "no_fusion",
+            CompoundOptions {
+                fusion: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_distribution",
+            CompoundOptions {
+                distribution: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "permutation_only",
+            CompoundOptions {
+                fusion: false,
+                distribution: false,
+                reversal: false,
+            },
+        ),
+    ];
+    let mut group = cr.benchmark_group("compound_ablation");
+    group.sample_size(10);
+    for (name, opts) in variants {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for m in &models {
+                    let mut p = m.optimized.clone();
+                    let r = compound_with(&mut p, &model, &opts);
+                    total += r.nests_permuted + r.nests_fused;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

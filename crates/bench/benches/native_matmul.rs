@@ -1,0 +1,100 @@
+//! Native-hardware companion to Figure 2: the same six matmul loop orders
+//! compiled to real Rust loops over `f64` buffers, timed with Criterion.
+//! The *shape* of the paper's ranking (I-innermost orders fastest,
+//! J-innermost with B(K,J) column walks slowest) holds on modern caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 256;
+
+/// Column-major index (Fortran layout, matching the IR's cost model).
+#[inline(always)]
+fn idx(i: usize, j: usize) -> usize {
+    i + j * N
+}
+
+type Kernel = fn(&mut [f64], &[f64], &[f64]);
+
+fn mm_ijk(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for i in 0..N {
+        for j in 0..N {
+            for k in 0..N {
+                c[idx(i, j)] += a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+}
+fn mm_ikj(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for i in 0..N {
+        for k in 0..N {
+            for j in 0..N {
+                c[idx(i, j)] += a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+}
+fn mm_jik(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for j in 0..N {
+        for i in 0..N {
+            for k in 0..N {
+                c[idx(i, j)] += a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+}
+fn mm_jki(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for j in 0..N {
+        for k in 0..N {
+            for i in 0..N {
+                c[idx(i, j)] += a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+}
+fn mm_kij(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for k in 0..N {
+        for i in 0..N {
+            for j in 0..N {
+                c[idx(i, j)] += a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+}
+fn mm_kji(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for k in 0..N {
+        for j in 0..N {
+            for i in 0..N {
+                c[idx(i, j)] += a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+}
+
+fn bench(cr: &mut Criterion) {
+    let a: Vec<f64> = (0..N * N).map(|x| (x % 7) as f64).collect();
+    let b: Vec<f64> = (0..N * N).map(|x| (x % 5) as f64).collect();
+    let mut group = cr.benchmark_group("native_matmul");
+    group.sample_size(10);
+    let orders: [(&str, Kernel); 6] = [
+        ("JKI", mm_jki),
+        ("KJI", mm_kji),
+        ("JIK", mm_jik),
+        ("IJK", mm_ijk),
+        ("KIJ", mm_kij),
+        ("IKJ", mm_ikj),
+    ];
+    for (name, f) in orders {
+        group.bench_function(BenchmarkId::from_parameter(name), |bch| {
+            bch.iter(|| {
+                let mut c = vec![0.0f64; N * N];
+                f(black_box(&mut c), black_box(&a), black_box(&b));
+                black_box(c)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension: ablation of the compound algorithm's component passes.
+fn main() {
+    let (text, _) = cmt_bench::tables::ablation();
+    println!("{text}");
+}

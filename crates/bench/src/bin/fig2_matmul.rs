@@ -1,0 +1,14 @@
+//! Regenerates Figure 2: matrix-multiply loop-order ranking.
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let (text, rows) = cmt_bench::tables::fig2_matmul(n);
+    println!("{text}");
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.cycles.cmp(&b.cycles))
+        .expect("six orders");
+    println!("fastest by cycle model: {} (paper: JKI)", best.name);
+}

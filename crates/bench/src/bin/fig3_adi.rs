@@ -1,0 +1,13 @@
+//! Regenerates Figure 3: ADI fusion + interchange.
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(320);
+    let (text, rows) = cmt_bench::tables::fig3_adi(n);
+    println!("{text}");
+    println!(
+        "fused/scalarized cycle ratio: {:.2} (fused should win)",
+        rows[0].cycles as f64 / rows[1].cycles as f64
+    );
+}

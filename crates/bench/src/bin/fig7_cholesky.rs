@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: Cholesky variants.
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let (text, rows) = cmt_bench::tables::fig7_cholesky(n);
+    println!("{text}");
+    let best = rows.iter().min_by_key(|r| r.cycles).expect("variants");
+    println!("fastest variant: {} (paper: KJI / memory order)", best.name);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figures 8 and 9: memory-order histograms.
+fn main() {
+    let (text, _) = cmt_bench::tables::fig8_9();
+    println!("{text}");
+}

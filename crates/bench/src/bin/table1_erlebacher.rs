@@ -1,0 +1,13 @@
+//! Regenerates Table 1: Erlebacher hand/distributed/fused.
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let (text, rows) = cmt_bench::tables::table1_erlebacher(n, 6);
+    println!("{text}");
+    println!(
+        "fusion speedup over distributed: {:.2}x (paper: up to 1.17x)",
+        rows[1].cycles as f64 / rows[2].cycles as f64
+    );
+}

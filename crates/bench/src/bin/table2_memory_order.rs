@@ -1,0 +1,5 @@
+//! Regenerates Table 2: per-program memory-order statistics.
+fn main() {
+    let (text, _) = cmt_bench::tables::table2();
+    println!("{text}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 3: whole-program cycle-model performance.
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(576);
+    let (text, _) = cmt_bench::tables::table3(n);
+    println!("{text}");
+}

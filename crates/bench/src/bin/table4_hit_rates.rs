@@ -1,0 +1,6 @@
+//! Regenerates Table 4: simulated cache hit rates for the whole suite.
+fn main() {
+    let n = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let (text, _) = cmt_bench::tables::table4(n);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5: data-access properties.
+fn main() {
+    let (text, _) = cmt_bench::tables::table5();
+    println!("{text}");
+}

@@ -1,0 +1,88 @@
+//! Small text-table formatting helpers for the harness binaries.
+
+/// Renders rows as a fixed-width table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (k, cell) in r.iter().enumerate().take(ncol) {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (k, c) in cells.iter().enumerate() {
+            if k > 0 {
+                line.push_str("  ");
+            }
+            if k == 0 {
+                line.push_str(&format!("{c:<w$}", w = widths[k]));
+            } else {
+                line.push_str(&format!("{c:>w$}", w = widths[k]));
+            }
+        }
+        line
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Formats a percentage value (already in 0–100) with no decimals.
+pub fn pct0(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+/// Renders a unit-interval histogram bar of the given width.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(pct(0.856), "85.6");
+        assert_eq!(pct0(85.6), "86");
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regeneration harness for every table and figure of the paper's
+//! evaluation (§5), plus ablation studies.
+//!
+//! Each `table*`/`fig*` binary in `src/bin` prints one artifact; the
+//! heavy lifting lives here so integration tests can assert on the
+//! structured results. See EXPERIMENTS.md for the paper-vs-measured
+//! record.
+//!
+//! Run (release strongly recommended — the cache simulations stream
+//! hundreds of millions of accesses):
+//!
+//! ```text
+//! cargo run --release -p cmt-bench --bin table4_hit_rates
+//! ```
+
+pub mod fmt;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{simulate_program, simulate_versions, ProgramSim, VersionPair};

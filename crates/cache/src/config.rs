@@ -1,0 +1,116 @@
+//! Cache geometry.
+
+use std::fmt;
+
+/// Geometry of one cache: total size, associativity, and line size, all
+/// in bytes. Replacement is true LRU; allocation is write-allocate — the
+/// policy the paper's simulations assume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size: u64,
+    assoc: u32,
+    line: u64,
+}
+
+impl CacheConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line` and `size/(assoc·line)` are powers of two and
+    /// the parameters divide evenly.
+    pub fn new(size: u64, assoc: u32, line: u64) -> Self {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1, "associativity must be at least 1");
+        assert!(
+            size.is_multiple_of(u64::from(assoc) * line),
+            "size must be a multiple of assoc × line"
+        );
+        let sets = size / (u64::from(assoc) * line);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { size, assoc, line }
+    }
+
+    /// The paper's cache1: IBM RS/6000-540 — 64 KB, 4-way, 128-byte lines.
+    pub fn rs6000() -> Self {
+        CacheConfig::new(64 * 1024, 4, 128)
+    }
+
+    /// The paper's cache2: Intel i860 — 8 KB, 2-way, 32-byte lines.
+    pub fn i860() -> Self {
+        CacheConfig::new(8 * 1024, 2, 32)
+    }
+
+    /// Wolf's evaluation cache (§5.5 comparison): DECstation 5000 —
+    /// 64 KB direct-mapped, 16-byte lines.
+    pub fn decstation() -> Self {
+        CacheConfig::new(64 * 1024, 1, 16)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size / (u64::from(self.assoc) * self.line)
+    }
+
+    /// Line size in `f64` array elements — the `cls` parameter of the
+    /// cost model.
+    pub fn cls_elements(&self) -> u32 {
+        (self.line / 8) as u32
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}-way/{}B",
+            self.size / 1024,
+            self.assoc,
+            self.line
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let c1 = CacheConfig::rs6000();
+        assert_eq!(c1.sets(), 128);
+        assert_eq!(c1.cls_elements(), 16);
+        let c2 = CacheConfig::i860();
+        assert_eq!(c2.sets(), 128);
+        assert_eq!(c2.cls_elements(), 4);
+        assert_eq!(c2.to_string(), "8KB/2-way/32B");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_rejected() {
+        let _ = CacheConfig::new(1024, 2, 24);
+    }
+
+    #[test]
+    fn direct_mapped_allowed() {
+        let c = CacheConfig::decstation();
+        assert_eq!(c.assoc(), 1);
+        assert_eq!(c.sets(), 4096);
+    }
+}

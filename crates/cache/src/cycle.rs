@@ -1,0 +1,77 @@
+//! A minimal cycle model for execution-time estimates.
+//!
+//! The paper reports wall-clock seconds on three machines; our substitute
+//! is a classic fixed-latency model: every access costs one cycle plus a
+//! miss penalty when it misses. Relative comparisons (speedups, rankings)
+//! are what the reproduction preserves — see DESIGN.md §4.
+
+use crate::stats::CacheStats;
+
+/// Fixed-latency cycle model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Cycles per cache hit (and per access base cost).
+    pub hit_cycles: u64,
+    /// Additional cycles per miss.
+    pub miss_penalty: u64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        // A mid-90s ratio: ~1-cycle cache, ~20-cycle memory.
+        CycleModel {
+            hit_cycles: 1,
+            miss_penalty: 20,
+        }
+    }
+}
+
+impl CycleModel {
+    /// Estimated cycles for a set of access statistics.
+    pub fn cycles(&self, stats: &CacheStats) -> u64 {
+        stats.accesses * self.hit_cycles + stats.misses * self.miss_penalty
+    }
+
+    /// Speedup of `after` relative to `before` (>1 means faster).
+    pub fn speedup(&self, before: &CacheStats, after: &CacheStats) -> f64 {
+        let b = self.cycles(before);
+        let a = self.cycles(after);
+        if a == 0 {
+            1.0
+        } else {
+            b as f64 / a as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_weigh_misses() {
+        let m = CycleModel::default();
+        let all_hits = CacheStats {
+            accesses: 100,
+            hits: 100,
+            misses: 0,
+            cold_misses: 0,
+        };
+        let all_miss = CacheStats {
+            accesses: 100,
+            hits: 0,
+            misses: 100,
+            cold_misses: 100,
+        };
+        assert_eq!(m.cycles(&all_hits), 100);
+        assert_eq!(m.cycles(&all_miss), 2100);
+        assert!((m.speedup(&all_miss, &all_hits) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_of_empty_is_one() {
+        let m = CycleModel::default();
+        let empty = CacheStats::default();
+        assert_eq!(m.speedup(&empty, &empty), 1.0);
+    }
+}

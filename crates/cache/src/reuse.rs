@@ -1,0 +1,287 @@
+//! LRU reuse-distance (stack-distance) analysis.
+//!
+//! The *reuse distance* of an access is the number of distinct cache
+//! lines touched since the previous access to the same line. Under a
+//! fully-associative LRU cache of capacity `C` lines, an access hits iff
+//! its reuse distance is `< C` — so one pass over a trace yields the miss
+//! rate of **every** capacity at once. This is the textbook tool for
+//! explaining the paper's Table 4: the same program can sit on either
+//! side of a capacity cliff depending on cache size.
+//!
+//! The implementation is the classic O(log n)-per-access algorithm: a
+//! Fenwick tree over access timestamps counts the distinct lines touched
+//! since the previous access to the current line.
+//!
+//! # Example
+//!
+//! ```
+//! use cmt_cache::reuse::ReuseDistance;
+//!
+//! let mut r = ReuseDistance::new(64); // 64-byte lines
+//! for _ in 0..3 {
+//!     for line in 0..4u64 {
+//!         r.record(line * 64);
+//!     }
+//! }
+//! // Cyclic over 4 lines: every warm access has distance 3.
+//! assert_eq!(r.miss_rate_for_capacity(4), 0.0);
+//! assert_eq!(r.miss_rate_for_capacity(3), 1.0);
+//! ```
+
+use std::collections::HashMap;
+
+/// Streaming reuse-distance profiler. Cold (first-touch) accesses are
+/// tracked separately and excluded from rates, matching the paper.
+#[derive(Clone, Debug)]
+pub struct ReuseDistance {
+    line_bytes: u64,
+    /// Fenwick tree over timestamps; 1 marks the most recent access
+    /// position of some line.
+    tree: Vec<u64>,
+    /// Last access timestamp (1-based) per line.
+    last: HashMap<u64, usize>,
+    /// Exact distance histogram.
+    histogram: HashMap<u64, u64>,
+    cold: u64,
+    accesses: u64,
+    time: usize,
+}
+
+impl ReuseDistance {
+    /// Creates a profiler for the given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes > 0, "line size must be positive");
+        ReuseDistance {
+            line_bytes,
+            tree: vec![0; 1024],
+            last: HashMap::new(),
+            histogram: HashMap::new(),
+            cold: 0,
+            accesses: 0,
+            time: 0,
+        }
+    }
+
+    fn tree_add(&mut self, mut idx: usize, delta: i64) {
+        while idx < self.tree.len() {
+            self.tree[idx] = self.tree[idx].wrapping_add(delta as u64);
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    fn tree_sum(&self, mut idx: usize) -> u64 {
+        let mut s = 0u64;
+        while idx > 0 {
+            s = s.wrapping_add(self.tree[idx]);
+            idx -= idx & idx.wrapping_neg();
+        }
+        s
+    }
+
+    /// Records one byte-addressed access.
+    pub fn record(&mut self, addr: u64) {
+        let line = addr / self.line_bytes;
+        self.accesses += 1;
+        self.time += 1;
+        let t = self.time;
+        if t >= self.tree.len() {
+            self.tree.resize(self.tree.len() * 2, 0);
+            // Rebuild: Fenwick trees do not resize in place. Rebuilding is
+            // amortized O(n log n) over doublings.
+            let actives: Vec<usize> = self.last.values().copied().collect();
+            for slot in &mut self.tree {
+                *slot = 0;
+            }
+            for a in actives {
+                self.tree_add(a, 1);
+            }
+        }
+        match self.last.insert(line, t) {
+            None => {
+                self.cold += 1;
+            }
+            Some(prev) => {
+                // Distinct lines touched strictly after `prev`.
+                let distance = self.tree_sum(self.time - 1) - self.tree_sum(prev);
+                *self.histogram.entry(distance).or_insert(0) += 1;
+                self.tree_add(prev, -1);
+            }
+        }
+        self.tree_add(t, 1);
+    }
+
+    /// Total recorded accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// The exact histogram as sorted `(distance, count)` pairs.
+    pub fn histogram(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.histogram.iter().map(|(&d, &c)| (d, c)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Miss rate of a fully-associative LRU cache with `capacity_lines`
+    /// lines, cold misses excluded (an access misses iff its reuse
+    /// distance ≥ capacity).
+    pub fn miss_rate_for_capacity(&self, capacity_lines: u64) -> f64 {
+        let warm = self.accesses - self.cold;
+        if warm == 0 {
+            return 0.0;
+        }
+        let misses: u64 = self
+            .histogram
+            .iter()
+            .filter(|(&d, _)| d >= capacity_lines)
+            .map(|(_, &c)| c)
+            .sum();
+        misses as f64 / warm as f64
+    }
+
+    /// A capacity achieving a warm miss rate of at most `target`: a
+    /// doubling search capped at (max distance + 1), which always
+    /// suffices.
+    pub fn capacity_for_miss_rate(&self, target: f64) -> u64 {
+        let mut cap = 1u64;
+        let max = self
+            .histogram
+            .keys()
+            .max()
+            .copied()
+            .unwrap_or(0)
+            .saturating_add(1);
+        while cap <= max {
+            if self.miss_rate_for_capacity(cap) <= target {
+                return cap;
+            }
+            cap *= 2;
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reuse distance for cross-checking.
+    fn brute(trace: &[u64], line: u64) -> (Vec<u64>, u64) {
+        let mut dists = Vec::new();
+        let mut cold = 0;
+        for (k, &a) in trace.iter().enumerate() {
+            let l = a / line;
+            let mut prev = None;
+            for (j, &b) in trace[..k].iter().enumerate().rev() {
+                if b / line == l {
+                    prev = Some(j);
+                    break;
+                }
+            }
+            match prev {
+                None => cold += 1,
+                Some(j) => {
+                    let distinct: std::collections::HashSet<u64> =
+                        trace[j + 1..k].iter().map(|&b| b / line).collect();
+                    dists.push(distinct.len() as u64);
+                }
+            }
+        }
+        (dists, cold)
+    }
+
+    #[test]
+    fn cyclic_access_distance() {
+        let mut r = ReuseDistance::new(8);
+        let trace: Vec<u64> = (0..30).map(|k| (k % 5) * 8).collect();
+        for &a in &trace {
+            r.record(a);
+        }
+        assert_eq!(r.cold(), 5);
+        let hist = r.histogram();
+        assert_eq!(hist, vec![(4, 25)]);
+        assert_eq!(r.miss_rate_for_capacity(5), 0.0);
+        assert_eq!(r.miss_rate_for_capacity(4), 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_trace() {
+        let mut x = 0x12345678u64;
+        let trace: Vec<u64> = (0..400)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 20) % 32 * 8
+            })
+            .collect();
+        let mut r = ReuseDistance::new(8);
+        for &a in &trace {
+            r.record(a);
+        }
+        let (mut dists, cold) = brute(&trace, 8);
+        dists.sort_unstable();
+        let mut ours: Vec<u64> = r
+            .histogram()
+            .into_iter()
+            .flat_map(|(d, c)| std::iter::repeat_n(d, c as usize))
+            .collect();
+        ours.sort_unstable();
+        assert_eq!(ours, dists);
+        assert_eq!(r.cold(), cold);
+    }
+
+    #[test]
+    fn fenwick_resize_is_transparent() {
+        // Force several tree doublings.
+        let mut r = ReuseDistance::new(8);
+        for k in 0..5000u64 {
+            r.record((k % 7) * 8);
+        }
+        assert_eq!(r.cold(), 7);
+        assert_eq!(r.miss_rate_for_capacity(7), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let mut x = 7u64;
+        let mut r = ReuseDistance::new(8);
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            r.record((x >> 16) % 100 * 8);
+        }
+        let mut prev = 1.0f64 + 1e-9;
+        for cap in 1..110 {
+            let m = r.miss_rate_for_capacity(cap);
+            assert!(m <= prev + 1e-12, "miss rate must not increase: {m} > {prev}");
+            prev = m;
+        }
+        assert_eq!(r.miss_rate_for_capacity(100), 0.0);
+    }
+
+    #[test]
+    fn capacity_search() {
+        let mut r = ReuseDistance::new(8);
+        for k in 0..100u64 {
+            r.record((k % 10) * 8);
+        }
+        assert_eq!(r.capacity_for_miss_rate(0.0), 10); // all distances are 9
+        assert!(r.capacity_for_miss_rate(1.0) <= 1);
+    }
+
+    #[test]
+    fn spatial_folding_by_line() {
+        let mut r = ReuseDistance::new(64);
+        r.record(0);
+        r.record(32); // same 64-byte line: distance 0
+        let hist = r.histogram();
+        assert_eq!(hist, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The set-associative LRU simulator.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+use std::collections::HashSet;
+
+/// A set-associative, write-allocate cache with true-LRU replacement.
+///
+/// Addresses are byte addresses; every access touches one line (the IR
+/// interpreter issues element-sized accesses that never straddle lines,
+/// since elements are 8-byte aligned and lines are ≥ 8 bytes).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per-set tag stacks, most recently used last.
+    sets: Vec<Vec<u64>>,
+    /// Lines ever touched, for cold-miss classification.
+    seen: HashSet<u64>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.assoc() as usize); config.sets() as usize],
+            seen: HashSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Simulates one access; returns `true` on a hit. Writes and reads
+    /// behave identically under write-allocate with respect to hit/miss
+    /// accounting.
+    pub fn access(&mut self, addr: u64, _is_write: bool) -> bool {
+        let line = addr / self.config.line();
+        let set_idx = (line % self.config.sets()) as usize;
+        self.stats.accesses += 1;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.push(line);
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.seen.insert(line) {
+            self.stats.cold_misses += 1;
+        }
+        if set.len() == self.config.assoc() as usize {
+            set.remove(0); // evict LRU
+        }
+        set.push(line);
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics but keeps cache contents and cold-line history
+    /// (useful for excluding warm-up phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and clears statistics and history.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.seen.clear();
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// Several caches fed the same trace — the paper simulates cache1 and
+/// cache2 over one execution.
+#[derive(Clone, Debug)]
+pub struct MultiCache {
+    caches: Vec<Cache>,
+}
+
+impl MultiCache {
+    /// Creates one cache per configuration.
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        MultiCache {
+            caches: configs.iter().map(|c| Cache::new(*c)).collect(),
+        }
+    }
+
+    /// Feeds an access to every cache.
+    pub fn access(&mut self, addr: u64, is_write: bool) {
+        for c in &mut self.caches {
+            c.access(addr, is_write);
+        }
+    }
+
+    /// The underlying caches, in construction order.
+    pub fn caches(&self) -> &[Cache] {
+        &self.caches
+    }
+
+    /// Mutable access (e.g. to reset statistics between program phases).
+    pub fn caches_mut(&mut self) -> &mut [Cache] {
+        &mut self.caches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 16-byte lines = 64 bytes.
+        Cache::new(CacheConfig::new(64, 2, 16))
+    }
+
+    #[test]
+    fn spatial_hit_within_line() {
+        let mut c = tiny();
+        assert!(!c.access(0, false));
+        assert!(c.access(8, false));
+        assert!(c.access(15, false));
+        assert!(!c.access(16, false));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().cold_misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line % 2 == 0): lines 0, 2, 4 (addresses
+        // 0, 32, 64).
+        c.access(0, false); // line 0 → set 0
+        c.access(32, false); // line 2 → set 0
+        c.access(0, false); // touch line 0 (now MRU)
+        c.access(64, false); // line 4 → evicts line 2 (LRU)
+        assert!(c.access(0, false), "line 0 must survive");
+        assert!(!c.access(32, false), "line 2 was evicted");
+        // That second miss on line 2 is warm, not cold.
+        assert_eq!(c.stats().cold_misses, 3);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn conflict_misses_with_capacity_spare() {
+        // Direct-mapped 2-set cache: lines 0 and 2 conflict in set 0.
+        let mut c = Cache::new(CacheConfig::new(32, 1, 16));
+        c.access(0, false);
+        c.access(32, false);
+        assert!(!c.access(0, false), "conflict evicted line 0");
+        assert_eq!(c.stats().warm_misses(), 1);
+    }
+
+    #[test]
+    fn hits_and_misses_partition_accesses() {
+        let mut c = tiny();
+        for a in 0..100u64 {
+            c.access(a * 8, a % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert!(s.cold_misses <= s.misses);
+    }
+
+    #[test]
+    fn reset_keeps_contents() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.reset_stats();
+        assert!(c.access(0, false), "line still resident after reset");
+        assert_eq!(c.stats().accesses, 1);
+        c.clear();
+        assert!(!c.access(0, false));
+        assert_eq!(c.stats().cold_misses, 1, "history cleared too");
+    }
+
+    #[test]
+    fn multicache_feeds_all() {
+        let mut m = MultiCache::new(&[CacheConfig::rs6000(), CacheConfig::i860()]);
+        m.access(0, false);
+        m.access(64, false); // same 128B line for cache1, different 32B line for cache2
+        let s1 = m.caches()[0].stats();
+        let s2 = m.caches()[1].stats();
+        assert_eq!(s1.hits, 1);
+        assert_eq!(s2.hits, 0);
+    }
+
+    #[test]
+    fn working_set_fits_full_hits_on_second_pass() {
+        let mut c = Cache::new(CacheConfig::rs6000());
+        // 32 KB working set < 64 KB cache.
+        for pass in 0..2 {
+            for a in (0..32 * 1024u64).step_by(8) {
+                c.access(a, false);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 0, "{s}");
+    }
+}

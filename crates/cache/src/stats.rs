@@ -1,0 +1,110 @@
+//! Hit/miss accounting.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Access counters for one cache (or one accounting region).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// All misses (cold + capacity + conflict).
+    pub misses: u64,
+    /// First-touch misses of a line.
+    pub cold_misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all accesses, in `[0, 1]`; `1.0` for an empty trace.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate with cold misses removed from the denominator — the
+    /// paper's Table 4 convention ("cold misses are not included").
+    pub fn hit_rate_excluding_cold(&self) -> f64 {
+        let denom = self.accesses - self.cold_misses;
+        if denom == 0 {
+            1.0
+        } else {
+            self.hits as f64 / denom as f64
+        }
+    }
+
+    /// Misses that are not cold (capacity + conflict).
+    pub fn warm_misses(&self) -> u64 {
+        self.misses - self.cold_misses
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.accesses += rhs.accesses;
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.cold_misses += rhs.cold_misses;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({} cold), {:.2}% hit rate (excl. cold)",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.cold_misses,
+            100.0 * self.hit_rate_excluding_cold()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 6,
+            misses: 4,
+            cold_misses: 2,
+        };
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.hit_rate_excluding_cold() - 0.75).abs() < 1e-12);
+        assert_eq!(s.warm_misses(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_perfect() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        assert_eq!(s.hit_rate_excluding_cold(), 1.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = CacheStats {
+            accesses: 5,
+            hits: 5,
+            misses: 0,
+            cold_misses: 0,
+        };
+        a += CacheStats {
+            accesses: 5,
+            hits: 0,
+            misses: 5,
+            cold_misses: 5,
+        };
+        assert_eq!(a.accesses, 10);
+        assert_eq!(a.hit_rate_excluding_cold(), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A TLB model (extension).
+//!
+//! §1.1 lists the TLB alongside multi-level caches as a tiling target.
+//! A TLB is just a small, usually fully-associative cache of *page*
+//! translations; strided column walks that merely waste cache lines can
+//! also thrash a TLB when the stride exceeds the page size — another
+//! reason memory order matters.
+
+use crate::stats::CacheStats;
+
+/// A fully-associative, true-LRU translation lookaside buffer.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    page_bytes: u64,
+    entries: usize,
+    /// Resident page numbers, most recently used last.
+    resident: Vec<u64>,
+    seen: std::collections::HashSet<u64>,
+    stats: CacheStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given page size and entry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the page size is a power of two and `entries ≥ 1`.
+    pub fn new(page_bytes: u64, entries: usize) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(entries >= 1, "TLB needs at least one entry");
+        Tlb {
+            page_bytes,
+            entries,
+            resident: Vec::with_capacity(entries),
+            seen: std::collections::HashSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A typical early-90s workstation TLB: 4 KB pages, 64 entries.
+    pub fn typical() -> Self {
+        Tlb::new(4096, 64)
+    }
+
+    /// Simulates one access; returns `true` on a TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr / self.page_bytes;
+        self.stats.accesses += 1;
+        if let Some(pos) = self.resident.iter().position(|&p| p == page) {
+            self.resident.remove(pos);
+            self.resident.push(page);
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.seen.insert(page) {
+            self.stats.cold_misses += 1;
+        }
+        if self.resident.len() == self.entries {
+            self.resident.remove(0);
+        }
+        self.resident.push(page);
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The reach in bytes (entries × page size): working sets beyond this
+    /// start missing.
+    pub fn reach(&self) -> u64 {
+        self.entries as u64 * self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_reach_only_cold_misses() {
+        let mut t = Tlb::new(4096, 8);
+        for pass in 0..3 {
+            for p in 0..8u64 {
+                let hit = t.access(p * 4096 + pass * 8);
+                assert_eq!(hit, pass > 0, "page {p} pass {pass}");
+            }
+        }
+        assert_eq!(t.stats().misses, 8);
+        assert_eq!(t.stats().cold_misses, 8);
+    }
+
+    #[test]
+    fn beyond_reach_thrashes() {
+        let mut t = Tlb::new(4096, 4);
+        // Cycle over 5 pages with 4 entries: LRU misses every time.
+        for _ in 0..3 {
+            for p in 0..5u64 {
+                t.access(p * 4096);
+            }
+        }
+        let s = t.stats();
+        assert_eq!(s.hits, 0, "{s}");
+    }
+
+    #[test]
+    fn strided_column_walk_vs_unit_walk() {
+        // A 1024×1024 f64 matrix: a column walk touches a new page every
+        // element (row stride 8 KB); the unit walk touches a new page
+        // every 512 elements.
+        let n = 1024u64;
+        let mut col = Tlb::typical();
+        for j in 0..64u64 {
+            for i in 0..n {
+                col.access((i + j * n) * 8); // unit stride
+            }
+        }
+        let mut row = Tlb::typical();
+        for i in 0..64u64 {
+            for j in 0..n {
+                row.access((i + j * n) * 8); // page-per-access stride
+            }
+        }
+        assert!(
+            row.stats().misses > 20 * col.stats().misses,
+            "row-walk TLB misses {} should dwarf column-walk {}",
+            row.stats().misses,
+            col.stats().misses
+        );
+        assert_eq!(col.reach(), 64 * 4096);
+    }
+}

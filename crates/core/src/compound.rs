@@ -1,0 +1,365 @@
+//! The compound transformation algorithm (paper Figure 6).
+//!
+//! For each nest: try to permute into memory order; if the nest is
+//! imperfect, try fusing all inner loops to expose a permutable perfect
+//! nest; otherwise try the smallest distribution that enables permutation
+//! (then re-fuse the pieces for temporal locality). Finally, fuse
+//! profitable adjacent nests.
+
+use crate::distribute::distribute_nest;
+use crate::fuse::{fuse_adjacent, fuse_all_inner};
+use crate::model::CostModel;
+use crate::permute::{permute_loop_in_place, permute_nest, PermuteFailure};
+use crate::report::{
+    ideal_cost, inner_loop_in_position, nest_in_memory_order, realized_cost, TransformReport,
+};
+use cmt_ir::node::Node;
+use cmt_ir::program::Program;
+use cmt_ir::visit::{all_loops, is_perfect};
+
+/// Switches for ablation studies; the defaults match the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompoundOptions {
+    /// Try loop reversal as a permutation enabler (§4.2).
+    pub reversal: bool,
+    /// Apply loop fusion (§4.3) — both `FuseAll` and cross-nest fusion.
+    pub fusion: bool,
+    /// Apply loop distribution (§4.4).
+    pub distribution: bool,
+}
+
+impl Default for CompoundOptions {
+    fn default() -> Self {
+        CompoundOptions {
+            reversal: true,
+            fusion: true,
+            distribution: true,
+        }
+    }
+}
+
+/// Runs the compound algorithm with default options. See
+/// [`compound_with`].
+pub fn compound(program: &mut Program, model: &CostModel) -> TransformReport {
+    compound_with(program, model, &CompoundOptions::default())
+}
+
+/// Runs the compound algorithm, returning per-program Table-2 statistics.
+///
+/// Only nests of depth ≥ 2 are considered for transformation (as in the
+/// paper); depth-1 loops still participate in the final cross-nest fusion
+/// pass.
+pub fn compound_with(
+    program: &mut Program,
+    model: &CostModel,
+    opts: &CompoundOptions,
+) -> TransformReport {
+    let mut report = TransformReport::default();
+    let mut ratio_final_sum = 0.0;
+    let mut ratio_ideal_sum = 0.0;
+    let mut ratio_count = 0usize;
+
+    let mut idx = 0;
+    while idx < program.body().len() {
+        let Some(root) = program.body()[idx].as_loop() else {
+            idx += 1;
+            continue;
+        };
+        report.loops_total += all_loops(root).len();
+        let depth = Node::Loop(root.clone()).depth();
+        if depth < 2 {
+            idx += 1;
+            continue;
+        }
+        report.nests_total += 1;
+
+        let root_snapshot = root.clone();
+        let orig_mem = nest_in_memory_order(program, &root_snapshot, model);
+        let orig_inner = inner_loop_in_position(program, &root_snapshot, model);
+        let orig_cost = realized_cost(program, &root_snapshot, model);
+        let ideal = ideal_cost(program, &root_snapshot, model);
+        if orig_mem {
+            report.nests_orig_memory_order += 1;
+        }
+        if orig_inner {
+            report.inner_orig += 1;
+        }
+
+        let mut last_failure: Option<PermuteFailure> = None;
+        let mut span = 1usize;
+        if !orig_mem {
+            // Step 1: permutation.
+            let out = permute_nest(program, idx, model, opts.reversal);
+            report.reversals += out.reversed.len();
+            last_failure = out.failure;
+            let mut achieved = out.memory_order;
+
+            // Step 2: FuseAll to expose a perfect nest.
+            if !achieved && opts.fusion && !is_perfect(&root_snapshot) {
+                let current = program.body()[idx]
+                    .as_loop()
+                    .expect("still a loop")
+                    .clone();
+                if let Some(fused) = fuse_all_inner(program, &current) {
+                    let (out2, rewritten) =
+                        permute_loop_in_place(program, &fused, model, opts.reversal);
+                    if out2.memory_order {
+                        let new_root = rewritten.unwrap_or(fused);
+                        program.body_mut()[idx] = Node::Loop(new_root);
+                        report.reversals += out2.reversed.len();
+                        report.fusion_enabled_permutation += 1;
+                        achieved = true;
+                        last_failure = None;
+                    }
+                }
+            }
+
+            // Step 3: distribution.
+            if !achieved && opts.distribution {
+                if let Some(dist) = distribute_nest(program, idx, model, opts.reversal) {
+                    report.distributions += 1;
+                    report.nests_resulting += dist.resulting;
+                    span = dist.top_level_span;
+                    last_failure = None;
+                }
+            }
+        }
+
+        // Final state of this nest (possibly several top-level nodes
+        // after an outermost distribution).
+        let finals: Vec<_> = (idx..idx + span)
+            .filter_map(|k| program.body()[k].as_loop().cloned())
+            .collect();
+        let final_mem = finals
+            .iter()
+            .all(|l| nest_in_memory_order(program, l, model));
+        let final_inner = finals
+            .iter()
+            .all(|l| inner_loop_in_position(program, l, model));
+        if final_mem && !orig_mem {
+            report.nests_permuted += 1;
+        }
+        if !final_mem {
+            report.nests_failed += 1;
+            match last_failure {
+                Some(PermuteFailure::ComplexBounds) => report.fail_complex_bounds += 1,
+                _ => report.fail_dependences += 1,
+            }
+        }
+        if final_inner && !orig_inner {
+            report.inner_permuted += 1;
+        }
+        if !final_inner {
+            report.inner_failed += 1;
+        }
+
+        let mut final_cost = crate::cost::CostPoly::zero();
+        for l in &finals {
+            final_cost += realized_cost(program, l, model);
+        }
+        const EVAL_AT: f64 = 100.0;
+        ratio_final_sum += orig_cost.ratio_at(&final_cost, EVAL_AT).max(1.0);
+        ratio_ideal_sum += orig_cost.ratio_at(&ideal, EVAL_AT).max(1.0);
+        ratio_count += 1;
+        idx += span;
+    }
+
+    // Final pass: fuse adjacent nests for temporal locality.
+    if opts.fusion {
+        let stats = fuse_adjacent(program, model);
+        report.fusion_candidates = stats.candidates;
+        report.nests_fused = stats.fused;
+    }
+
+    if ratio_count > 0 {
+        report.loopcost_ratio_final = ratio_final_sum / ratio_count as f64;
+        report.loopcost_ratio_ideal = ratio_ideal_sum / ratio_count as f64;
+    } else {
+        report.loopcost_ratio_final = 1.0;
+        report.loopcost_ratio_ideal = 1.0;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::affine::Affine;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+    use cmt_ir::validate::validate;
+    use cmt_ir::visit::perfect_chain;
+
+    #[test]
+    fn matmul_end_to_end() {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let mut p = b.finish();
+        let report = compound(&mut p, &CostModel::new(4));
+        assert_eq!(report.nests_total, 1);
+        assert_eq!(report.nests_permuted, 1);
+        assert_eq!(report.nests_failed, 0);
+        assert!(report.loopcost_ratio_final > 1.0);
+        let names: Vec<&str> = perfect_chain(p.nests()[0])
+            .iter()
+            .map(|l| p.var_name(l.var()))
+            .collect();
+        assert_eq!(names, vec!["J", "K", "I"]);
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn adi_fuse_all_then_permute() {
+        // Figure 3(b): DO I { DO K {S1}; DO K2 {S2} } — fusion of the K
+        // loops enables interchange to K-outer/I-inner.
+        let mut b = ProgramBuilder::new("adi");
+        let n = b.param("N");
+        let x = b.matrix("X", n);
+        let aa = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        b.loop_("I", 2, n, |b| {
+            let i = b.var("I");
+            b.loop_("K", 1, n, |b| {
+                let k = b.var("K");
+                let lhs = b.at(x, [i, k]);
+                let rhs = Expr::load(b.at(x, [i, k]))
+                    - Expr::load(b.at_vec(x, vec![Affine::var(i) - 1, Affine::var(k)]))
+                        * Expr::load(b.at(aa, [i, k]))
+                        / Expr::load(b.at_vec(bb, vec![Affine::var(i) - 1, Affine::var(k)]));
+                b.assign(lhs, rhs);
+            });
+            b.loop_("K2", 1, n, |b| {
+                let k2 = b.var("K2");
+                let lhs = b.at(bb, [i, k2]);
+                let rhs = Expr::load(b.at(bb, [i, k2]))
+                    - Expr::load(b.at(aa, [i, k2])) * Expr::load(b.at(aa, [i, k2]))
+                        / Expr::load(b.at_vec(bb, vec![Affine::var(i) - 1, Affine::var(k2)]));
+                b.assign(lhs, rhs);
+            });
+        });
+        let mut p = b.finish();
+        let report = compound(&mut p, &CostModel::new(4));
+        assert_eq!(report.fusion_enabled_permutation, 1, "{report:#?}");
+        validate(&p).unwrap();
+        // Final shape: K outer, I inner, two statements inside.
+        let root = p.nests()[0];
+        assert_eq!(p.var_name(root.var()), "K");
+        let inner = root.only_loop_child().unwrap();
+        assert_eq!(p.var_name(inner.var()), "I");
+        assert_eq!(inner.body().len(), 2);
+    }
+
+    #[test]
+    fn cholesky_distribution_in_compound() {
+        let mut b = ProgramBuilder::new("chol");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("K", 1, n, |b| {
+            let k = b.var("K");
+            let akk = b.at(a, [k, k]);
+            let rhs = Expr::sqrt(Expr::load(b.at(a, [k, k])));
+            b.assign(akk, rhs);
+            b.loop_("I", Affine::var(k) + 1, n, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i, k]);
+                let rhs = Expr::load(b.at(a, [i, k])) / Expr::load(b.at(a, [k, k]));
+                b.assign(lhs, rhs);
+                b.loop_("J", Affine::var(k) + 1, i, |b| {
+                    let j = b.var("J");
+                    let lhs = b.at(a, [i, j]);
+                    let rhs = Expr::load(b.at(a, [i, j]))
+                        - Expr::load(b.at(a, [i, k])) * Expr::load(b.at(a, [j, k]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let mut p = b.finish();
+        let report = compound(&mut p, &CostModel::new(4));
+        assert_eq!(report.distributions, 1, "{report:#?}");
+        assert_eq!(report.nests_resulting, 2);
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn program_already_optimal_is_untouched() {
+        let mut b = ProgramBuilder::new("opt");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("J", 1, n, |b| {
+            b.loop_("I", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(a, [i, j]);
+                let rhs = Expr::load(b.at(a, [i, j])) + Expr::Const(1.0);
+                b.assign(lhs, rhs);
+            });
+        });
+        let mut p = b.finish();
+        let before = p.clone();
+        let report = compound(&mut p, &CostModel::new(4));
+        assert_eq!(report.nests_orig_memory_order, 1);
+        assert_eq!(report.nests_permuted, 0);
+        assert!((report.loopcost_ratio_final - 1.0).abs() < 1e-9);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn ablation_options_disable_passes() {
+        // The ADI nest again, with fusion disabled: no transformation.
+        let mut b = ProgramBuilder::new("adi2");
+        let n = b.param("N");
+        let x = b.matrix("X", n);
+        b.loop_("I", 2, n, |b| {
+            let i = b.var("I");
+            b.loop_("K", 1, n, |b| {
+                let k = b.var("K");
+                let lhs = b.at(x, [i, k]);
+                let rhs = Expr::load(b.at_vec(x, vec![Affine::var(i) - 1, Affine::var(k)]));
+                b.assign(lhs, rhs);
+            });
+            b.loop_("K2", 1, n, |b| {
+                let k2 = b.var("K2");
+                let lhs = b.at(x, [i, k2]);
+                let rhs = Expr::load(b.at(x, [i, k2])) * Expr::Const(0.5);
+                b.assign(lhs, rhs);
+            });
+        });
+        let mut p = b.finish();
+        let opts = CompoundOptions {
+            fusion: false,
+            ..Default::default()
+        };
+        let report = compound_with(&mut p, &CostModel::new(4), &opts);
+        assert_eq!(report.fusion_enabled_permutation, 0);
+        assert_eq!(report.nests_fused, 0);
+    }
+
+    #[test]
+    fn depth_one_nests_are_skipped() {
+        let mut b = ProgramBuilder::new("d1");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Const(0.0));
+        });
+        let mut p = b.finish();
+        let report = compound(&mut p, &CostModel::new(4));
+        assert_eq!(report.nests_total, 0);
+        assert_eq!(report.loops_total, 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Symbolic cost arithmetic.
+//!
+//! `LoopCost` values are polynomials in the program's symbolic parameters
+//! (e.g. `2n³ + n²` for matrix multiply with `J` innermost). [`CostPoly`]
+//! implements the ring operations the model needs and the *dominating-term*
+//! comparison the paper prescribes for symbolic bounds: higher total degree
+//! wins; within a degree, the larger coefficient sum wins; ties fall back
+//! to lower-degree terms.
+
+use cmt_ir::ids::ParamId;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A monomial: parameter ids with exponents, e.g. `n²·m`.
+/// Invariant: sorted by parameter, exponents ≥ 1.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(Vec<(ParamId, u32)>);
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// The monomial consisting of one parameter.
+    pub fn param(p: ParamId) -> Self {
+        Monomial(vec![(p, 1)])
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.0.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out: BTreeMap<ParamId, u32> = self.0.iter().copied().collect();
+        for &(p, e) in &other.0 {
+            *out.entry(p).or_insert(0) += e;
+        }
+        Monomial(out.into_iter().collect())
+    }
+
+    /// Exponent pairs, sorted by parameter.
+    pub fn terms(&self) -> &[(ParamId, u32)] {
+        &self.0
+    }
+}
+
+/// A polynomial over symbolic parameters with `f64` coefficients.
+///
+/// # Example
+///
+/// ```
+/// use cmt_locality::cost::CostPoly;
+/// use cmt_ir::ids::ParamId;
+///
+/// let n = ParamId(0);
+/// let n3 = CostPoly::param(n) * CostPoly::param(n) * CostPoly::param(n);
+/// let big = n3.clone() * CostPoly::constant(2.0);   // 2n³
+/// let small = n3 * CostPoly::constant(0.5);         // n³/2
+/// assert!(big.dominates(&small));
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CostPoly {
+    /// Coefficients by monomial; no zero coefficients retained.
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl CostPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Self {
+        let mut p = Self::zero();
+        p.add_term(Monomial::one(), c);
+        p
+    }
+
+    /// The polynomial `1`.
+    pub fn one() -> Self {
+        Self::constant(1.0)
+    }
+
+    /// The polynomial consisting of one parameter.
+    pub fn param(p: ParamId) -> Self {
+        let mut out = Self::zero();
+        out.add_term(Monomial::param(p), 1.0);
+        out
+    }
+
+    /// Adds `c · m` in place, dropping cancelled terms.
+    pub fn add_term(&mut self, m: Monomial, c: f64) {
+        if c == 0.0 {
+            return;
+        }
+        let entry = self.terms.entry(m).or_insert(0.0);
+        *entry += c;
+        if entry.abs() < 1e-12 {
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, v)| v.abs() < 1e-12)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// True when the polynomial has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree of the polynomial (0 for constants and zero).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluates with every parameter set to `value`.
+    pub fn eval_uniform(&self, value: f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, c)| c * value.powi(m.degree() as i32))
+            .sum()
+    }
+
+    /// Evaluates with explicit parameter values (missing parameters count
+    /// as 1).
+    pub fn eval(&self, values: &dyn Fn(ParamId) -> f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, c)| {
+                let mut v = *c;
+                for &(p, e) in m.terms() {
+                    v *= values(p).powi(e as i32);
+                }
+                v
+            })
+            .sum()
+    }
+
+    /// Dominating-term comparison: compares total coefficient mass degree
+    /// by degree from the highest, falling back to an evaluation at a
+    /// large uniform parameter value for exotic ties.
+    pub fn dominating_cmp(&self, other: &CostPoly) -> Ordering {
+        let dmax = self.degree().max(other.degree());
+        for d in (0..=dmax).rev() {
+            let a: f64 = self
+                .terms
+                .iter()
+                .filter(|(m, _)| m.degree() == d)
+                .map(|(_, c)| c)
+                .sum();
+            let b: f64 = other
+                .terms
+                .iter()
+                .filter(|(m, _)| m.degree() == d)
+                .map(|(_, c)| c)
+                .sum();
+            if (a - b).abs() > 1e-9 {
+                return a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+            }
+        }
+        let (a, b) = (self.eval_uniform(1e4), other.eval_uniform(1e4));
+        if (a - b).abs() > 1e-6 {
+            a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+        } else {
+            Ordering::Equal
+        }
+    }
+
+    /// True when `self` is strictly larger by dominating-term comparison.
+    pub fn dominates(&self, other: &CostPoly) -> bool {
+        self.dominating_cmp(other) == Ordering::Greater
+    }
+
+    /// The coefficient of a specific monomial (0 when absent).
+    pub fn coeff(&self, m: &Monomial) -> f64 {
+        self.terms.get(m).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(monomial, coefficient)` terms.
+    pub fn iter_terms(&self) -> impl Iterator<Item = (&Monomial, f64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The ratio `self / other` evaluated at a large uniform parameter
+    /// value — the "LoopCost ratio" statistic of the paper's Table 2.
+    /// Returns 1.0 when `other` is zero.
+    pub fn ratio_at(&self, other: &CostPoly, value: f64) -> f64 {
+        let denom = other.eval_uniform(value);
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.eval_uniform(value) / denom
+        }
+    }
+}
+
+impl Add for CostPoly {
+    type Output = CostPoly;
+    fn add(mut self, rhs: CostPoly) -> CostPoly {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CostPoly {
+    fn add_assign(&mut self, rhs: CostPoly) {
+        for (m, c) in rhs.terms {
+            self.add_term(m, c);
+        }
+    }
+}
+
+impl Mul for CostPoly {
+    type Output = CostPoly;
+    fn mul(self, rhs: CostPoly) -> CostPoly {
+        let mut out = CostPoly::zero();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                out.add_term(ma.mul(mb), ca * cb);
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f64> for CostPoly {
+    type Output = CostPoly;
+    fn mul(self, k: f64) -> CostPoly {
+        let mut out = CostPoly::zero();
+        for (m, c) in self.terms {
+            out.add_term(m, c * k);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CostPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Highest degree first for readability.
+        let mut terms: Vec<(&Monomial, f64)> = self.iter_terms().collect();
+        terms.sort_by(|a, b| b.0.degree().cmp(&a.0.degree()).then(b.0.cmp(a.0)));
+        for (i, (m, c)) in terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if m.terms().is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                if (*c - 1.0).abs() > 1e-12 {
+                    write!(f, "{c}·")?;
+                }
+                for (k, (p, e)) in m.terms().iter().enumerate() {
+                    if k > 0 {
+                        write!(f, "·")?;
+                    }
+                    if *e == 1 {
+                        write!(f, "{p}")?;
+                    } else {
+                        write!(f, "{p}^{e}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n() -> CostPoly {
+        CostPoly::param(ParamId(0))
+    }
+
+    #[test]
+    fn ring_identities() {
+        let p = n() * n() + n() * CostPoly::constant(3.0);
+        let q = p.clone() + CostPoly::zero();
+        assert_eq!(p, q);
+        let r = p.clone() * CostPoly::one();
+        assert_eq!(p, r);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let p = n() + n() * -1.0;
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn eval_uniform_matches_polynomial() {
+        // 2n³ + n² at n=10 → 2100.
+        let p = n() * n() * n() * CostPoly::constant(2.0) + n() * n();
+        assert_eq!(p.eval_uniform(10.0), 2100.0);
+        assert_eq!(p.degree(), 3);
+    }
+
+    #[test]
+    fn dominating_comparison_by_degree() {
+        let n3 = n() * n() * n();
+        let n2 = n() * n();
+        assert!(n3.dominates(&(n2.clone() * 100.0)));
+        assert!((n2.clone() * 2.0).dominates(&n2));
+        assert_eq!(n2.dominating_cmp(&n2), Ordering::Equal);
+    }
+
+    #[test]
+    fn matmul_ranking_example() {
+        // LoopCost(J) = 2n³ + n², LoopCost(K) = 5/4·n³ + n²,
+        // LoopCost(I) = 1/2·n³ + n² — J > K > I.
+        let n3 = n() * n() * n();
+        let n2 = n() * n();
+        let j = n3.clone() * 2.0 + n2.clone();
+        let k = n3.clone() * 1.25 + n2.clone();
+        let i = n3 * 0.5 + n2;
+        assert!(j.dominates(&k));
+        assert!(k.dominates(&i));
+    }
+
+    #[test]
+    fn two_parameter_degrees() {
+        let m = CostPoly::param(ParamId(1));
+        let nm = n() * m.clone(); // degree 2
+        let m_only = m * 3.0; // degree 1
+        assert!(nm.dominates(&m_only));
+    }
+
+    #[test]
+    fn ratio_at_large_value() {
+        let p = n() * n() * 4.0;
+        let q = n() * n();
+        assert!((p.ratio_at(&q, 1e4) - 4.0).abs() < 1e-9);
+        assert_eq!(q.ratio_at(&CostPoly::zero(), 1e4), 1.0);
+    }
+
+    #[test]
+    fn display_readable() {
+        let p = n() * n() * 2.0 + CostPoly::constant(1.0);
+        assert_eq!(p.to_string(), "2·p0^2 + 1");
+    }
+}

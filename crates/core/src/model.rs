@@ -1,0 +1,755 @@
+//! The locality cost model: `RefGroup`, `RefCost`, and `LoopCost`
+//! (Figure 1 of the paper), plus *memory order*.
+//!
+//! For every loop `l` of a (possibly imperfect) nest, [`CostModel`]
+//! estimates the number of cache lines the nest touches if `l` were moved
+//! innermost. References are first partitioned into *reference groups*
+//! that share cache lines (group-temporal and group-spatial reuse); one
+//! representative per group is charged `1` (loop-invariant),
+//! `trip·stride/cls` (consecutive), or `trip` (no reuse) cache lines,
+//! scaled by the trip counts of the other loops around it.
+//!
+//! Sorting loops by descending `LoopCost` yields **memory order** — the
+//! permutation with the cheapest loop innermost.
+
+use crate::cost::CostPoly;
+use cmt_dependence::{analyze_nest, DepVector, DependenceGraph};
+use cmt_ir::affine::Affine;
+use cmt_ir::ids::{LoopId, StmtId, VarId};
+use cmt_ir::node::{Loop, Node};
+use cmt_ir::program::Program;
+use cmt_ir::stmt::ArrayRef;
+use cmt_ir::visit::{all_loops, stmts_with_context};
+use std::collections::HashMap;
+
+/// Classification a representative reference receives from `RefCost`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SelfReuse {
+    /// The candidate loop does not appear in any subscript: one cache
+    /// line serves every iteration.
+    Invariant,
+    /// Unit-ish stride through the first (column-major contiguous)
+    /// dimension: `cls/stride` iterations share a line.
+    Consecutive,
+    /// A new cache line every iteration.
+    None,
+}
+
+/// One reference occurrence inside a nest: statement plus position in the
+/// statement's reference list (0 = the store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RefOcc {
+    /// Index of the statement in source order within the analyzed nest.
+    pub stmt_idx: usize,
+    /// Index into [`cmt_ir::stmt::Stmt::refs`].
+    pub ref_idx: usize,
+}
+
+/// A reference group with respect to a candidate loop.
+#[derive(Clone, Debug)]
+pub struct RefGroup {
+    /// Members of the group.
+    pub members: Vec<RefOcc>,
+    /// The chosen representative (deepest nesting).
+    pub representative: RefOcc,
+    /// True when condition 2 (group-spatial) merged at least one pair.
+    pub spatial_merge: bool,
+}
+
+/// The cost of one loop of a nest when placed innermost.
+#[derive(Clone, Debug)]
+pub struct LoopCostEntry {
+    /// The candidate loop.
+    pub loop_id: LoopId,
+    /// Its index variable.
+    pub var: VarId,
+    /// Cache lines accessed with this loop innermost.
+    pub cost: CostPoly,
+}
+
+/// The cost model. `cls` is the cache line size in array elements — the
+/// only machine parameter this phase of the paper needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    cls: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new(4)
+    }
+}
+
+impl CostModel {
+    /// Creates a model for the given cache line size (in elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cls == 0`.
+    pub fn new(cls: u32) -> Self {
+        assert!(cls > 0, "cache line size must be positive");
+        CostModel { cls }
+    }
+
+    /// The configured cache line size in elements.
+    pub fn cls(&self) -> u32 {
+        self.cls
+    }
+
+    /// Analyzes a nest once; the result answers all cost queries.
+    pub fn analyze<'p>(&self, program: &'p Program, nest: &'p Loop) -> NestCosts {
+        NestCosts::build(*self, program, nest)
+    }
+
+    /// `LoopCost` for every loop of the nest, preorder.
+    pub fn nest_costs(&self, program: &Program, nest: &Loop) -> Vec<LoopCostEntry> {
+        self.analyze(program, nest).entries
+    }
+
+    /// Memory order: the nest's loops sorted by descending `LoopCost`
+    /// (stable — ties keep their original relative order), so the last
+    /// element is the loop that should be innermost.
+    pub fn memory_order(&self, program: &Program, nest: &Loop) -> Vec<LoopId> {
+        let mut entries = self.nest_costs(program, nest);
+        entries.sort_by(|a, b| b.cost.dominating_cmp(&a.cost));
+        entries.into_iter().map(|e| e.loop_id).collect()
+    }
+}
+
+/// The per-nest analysis produced by [`CostModel::analyze`].
+#[derive(Clone, Debug)]
+pub struct NestCosts {
+    /// Cost per loop, preorder over the nest.
+    pub entries: Vec<LoopCostEntry>,
+    /// Reference-group partition per loop (parallel to `entries`).
+    pub groups: Vec<Vec<RefGroup>>,
+    /// Total reference occurrences in the nest.
+    pub total_refs: usize,
+}
+
+impl NestCosts {
+    fn build(model: CostModel, program: &Program, nest: &Loop) -> NestCosts {
+        let nodes = [Node::Loop(nest.clone())];
+        let ctxs = stmts_with_context(&nodes);
+        let graph = analyze_nest(program, nest);
+        let loops = all_loops(nest);
+
+        let total_refs = ctxs.iter().map(|(_, s)| s.refs().len()).sum();
+
+        let mut entries = Vec::with_capacity(loops.len());
+        let mut groups_per_loop = Vec::with_capacity(loops.len());
+        for l in &loops {
+            let groups = ref_groups(model.cls, &ctxs, &graph, Some(l.var()));
+            let cost = loop_cost(model.cls, program, &ctxs, &groups, l);
+            entries.push(LoopCostEntry {
+                loop_id: l.id(),
+                var: l.var(),
+                cost,
+            });
+            groups_per_loop.push(groups);
+        }
+        NestCosts {
+            entries,
+            groups: groups_per_loop,
+            total_refs,
+        }
+    }
+
+    /// The cost entry for a given loop.
+    pub fn cost_of(&self, id: LoopId) -> Option<&LoopCostEntry> {
+        self.entries.iter().find(|e| e.loop_id == id)
+    }
+
+    /// Loops sorted by descending cost (memory order).
+    pub fn memory_order(&self) -> Vec<LoopId> {
+        let mut es: Vec<&LoopCostEntry> = self.entries.iter().collect();
+        es.sort_by(|a, b| b.cost.dominating_cmp(&a.cost));
+        es.into_iter().map(|e| e.loop_id).collect()
+    }
+}
+
+type Ctx<'a> = (Vec<&'a Loop>, &'a cmt_ir::stmt::Stmt);
+
+/// Computes the `RefGroup` partition of all references in the nest with
+/// respect to candidate loop `l` (`None` groups only by loop-independent
+/// and spatial conditions — used for statistics).
+pub fn ref_groups(
+    cls: u32,
+    ctxs: &[Ctx<'_>],
+    graph: &DependenceGraph,
+    candidate: Option<VarId>,
+) -> Vec<RefGroup> {
+    // Occurrence table.
+    let mut occs: Vec<RefOcc> = Vec::new();
+    let mut occ_index: HashMap<(StmtId, usize), usize> = HashMap::new();
+    let mut stmt_pos: HashMap<StmtId, usize> = HashMap::new();
+    for (si, (_, s)) in ctxs.iter().enumerate() {
+        stmt_pos.insert(s.id(), si);
+        for ri in 0..s.refs().len() {
+            occ_index.insert((s.id(), ri), occs.len());
+            occs.push(RefOcc {
+                stmt_idx: si,
+                ref_idx: ri,
+            });
+        }
+    }
+
+    let mut uf = UnionFind::new(occs.len());
+    let mut spatial = vec![false; occs.len()];
+
+    // Textually identical references in one statement touch the same
+    // address in every iteration — trivially one group (e.g. the write
+    // and read of `C(I,J) = C(I,J) + …`). This also lets the value-based
+    // occurrence matching below stay unambiguous.
+    for (si, (_, s)) in ctxs.iter().enumerate() {
+        let refs = s.refs();
+        for a in 0..refs.len() {
+            for b in (a + 1)..refs.len() {
+                if refs[a] == refs[b] {
+                    let oa = occ_index[&(s.id(), a)];
+                    let ob = occ_index[&(s.id(), b)];
+                    uf.union(oa, ob);
+                }
+            }
+        }
+        let _ = si;
+    }
+
+    // Condition 1: connected by a qualifying dependence. Following the
+    // paper (whose groups are "slightly more restrictive than uniformly
+    // generated references"), only uniformly generated pairs — same
+    // index-variable coefficients, constant subscript differences — are
+    // grouped; A(I,K) and A(K,K) stay apart even though a dependence may
+    // connect them.
+    for d in graph.deps() {
+        if !uniformly_generated(&d.src_ref, &d.dst_ref) {
+            continue;
+        }
+        if !qualifies_for_group(&d.vector, &d.loops, ctxs, candidate) {
+            continue;
+        }
+        let (Some(&si), Some(&di)) = (stmt_pos.get(&d.src), stmt_pos.get(&d.dst)) else {
+            continue;
+        };
+        let find_occ = |si: usize, r: &ArrayRef| -> Option<usize> {
+            let s = ctxs[si].1;
+            s.refs()
+                .iter()
+                .position(|q| *q == r)
+                .and_then(|ri| occ_index.get(&(s.id(), ri)).copied())
+        };
+        if let (Some(a), Some(b)) = (find_occ(si, &d.src_ref), find_occ(di, &d.dst_ref)) {
+            uf.union(a, b);
+        }
+    }
+
+    // Condition 2: group-spatial — same array, first subscripts differ by
+    // at most the line size, remaining subscripts identical.
+    for a in 0..occs.len() {
+        for b in (a + 1)..occs.len() {
+            let ra = ref_of(ctxs, occs[a]);
+            let rb = ref_of(ctxs, occs[b]);
+            if ra.array() != rb.array() || ra == rb {
+                continue;
+            }
+            let diff = ra.subscripts()[0].clone() - rb.subscripts()[0].clone();
+            if !diff.is_constant() || diff.constant_term().unsigned_abs() > u64::from(cls) {
+                continue;
+            }
+            if ra.subscripts()[1..] != rb.subscripts()[1..] {
+                continue;
+            }
+            if uf.find(a) != uf.find(b) {
+                uf.union(a, b);
+                spatial[a] = true;
+                spatial[b] = true;
+            }
+        }
+    }
+
+    // Materialize groups; representative = deepest nesting (most enclosing
+    // loops), ties to the first occurrence.
+    let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..occs.len() {
+        by_root.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut roots: Vec<usize> = by_root.keys().copied().collect();
+    roots.sort_unstable();
+    roots
+        .into_iter()
+        .map(|r| {
+            let members_idx = &by_root[&r];
+            let rep = *members_idx
+                .iter()
+                .max_by_key(|&&i| ctxs[occs[i].stmt_idx].0.len())
+                .expect("groups are nonempty");
+            RefGroup {
+                members: members_idx.iter().map(|&i| occs[i]).collect(),
+                representative: occs[rep],
+                spatial_merge: members_idx.iter().any(|&i| spatial[i]),
+            }
+        })
+        .collect()
+}
+
+/// Condition 1 of `RefGroup`: the dependence is loop-independent, or its
+/// entry for the candidate loop is a small constant (|d| ≤ 2) and every
+/// other entry is zero.
+fn qualifies_for_group(
+    vector: &DepVector,
+    dep_loops: &[LoopId],
+    ctxs: &[Ctx<'_>],
+    candidate: Option<VarId>,
+) -> bool {
+    if vector.is_loop_independent() {
+        return true;
+    }
+    let Some(cand) = candidate else {
+        return false;
+    };
+    // Locate the candidate loop among the dependence's common loops by
+    // variable (sibling copies share the variable).
+    let mut loop_var = HashMap::new();
+    for (stack, _) in ctxs {
+        for l in stack {
+            loop_var.insert(l.id(), l.var());
+        }
+    }
+    let Some(pos) = dep_loops
+        .iter()
+        .position(|id| loop_var.get(id) == Some(&cand))
+    else {
+        return false;
+    };
+    for (k, e) in vector.elems().iter().enumerate() {
+        if k == pos {
+            match e {
+                cmt_dependence::DepElem::Dist(d) if d.abs() <= 2 => {}
+                _ => return false,
+            }
+        } else if !e.is_eq() {
+            return false;
+        }
+    }
+    true
+}
+
+/// True when two references are *uniformly generated*: same array, and
+/// every subscript pair differs only by a constant.
+pub fn uniformly_generated(a: &ArrayRef, b: &ArrayRef) -> bool {
+    a.array() == b.array()
+        && a.rank() == b.rank()
+        && a.subscripts()
+            .iter()
+            .zip(b.subscripts())
+            .all(|(x, y)| (x.clone() - y.clone()).is_constant())
+}
+
+fn ref_of<'a>(ctxs: &'a [Ctx<'a>], occ: RefOcc) -> &'a ArrayRef {
+    ctxs[occ.stmt_idx].1.refs()[occ.ref_idx]
+}
+
+/// `RefCost`: the cache-line count of one representative with respect to
+/// candidate loop `cand` whose trip is `trip`.
+pub fn ref_cost(
+    cls: u32,
+    r: &ArrayRef,
+    cand_var: VarId,
+    cand_step: i64,
+    trip: &CostPoly,
+) -> (CostPoly, SelfReuse) {
+    let subs = r.subscripts();
+    if subs.iter().all(|s| !s.mentions_var(cand_var)) {
+        return (CostPoly::one(), SelfReuse::Invariant);
+    }
+    let stride = (cand_step * subs[0].coeff_of_var(cand_var)).unsigned_abs();
+    let rest_invariant = subs[1..].iter().all(|s| !s.mentions_var(cand_var));
+    if stride > 0 && stride < u64::from(cls) && rest_invariant {
+        let factor = stride as f64 / f64::from(cls);
+        return (trip.clone() * factor, SelfReuse::Consecutive);
+    }
+    (trip.clone(), SelfReuse::None)
+}
+
+/// `LoopCost`: total cache lines for the nest with `cand` innermost.
+fn loop_cost(
+    cls: u32,
+    program: &Program,
+    ctxs: &[Ctx<'_>],
+    groups: &[RefGroup],
+    cand: &Loop,
+) -> CostPoly {
+    let mut total = CostPoly::zero();
+    for g in groups {
+        let rep = g.representative;
+        let (stack, stmt) = &ctxs[rep.stmt_idx];
+        let r = stmt.refs()[rep.ref_idx];
+        let trips = trip_polys(program, stack);
+        // Trip of the candidate loop: from the statement's own stack when
+        // the candidate encloses it, else resolved from the candidate's
+        // header directly.
+        let cand_trip = stack
+            .iter()
+            .position(|l| l.var() == cand.var())
+            .map(|k| trips[k].clone())
+            .unwrap_or_else(|| trip_poly_standalone(program, cand));
+        let (rc, _) = ref_cost(cls, r, cand.var(), cand.step(), &cand_trip);
+        let mut product = rc;
+        for (k, l) in stack.iter().enumerate() {
+            if l.var() != cand.var() {
+                product = product * trips[k].clone();
+            }
+        }
+        total += product;
+    }
+    total
+}
+
+/// Dominating-term trip polynomials for each loop of a stack, resolving
+/// triangular bounds: upper-bound variables are substituted by their own
+/// loops' dominating extents; lower-bound variable terms are dropped (a
+/// triangular `K+1 .. N` loop counts as `n`, exactly as in the paper's
+/// tables).
+pub fn trip_polys(program: &Program, stack: &[&Loop]) -> Vec<CostPoly> {
+    let mut dom: HashMap<VarId, CostPoly> = HashMap::new();
+    let mut out = Vec::with_capacity(stack.len());
+    for l in stack {
+        let t = trip_poly(program, l, &dom);
+        let ub_dom = affine_poly(l.upper(), &dom);
+        dom.insert(l.var(), ub_dom);
+        out.push(t);
+    }
+    out
+}
+
+/// Trip polynomial for one loop given dominating extents of outer
+/// variables (standalone variant used for candidate loops outside the
+/// representative's stack).
+fn trip_poly_standalone(program: &Program, l: &Loop) -> CostPoly {
+    trip_poly(program, l, &HashMap::new())
+}
+
+fn trip_poly(_program: &Program, l: &Loop, dom: &HashMap<VarId, CostPoly>) -> CostPoly {
+    let (hi, lo) = if l.step() > 0 {
+        (l.upper(), l.lower())
+    } else {
+        (l.lower(), l.upper())
+    };
+    let hi_poly = affine_poly(hi, dom);
+    let lo_poly = affine_poly_dropping_vars(lo);
+    let mut t = hi_poly + lo_poly * -1.0 + CostPoly::one();
+    let step = l.step().unsigned_abs();
+    if step > 1 {
+        t = t * (1.0 / step as f64);
+    }
+    // A nonsensical (symbolically negative) trip degrades to a single
+    // iteration rather than poisoning comparisons.
+    if t.eval_uniform(1e4) < 1.0 {
+        CostPoly::one()
+    } else {
+        t
+    }
+}
+
+/// Converts an affine bound to a polynomial, substituting variables by
+/// their dominating extents (unknown variables are dropped).
+fn affine_poly(e: &Affine, dom: &HashMap<VarId, CostPoly>) -> CostPoly {
+    let mut out = CostPoly::constant(e.constant_term() as f64);
+    for (p, c) in e.param_terms() {
+        out += CostPoly::param(p) * c as f64;
+    }
+    for (v, c) in e.var_terms() {
+        if let Some(d) = dom.get(&v) {
+            out += d.clone() * c as f64;
+        }
+    }
+    out
+}
+
+/// Converts an affine bound to a polynomial, dropping variable terms
+/// entirely (lower bounds of triangular loops).
+fn affine_poly_dropping_vars(e: &Affine) -> CostPoly {
+    let mut out = CostPoly::constant(e.constant_term() as f64);
+    for (p, c) in e.param_terms() {
+        out += CostPoly::param(p) * c as f64;
+    }
+    out
+}
+
+/// Minimal union-find.
+#[derive(Clone, Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+
+    fn matmul() -> Program {
+        let mut b = ProgramBuilder::new("matmul");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        b.finish()
+    }
+
+    fn n_poly() -> CostPoly {
+        CostPoly::param(cmt_ir::ids::ParamId(0))
+    }
+
+    #[test]
+    fn matmul_ref_groups() {
+        let p = matmul();
+        let nest = p.nests()[0];
+        let model = CostModel::new(4);
+        let costs = model.analyze(&p, nest);
+        // Three groups for every candidate: {C,C}, {A}, {B}.
+        for gs in &costs.groups {
+            assert_eq!(gs.len(), 3, "{gs:#?}");
+            let sizes: Vec<usize> = gs.iter().map(|g| g.members.len()).collect();
+            assert!(sizes.contains(&2), "C(I,J) pair should group: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_loop_costs_match_paper() {
+        // Figure 2 with cls = 4:
+        //   LoopCost(I) = ¼n·n² (C) + ¼n·n² (A) + 1·n² (B) = ½n³ + n²
+        //   LoopCost(K) = 1·n² (C) + n·n² (A… A(I,K) has K in f2 → n)
+        //     wait—A(I,K): K appears in subscript 2 only → no reuse → n³;
+        //     B(K,J): consecutive ¼n³; C invariant n² → 5/4n³ + n².
+        //   LoopCost(J) = C: n³; A: invariant n²; B: n³ → 2n³ + n².
+        let p = matmul();
+        let nest = p.nests()[0];
+        let model = CostModel::new(4);
+        let costs = model.analyze(&p, nest);
+        let n = n_poly();
+        let n2 = n.clone() * n.clone();
+        let n3 = n2.clone() * n.clone();
+
+        let by_var = |name: &str| -> &CostPoly {
+            let v = p.find_var(name).unwrap();
+            &costs.entries.iter().find(|e| e.var == v).unwrap().cost
+        };
+        assert_eq!(*by_var("I"), n3.clone() * 0.5 + n2.clone());
+        assert_eq!(*by_var("K"), n3.clone() * 1.25 + n2.clone());
+        assert_eq!(*by_var("J"), n3.clone() * 2.0 + n2.clone());
+    }
+
+    #[test]
+    fn matmul_memory_order_is_jki() {
+        let p = matmul();
+        let nest = p.nests()[0];
+        let model = CostModel::new(4);
+        let order = model.memory_order(&p, nest);
+        let names: Vec<&str> = order
+            .iter()
+            .map(|id| {
+                let l = all_loops(nest).into_iter().find(|l| l.id() == *id).unwrap();
+                p.var_name(l.var())
+            })
+            .collect();
+        assert_eq!(names, vec!["J", "K", "I"]);
+    }
+
+    #[test]
+    fn cholesky_costs_match_paper() {
+        // Figure 7 LoopCost table (cls = 4): candidates K, J, I over the
+        // imperfect KIJ nest. Groups: {A(K,K)×2}, {A(I,K)×3}, {A(I,J)×2},
+        // {A(J,K)}. Representatives at deepest nesting.
+        let mut b = ProgramBuilder::new("cholesky");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("K", 1, n, |b| {
+            let k = b.var("K");
+            let akk = b.at(a, [k, k]);
+            let rhs = Expr::sqrt(Expr::load(b.at(a, [k, k])));
+            b.assign(akk, rhs);
+            b.loop_("I", Affine::var(k) + 1, n, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i, k]);
+                let rhs = Expr::load(b.at(a, [i, k])) / Expr::load(b.at(a, [k, k]));
+                b.assign(lhs, rhs);
+                b.loop_("J", Affine::var(k) + 1, i, |b| {
+                    let j = b.var("J");
+                    let lhs = b.at(a, [i, j]);
+                    let rhs = Expr::load(b.at(a, [i, j]))
+                        - Expr::load(b.at(a, [i, k])) * Expr::load(b.at(a, [j, k]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let p = b.finish();
+        let nest = p.nests()[0];
+        let model = CostModel::new(4);
+        let costs = model.analyze(&p, nest);
+        let by_var = |name: &str| -> &CostPoly {
+            let v = p.find_var(name).unwrap();
+            &costs.entries.iter().find(|e| e.var == v).unwrap().cost
+        };
+        // Summing the paper's per-reference rows (A(K,K): n·n;
+        // A(I,K): n·n²; A(I,J): 1·n²; A(J,K): n·n² for the K column, and
+        // correspondingly for J and I): K = 2n³, J = 5/4n³, I = ½n³ —
+        // the same KJI ranking the paper reports.
+        let n3 = n_poly() * n_poly() * n_poly();
+        let close = |poly: &CostPoly, coeff: f64| {
+            let got = poly.eval_uniform(1000.0);
+            let want = (n3.clone() * coeff).eval_uniform(1000.0);
+            (got - want).abs() / want < 0.05
+        };
+        assert!(close(by_var("K"), 2.0), "K = {}", by_var("K"));
+        assert!(close(by_var("J"), 1.25), "J = {}", by_var("J"));
+        assert!(close(by_var("I"), 0.5), "I = {}", by_var("I"));
+        // Memory order = K, J, I (highest cost outermost).
+        let order = costs.memory_order();
+        let names: Vec<&str> = order
+            .iter()
+            .map(|id| {
+                let l = all_loops(nest).into_iter().find(|l| l.id() == *id).unwrap();
+                p.var_name(l.var())
+            })
+            .collect();
+        assert_eq!(names, vec!["K", "J", "I"]);
+    }
+
+    #[test]
+    fn group_spatial_condition_merges_adjacent_columns() {
+        // A(I,J) and A(I+1,J) share lines (cls=4) → one group.
+        let mut b = ProgramBuilder::new("sp");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("J", 1, n, |b| {
+            b.loop_("I", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(c, [i, j]);
+                let rhs = Expr::load(b.at(a, [i, j]))
+                    + Expr::load(b.at_vec(a, vec![Affine::var(i) + 1, Affine::var(j)]));
+                b.assign(lhs, rhs);
+            });
+        });
+        let p = b.finish();
+        let nest = p.nests()[0];
+        let model = CostModel::new(4);
+        let costs = model.analyze(&p, nest);
+        let gs = &costs.groups[0];
+        // Groups: {C}, {A(I,J), A(I+1,J)}.
+        assert_eq!(gs.len(), 2, "{gs:#?}");
+        assert!(gs.iter().any(|g| g.spatial_merge && g.members.len() == 2));
+    }
+
+    #[test]
+    fn far_apart_columns_do_not_merge() {
+        let mut b = ProgramBuilder::new("nosp");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(c, [i, i]);
+            let rhs = Expr::load(b.at(a, [i, i]))
+                + Expr::load(b.at_vec(a, vec![Affine::var(i) + 100, Affine::var(i)]));
+            b.assign(lhs, rhs);
+        });
+        let p = b.finish();
+        let nest = p.nests()[0];
+        let costs = CostModel::new(4).analyze(&p, nest);
+        assert_eq!(costs.groups[0].len(), 3, "{:#?}", costs.groups[0]);
+    }
+
+    #[test]
+    fn ref_cost_classifications() {
+        let p = matmul();
+        let i = p.find_var("I").unwrap();
+        let trip = n_poly();
+        let c = p.find_array("C").unwrap();
+        let j = p.find_var("J").unwrap();
+        // C(I,J) wrt I: consecutive (stride 1 < 4).
+        let r = ArrayRef::new(c, vec![Affine::var(i), Affine::var(j)]);
+        let (cost, kind) = ref_cost(4, &r, i, 1, &trip);
+        assert_eq!(kind, SelfReuse::Consecutive);
+        assert_eq!(cost, trip.clone() * 0.25);
+        // C(I,J) wrt J: none.
+        let (cost, kind) = ref_cost(4, &r, j, 1, &trip);
+        assert_eq!(kind, SelfReuse::None);
+        assert_eq!(cost, trip.clone());
+        // C(I,J) wrt K: invariant.
+        let k = p.find_var("K").unwrap();
+        let (cost, kind) = ref_cost(4, &r, k, 1, &trip);
+        assert_eq!(kind, SelfReuse::Invariant);
+        assert_eq!(cost, CostPoly::one());
+        // Stride 2: cls/stride = 2 iterations per line.
+        let r2 = ArrayRef::new(c, vec![Affine::var(i) * 2, Affine::var(j)]);
+        let (cost, kind) = ref_cost(4, &r2, i, 1, &trip);
+        assert_eq!(kind, SelfReuse::Consecutive);
+        assert_eq!(cost, trip.clone() * 0.5);
+        // Stride ≥ cls: no reuse.
+        let r3 = ArrayRef::new(c, vec![Affine::var(i) * 4, Affine::var(j)]);
+        let (_, kind) = ref_cost(4, &r3, i, 1, &trip);
+        assert_eq!(kind, SelfReuse::None);
+    }
+
+    #[test]
+    fn trip_polys_triangular() {
+        // DO I = 1, N; DO J = I+1, N: both trips are n (dominating term).
+        let mut b = ProgramBuilder::new("tri");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            b.loop_("J", Affine::var(i) + 1, n, |b| {
+                let j = b.var("J");
+                let lhs = b.at(a, [i, j]);
+                b.assign(lhs, Expr::Const(0.0));
+            });
+        });
+        let p = b.finish();
+        let outer = p.nests()[0];
+        let inner = outer.only_loop_child().unwrap();
+        let trips = trip_polys(&p, &[outer, inner]);
+        // I: 1..N → n. J: I+1..N → n (lower-bound var terms dropped,
+        // constant +1 kept: N − 1 + 1).
+        assert_eq!(trips[0], n_poly());
+        assert_eq!(trips[1], n_poly());
+    }
+}

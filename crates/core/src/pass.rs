@@ -1,0 +1,343 @@
+//! A small pass manager: compose the transformations into named
+//! pipelines with uniform reporting.
+//!
+//! The paper's strategy is itself a pipeline — memory order, then cache
+//! tiling, then register work — and downstream users will want to
+//! assemble their own. [`Pipeline`] runs [`Pass`]es in order, collecting
+//! per-pass summaries; every built-in transformation is available as a
+//! pass.
+//!
+//! # Example
+//!
+//! ```
+//! use cmt_ir::build::ProgramBuilder;
+//! use cmt_ir::expr::Expr;
+//! use cmt_locality::pass::{Pipeline, CompoundPass, ScalarReplacePass};
+//!
+//! let mut b = ProgramBuilder::new("p");
+//! let n = b.param("N");
+//! let a = b.matrix("A", n);
+//! let c = b.matrix("C", n);
+//! b.loop_("I", 1, n, |b| {
+//!     b.loop_("J", 1, n, |b| {
+//!         let (i, j) = (b.var("I"), b.var("J"));
+//!         let lhs = b.at(c, [i, j]);
+//!         let rhs = Expr::load(b.at(a, [i, j]));
+//!         b.assign(lhs, rhs);
+//!     });
+//! });
+//! let mut program = b.finish();
+//!
+//! let mut pipeline = Pipeline::new();
+//! pipeline.add(CompoundPass::default());
+//! pipeline.add(ScalarReplacePass);
+//! let reports = pipeline.run(&mut program);
+//! assert_eq!(reports[0].name, "compound");
+//! assert!(reports.iter().all(|r| r.validated));
+//! ```
+
+use crate::compound::{compound_with, CompoundOptions};
+use crate::model::CostModel;
+use crate::scalar::scalar_replace;
+use cmt_ir::program::Program;
+use cmt_ir::validate::validate;
+
+/// Summary of one pass execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassReport {
+    /// The pass's name.
+    pub name: &'static str,
+    /// Whether the pass changed the program.
+    pub changed: bool,
+    /// One-line human-readable summary.
+    pub summary: String,
+    /// Whether the program validated after the pass (always checked).
+    pub validated: bool,
+}
+
+/// A program transformation with a name.
+pub trait Pass {
+    /// The pass's stable name.
+    fn name(&self) -> &'static str;
+    /// Runs the pass; returns a one-line summary.
+    fn run(&self, program: &mut Program) -> String;
+}
+
+/// An ordered list of passes.
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Runs every pass in order, validating the program after each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass produces an invalid program — that is a bug in
+    /// the pass, not a user error.
+    pub fn run(&self, program: &mut Program) -> Vec<PassReport> {
+        let mut out = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let before = program.clone();
+            let summary = pass.run(program);
+            let validated = validate(program).is_ok();
+            assert!(
+                validated,
+                "pass {} produced an invalid program",
+                pass.name()
+            );
+            out.push(PassReport {
+                name: pass.name(),
+                changed: *program != before,
+                summary,
+                validated,
+            });
+        }
+        out
+    }
+
+    /// The paper's recommended pipeline: compound (memory order) followed
+    /// by scalar replacement.
+    pub fn paper_default(cls: u32) -> Self {
+        let mut p = Pipeline::new();
+        p.add(CompoundPass {
+            model: CostModel::new(cls),
+            options: CompoundOptions::default(),
+        });
+        p.add(ScalarReplacePass);
+        p
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("Pipeline").field("passes", &names).finish()
+    }
+}
+
+/// The compound transformation (Figure 6) as a pass.
+#[derive(Clone, Copy, Debug)]
+pub struct CompoundPass {
+    /// The cost model to drive decisions.
+    pub model: CostModel,
+    /// Pass switches.
+    pub options: CompoundOptions,
+}
+
+impl Default for CompoundPass {
+    fn default() -> Self {
+        CompoundPass {
+            model: CostModel::new(4),
+            options: CompoundOptions::default(),
+        }
+    }
+}
+
+impl Pass for CompoundPass {
+    fn name(&self) -> &'static str {
+        "compound"
+    }
+
+    fn run(&self, program: &mut Program) -> String {
+        let r = compound_with(program, &self.model, &self.options);
+        format!(
+            "{} nests: {} orig / {} permuted / {} failed; fused {}, distributed {}",
+            r.nests_total,
+            r.nests_orig_memory_order,
+            r.nests_permuted,
+            r.nests_failed,
+            r.nests_fused,
+            r.distributions
+        )
+    }
+}
+
+/// Scalar replacement as a pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarReplacePass;
+
+impl Pass for ScalarReplacePass {
+    fn name(&self) -> &'static str {
+        "scalar-replace"
+    }
+
+    fn run(&self, program: &mut Program) -> String {
+        let s = scalar_replace(program);
+        format!("hoisted {} invariant load(s)", s.replaced)
+    }
+}
+
+/// Tiling of a specific loop as a pass (skipped with a note when
+/// illegal).
+#[derive(Clone, Copy, Debug)]
+pub struct TilePass {
+    /// Top-level nest index.
+    pub nest: usize,
+    /// Chain depth of the loop to tile.
+    pub depth: usize,
+    /// Tile size.
+    pub tile: i64,
+    /// Where to hoist the control loop.
+    pub hoist_to: usize,
+}
+
+impl Pass for TilePass {
+    fn name(&self) -> &'static str {
+        "tile"
+    }
+
+    fn run(&self, program: &mut Program) -> String {
+        match crate::tile::tile_loop(program, self.nest, self.depth, self.tile, self.hoist_to) {
+            Ok(out) => format!(
+                "tiled nest {} depth {} by {} (control {})",
+                self.nest, self.depth, self.tile, out.control_var
+            ),
+            Err(e) => format!("skipped: {e}"),
+        }
+    }
+}
+
+/// Unroll-and-jam as a pass (skipped with a note when illegal).
+#[derive(Clone, Copy, Debug)]
+pub struct UnrollJamPass {
+    /// Top-level nest index.
+    pub nest: usize,
+    /// Chain depth of the loop to unroll.
+    pub depth: usize,
+    /// Unroll factor.
+    pub factor: i64,
+}
+
+impl Pass for UnrollJamPass {
+    fn name(&self) -> &'static str {
+        "unroll-and-jam"
+    }
+
+    fn run(&self, program: &mut Program) -> String {
+        match crate::unroll::unroll_and_jam(program, self.nest, self.depth, self.factor) {
+            Ok(()) => format!(
+                "unrolled nest {} depth {} by {}",
+                self.nest, self.depth, self.factor
+            ),
+            Err(e) => format!("skipped: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+
+    fn strided() -> Program {
+        let mut b = ProgramBuilder::new("s");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(c, [i, j]);
+                let rhs = Expr::load(b.at(a, [i, j]));
+                b.assign(lhs, rhs);
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn pipeline_runs_in_order_and_validates() {
+        let mut p = strided();
+        let orig = p.clone();
+        let mut pipe = Pipeline::new();
+        pipe.add(CompoundPass::default());
+        pipe.add(ScalarReplacePass);
+        let reports = pipe.run(&mut p);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "compound");
+        assert!(reports[0].changed);
+        assert!(reports[0].summary.contains("1 permuted"));
+        assert_eq!(reports[1].name, "scalar-replace");
+        assert!(!reports[1].changed, "nothing invariant to hoist here");
+        cmt_interp::assert_equivalent(&orig, &p, &[10]);
+    }
+
+    #[test]
+    fn paper_default_pipeline() {
+        let mut p = strided();
+        let reports = Pipeline::paper_default(4).run(&mut p);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.validated));
+    }
+
+    #[test]
+    fn illegal_tile_is_skipped_not_fatal() {
+        let mut p = strided();
+        let mut pipe = Pipeline::new();
+        pipe.add(TilePass {
+            nest: 0,
+            depth: 9,
+            tile: 4,
+            hoist_to: 0,
+        });
+        let reports = pipe.run(&mut p);
+        assert!(!reports[0].changed);
+        assert!(reports[0].summary.contains("skipped"));
+    }
+
+    #[test]
+    fn full_register_pipeline() {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let mut p = b.finish();
+        let orig = p.clone();
+        let mut pipe = Pipeline::new();
+        pipe.add(CompoundPass::default());
+        pipe.add(TilePass {
+            nest: 0,
+            depth: 1,
+            tile: 4,
+            hoist_to: 0,
+        });
+        pipe.add(UnrollJamPass {
+            nest: 0,
+            depth: 1,
+            factor: 2,
+        });
+        pipe.add(ScalarReplacePass);
+        let reports = pipe.run(&mut p);
+        assert!(reports.iter().all(|r| r.validated));
+        assert!(reports[1].changed, "{:?}", reports[1]);
+        assert!(reports[2].changed, "{:?}", reports[2]);
+        assert!(reports[3].summary.contains("hoisted 2"));
+        cmt_interp::assert_equivalent(&orig, &p, &[16]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Tiling guidance (paper §6).
+//!
+//! Once loops are in memory order, tiling (strip-mine + interchange) can
+//! capture long-term reuse carried by *outer* loops. The paper's key
+//! insight: the primary criterion for tiling a loop is that it creates
+//! **loop-invariant references** with respect to the target loop — those
+//! cost dramatically fewer cache lines than consecutive or
+//! non-consecutive ones. This module is the advisory pass that identifies
+//! such candidates; applying tiling is future work in the paper and out of
+//! scope here too.
+
+use crate::model::{ref_cost, CostModel, SelfReuse};
+use crate::CostPoly;
+use cmt_ir::ids::LoopId;
+use cmt_ir::node::{Loop, Node};
+use cmt_ir::program::Program;
+use cmt_ir::visit::stmts_with_context;
+
+/// A loop worth tiling, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TilingCandidate {
+    /// The outer loop whose reuse tiling would capture.
+    pub loop_id: LoopId,
+    /// Number of reference groups that are loop-invariant with respect to
+    /// the candidate (the reuse tiling would turn into cache hits).
+    pub invariant_groups: usize,
+    /// Number of unit-stride groups the candidate carries (tiling outer
+    /// loops with many unit-stride references can pay off on long cache
+    /// lines, e.g. transposes).
+    pub unit_groups: usize,
+}
+
+/// Scans a nest for tiling candidates: non-innermost loops with respect
+/// to which at least one reference group is loop-invariant.
+pub fn tiling_candidates(program: &Program, nest: &Loop, model: &CostModel) -> Vec<TilingCandidate> {
+    let costs = model.analyze(program, nest);
+    let nodes = [Node::Loop(nest.clone())];
+    let ctxs = stmts_with_context(&nodes);
+    let mut out = Vec::new();
+    for (li, entry) in costs.entries.iter().enumerate() {
+        // Innermost loops already exploit their reuse.
+        let is_innermost = ctxs
+            .iter()
+            .any(|(stack, _)| stack.last().map(|l| l.id()) == Some(entry.loop_id));
+        if is_innermost {
+            continue;
+        }
+        let mut invariant_groups = 0;
+        let mut unit_groups = 0;
+        for g in &costs.groups[li] {
+            let rep = g.representative;
+            let (_, stmt) = &ctxs[rep.stmt_idx];
+            let r = stmt.refs()[rep.ref_idx];
+            let trip = CostPoly::one();
+            // Step is irrelevant for the invariant classification.
+            let (_, kind) = ref_cost(model.cls(), r, entry.var, 1, &trip);
+            match kind {
+                SelfReuse::Invariant => invariant_groups += 1,
+                SelfReuse::Consecutive => unit_groups += 1,
+                SelfReuse::None => {}
+            }
+        }
+        if invariant_groups > 0 {
+            out.push(TilingCandidate {
+                loop_id: entry.loop_id,
+                invariant_groups,
+                unit_groups,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+
+    #[test]
+    fn matmul_outer_loops_are_tiling_candidates() {
+        // In JKI matmul: B(K,J) is invariant in I (inner — not counted);
+        // C(I,J) is invariant in K (middle) and A(I,K) is invariant in J
+        // (outer) → both J and K are candidates.
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("J", 1, n, |b| {
+            b.loop_("K", 1, n, |b| {
+                b.loop_("I", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let p = b.finish();
+        let cands = tiling_candidates(&p, p.nests()[0], &CostModel::new(4));
+        assert_eq!(cands.len(), 2, "{cands:#?}");
+        assert!(cands.iter().all(|c| c.invariant_groups >= 1));
+    }
+
+    #[test]
+    fn streaming_kernel_has_no_candidates() {
+        // Pure streaming: no reuse to tile.
+        let mut b = ProgramBuilder::new("stream");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("J", 1, n, |b| {
+            b.loop_("I", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(c, [i, j]);
+                let rhs = Expr::load(b.at(a, [i, j]));
+                b.assign(lhs, rhs);
+            });
+        });
+        let p = b.finish();
+        let cands = tiling_candidates(&p, p.nests()[0], &CostModel::new(4));
+        assert!(cands.is_empty(), "{cands:#?}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Unroll-and-jam / register tiling (extension — the paper's step 3).
+//!
+//! §1.1's third step promotes register reuse with *unroll-and-jam*
+//! \[CCK88/CCK90\]: unroll an **outer** loop by a factor `U` and jam the
+//! copies into the innermost body, so references that are invariant in
+//! the inner loop but vary with the outer one become `U` simultaneously
+//! live values (registers, once scalar replacement runs):
+//!
+//! ```text
+//! DO J = 1, N              DO J = 1, N, 2
+//!   DO I = 1, N              DO I = 1, N
+//!     C(I,J) += …    →         C(I,J)   += …
+//!                              C(I,J+1) += …
+//! ```
+//!
+//! # Exactness
+//!
+//! Like [`crate::tile`], the transformation is exact only when the
+//! unrolled loop's trip count is a multiple of `U` (no remainder loop is
+//! generated); indivisible trips are caught by the interpreter's bounds
+//! checking.
+
+use cmt_dependence::analyze_nest;
+use cmt_ir::affine::Affine;
+use cmt_ir::node::{Loop, Node};
+use cmt_ir::program::Program;
+use cmt_ir::visit::{is_perfect, perfect_chain};
+use std::fmt;
+
+/// Why unroll-and-jam was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnrollError {
+    /// The nest is not perfect.
+    NotPerfect,
+    /// `depth` addresses the innermost loop (plain unrolling, not
+    /// unroll-and-jam) or is out of range.
+    BadPosition,
+    /// The unroll factor must be at least 2.
+    BadFactor,
+    /// A dependence carried between the unrolled loop and the jammed
+    /// band would be violated.
+    Illegal,
+    /// The target loop's step is not 1.
+    ComplexBounds,
+}
+
+impl fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnrollError::NotPerfect => "nest is not perfect",
+            UnrollError::BadPosition => "can only unroll-and-jam a non-innermost loop",
+            UnrollError::BadFactor => "unroll factor must be at least 2",
+            UnrollError::Illegal => "dependences forbid jamming",
+            UnrollError::ComplexBounds => "loop step must be 1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unrolls the chain loop at `depth` of top-level nest `nest_idx` by
+/// `factor` and jams the copies into the loops below it.
+///
+/// Legality: jamming reorders iterations exactly like interchanging the
+/// unrolled loop inward across the jammed band, so we require every
+/// dependence not carried outside the band to stay non-negative when the
+/// unrolled loop's entry moves innermost (the same criterion as tiling's
+/// band permutability, specialized to one loop).
+///
+/// # Errors
+///
+/// See [`UnrollError`].
+pub fn unroll_and_jam(
+    program: &mut Program,
+    nest_idx: usize,
+    depth: usize,
+    factor: i64,
+) -> Result<(), UnrollError> {
+    if factor < 2 {
+        return Err(UnrollError::BadFactor);
+    }
+    let root = program.body()[nest_idx]
+        .as_loop()
+        .ok_or(UnrollError::BadPosition)?
+        .clone();
+    if !is_perfect(&root) {
+        return Err(UnrollError::NotPerfect);
+    }
+    let chain = perfect_chain(&root);
+    if depth + 1 >= chain.len() {
+        return Err(UnrollError::BadPosition);
+    }
+    let target = chain[depth];
+    if target.step() != 1 {
+        return Err(UnrollError::ComplexBounds);
+    }
+    let var = target.var();
+
+    // Legality: a dependence whose `target` entry may be positive and
+    // whose deeper entries may be negative would be reversed by jamming
+    // (the copy executes a later `var` iteration earlier). Vectors
+    // carried above `depth` are unaffected.
+    let graph = analyze_nest(program, &root);
+    for d in graph.constraining() {
+        if d.vector.len() != chain.len() {
+            continue;
+        }
+        let carried_outside = d.vector.elems()[..depth]
+            .iter()
+            .any(|e| e.direction() == cmt_dependence::Direction::Lt);
+        if carried_outside {
+            continue;
+        }
+        let t = d.vector.elems()[depth].direction();
+        if !t.may_lt() && !t.may_gt() {
+            continue; // `=` at the unrolled loop: jamming keeps order.
+        }
+        if t.may_gt() {
+            return Err(UnrollError::Illegal);
+        }
+        // t admits `<`: the jammed copy moves that later iteration before
+        // the deeper loops finish — require the remaining entries to be
+        // non-negative.
+        if d.vector.elems()[depth + 1..]
+            .iter()
+            .any(|e| e.direction().may_gt())
+        {
+            return Err(UnrollError::Illegal);
+        }
+    }
+
+    // Rewrite: step *= factor; innermost body gets `factor` copies with
+    // var := var + u.
+    let Node::Loop(root_mut) = &mut program.body_mut()[nest_idx] else {
+        return Err(UnrollError::BadPosition);
+    };
+    bump_step(root_mut, depth, factor);
+    let innermost_depth = chain.len() - 1;
+    let mut new_stmts: Vec<(usize, Node)> = Vec::new();
+    {
+        let inner = chain_mut(root_mut, innermost_depth);
+        let base: Vec<Node> = inner.body().to_vec();
+        for u in 1..factor {
+            for n in &base {
+                let Node::Stmt(s) = n else { continue };
+                let shifted = s.map_refs(|r| {
+                    r.map_subscripts(|sub| {
+                        sub.substitute_var(var, &(Affine::var(var) + u))
+                    })
+                });
+                let rhs = shifted.rhs().map_index(&mut |w| {
+                    if w == var {
+                        cmt_ir::expr::Expr::from_affine(&(Affine::var(var) + u))
+                    } else {
+                        cmt_ir::expr::Expr::Index(w)
+                    }
+                });
+                let shifted =
+                    cmt_ir::stmt::Stmt::new(shifted.id(), shifted.lhs().clone(), rhs);
+                new_stmts.push((u as usize, Node::Stmt(shifted)));
+            }
+        }
+    }
+    // Fresh statement ids for the copies.
+    let mut materialized = Vec::with_capacity(new_stmts.len());
+    for (_, n) in new_stmts {
+        let Node::Stmt(s) = n else { unreachable!() };
+        let id = program.fresh_stmt_id();
+        materialized.push(Node::Stmt(cmt_ir::stmt::Stmt::new(
+            id,
+            s.lhs().clone(),
+            s.rhs().clone(),
+        )));
+    }
+    let Node::Loop(root_mut) = &mut program.body_mut()[nest_idx] else {
+        return Err(UnrollError::BadPosition);
+    };
+    chain_mut(root_mut, innermost_depth)
+        .body_mut()
+        .extend(materialized);
+    Ok(())
+}
+
+fn chain_mut(l: &mut Loop, depth: usize) -> &mut Loop {
+    if depth == 0 {
+        l
+    } else {
+        chain_mut(
+            l.body_mut()[0].as_loop_mut().expect("perfect chain"),
+            depth - 1,
+        )
+    }
+}
+
+fn bump_step(root: &mut Loop, depth: usize, factor: i64) {
+    let l = chain_mut(root, depth);
+    l.set_header(
+        l.id(),
+        l.var(),
+        l.lower().clone(),
+        l.upper().clone(),
+        l.step() * factor,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+    use cmt_ir::program::Program;
+    use cmt_ir::validate::validate;
+
+    fn matmul_jki() -> Program {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("J", 1, n, |b| {
+            b.loop_("K", 1, n, |b| {
+                b.loop_("I", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn unroll_jam_matmul_outer_is_equivalent() {
+        let orig = matmul_jki();
+        let mut p = orig.clone();
+        unroll_and_jam(&mut p, 0, 0, 2).expect("legal");
+        validate(&p).unwrap();
+        let outer = p.nests()[0];
+        assert_eq!(outer.step(), 2);
+        let inner = cmt_ir::visit::perfect_chain(outer)[2];
+        assert_eq!(inner.body().len(), 2, "two jammed copies");
+        cmt_interp::assert_equivalent(&orig, &p, &[12]);
+        cmt_interp::assert_equivalent(&orig, &p, &[20]);
+    }
+
+    #[test]
+    fn unroll_jam_middle_loop() {
+        let orig = matmul_jki();
+        let mut p = orig.clone();
+        // K carries the C(I,J) flow dependence: jamming K brings the
+        // K+1 copy into the same inner iteration — C(I,J) updates stay
+        // in order within the statement list, so it is legal (vector
+        // (0,<,0…) with nothing negative after).
+        unroll_and_jam(&mut p, 0, 1, 2).expect("legal");
+        validate(&p).unwrap();
+        cmt_interp::assert_equivalent(&orig, &p, &[12]);
+    }
+
+    #[test]
+    fn innermost_rejected() {
+        let mut p = matmul_jki();
+        assert_eq!(unroll_and_jam(&mut p, 0, 2, 2), Err(UnrollError::BadPosition));
+        assert_eq!(unroll_and_jam(&mut p, 0, 0, 1), Err(UnrollError::BadFactor));
+    }
+
+    #[test]
+    fn negative_inner_dependence_blocks_jam() {
+        // A(I,J) = A(I-1,J+1): vector (1,−1) — jamming I would execute
+        // iteration (i+1, j) before (i, j+1) finishes producing its
+        // value… the (1,−1) vector has a negative entry below the
+        // unrolled loop: illegal.
+        let mut b = ProgramBuilder::new("neg");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 2, n, |b| {
+            b.loop_("J", 1, Affine::param(n) - 1, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(a, [i, j]);
+                let rhs = Expr::load(b.at_vec(
+                    a,
+                    vec![Affine::var(i) - 1, Affine::var(j) + 1],
+                ));
+                b.assign(lhs, rhs);
+            });
+        });
+        let mut p = b.finish();
+        assert_eq!(unroll_and_jam(&mut p, 0, 0, 2), Err(UnrollError::Illegal));
+    }
+
+    #[test]
+    fn jam_then_scalar_replace_compose() {
+        // The register pipeline: unroll-and-jam J, then scalar-replace
+        // the B(K,J)/B(K,J+1) pair in the inner loop.
+        let orig = matmul_jki();
+        let mut p = orig.clone();
+        unroll_and_jam(&mut p, 0, 0, 2).expect("legal");
+        let stats = crate::scalar::scalar_replace(&mut p);
+        assert_eq!(stats.replaced, 2, "both unrolled B operands hoisted");
+        validate(&p).unwrap();
+        let mut m1 = cmt_interp::Machine::new(&orig, &[12]).unwrap();
+        let mut m2 = cmt_interp::Machine::new(&p, &[12]).unwrap();
+        m1.run(&orig, &mut cmt_interp::NullSink).unwrap();
+        m2.run(&p, &mut cmt_interp::NullSink).unwrap();
+        let c = orig.find_array("C").unwrap();
+        assert_eq!(m1.array_data(c), m2.array_data(c));
+    }
+}

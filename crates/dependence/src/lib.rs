@@ -1,0 +1,47 @@
+//! Data-dependence analysis for the loop-nest IR.
+//!
+//! The locality algorithms of Carr–McKinley–Tseng consume *hybrid
+//! distance/direction vectors* ([`DepVector`]): one entry per common
+//! enclosing loop, outermost first, each entry either an exact distance or
+//! a direction. This crate computes them with the classic subscript test
+//! battery (ZIV, strong SIV, weak-zero SIV, weak-crossing SIV, and a
+//! GCD-based MIV fallback — the tests of Goff/Kennedy/Tseng's practical
+//! dependence testing), assembles statement-level dependence graphs, and
+//! exposes the queries the transformations need:
+//!
+//! * legality of a loop permutation (lexicographic positivity of permuted
+//!   vectors),
+//! * fusion-preventing dependences between adjacent nests,
+//! * recurrences (SCCs) at a given loop level, for distribution.
+//!
+//! # Example
+//!
+//! ```
+//! use cmt_ir::build::ProgramBuilder;
+//! use cmt_ir::expr::Expr;
+//! use cmt_ir::affine::Affine;
+//! use cmt_dependence::analyze_nest;
+//!
+//! // DO I = 2, N:  A(I) = A(I-1)  — flow dependence, distance 1.
+//! let mut b = ProgramBuilder::new("rec");
+//! let n = b.param("N");
+//! let a = b.array("A", vec![n.into()]);
+//! b.loop_("I", 2, n, |b| {
+//!     let i = b.var("I");
+//!     let lhs = b.at(a, [i]);
+//!     let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1]));
+//!     b.assign(lhs, rhs);
+//! });
+//! let p = b.finish();
+//! let g = analyze_nest(&p, p.nests()[0]);
+//! assert!(g.deps().iter().any(|d| d.vector.carried_level() == Some(0)));
+//! ```
+
+pub mod dot;
+pub mod graph;
+pub mod scc;
+pub mod subscript;
+pub mod vector;
+
+pub use graph::{analyze_fused_pair, analyze_nest, DepKind, DepSummary, Dependence, DependenceGraph};
+pub use vector::{DepElem, DepVector, Direction, LexSign};

@@ -1,0 +1,302 @@
+//! Recurrence detection: strongly connected components of the
+//! (level-restricted) dependence graph.
+//!
+//! Loop distribution must keep every *recurrence* — a dependence cycle —
+//! in one loop. `Distribute` restricts the graph to dependences carried at
+//! level `j` or deeper (plus loop-independent ones) and partitions the
+//! statements into SCCs; each SCC is one indivisible partition
+//! ([`partitions_at_level`]), and partitions are emitted in a topological
+//! order of the condensation so all cross-partition dependences point
+//! forward.
+
+use crate::graph::DependenceGraph;
+use cmt_ir::ids::StmtId;
+use std::collections::HashMap;
+
+/// Computes the finest legal distribution partitions of `stmts` at loop
+/// `level` (0-based depth within the analyzed nest): SCCs of the graph
+/// restricted to constraining dependences that survive restriction to
+/// `level`, returned in a topological order of the condensation
+/// (dependence sources before sinks). Statements not mentioned by any
+/// edge form singleton partitions in source order.
+pub fn partitions_at_level(
+    graph: &DependenceGraph,
+    stmts: &[StmtId],
+    level: usize,
+) -> Vec<Vec<StmtId>> {
+    let index_of: HashMap<StmtId, usize> =
+        stmts.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let n = stmts.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for d in graph.constraining() {
+        if !d.survives_restriction_to(level) {
+            continue;
+        }
+        let (Some(&u), Some(&v)) = (index_of.get(&d.src), index_of.get(&d.dst)) else {
+            continue;
+        };
+        if u != v && !adj[u].contains(&v) {
+            adj[u].push(v);
+        }
+    }
+    let sccs = tarjan(&adj);
+    // Tarjan emits SCCs in reverse topological order; reverse for
+    // dependence order, then map back to statement ids. Within an SCC,
+    // keep source order.
+    let mut out: Vec<Vec<StmtId>> = sccs
+        .into_iter()
+        .rev()
+        .map(|mut comp| {
+            comp.sort_unstable();
+            comp.into_iter().map(|i| stmts[i]).collect()
+        })
+        .collect();
+    // Stable tie-break: a valid topological order may interleave
+    // independent partitions arbitrarily; prefer source order among
+    // incomparable partitions for reproducibility.
+    stable_source_order(&mut out, &adj, &index_of);
+    out
+}
+
+/// Reorders incomparable partitions into source order without breaking
+/// topological validity (repeated adjacent-swap pass — partition counts
+/// are tiny).
+fn stable_source_order(
+    parts: &mut [Vec<StmtId>],
+    adj: &[Vec<usize>],
+    index_of: &HashMap<StmtId, usize>,
+) {
+    let reaches = |a: &[StmtId], b: &[StmtId]| -> bool {
+        // Direct edge check is enough for adjacent-swap stability.
+        a.iter().any(|s| {
+            let u = index_of[s];
+            b.iter().any(|t| adj[u].contains(&index_of[t]))
+        })
+    };
+    let n = parts.len();
+    for _ in 0..n {
+        let mut swapped = false;
+        for i in 0..n.saturating_sub(1) {
+            let min_next: u32 = parts[i + 1].iter().map(|s| s.0).min().unwrap_or(u32::MAX);
+            let min_cur: u32 = parts[i].iter().map(|s| s.0).min().unwrap_or(u32::MAX);
+            if min_next < min_cur && !reaches(&parts[i], &parts[i + 1]) {
+                parts.swap(i, i + 1);
+                swapped = true;
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+}
+
+/// Iterative Tarjan SCC. Returns components in reverse topological order.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        edge: usize,
+    }
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { v: root, edge: 0 }];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let v = frame.v;
+            if frame.edge < adj[v].len() {
+                let w = adj[v][frame.edge];
+                frame.edge += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(Frame { v: w, edge: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+                let done = call.pop().expect("call stack underflow").v;
+                if let Some(parent) = call.last() {
+                    low[parent.v] = low[parent.v].min(low[done]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::analyze_nodes;
+    use cmt_ir::affine::Affine;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+    use cmt_ir::program::Program;
+
+    #[test]
+    fn tarjan_finds_cycle() {
+        // 0 → 1 → 2 → 0, 3 isolated.
+        let adj = vec![vec![1], vec![2], vec![0], vec![]];
+        let mut sccs = tarjan(&adj);
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn tarjan_chain_topological() {
+        // 0 → 1 → 2: reverse topological emission means 2 first.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let sccs = tarjan(&adj);
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    /// The paper's Cholesky nest (Figure 7a): S2 and S3 fall into
+    /// different partitions at level 1 (the I loop), enabling
+    /// distribution.
+    fn cholesky() -> Program {
+        let mut b = ProgramBuilder::new("cholesky");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("K", 1, n, |b| {
+            let k = b.var("K");
+            let akk = b.at(a, [k, k]);
+            let rhs = Expr::sqrt(Expr::load(b.at(a, [k, k])));
+            b.assign(akk, rhs); // S1
+            b.loop_("I", Affine::var(k) + 1, n, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i, k]);
+                let rhs = Expr::load(b.at(a, [i, k])) / Expr::load(b.at(a, [k, k]));
+                b.assign(lhs, rhs); // S2
+                b.loop_("J", Affine::var(k) + 1, i, |b| {
+                    let j = b.var("J");
+                    let lhs = b.at(a, [i, j]);
+                    let rhs = Expr::load(b.at(a, [i, j]))
+                        - Expr::load(b.at(a, [i, k])) * Expr::load(b.at(a, [j, k]));
+                    b.assign(lhs, rhs); // S3
+                });
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn cholesky_partitions_at_i_level() {
+        let p = cholesky();
+        let nest = p.nests()[0];
+        let g = crate::graph::analyze_nest(&p, nest);
+        // Statements under the I loop: S2 (id 1) and S3 (id 2).
+        let stmts = vec![cmt_ir::ids::StmtId(1), cmt_ir::ids::StmtId(2)];
+        // Level 1 = the I loop depth inside the nest.
+        let parts = partitions_at_level(&g, &stmts, 1);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        assert_eq!(parts[0], vec![cmt_ir::ids::StmtId(1)]);
+        assert_eq!(parts[1], vec![cmt_ir::ids::StmtId(2)]);
+    }
+
+    #[test]
+    fn recurrence_stays_in_one_partition() {
+        // S0: A(I) = B(I-1); S1: B(I) = A(I-1) — mutual recurrence carried
+        // by I; distribution at level 0 must keep them together.
+        let mut b = ProgramBuilder::new("mutual");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        let bb = b.array("B", vec![n.into()]);
+        b.loop_("I", 2, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            let rhs = Expr::load(b.at_vec(bb, vec![Affine::var(i) - 1]));
+            b.assign(lhs, rhs);
+            let lhs2 = b.at(bb, [i]);
+            let rhs2 = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1]));
+            b.assign(lhs2, rhs2);
+        });
+        let p = b.finish();
+        let g = analyze_nodes(p.body());
+        let stmts: Vec<_> = p.statements().iter().map(|s| s.id()).collect();
+        let parts = partitions_at_level(&g, &stmts, 0);
+        assert_eq!(parts.len(), 1, "{parts:?}");
+        assert_eq!(parts[0].len(), 2);
+    }
+
+    #[test]
+    fn independent_statements_split_in_source_order() {
+        // S0: A(I) = 1; S1: B(I) = 2 — no deps; finest partitions are
+        // singletons in source order.
+        let mut b = ProgramBuilder::new("indep");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        let bb = b.array("B", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Const(1.0));
+            let lhs2 = b.at(bb, [i]);
+            b.assign(lhs2, Expr::Const(2.0));
+        });
+        let p = b.finish();
+        let g = analyze_nodes(p.body());
+        let stmts: Vec<_> = p.statements().iter().map(|s| s.id()).collect();
+        let parts = partitions_at_level(&g, &stmts, 0);
+        assert_eq!(
+            parts,
+            vec![vec![cmt_ir::ids::StmtId(0)], vec![cmt_ir::ids::StmtId(1)]]
+        );
+    }
+
+    #[test]
+    fn producer_consumer_orders_partitions() {
+        // S0 writes A, S1 reads A (loop-independent): S0's partition must
+        // precede S1's.
+        let mut b = ProgramBuilder::new("pc");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        let c = b.array("C", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Const(1.0));
+            let lhs2 = b.at(c, [i]);
+            let rhs2 = Expr::load(b.at(a, [i]));
+            b.assign(lhs2, rhs2);
+        });
+        let p = b.finish();
+        let g = analyze_nodes(p.body());
+        let stmts: Vec<_> = p.statements().iter().map(|s| s.id()).collect();
+        let parts = partitions_at_level(&g, &stmts, 0);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], vec![cmt_ir::ids::StmtId(0)]);
+    }
+}

@@ -1,0 +1,760 @@
+//! Subscript dependence tests.
+//!
+//! Given two references to the same array and the common enclosing loops,
+//! [`test_dependence`] decides whether two iterations can touch the same
+//! element and, when they can, returns the most precise per-loop constraint
+//! vector it can prove (a *raw* vector: it may be lexicographically
+//! negative or ambiguous — [`crate::graph`] normalizes it into
+//! properly-directed dependences).
+//!
+//! The battery follows practical dependence testing: per-dimension ZIV,
+//! strong SIV (exact distances), weak-zero SIV, weak-crossing SIV, a GCD
+//! test for general SIV/MIV, and a Banerjee-style bounds check when loop
+//! bounds are compile-time constants. Per-dimension constraints are
+//! intersected; an empty intersection proves independence.
+
+use crate::vector::{DepElem, Direction};
+use cmt_ir::affine::Affine;
+use cmt_ir::ids::VarId;
+use cmt_ir::stmt::ArrayRef;
+
+/// What the tester knows about one common enclosing loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopCtx {
+    /// The loop's index variable.
+    pub var: VarId,
+    /// `(lower, upper)` when both bounds are compile-time constants;
+    /// `None` for symbolic or triangular bounds.
+    pub bounds: Option<(i64, i64)>,
+    /// The constant step.
+    pub step: i64,
+    /// The affine lower bound, when available. Enables pruning against
+    /// *fixed* outer variables (e.g. `J ≥ K+1` disproves `J = K`).
+    pub lower_aff: Option<Affine>,
+    /// The affine upper bound, when available.
+    pub upper_aff: Option<Affine>,
+}
+
+impl LoopCtx {
+    /// A loop with unknown bounds and unit step — the conservative
+    /// context used in most tests.
+    pub fn symbolic(var: VarId) -> Self {
+        LoopCtx {
+            var,
+            bounds: None,
+            step: 1,
+            lower_aff: None,
+            upper_aff: None,
+        }
+    }
+
+    /// Maximum |iteration difference| for this loop, when bounds are known.
+    fn max_span(&self) -> Option<i64> {
+        self.bounds.map(|(lo, hi)| (hi - lo).abs())
+    }
+}
+
+/// The affine bounds of a loop variable that encloses only one of the two
+/// statements (a *foreign* variable from the tester's point of view:
+/// triangular inner loops of imperfect nests). Bounds may reference the
+/// common loops' variables, which is what makes triangular reasoning
+/// possible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarRange {
+    /// The foreign variable.
+    pub var: VarId,
+    /// Its affine lower bound.
+    pub lower: Affine,
+    /// Its affine upper bound.
+    pub upper: Affine,
+}
+
+/// Per-loop constraint being accumulated across subscript dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Constraint {
+    /// No information: any iteration difference.
+    Any,
+    /// Exact difference `sink − source`.
+    Exactly(i64),
+    /// Abstract direction.
+    Dir(Direction),
+}
+
+impl Constraint {
+    fn intersect(self, other: Constraint) -> Option<Constraint> {
+        use Constraint::*;
+        match (self, other) {
+            (Any, c) | (c, Any) => Some(c),
+            (Exactly(a), Exactly(b)) => (a == b).then_some(Exactly(a)),
+            (Exactly(d), Dir(dir)) | (Dir(dir), Exactly(d)) => {
+                let ok = match d.cmp(&0) {
+                    std::cmp::Ordering::Greater => dir.may_lt(),
+                    std::cmp::Ordering::Equal => dir.may_eq(),
+                    std::cmp::Ordering::Less => dir.may_gt(),
+                };
+                ok.then_some(Exactly(d))
+            }
+            (Dir(a), Dir(b)) => a.intersect(b).map(Dir),
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Tests for dependence between `src` and `dst` (references to the same
+/// array) under `loops` (the common enclosing loops, outermost first).
+///
+/// Returns `None` when the tests *prove* independence, otherwise one raw
+/// constraint element per loop in `loops` order, where the element
+/// describes `iteration(dst) − iteration(src)`.
+///
+/// # Panics
+///
+/// Panics if the references name different arrays or differ in rank —
+/// callers pair references per array, and validated programs have
+/// consistent ranks.
+pub fn test_dependence(src: &ArrayRef, dst: &ArrayRef, loops: &[LoopCtx]) -> Option<Vec<DepElem>> {
+    test_dependence_with_ranges(src, dst, loops, &[], &[])
+}
+
+/// Like [`test_dependence`], additionally given the affine bounds of
+/// *foreign* loop variables — loops enclosing only the source
+/// (`src_ranges`) or only the sink (`dst_ranges`). Triangular bounds such
+/// as `DO J = K+1, I` let the tester refine directions that would
+/// otherwise degrade to `*` (the paper's Cholesky distribution depends on
+/// this).
+pub fn test_dependence_with_ranges(
+    src: &ArrayRef,
+    dst: &ArrayRef,
+    loops: &[LoopCtx],
+    src_ranges: &[VarRange],
+    dst_ranges: &[VarRange],
+) -> Option<Vec<DepElem>> {
+    assert_eq!(src.array(), dst.array(), "refs must name the same array");
+    assert_eq!(src.rank(), dst.rank(), "rank mismatch between references");
+
+    let mut cons = vec![Constraint::Any; loops.len()];
+
+    for dim in 0..src.rank() {
+        let f = &src.subscripts()[dim];
+        let g = &dst.subscripts()[dim];
+        match test_dimension(f, g, loops, src_ranges, dst_ranges)? {
+            DimResult::NoConstraint => {}
+            DimResult::PerLoop(per_loop) => {
+                for (k, c) in per_loop.into_iter().enumerate() {
+                    cons[k] = cons[k].intersect(c)?;
+                }
+            }
+        }
+    }
+
+    Some(
+        cons.into_iter()
+            .map(|c| match c {
+                Constraint::Any => DepElem::Dir(Direction::Star),
+                Constraint::Exactly(d) => DepElem::Dist(d),
+                Constraint::Dir(d) => DepElem::Dir(d),
+            })
+            .collect(),
+    )
+}
+
+enum DimResult {
+    /// Dimension is satisfiable but yields no per-loop refinement.
+    NoConstraint,
+    /// Per-loop constraints (parallel to the `loops` slice).
+    PerLoop(Vec<Constraint>),
+}
+
+/// Tests one subscript dimension: is `f(i) = g(i')` solvable, and what
+/// does it say about each loop's iteration difference? Returns `None` when
+/// unsolvable (independence proven by this dimension).
+fn test_dimension(
+    f: &Affine,
+    g: &Affine,
+    loops: &[LoopCtx],
+    src_ranges: &[VarRange],
+    dst_ranges: &[VarRange],
+) -> Option<DimResult> {
+    // Parameters must match for the dimension to constrain anything; if the
+    // symbolic parts differ we cannot conclude either way → no constraint
+    // unless identical. Compare parameter terms: if they differ the
+    // difference is an unknown constant — conservatively satisfiable.
+    let params_equal = f.param_terms().eq(g.param_terms());
+
+    // c = g.const − f.const; equation: Σ a_v i_v − Σ b_v i'_v = c.
+    let c = g.constant_term() - f.constant_term();
+
+    // Classify variables: *common* (one of `loops`, iteration offsets are
+    // what we solve for), *ranged* (inner loops of one statement — vary
+    // between the two accesses), or *fixed* (outer-scope variables with
+    // the same value at both accesses; behave like opaque constants).
+    let mut mentioned: Vec<usize> = Vec::new();
+    let mut ranged = false;
+    let mut cfix = Affine::zero();
+    let mut vars: Vec<VarId> = f
+        .var_terms()
+        .map(|(v, _)| v)
+        .chain(g.var_terms().map(|(v, _)| v))
+        .collect();
+    vars.sort_unstable();
+    vars.dedup();
+    for v in vars {
+        if let Some(k) = loops.iter().position(|lc| lc.var == v) {
+            mentioned.push(k);
+        } else if src_ranges.iter().any(|r| r.var == v)
+            || dst_ranges.iter().any(|r| r.var == v)
+        {
+            ranged = true;
+        } else {
+            cfix.add_var_term(v, g.coeff_of_var(v) - f.coeff_of_var(v));
+        }
+    }
+    let cfix_zero = cfix == Affine::zero();
+
+    if !params_equal {
+        // Unknown constant offset; give up on this dimension.
+        return Some(DimResult::NoConstraint);
+    }
+
+    if ranged {
+        // A non-common, iteration-varying index variable appears
+        // (imperfectly nested statement): the GCD test over all
+        // coefficients can still prove independence.
+        if cfix_zero {
+            let mut g_all = 0;
+            for (_, coeff) in f.var_terms().chain(g.var_terms()) {
+                g_all = gcd(g_all, coeff);
+            }
+            if g_all != 0 && c % g_all != 0 {
+                return None;
+            }
+            // Triangular refinement: bounds of the foreign variable that
+            // name a common variable (e.g. `DO J = K+1, I`) pin directions.
+            if let Some(res) = triangular_refine(f, g, loops, src_ranges, dst_ranges) {
+                return res;
+            }
+        }
+        return Some(DimResult::NoConstraint);
+    }
+
+    if mentioned.is_empty() {
+        if !cfix_zero {
+            // Difference is an unknown (but fixed) constant: satisfiable.
+            return Some(DimResult::NoConstraint);
+        }
+        // ZIV: two constants.
+        return if c == 0 {
+            Some(DimResult::NoConstraint)
+        } else {
+            None
+        };
+    }
+
+    if mentioned.len() == 1 {
+        // SIV in loops[k].
+        let k = mentioned[0];
+        let v = loops[k].var;
+        let a = f.coeff_of_var(v);
+        let b = g.coeff_of_var(v);
+        if cfix_zero {
+            return siv(a, b, c, &loops[k], k, loops.len());
+        }
+        // Fixed-symbol offset: solve against the loop's affine bounds
+        // (e.g. `J = K` has no solution when `J ≥ K+1`).
+        return siv_fixed(a, b, c, &cfix, &loops[k]);
+    }
+
+    if !cfix_zero {
+        return Some(DimResult::NoConstraint);
+    }
+    // MIV: GCD test, then Banerjee bounds check when all bounds known.
+    let mut g_all = 0;
+    for &k in &mentioned {
+        let v = loops[k].var;
+        g_all = gcd(g_all, f.coeff_of_var(v));
+        g_all = gcd(g_all, g.coeff_of_var(v));
+    }
+    if g_all != 0 && c % g_all != 0 {
+        return None;
+    }
+    if banerjee_excludes(f, g, c, loops) {
+        return None;
+    }
+    Some(DimResult::NoConstraint)
+}
+
+/// Weak-zero-style test when the constant side contains fixed outer-scope
+/// symbols: the solution iteration is an affine expression; compare it
+/// against the loop's affine bounds and prove independence when it falls
+/// outside for every iteration.
+fn siv_fixed(a: i64, b: i64, c: i64, cfix: &Affine, ctx: &LoopCtx) -> Option<DimResult> {
+    let excluded = |sol: &Affine| -> bool {
+        if let Some(lb) = &ctx.lower_aff {
+            let d = sol.clone() - lb.clone();
+            if d.is_constant() && d.constant_term() < 0 {
+                return true;
+            }
+        }
+        if let Some(ub) = &ctx.upper_aff {
+            let d = ub.clone() - sol.clone();
+            if d.is_constant() && d.constant_term() < 0 {
+                return true;
+            }
+        }
+        false
+    };
+    if a != 0 && b == 0 && a.abs() == 1 {
+        // a·i + c1 + f_fix = c2 + g_fix → i = (c + Cfix)·a.
+        let sol = (cfix.clone() + Affine::constant(c)) * a;
+        if excluded(&sol) {
+            return None;
+        }
+    } else if a == 0 && b != 0 && b.abs() == 1 {
+        // c1 + f_fix = b·i' + c2 + g_fix → i' = (−c − Cfix)·b.
+        let sol = (cfix.clone() * -1 + Affine::constant(-c)) * b;
+        if excluded(&sol) {
+            return None;
+        }
+    }
+    Some(DimResult::NoConstraint)
+}
+
+/// Single-index-variable tests. `a` is the source coefficient, `b` the
+/// sink coefficient, constraint `a·i − b·i' = c`; element `k` of the
+/// result describes `i' − i`.
+fn siv(
+    a: i64,
+    b: i64,
+    c: i64,
+    ctx: &LoopCtx,
+    k: usize,
+    nloops: usize,
+) -> Option<DimResult> {
+    let mut per = vec![Constraint::Any; nloops];
+    if a == b {
+        if a == 0 {
+            // Actually ZIV (handled earlier), but be safe.
+            return if c == 0 { Some(DimResult::NoConstraint) } else { None };
+        }
+        // Strong SIV: a(i − i') = c → i' − i = −c/a.
+        if c % a != 0 {
+            return None;
+        }
+        let d = -c / a;
+        if let Some(span) = ctx.max_span() {
+            if d.abs() > span {
+                return None;
+            }
+        }
+        if ctx.step != 1 && ctx.step != -1 && d % ctx.step != 0 {
+            // Iterations move in multiples of step.
+            return None;
+        }
+        // Distance is in *iteration* units: i advances by `step` per
+        // iteration, so difference in iterations is d / step.
+        let iter_d = if ctx.step == 1 {
+            d
+        } else if ctx.step == -1 {
+            -d
+        } else {
+            d / ctx.step
+        };
+        per[k] = Constraint::Exactly(iter_d);
+        return Some(DimResult::PerLoop(per));
+    }
+    if a != 0 && b == 0 {
+        // Weak-zero: i = c/a fixed; i' free.
+        if c % a != 0 {
+            return None;
+        }
+        let i0 = c / a;
+        if let Some((lo, hi)) = ctx.bounds {
+            if i0 < lo.min(hi) || i0 > lo.max(hi) {
+                return None;
+            }
+        }
+        return Some(DimResult::NoConstraint);
+    }
+    if a == 0 && b != 0 {
+        if c % b != 0 {
+            return None;
+        }
+        let i0 = -c / b;
+        if let Some((lo, hi)) = ctx.bounds {
+            if i0 < lo.min(hi) || i0 > lo.max(hi) {
+                return None;
+            }
+        }
+        return Some(DimResult::NoConstraint);
+    }
+    if a == -b {
+        // Weak-crossing: a(i + i') = c.
+        if c % a != 0 {
+            return None;
+        }
+        if let Some((lo, hi)) = ctx.bounds {
+            let s = c / a;
+            if s < 2 * lo.min(hi) || s > 2 * lo.max(hi) {
+                return None;
+            }
+        }
+        return Some(DimResult::NoConstraint);
+    }
+    // General SIV: GCD test.
+    let g = gcd(a, b);
+    if g != 0 && c % g != 0 {
+        return None;
+    }
+    Some(DimResult::NoConstraint)
+}
+
+/// Attempts the triangular refinement on a dimension where one side is a
+/// single *common* variable and the other a single *foreign* variable
+/// with the same ±1 coefficient, and the foreign variable's bound names
+/// the common variable (e.g. source `A(I,…)` vs sink `A(J,…)` under
+/// `DO J = K+1, I`).
+///
+/// Returns `None` when the pattern does not apply; `Some(None)` when the
+/// refinement proves independence; `Some(Some(result))` otherwise.
+#[allow(clippy::option_option)]
+fn triangular_refine(
+    f: &Affine,
+    g: &Affine,
+    loops: &[LoopCtx],
+    src_ranges: &[VarRange],
+    dst_ranges: &[VarRange],
+) -> Option<Option<DimResult>> {
+    let single_common = |e: &Affine| -> Option<(usize, i64)> {
+        let mut terms = e.var_terms();
+        let (v, coeff) = terms.next()?;
+        if terms.next().is_some() {
+            return None;
+        }
+        loops.iter().position(|lc| lc.var == v).map(|k| (k, coeff))
+    };
+    let single_foreign = |e: &Affine| -> Option<(VarId, i64)> {
+        let mut terms = e.var_terms();
+        let (v, coeff) = terms.next()?;
+        if terms.next().is_some() {
+            return None;
+        }
+        if loops.iter().any(|lc| lc.var == v) {
+            return None;
+        }
+        Some((v, coeff))
+    };
+    // `bound_offset(bound, u)` = k when `bound` is exactly `u + k`.
+    let bound_offset = |bound: &Affine, u: VarId| -> Option<i64> {
+        if bound.coeff_of_var(u) != 1 {
+            return None;
+        }
+        if bound.var_terms().count() != 1 || bound.param_terms().count() != 0 {
+            return None;
+        }
+        Some(bound.constant_term())
+    };
+
+    let c1 = f.constant_term();
+    let c2 = g.constant_term();
+
+    // (k, a, w, ranges, delta bounds as below)
+    let (k, a, w, ranges, src_side_common) =
+        if let (Some((k, a)), Some((w, b))) = (single_common(f), single_foreign(g)) {
+            if a != b || a.abs() != 1 {
+                return None;
+            }
+            (k, a, w, dst_ranges, true)
+        } else if let (Some((w, a)), Some((k, b))) = (single_foreign(f), single_common(g)) {
+            if a != b || a.abs() != 1 {
+                return None;
+            }
+            (k, a, w, src_ranges, false)
+        } else {
+            return None;
+        };
+    if loops[k].step != 1 {
+        return None;
+    }
+    let u = loops[k].var;
+    let range = ranges.iter().find(|r| r.var == w)?;
+
+    // delta = iteration(sink) − iteration(source) of the common loop.
+    // src-side-common: u_src = w + a·(c2−c1); w ≤ u_sink + k_u gives
+    //   delta ≥ −(k_u + a·(c2−c1)); w ≥ u_sink + k_l gives delta ≤ −(k_l + …).
+    // dst-side-common: u_sink = w + a·(c1−c2); w ≤ u_src + k_u gives
+    //   delta ≤ k_u + a·(c1−c2); w ≥ u_src + k_l gives delta ≥ k_l + ….
+    let (mut delta_min, mut delta_max): (Option<i64>, Option<i64>) = (None, None);
+    if src_side_common {
+        let off = a * (c2 - c1);
+        if let Some(k_u) = bound_offset(&range.upper, u) {
+            delta_min = Some(-(k_u + off));
+        }
+        if let Some(k_l) = bound_offset(&range.lower, u) {
+            delta_max = Some(-(k_l + off));
+        }
+    } else {
+        let off = a * (c1 - c2);
+        if let Some(k_u) = bound_offset(&range.upper, u) {
+            delta_max = Some(k_u + off);
+        }
+        if let Some(k_l) = bound_offset(&range.lower, u) {
+            delta_min = Some(k_l + off);
+        }
+    }
+    if delta_min.is_none() && delta_max.is_none() {
+        return None;
+    }
+
+    let lt = delta_max.is_none_or(|hi| hi >= 1);
+    let eq = delta_min.is_none_or(|lo| lo <= 0) && delta_max.is_none_or(|hi| hi >= 0);
+    let gt = delta_min.is_none_or(|lo| lo <= -1);
+    match Direction::from_possibilities(lt, eq, gt) {
+        None => Some(None),
+        Some(Direction::Star) => Some(Some(DimResult::NoConstraint)),
+        Some(dir) => {
+            let mut per = vec![Constraint::Any; loops.len()];
+            per[k] = Constraint::Dir(dir);
+            Some(Some(DimResult::PerLoop(per)))
+        }
+    }
+}
+
+/// Banerjee-style exclusion: when every mentioned loop has constant
+/// bounds, compute the min/max of `Σ a_v i_v − Σ b_v i'_v` and check
+/// whether `c` falls outside.
+fn banerjee_excludes(f: &Affine, g: &Affine, c: i64, loops: &[LoopCtx]) -> bool {
+    let mut min = 0i64;
+    let mut max = 0i64;
+    let mut add_range = |coeff: i64, bounds: Option<(i64, i64)>| -> bool {
+        if coeff == 0 {
+            return true;
+        }
+        match bounds {
+            Some((lo, hi)) => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                let a = coeff * lo;
+                let b = coeff * hi;
+                min += a.min(b);
+                max += a.max(b);
+                true
+            }
+            None => false,
+        }
+    };
+    for lc in loops {
+        if !add_range(f.coeff_of_var(lc.var), lc.bounds) {
+            return false;
+        }
+        if !add_range(-g.coeff_of_var(lc.var), lc.bounds) {
+            return false;
+        }
+    }
+    c < min || c > max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::ids::ArrayId;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    fn aref(subs: Vec<Affine>) -> ArrayRef {
+        ArrayRef::new(ArrayId(0), subs)
+    }
+
+    fn ctx1() -> Vec<LoopCtx> {
+        vec![LoopCtx::symbolic(v(0))]
+    }
+
+    #[test]
+    fn strong_siv_exact_distance() {
+        // A(I) vs A(I-1): source A(I) at i, sink A(I-1) at i' → i = i'-1,
+        // so i' - i = 1: distance 1.
+        let src = aref(vec![Affine::var(v(0))]);
+        let dst = aref(vec![Affine::var(v(0)) - 1]);
+        let out = test_dependence(&src, &dst, &ctx1()).unwrap();
+        assert_eq!(out, vec![DepElem::Dist(1)]);
+    }
+
+    #[test]
+    fn strong_siv_non_divisible_is_independent() {
+        // A(2I) vs A(2I+1): parity differs.
+        let src = aref(vec![Affine::var(v(0)) * 2]);
+        let dst = aref(vec![Affine::var(v(0)) * 2 + 1]);
+        assert!(test_dependence(&src, &dst, &ctx1()).is_none());
+    }
+
+    #[test]
+    fn strong_siv_bounds_prune() {
+        // A(I) vs A(I-100) in a 10-iteration loop.
+        let src = aref(vec![Affine::var(v(0))]);
+        let dst = aref(vec![Affine::var(v(0)) - 100]);
+        let loops = vec![LoopCtx {
+            var: v(0),
+            bounds: Some((1, 10)),
+            step: 1,
+            lower_aff: None,
+            upper_aff: None,
+        }];
+        assert!(test_dependence(&src, &dst, &loops).is_none());
+    }
+
+    #[test]
+    fn ziv_mismatch_is_independent() {
+        let src = aref(vec![Affine::constant(1)]);
+        let dst = aref(vec![Affine::constant(2)]);
+        assert!(test_dependence(&src, &dst, &ctx1()).is_none());
+        let same = aref(vec![Affine::constant(2)]);
+        let out = test_dependence(&dst, &same, &ctx1()).unwrap();
+        assert_eq!(out, vec![DepElem::Dir(Direction::Star)]);
+    }
+
+    #[test]
+    fn weak_zero_in_bounds() {
+        // A(I) vs A(5): solution i=5; inside bounds → dependence with
+        // unconstrained direction, outside → independent.
+        let src = aref(vec![Affine::var(v(0))]);
+        let dst = aref(vec![Affine::constant(5)]);
+        let inside = vec![LoopCtx {
+            var: v(0),
+            bounds: Some((1, 10)),
+            step: 1,
+            lower_aff: None,
+            upper_aff: None,
+        }];
+        assert!(test_dependence(&src, &dst, &inside).is_some());
+        let outside = vec![LoopCtx {
+            var: v(0),
+            bounds: Some((6, 10)),
+            step: 1,
+            lower_aff: None,
+            upper_aff: None,
+        }];
+        let src2 = aref(vec![Affine::var(v(0))]);
+        assert!(test_dependence(&src2, &dst, &outside).is_none());
+    }
+
+    #[test]
+    fn weak_crossing_divisibility() {
+        // A(2I) vs A(-2I+5): 2(i+i') = 5 unsolvable.
+        let src = aref(vec![Affine::var(v(0)) * 2]);
+        let dst = aref(vec![Affine::var(v(0)) * -2 + 5]);
+        assert!(test_dependence(&src, &dst, &ctx1()).is_none());
+        // 2(i+i') = 6 solvable.
+        let dst2 = aref(vec![Affine::var(v(0)) * -2 + 6]);
+        assert!(test_dependence(&src, &dst2, &ctx1()).is_some());
+    }
+
+    #[test]
+    fn two_dims_intersect_distances() {
+        // A(I,J) vs A(I-1,J+2) → (1 in I, -2 in J).
+        let loops = vec![LoopCtx::symbolic(v(0)), LoopCtx::symbolic(v(1))];
+        let src = aref(vec![Affine::var(v(0)), Affine::var(v(1))]);
+        let dst = aref(vec![Affine::var(v(0)) - 1, Affine::var(v(1)) + 2]);
+        let out = test_dependence(&src, &dst, &loops).unwrap();
+        assert_eq!(out, vec![DepElem::Dist(1), DepElem::Dist(-2)]);
+    }
+
+    #[test]
+    fn conflicting_dimensions_prove_independence() {
+        // A(I,I) vs A(I-1,I): dim1 wants distance 1, dim2 wants 0.
+        let loops = vec![LoopCtx::symbolic(v(0))];
+        let src = aref(vec![Affine::var(v(0)), Affine::var(v(0))]);
+        let dst = aref(vec![Affine::var(v(0)) - 1, Affine::var(v(0))]);
+        assert!(test_dependence(&src, &dst, &loops).is_none());
+    }
+
+    #[test]
+    fn miv_gcd_prunes() {
+        // A(2I + 4J) vs A(2I + 4J + 1): gcd 2 does not divide 1.
+        let loops = vec![LoopCtx::symbolic(v(0)), LoopCtx::symbolic(v(1))];
+        let src = aref(vec![Affine::var(v(0)) * 2 + Affine::var(v(1)) * 4]);
+        let dst = aref(vec![Affine::var(v(0)) * 2 + Affine::var(v(1)) * 4 + 1]);
+        assert!(test_dependence(&src, &dst, &loops).is_none());
+    }
+
+    #[test]
+    fn miv_banerjee_prunes() {
+        // A(I + J) vs A(I + J + 100), loops 1..10 each: max lhs-rhs
+        // difference is 18 < 100.
+        let loops = vec![
+            LoopCtx {
+                var: v(0),
+                bounds: Some((1, 10)),
+                step: 1,
+                lower_aff: None,
+                upper_aff: None,
+            },
+            LoopCtx {
+                var: v(1),
+                bounds: Some((1, 10)),
+                step: 1,
+                lower_aff: None,
+                upper_aff: None,
+            },
+        ];
+        let src = aref(vec![Affine::var(v(0)) + Affine::var(v(1))]);
+        let dst = aref(vec![Affine::var(v(0)) + Affine::var(v(1)) + 100]);
+        assert!(test_dependence(&src, &dst, &loops).is_none());
+    }
+
+    #[test]
+    fn unmentioned_loop_gets_star() {
+        // A(I) vs A(I) under loops I, K: K unconstrained.
+        let loops = vec![LoopCtx::symbolic(v(0)), LoopCtx::symbolic(v(1))];
+        let src = aref(vec![Affine::var(v(0))]);
+        let dst = aref(vec![Affine::var(v(0))]);
+        let out = test_dependence(&src, &dst, &loops).unwrap();
+        assert_eq!(out, vec![DepElem::Dist(0), DepElem::Dir(Direction::Star)]);
+    }
+
+    #[test]
+    fn differing_params_give_no_constraint() {
+        use cmt_ir::ids::ParamId;
+        let loops = ctx1();
+        let src = aref(vec![Affine::var(v(0)) + Affine::param(ParamId(0))]);
+        let dst = aref(vec![Affine::var(v(0))]);
+        let out = test_dependence(&src, &dst, &loops).unwrap();
+        assert_eq!(out, vec![DepElem::Dir(Direction::Star)]);
+    }
+
+    #[test]
+    fn matching_params_allow_strong_siv() {
+        use cmt_ir::ids::ParamId;
+        let loops = ctx1();
+        let p = ParamId(0);
+        let src = aref(vec![Affine::var(v(0)) + Affine::param(p)]);
+        let dst = aref(vec![Affine::var(v(0)) + Affine::param(p) - 1]);
+        let out = test_dependence(&src, &dst, &loops).unwrap();
+        assert_eq!(out, vec![DepElem::Dist(1)]);
+    }
+
+    #[test]
+    fn negative_step_iteration_distance() {
+        // DO I = 10, 1, -1: A(I) vs A(I-1). Element distance d = 1 in
+        // *value* space; with step -1 the iteration difference negates.
+        let loops = vec![LoopCtx {
+            var: v(0),
+            bounds: Some((10, 1)),
+            step: -1,
+            lower_aff: None,
+            upper_aff: None,
+        }];
+        let src = aref(vec![Affine::var(v(0))]);
+        let dst = aref(vec![Affine::var(v(0)) - 1]);
+        let out = test_dependence(&src, &dst, &loops).unwrap();
+        assert_eq!(out, vec![DepElem::Dist(-1)]);
+    }
+}

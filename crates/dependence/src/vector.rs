@@ -1,0 +1,445 @@
+//! Hybrid distance/direction vectors and their algebra.
+//!
+//! A [`DepVector`] has one [`DepElem`] per common enclosing loop,
+//! outermost first. Exact distances are kept when a subscript test proves
+//! them (the "most precise information derivable", as the paper puts it);
+//! otherwise a [`Direction`] abstracts the sign of the iteration
+//! difference `sink − source`.
+
+use std::fmt;
+
+/// The sign relation between source and sink iterations of one loop.
+///
+/// `Lt` means the source iteration is *earlier* (`sink − source > 0`,
+/// conventionally written `<`), `Gt` later, `Eq` the same iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `<` : carried forward by this loop.
+    Lt,
+    /// `=` : same iteration of this loop.
+    Eq,
+    /// `>` : would be carried backward (only legal under an outer `<`).
+    Gt,
+    /// `≤` : `<` or `=`.
+    Le,
+    /// `≥` : `>` or `=`.
+    Ge,
+    /// `*` : unknown, any relation possible.
+    Star,
+}
+
+impl Direction {
+    /// True if the direction admits `<`.
+    pub fn may_lt(self) -> bool {
+        matches!(self, Direction::Lt | Direction::Le | Direction::Star)
+    }
+
+    /// True if the direction admits `=`.
+    pub fn may_eq(self) -> bool {
+        matches!(
+            self,
+            Direction::Eq | Direction::Le | Direction::Ge | Direction::Star
+        )
+    }
+
+    /// True if the direction admits `>`.
+    pub fn may_gt(self) -> bool {
+        matches!(self, Direction::Gt | Direction::Ge | Direction::Star)
+    }
+
+    /// The direction with source and sink swapped (`<` ↔ `>`).
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Lt => Direction::Gt,
+            Direction::Gt => Direction::Lt,
+            Direction::Le => Direction::Ge,
+            Direction::Ge => Direction::Le,
+            d => d,
+        }
+    }
+
+    /// The most precise direction containing both inputs.
+    pub fn union(self, other: Direction) -> Direction {
+        use Direction::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (Lt, Eq) | (Eq, Lt) | (Lt, Le) | (Le, Lt) | (Eq, Le) | (Le, Eq) => Le,
+            (Gt, Eq) | (Eq, Gt) | (Gt, Ge) | (Ge, Gt) | (Eq, Ge) | (Ge, Eq) => Ge,
+            _ => Star,
+        }
+    }
+
+    /// The intersection of two directions, `None` if empty (no dependence).
+    pub fn intersect(self, other: Direction) -> Option<Direction> {
+        let lt = self.may_lt() && other.may_lt();
+        let eq = self.may_eq() && other.may_eq();
+        let gt = self.may_gt() && other.may_gt();
+        Direction::from_possibilities(lt, eq, gt)
+    }
+
+    /// Builds a direction from the set of admitted relations.
+    pub fn from_possibilities(lt: bool, eq: bool, gt: bool) -> Option<Direction> {
+        use Direction::*;
+        match (lt, eq, gt) {
+            (true, false, false) => Some(Lt),
+            (false, true, false) => Some(Eq),
+            (false, false, true) => Some(Gt),
+            (true, true, false) => Some(Le),
+            (false, true, true) => Some(Ge),
+            (true, true, true) | (true, false, true) => Some(Star),
+            (false, false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::Lt => "<",
+            Direction::Eq => "=",
+            Direction::Gt => ">",
+            Direction::Le => "<=",
+            Direction::Ge => ">=",
+            Direction::Star => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of a hybrid vector: an exact distance or a direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepElem {
+    /// Exact iteration distance `sink − source`.
+    Dist(i64),
+    /// Abstract direction.
+    Dir(Direction),
+}
+
+impl DepElem {
+    /// The direction abstraction of this element.
+    pub fn direction(self) -> Direction {
+        match self {
+            DepElem::Dist(d) => match d.cmp(&0) {
+                std::cmp::Ordering::Greater => Direction::Lt,
+                std::cmp::Ordering::Equal => Direction::Eq,
+                std::cmp::Ordering::Less => Direction::Gt,
+            },
+            DepElem::Dir(d) => d,
+        }
+    }
+
+    /// True when the element is exactly zero / `=`.
+    pub fn is_eq(self) -> bool {
+        matches!(self, DepElem::Dist(0) | DepElem::Dir(Direction::Eq))
+    }
+
+    /// Element with source and sink swapped.
+    pub fn reversed(self) -> DepElem {
+        match self {
+            DepElem::Dist(d) => DepElem::Dist(-d),
+            DepElem::Dir(d) => DepElem::Dir(d.reversed()),
+        }
+    }
+
+    /// Element after reversing the *loop's* iteration order (loop
+    /// reversal): the iteration difference negates, exactly like swapping
+    /// source and sink for this entry alone.
+    pub fn loop_reversed(self) -> DepElem {
+        self.reversed()
+    }
+}
+
+impl fmt::Display for DepElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepElem::Dist(d) => write!(f, "{d}"),
+            DepElem::Dir(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Sign of a vector under lexicographic order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LexSign {
+    /// Definitely positive (a plausible, loop-carried dependence).
+    Positive,
+    /// All entries zero (loop-independent).
+    Zero,
+    /// Definitely negative (stored dependences never are; appears while
+    /// normalizing raw test output).
+    Negative,
+    /// Cannot be determined from directions alone.
+    Unknown,
+}
+
+/// A hybrid distance/direction vector, outermost loop first.
+///
+/// # Example
+///
+/// ```
+/// use cmt_dependence::vector::{DepElem, DepVector, Direction, LexSign};
+///
+/// let v = DepVector::new(vec![DepElem::Dist(0), DepElem::Dist(1)]);
+/// assert_eq!(v.lex_sign(), LexSign::Positive);
+/// assert_eq!(v.carried_level(), Some(1));
+/// // Interchanging the loops keeps it legal:
+/// assert!(v.permuted(&[1, 0]).is_lex_nonnegative());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DepVector(Vec<DepElem>);
+
+impl DepVector {
+    /// Creates a vector from entries, outermost first.
+    pub fn new(elems: Vec<DepElem>) -> Self {
+        DepVector(elems)
+    }
+
+    /// A loop-independent (all-`=`) vector of the given length.
+    pub fn loop_independent(len: usize) -> Self {
+        DepVector(vec![DepElem::Dist(0); len])
+    }
+
+    /// The entries, outermost first.
+    pub fn elems(&self) -> &[DepElem] {
+        &self.0
+    }
+
+    /// Number of entries (common loops).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a zero-length vector (statements with no common loops).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The lexicographic sign, derived from directions.
+    pub fn lex_sign(&self) -> LexSign {
+        for e in &self.0 {
+            match e.direction() {
+                Direction::Lt => return LexSign::Positive,
+                Direction::Gt => return LexSign::Negative,
+                Direction::Eq => continue,
+                // `≤`: the `<` branch is positive, the `=` branch defers —
+                // never negative at this entry, so keep scanning: if the
+                // remainder is non-negative the whole vector is.
+                Direction::Le => {
+                    return match DepVector(self.0[1..].to_vec()).lex_sign() {
+                        LexSign::Positive | LexSign::Zero => LexSign::Positive,
+                        _ => LexSign::Unknown,
+                    }
+                }
+                Direction::Ge | Direction::Star => return LexSign::Unknown,
+            }
+        }
+        LexSign::Zero
+    }
+
+    /// True if the vector is *provably* lexicographically non-negative —
+    /// the legality criterion for a transformed dependence. Conservative:
+    /// `Unknown` counts as illegal.
+    pub fn is_lex_nonnegative(&self) -> bool {
+        let mut idx = 0;
+        while idx < self.0.len() {
+            match self.0[idx].direction() {
+                Direction::Lt => return true,
+                Direction::Gt | Direction::Ge | Direction::Star => return false,
+                Direction::Eq | Direction::Le => idx += 1,
+            }
+        }
+        true
+    }
+
+    /// The outermost loop level (0-based) that *definitely* carries the
+    /// dependence, or `None` when loop-independent or unknown.
+    pub fn carried_level(&self) -> Option<usize> {
+        for (k, e) in self.0.iter().enumerate() {
+            match e.direction() {
+                Direction::Lt => return Some(k),
+                Direction::Eq => continue,
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// The outermost level that *may* carry the dependence (first entry
+    /// that admits `<` or `>`), or `None` when definitely
+    /// loop-independent. Distribution's "carried at level j or deeper"
+    /// restriction uses the may-carry level.
+    pub fn may_carry_level(&self) -> Option<usize> {
+        for (k, e) in self.0.iter().enumerate() {
+            if !e.is_eq() {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// True when every entry is exactly `=`: the dependence occurs within
+    /// a single iteration of every common loop.
+    pub fn is_loop_independent(&self) -> bool {
+        self.0.iter().all(|e| e.is_eq())
+    }
+
+    /// The vector under a permutation of loops: `perm[k]` is the index in
+    /// the *original* vector of the entry that moves to position `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len`.
+    pub fn permuted(&self, perm: &[usize]) -> DepVector {
+        assert_eq!(perm.len(), self.0.len(), "permutation length mismatch");
+        let mut seen = vec![false; perm.len()];
+        let out = perm
+            .iter()
+            .map(|&src| {
+                assert!(!seen[src], "not a permutation");
+                seen[src] = true;
+                self.0[src]
+            })
+            .collect();
+        DepVector(out)
+    }
+
+    /// The vector after reversing the loop at `level`.
+    pub fn with_level_reversed(&self, level: usize) -> DepVector {
+        let mut out = self.0.clone();
+        out[level] = out[level].loop_reversed();
+        DepVector(out)
+    }
+
+    /// The fully reversed vector (source and sink swapped).
+    pub fn reversed(&self) -> DepVector {
+        DepVector(self.0.iter().map(|e| e.reversed()).collect())
+    }
+
+    /// Truncates to the outermost `n` entries (used when comparing nests
+    /// of different depths during fusion).
+    pub fn truncated(&self, n: usize) -> DepVector {
+        DepVector(self.0[..n.min(self.0.len())].to_vec())
+    }
+}
+
+impl fmt::Debug for DepVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for DepVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, e) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DepElem::{Dir, Dist};
+    use Direction::*;
+
+    #[test]
+    fn direction_possibilities() {
+        assert!(Star.may_lt() && Star.may_eq() && Star.may_gt());
+        assert!(Le.may_lt() && Le.may_eq() && !Le.may_gt());
+        assert_eq!(Lt.reversed(), Gt);
+        assert_eq!(Le.reversed(), Ge);
+        assert_eq!(Eq.reversed(), Eq);
+    }
+
+    #[test]
+    fn direction_union_and_intersect() {
+        assert_eq!(Lt.union(Eq), Le);
+        assert_eq!(Gt.union(Eq), Ge);
+        assert_eq!(Lt.union(Gt), Star);
+        assert_eq!(Le.intersect(Ge), Some(Eq));
+        assert_eq!(Lt.intersect(Gt), None);
+        assert_eq!(Star.intersect(Le), Some(Le));
+    }
+
+    #[test]
+    fn lex_sign_cases() {
+        assert_eq!(DepVector::new(vec![Dist(1)]).lex_sign(), LexSign::Positive);
+        assert_eq!(DepVector::new(vec![Dist(0), Dist(0)]).lex_sign(), LexSign::Zero);
+        assert_eq!(
+            DepVector::new(vec![Dist(0), Dist(-2)]).lex_sign(),
+            LexSign::Negative
+        );
+        assert_eq!(
+            DepVector::new(vec![Dir(Star), Dist(1)]).lex_sign(),
+            LexSign::Unknown
+        );
+        // (≤, <) is positive: < branch positive, = branch then <.
+        assert_eq!(
+            DepVector::new(vec![Dir(Le), Dist(1)]).lex_sign(),
+            LexSign::Positive
+        );
+        // (≤, >) unknown: = branch then > is negative.
+        assert_eq!(
+            DepVector::new(vec![Dir(Le), Dist(-1)]).lex_sign(),
+            LexSign::Unknown
+        );
+    }
+
+    #[test]
+    fn legality_scan() {
+        assert!(DepVector::new(vec![Dist(1), Dist(-5)]).is_lex_nonnegative());
+        assert!(!DepVector::new(vec![Dist(-1)]).is_lex_nonnegative());
+        assert!(!DepVector::new(vec![Dir(Star)]).is_lex_nonnegative());
+        assert!(DepVector::new(vec![Dir(Le), Dist(0)]).is_lex_nonnegative());
+        assert!(DepVector::loop_independent(3).is_lex_nonnegative());
+    }
+
+    #[test]
+    fn carried_levels() {
+        let v = DepVector::new(vec![Dist(0), Dist(2), Dir(Star)]);
+        assert_eq!(v.carried_level(), Some(1));
+        assert_eq!(v.may_carry_level(), Some(1));
+        let li = DepVector::loop_independent(2);
+        assert_eq!(li.carried_level(), None);
+        assert!(li.is_loop_independent());
+        let unk = DepVector::new(vec![Dir(Star), Dist(1)]);
+        assert_eq!(unk.carried_level(), None);
+        assert_eq!(unk.may_carry_level(), Some(0));
+    }
+
+    #[test]
+    fn permuted_interchange() {
+        let v = DepVector::new(vec![Dist(1), Dist(-1)]);
+        let w = v.permuted(&[1, 0]);
+        assert_eq!(w.elems(), &[Dist(-1), Dist(1)]);
+        assert!(!w.is_lex_nonnegative());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_non_permutation() {
+        let v = DepVector::new(vec![Dist(1), Dist(2)]);
+        let _ = v.permuted(&[0, 0]);
+    }
+
+    #[test]
+    fn reversal_of_one_level() {
+        let v = DepVector::new(vec![Dist(0), Dist(-1)]);
+        let w = v.with_level_reversed(1);
+        assert_eq!(w.elems(), &[Dist(0), Dist(1)]);
+        assert!(w.is_lex_nonnegative());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = DepVector::new(vec![Dist(1), Dir(Star), Dir(Le)]);
+        assert_eq!(v.to_string(), "(1,*,<=)");
+    }
+}

@@ -1,0 +1,355 @@
+//! The interpreter proper.
+
+use crate::machine::Machine;
+use crate::sink::TraceSink;
+use cmt_ir::expr::Expr;
+use cmt_ir::node::{Loop, Node};
+use cmt_ir::program::Program;
+use cmt_ir::stmt::{ArrayRef, Stmt};
+use std::fmt;
+
+/// Runtime failure during execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Bound or subscript evaluation failed (unbound variable/parameter).
+    Eval(String),
+    /// An array extent evaluated to a non-positive value.
+    BadExtent {
+        /// Array name.
+        array: String,
+        /// Offending extent value.
+        extent: i64,
+    },
+    /// A subscript fell outside the array.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Evaluated subscripts.
+        subscripts: Vec<i64>,
+        /// Declared extents.
+        dims: Vec<i64>,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Eval(s) => write!(f, "evaluation failed: {s}"),
+            ExecError::BadExtent { array, extent } => {
+                write!(f, "array {array} has non-positive extent {extent}")
+            }
+            ExecError::OutOfBounds {
+                array,
+                subscripts,
+                dims,
+            } => write!(
+                f,
+                "subscript {subscripts:?} out of bounds for {array} with extents {dims:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Aggregate counts from one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// Loads performed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+    /// Statement executions.
+    pub stmt_executions: u64,
+}
+
+struct Exec<'m, 's> {
+    machine: &'m mut Machine,
+    sink: &'s mut dyn TraceSink,
+    summary: ExecSummary,
+    program: &'m Program,
+}
+
+impl Machine {
+    /// Executes `program` against this machine's arrays, emitting every
+    /// access to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on unbound symbols or out-of-bounds
+    /// subscripts; array contents up to the failure point are retained.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        sink: &mut dyn TraceSink,
+    ) -> Result<ExecSummary, ExecError> {
+        let mut exec = Exec {
+            machine: self,
+            sink,
+            summary: ExecSummary::default(),
+            program,
+        };
+        for n in program.body() {
+            exec.node(n)?;
+        }
+        Ok(exec.summary)
+    }
+}
+
+impl Exec<'_, '_> {
+    fn node(&mut self, n: &Node) -> Result<(), ExecError> {
+        match n {
+            Node::Stmt(s) => self.stmt(s),
+            Node::Loop(l) => self.loop_(l),
+        }
+    }
+
+    fn loop_(&mut self, l: &Loop) -> Result<(), ExecError> {
+        let lo = l
+            .lower()
+            .eval(self.machine.env())
+            .map_err(|e| ExecError::Eval(e.to_string()))?;
+        let hi = l
+            .upper()
+            .eval(self.machine.env())
+            .map_err(|e| ExecError::Eval(e.to_string()))?;
+        let step = l.step();
+        let var = l.var();
+        let mut v = lo;
+        loop {
+            if step > 0 {
+                if v > hi {
+                    break;
+                }
+            } else if v < hi {
+                break;
+            }
+            self.machine.env_mut().bind_var(var, v);
+            for n in l.body() {
+                self.node(n)?;
+            }
+            v += step;
+        }
+        self.machine.env_mut().unbind_var(var);
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ExecError> {
+        let value = self.eval(s.rhs())?;
+        let (addr, idx) = self.locate(s.lhs())?;
+        self.machine.storage_mut(s.lhs().array()).data[idx] = value;
+        self.sink.access(addr, true);
+        self.summary.stores += 1;
+        self.summary.stmt_executions += 1;
+        Ok(())
+    }
+
+    fn locate(&self, r: &ArrayRef) -> Result<(u64, usize), ExecError> {
+        // Hot path: avoid a heap allocation per access for the common
+        // ranks.
+        let mut buf = [0i64; 8];
+        let rank = r.rank();
+        let subs: &mut [i64] = if rank <= buf.len() {
+            &mut buf[..rank]
+        } else {
+            // Exotic ranks fall back to the slow path.
+            return self.locate_slow(r);
+        };
+        for (slot, s) in subs.iter_mut().zip(r.subscripts()) {
+            *slot = s
+                .eval(self.machine.env())
+                .map_err(|e| ExecError::Eval(e.to_string()))?;
+        }
+        let st = self.machine.storage(r.array());
+        match st.linear_index(subs) {
+            Some(idx) => Ok((st.address_of(idx), idx)),
+            None => Err(ExecError::OutOfBounds {
+                array: self.program.array(r.array()).name().to_string(),
+                subscripts: subs.to_vec(),
+                dims: st.dims.clone(),
+            }),
+        }
+    }
+
+    #[cold]
+    fn locate_slow(&self, r: &ArrayRef) -> Result<(u64, usize), ExecError> {
+        let mut subs = Vec::with_capacity(r.rank());
+        for s in r.subscripts() {
+            subs.push(
+                s.eval(self.machine.env())
+                    .map_err(|e| ExecError::Eval(e.to_string()))?,
+            );
+        }
+        let st = self.machine.storage(r.array());
+        match st.linear_index(&subs) {
+            Some(idx) => Ok((st.address_of(idx), idx)),
+            None => Err(ExecError::OutOfBounds {
+                array: self.program.array(r.array()).name().to_string(),
+                subscripts: subs,
+                dims: st.dims.clone(),
+            }),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<f64, ExecError> {
+        match e {
+            Expr::Const(c) => Ok(*c),
+            Expr::Index(v) => self
+                .machine
+                .env()
+                .var(*v)
+                .map(|x| x as f64)
+                .ok_or_else(|| ExecError::Eval(format!("unbound index {v}"))),
+            Expr::Param(p) => self
+                .machine
+                .env()
+                .param(*p)
+                .map(|x| x as f64)
+                .ok_or_else(|| ExecError::Eval(format!("unbound parameter {p}"))),
+            Expr::Load(r) => {
+                let (addr, idx) = self.locate(r)?;
+                let v = self.machine.storage(r.array()).data[idx];
+                self.sink.access(addr, false);
+                self.summary.loads += 1;
+                Ok(v)
+            }
+            Expr::Unary(op, inner) => Ok(op.apply(self.eval(inner)?)),
+            Expr::Binary(op, a, b) => {
+                let x = self.eval(a)?;
+                let y = self.eval(b)?;
+                Ok(op.apply(x, y))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, NullSink};
+    use cmt_ir::affine::Affine;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::ids::ArrayId;
+
+    #[test]
+    fn triangular_loop_iteration_count() {
+        // DO I = 1, N { DO J = 1, I { A(I,J) = 1 } } → N(N+1)/2 stores.
+        let mut b = ProgramBuilder::new("tri");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            b.loop_("J", 1, i, |b| {
+                let j = b.var("J");
+                let lhs = b.at(a, [i, j]);
+                b.assign(lhs, Expr::Const(1.0));
+            });
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[10]).unwrap();
+        let mut sink = CountingSink::default();
+        let sum = m.run(&p, &mut sink).unwrap();
+        assert_eq!(sum.stores, 55);
+        assert_eq!(sink.stores, 55);
+        assert_eq!(sum.loads, 0);
+    }
+
+    #[test]
+    fn empty_range_executes_zero_iterations() {
+        let mut b = ProgramBuilder::new("empty");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 5, 4, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Const(1.0));
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[8]).unwrap();
+        let sum = m.run(&p, &mut NullSink).unwrap();
+        assert_eq!(sum.stores, 0);
+    }
+
+    #[test]
+    fn negative_step() {
+        let mut b = ProgramBuilder::new("down");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_step("I", n, 1, -1, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Index(i) * Expr::Const(1.0));
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[5]).unwrap();
+        m.run(&p, &mut NullSink).unwrap();
+        assert_eq!(m.array_data(ArrayId(0)), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn recurrence_semantics() {
+        // A(I) = A(I-1) + 1, A(0-based init 1.0-ish): use explicit init.
+        let mut b = ProgramBuilder::new("scan");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 2, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1])) + Expr::Const(1.0);
+            b.assign(lhs, rhs);
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[6]).unwrap();
+        m.init_with(|_, _| 0.0);
+        m.run(&p, &mut NullSink).unwrap();
+        assert_eq!(m.array_data(ArrayId(0)), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut b = ProgramBuilder::new("oob");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at_vec(a, vec![Affine::var(i) + 1]);
+            b.assign(lhs, Expr::Const(0.0));
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[4]).unwrap();
+        let err = m.run(&p, &mut NullSink).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn loads_emitted_in_source_order_before_store() {
+        let mut b = ProgramBuilder::new("order");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        let c = b.array("C", vec![n.into()]);
+        b.loop_("I", 1, 1, |b| {
+            let i = b.var("I");
+            let lhs = b.at(c, [i]);
+            let rhs = Expr::load(b.at(a, [i])) + Expr::load(b.at(c, [i]));
+            b.assign(lhs, rhs);
+        });
+        let p = b.finish();
+        let mut m = Machine::new(&p, &[4]).unwrap();
+
+        #[derive(Default)]
+        struct Recorder(Vec<(u64, bool)>);
+        impl TraceSink for Recorder {
+            fn access(&mut self, addr: u64, w: bool) {
+                self.0.push((addr, w));
+            }
+        }
+        let mut rec = Recorder::default();
+        let a_base = m.storage(ArrayId(0)).base;
+        let c_base = m.storage(ArrayId(1)).base;
+        m.run(&p, &mut rec).unwrap();
+        assert_eq!(
+            rec.0,
+            vec![(a_base, false), (c_base, false), (c_base, true)]
+        );
+    }
+}

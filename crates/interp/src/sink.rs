@@ -1,0 +1,142 @@
+//! Trace sinks: consumers of the interpreter's memory accesses.
+
+use cmt_cache::{Cache, MultiCache};
+
+/// Receives every memory access the interpreter performs, in execution
+/// order.
+pub trait TraceSink {
+    /// One element access at byte address `addr`; `is_write` is true for
+    /// stores.
+    fn access(&mut self, addr: u64, is_write: bool);
+}
+
+/// Discards the trace (pure execution / verification runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn access(&mut self, _addr: u64, _is_write: bool) {}
+}
+
+/// Counts loads and stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of loads.
+    pub loads: u64,
+    /// Number of stores.
+    pub stores: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn access(&mut self, _addr: u64, is_write: bool) {
+        if is_write {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+    }
+}
+
+impl TraceSink for Cache {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        let _ = Cache::access(self, addr, is_write);
+    }
+}
+
+impl TraceSink for MultiCache {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        MultiCache::access(self, addr, is_write);
+    }
+}
+
+/// Borrows a cache (or any sink) mutably — convenient when the sink must
+/// outlive the run.
+#[derive(Debug)]
+pub struct CacheSink<'a, S: TraceSink>(pub &'a mut S);
+
+impl<S: TraceSink> TraceSink for CacheSink<'_, S> {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.0.access(addr, is_write);
+    }
+}
+
+/// Records the full trace in memory — for tests, debugging, and feeding
+/// the same trace to several analyses.
+#[derive(Clone, Debug, Default)]
+pub struct RecordingSink {
+    /// The trace, in execution order.
+    pub trace: Vec<(u64, bool)>,
+}
+
+impl TraceSink for RecordingSink {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.trace.push((addr, is_write));
+    }
+}
+
+impl RecordingSink {
+    /// Replays the recorded trace into another sink.
+    pub fn replay(&self, sink: &mut impl TraceSink) {
+        for &(addr, w) in &self.trace {
+            sink.access(addr, w);
+        }
+    }
+}
+
+/// Fans one trace out to two sinks.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.0.access(addr, is_write);
+        self.1.access(addr, is_write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_cache::CacheConfig;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        s.access(0, false);
+        s.access(8, true);
+        s.access(16, false);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+    }
+
+    #[test]
+    fn recording_and_replay() {
+        let mut rec = RecordingSink::default();
+        rec.access(0, false);
+        rec.access(8, true);
+        assert_eq!(rec.trace, vec![(0, false), (8, true)]);
+        let mut count = CountingSink::default();
+        rec.replay(&mut count);
+        assert_eq!((count.loads, count.stores), (1, 1));
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut tee = TeeSink(CountingSink::default(), RecordingSink::default());
+        tee.access(16, false);
+        tee.access(24, true);
+        assert_eq!(tee.0.loads + tee.0.stores, 2);
+        assert_eq!(tee.1.trace.len(), 2);
+    }
+
+    #[test]
+    fn cache_as_sink() {
+        let mut c = Cache::new(CacheConfig::i860());
+        {
+            let mut sink = CacheSink(&mut c);
+            sink.access(0, false);
+            sink.access(8, false);
+        }
+        assert_eq!(c.stats().hits, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The transformation-correctness oracle.
+//!
+//! Loop permutation, fusion, distribution, and reversal must preserve a
+//! program's semantics exactly. [`equivalent`] executes two programs that
+//! share declarations (an original and its transformed version) from the
+//! same initial state and compares every array bit-for-bit.
+
+use crate::exec::ExecError;
+use crate::machine::Machine;
+use crate::sink::NullSink;
+use cmt_ir::ids::ArrayId;
+use cmt_ir::program::Program;
+
+/// The result of an equivalence check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EquivalenceReport {
+    /// True when every array matched bit-exactly.
+    pub equivalent: bool,
+    /// First difference found, if any: array, linear index, and the two
+    /// values.
+    pub first_diff: Option<(ArrayId, usize, f64, f64)>,
+}
+
+/// Runs `original` and `transformed` (which must share array/parameter
+/// declarations — transformations never change them) on identical initial
+/// state and compares final array contents.
+///
+/// # Errors
+///
+/// Propagates execution errors from either program.
+pub fn equivalent(
+    original: &Program,
+    transformed: &Program,
+    param_values: &[i64],
+) -> Result<EquivalenceReport, ExecError> {
+    let mut m1 = Machine::new(original, param_values)?;
+    let mut m2 = Machine::new(transformed, param_values)?;
+    m1.run(original, &mut NullSink)?;
+    m2.run(transformed, &mut NullSink)?;
+
+    for aid in 0..original.arrays().len() {
+        let id = ArrayId(aid as u32);
+        let d1 = m1.array_data(id);
+        let d2 = m2.array_data(id);
+        debug_assert_eq!(d1.len(), d2.len(), "same declarations, same layout");
+        for (k, (x, y)) in d1.iter().zip(d2).enumerate() {
+            // Bit-exact comparison (NaN == NaN by bits).
+            if x.to_bits() != y.to_bits() {
+                return Ok(EquivalenceReport {
+                    equivalent: false,
+                    first_diff: Some((id, k, *x, *y)),
+                });
+            }
+        }
+    }
+    Ok(EquivalenceReport {
+        equivalent: true,
+        first_diff: None,
+    })
+}
+
+/// Panicking form of [`equivalent`] for tests.
+///
+/// # Panics
+///
+/// Panics when execution fails or the programs disagree.
+pub fn assert_equivalent(original: &Program, transformed: &Program, param_values: &[i64]) {
+    let report = equivalent(original, transformed, param_values)
+        .unwrap_or_else(|e| panic!("execution failed: {e}"));
+    if !report.equivalent {
+        let (id, k, x, y) = report.first_diff.expect("non-equivalent has a diff");
+        panic!(
+            "programs disagree at {}[{k}]: original={x}, transformed={y}",
+            original.array(id).name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+    use cmt_locality::{compound::compound, model::CostModel};
+
+    fn matmul(order: [&str; 3]) -> Program {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        // Build nested loops in the given order; body always the same.
+        let body = |b: &mut ProgramBuilder| {
+            let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+            let lhs = b.at(c, [i, j]);
+            let rhs = Expr::load(b.at(c, [i, j]))
+                + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+            b.assign(lhs, rhs);
+        };
+        let o: Vec<String> = order.iter().map(|s| s.to_string()).collect();
+        b.loop_(&o[0], 1, n, |b| {
+            b.loop_(&o[1], 1, n, |b| {
+                b.loop_(&o[2], 1, n, body);
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn all_matmul_orders_are_equivalent() {
+        let base = matmul(["I", "J", "K"]);
+        for order in [
+            ["I", "K", "J"],
+            ["J", "I", "K"],
+            ["J", "K", "I"],
+            ["K", "I", "J"],
+            ["K", "J", "I"],
+        ] {
+            let other = matmul(order);
+            assert_equivalent(&base, &other, &[12]);
+        }
+    }
+
+    #[test]
+    fn compound_preserves_matmul_semantics() {
+        let base = matmul(["I", "J", "K"]);
+        let mut transformed = base.clone();
+        let _ = compound(&mut transformed, &CostModel::new(4));
+        assert_equivalent(&base, &transformed, &[16]);
+    }
+
+    #[test]
+    fn detects_inequivalence() {
+        let mut b = ProgramBuilder::new("one");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Const(1.0));
+        });
+        let p1 = b.finish();
+
+        let mut b = ProgramBuilder::new("two");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            b.assign(lhs, Expr::Const(2.0));
+        });
+        let p2 = b.finish();
+
+        let rep = equivalent(&p1, &p2, &[4]).unwrap();
+        assert!(!rep.equivalent);
+        let (_, k, x, y) = rep.first_diff.unwrap();
+        assert_eq!((k, x, y), (0, 1.0, 2.0));
+    }
+}

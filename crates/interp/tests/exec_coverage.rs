@@ -1,0 +1,163 @@
+//! Execution coverage for the less-travelled interpreter paths:
+//! parameters and intrinsics in expressions, non-unit steps, deep
+//! nesting, and error reporting.
+
+use cmt_interp::{CountingSink, ExecError, Machine, NullSink};
+use cmt_ir::affine::Affine;
+use cmt_ir::build::ProgramBuilder;
+use cmt_ir::expr::{BinOp, Expr};
+
+#[test]
+fn params_and_intrinsics_evaluate() {
+    let mut b = ProgramBuilder::new("intr");
+    let n = b.param("N");
+    let a = b.array("A", vec![n.into()]);
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        let lhs = b.at(a, [i]);
+        // A(I) = MAX(MIN(I, N/2), |−3|) computed per element.
+        let rhs = Expr::Binary(
+            BinOp::Max,
+            Box::new(Expr::Binary(
+                BinOp::Min,
+                Box::new(Expr::Index(i)),
+                Box::new(Expr::Param(n) / Expr::Const(2.0)),
+            )),
+            Box::new(Expr::Unary(cmt_ir::expr::UnOp::Abs, Box::new(Expr::Const(-3.0)))),
+        );
+        b.assign(lhs, rhs);
+    });
+    let p = b.finish();
+    let mut m = Machine::new(&p, &[8]).unwrap();
+    m.run(&p, &mut NullSink).unwrap();
+    let a_id = p.find_array("A").unwrap();
+    let data = m.array_data(a_id);
+    // max(min(i, 4), 3) for i = 1..8.
+    let expect = [3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0, 4.0];
+    assert_eq!(data, &expect);
+}
+
+#[test]
+fn non_unit_steps_cover_expected_elements() {
+    let mut b = ProgramBuilder::new("step");
+    let n = b.param("N");
+    let a = b.array("A", vec![n.into()]);
+    b.loop_step("I", 1, n, 3, |b| {
+        let i = b.var("I");
+        let lhs = b.at(a, [i]);
+        b.assign(lhs, Expr::Const(1.0));
+    });
+    let p = b.finish();
+    let mut m = Machine::new(&p, &[10]).unwrap();
+    m.init_with(|_, _| 0.0);
+    let mut sink = CountingSink::default();
+    m.run(&p, &mut sink).unwrap();
+    assert_eq!(sink.stores, 4); // I = 1, 4, 7, 10
+    let a_id = p.find_array("A").unwrap();
+    let data = m.array_data(a_id);
+    for (k, &v) in data.iter().enumerate() {
+        let touched = k % 3 == 0; // 0-based: elements 0, 3, 6, 9
+        assert_eq!(v == 1.0, touched, "element {k}");
+    }
+}
+
+#[test]
+fn four_deep_nest_executes() {
+    let mut b = ProgramBuilder::new("deep");
+    let n = b.param("N");
+    let a = b.array("A", vec![n.into(), n.into(), n.into(), n.into()]);
+    b.loop_("L", 1, n, |b| {
+        b.loop_("K", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("I", 1, n, |b| {
+                    let (i, j, k, l) = (b.var("I"), b.var("J"), b.var("K"), b.var("L"));
+                    let lhs = b.at(a, [i, j, k, l]);
+                    b.assign(lhs, Expr::Index(i) + Expr::Index(l));
+                });
+            });
+        });
+    });
+    let p = b.finish();
+    let mut m = Machine::new(&p, &[4]).unwrap();
+    let s = m.run(&p, &mut NullSink).unwrap();
+    assert_eq!(s.stores, 256);
+    let a_id = p.find_array("A").unwrap();
+    // A(2,1,1,3) = 2 + 3; linear index: 1 + 0·4 + 0·16 + 2·64 = 129.
+    assert_eq!(m.array_data(a_id)[129], 5.0);
+}
+
+#[test]
+fn division_by_zero_produces_inf_not_panic() {
+    let mut b = ProgramBuilder::new("div0");
+    let n = b.param("N");
+    let a = b.array("A", vec![n.into()]);
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        let lhs = b.at(a, [i]);
+        let rhs = Expr::Const(1.0) / Expr::Const(0.0);
+        b.assign(lhs, rhs);
+        let _ = i;
+    });
+    let p = b.finish();
+    let mut m = Machine::new(&p, &[4]).unwrap();
+    m.run(&p, &mut NullSink).unwrap();
+    let a_id = p.find_array("A").unwrap();
+    assert!(m.array_data(a_id).iter().all(|x| x.is_infinite()));
+}
+
+#[test]
+fn oob_error_reports_context() {
+    let mut b = ProgramBuilder::new("oob");
+    let n = b.param("N");
+    let a = b.array("ARR", vec![n.into(), n.into()]);
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        let lhs = b.at_vec(a, vec![Affine::var(i) * 2, Affine::constant(1)]);
+        b.assign(lhs, Expr::Const(0.0));
+    });
+    let p = b.finish();
+    let mut m = Machine::new(&p, &[5]).unwrap();
+    let err = m.run(&p, &mut NullSink).unwrap_err();
+    match err {
+        ExecError::OutOfBounds {
+            array,
+            subscripts,
+            dims,
+        } => {
+            assert_eq!(array, "ARR");
+            assert_eq!(subscripts, vec![6, 1]);
+            assert_eq!(dims, vec![5, 5]);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    let msg = format!(
+        "{}",
+        ExecError::OutOfBounds {
+            array: "ARR".into(),
+            subscripts: vec![6, 1],
+            dims: vec![5, 5]
+        }
+    );
+    assert!(msg.contains("ARR"), "{msg}");
+}
+
+#[test]
+fn triangular_bounds_reevaluated_per_outer_iteration() {
+    // DO I = 1, N { DO J = I, N { count } }: total = N + (N-1) + … + 1.
+    let mut b = ProgramBuilder::new("tri");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        b.loop_("J", i, n, |b| {
+            let j = b.var("J");
+            let lhs = b.at(a, [i, j]);
+            b.assign(lhs, Expr::Const(1.0));
+        });
+    });
+    let p = b.finish();
+    let mut m = Machine::new(&p, &[6]).unwrap();
+    let mut sink = CountingSink::default();
+    m.run(&p, &mut sink).unwrap();
+    assert_eq!(sink.stores, 21);
+}

@@ -1,0 +1,551 @@
+//! Affine integer expressions over loop index variables and symbolic
+//! parameters.
+//!
+//! Loop bounds and array subscripts in the IR are affine:
+//! `c0 + Σ ci·var_i + Σ dj·param_j`. This module provides a normalized
+//! representation ([`Affine`]) with ring operations, coefficient queries
+//! (the cost model constantly asks "what is the coefficient of index `i` in
+//! subscript `f`?"), and evaluation under a variable/parameter environment.
+
+use crate::ids::{ParamId, VarId};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A normalized affine expression `constant + Σ coeff·var + Σ coeff·param`.
+///
+/// Invariants: term lists are sorted by id and contain no zero coefficients,
+/// so structural equality is semantic equality.
+///
+/// # Example
+///
+/// ```
+/// use cmt_ir::affine::Affine;
+/// use cmt_ir::ids::VarId;
+///
+/// let i = VarId(0);
+/// let e = Affine::var(i) * 2 + Affine::constant(1); // 2*i + 1
+/// assert_eq!(e.coeff_of_var(i), 2);
+/// assert_eq!(e.constant_term(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Affine {
+    constant: i64,
+    vars: Vec<(VarId, i64)>,
+    params: Vec<(ParamId, i64)>,
+}
+
+impl Affine {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        Affine {
+            constant: c,
+            ..Default::default()
+        }
+    }
+
+    /// The expression consisting of a single index variable.
+    pub fn var(v: VarId) -> Self {
+        Affine {
+            constant: 0,
+            vars: vec![(v, 1)],
+            params: Vec::new(),
+        }
+    }
+
+    /// The expression consisting of a single symbolic parameter.
+    pub fn param(p: ParamId) -> Self {
+        Affine {
+            constant: 0,
+            vars: Vec::new(),
+            params: vec![(p, 1)],
+        }
+    }
+
+    /// Builds an expression from raw parts; zero coefficients are dropped
+    /// and terms are canonicalized.
+    pub fn from_parts(
+        constant: i64,
+        vars: impl IntoIterator<Item = (VarId, i64)>,
+        params: impl IntoIterator<Item = (ParamId, i64)>,
+    ) -> Self {
+        let mut a = Affine::constant(constant);
+        for (v, c) in vars {
+            a.add_var_term(v, c);
+        }
+        for (p, c) in params {
+            a.add_param_term(p, c);
+        }
+        a
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of index variable `v` (zero if absent).
+    pub fn coeff_of_var(&self, v: VarId) -> i64 {
+        self.vars
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// The coefficient of parameter `p` (zero if absent).
+    pub fn coeff_of_param(&self, p: ParamId) -> i64 {
+        self.params
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(variable, coefficient)` terms with nonzero
+    /// coefficients, in increasing variable order.
+    pub fn var_terms(&self) -> impl Iterator<Item = (VarId, i64)> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// Iterates over `(parameter, coefficient)` terms with nonzero
+    /// coefficients, in increasing parameter order.
+    pub fn param_terms(&self) -> impl Iterator<Item = (ParamId, i64)> + '_ {
+        self.params.iter().copied()
+    }
+
+    /// True if the expression mentions no index variables (it may still
+    /// mention parameters).
+    pub fn is_var_free(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// True if the expression is a plain integer constant.
+    pub fn is_constant(&self) -> bool {
+        self.vars.is_empty() && self.params.is_empty()
+    }
+
+    /// True if the expression mentions variable `v`.
+    pub fn mentions_var(&self, v: VarId) -> bool {
+        self.coeff_of_var(v) != 0
+    }
+
+    /// Adds `c` times variable `v` to the expression in place.
+    pub fn add_var_term(&mut self, v: VarId, c: i64) {
+        if c == 0 {
+            return;
+        }
+        match self.vars.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(pos) => {
+                self.vars[pos].1 += c;
+                if self.vars[pos].1 == 0 {
+                    self.vars.remove(pos);
+                }
+            }
+            Err(pos) => self.vars.insert(pos, (v, c)),
+        }
+    }
+
+    /// Adds `c` times parameter `p` to the expression in place.
+    pub fn add_param_term(&mut self, p: ParamId, c: i64) {
+        if c == 0 {
+            return;
+        }
+        match self.params.binary_search_by_key(&p, |&(q, _)| q) {
+            Ok(pos) => {
+                self.params[pos].1 += c;
+                if self.params[pos].1 == 0 {
+                    self.params.remove(pos);
+                }
+            }
+            Err(pos) => self.params.insert(pos, (p, c)),
+        }
+    }
+
+    /// Substitutes an affine expression for a variable: `self[v := e]`.
+    ///
+    /// Used by loop reversal (replace `i` by `lb+ub-i`) and by triangular
+    /// bound manipulation during interchange.
+    pub fn substitute_var(&self, v: VarId, e: &Affine) -> Affine {
+        let c = self.coeff_of_var(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.add_var_term(v, -c);
+        out + e.clone() * c
+    }
+
+    /// Renames variables *simultaneously*: every `(from, to)` pair is
+    /// applied against the original expression, so swap maps like
+    /// `{i→j, j→i}` behave correctly (sequential substitution would
+    /// collapse both onto one variable).
+    pub fn rename_vars(&self, map: &[(VarId, VarId)]) -> Affine {
+        let moved: Vec<(VarId, i64)> = map
+            .iter()
+            .filter_map(|&(from, to)| {
+                let c = self.coeff_of_var(from);
+                (c != 0 && from != to).then_some((to, c))
+            })
+            .collect();
+        let mut out = self.clone();
+        for &(from, to) in map {
+            if from != to {
+                let c = out.coeff_of_var(from);
+                out.add_var_term(from, -c);
+            }
+        }
+        for (to, c) in moved {
+            out.add_var_term(to, c);
+        }
+        out
+    }
+
+    /// Evaluates the expression. Unbound variables or parameters yield an
+    /// error naming the missing binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if a variable or parameter has no binding in
+    /// `env`.
+    pub fn eval(&self, env: &Env) -> Result<i64, EvalError> {
+        let mut acc = self.constant;
+        for &(v, c) in &self.vars {
+            let val = env.var(v).ok_or(EvalError::UnboundVar(v))?;
+            acc += c * val;
+        }
+        for &(p, c) in &self.params {
+            let val = env.param(p).ok_or(EvalError::UnboundParam(p))?;
+            acc += c * val;
+        }
+        Ok(acc)
+    }
+}
+
+impl Add for Affine {
+    type Output = Affine;
+    fn add(mut self, rhs: Affine) -> Affine {
+        self.constant += rhs.constant;
+        for (v, c) in rhs.vars {
+            self.add_var_term(v, c);
+        }
+        for (p, c) in rhs.params {
+            self.add_param_term(p, c);
+        }
+        self
+    }
+}
+
+impl Sub for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: Affine) -> Affine {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Affine {
+    type Output = Affine;
+    fn neg(mut self) -> Affine {
+        self.constant = -self.constant;
+        for t in &mut self.vars {
+            t.1 = -t.1;
+        }
+        for t in &mut self.params {
+            t.1 = -t.1;
+        }
+        self
+    }
+}
+
+impl Mul<i64> for Affine {
+    type Output = Affine;
+    fn mul(mut self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::zero();
+        }
+        self.constant *= k;
+        for t in &mut self.vars {
+            t.1 *= k;
+        }
+        for t in &mut self.params {
+            t.1 *= k;
+        }
+        self
+    }
+}
+
+impl Add<i64> for Affine {
+    type Output = Affine;
+    fn add(mut self, k: i64) -> Affine {
+        self.constant += k;
+        self
+    }
+}
+
+impl Sub<i64> for Affine {
+    type Output = Affine;
+    fn sub(mut self, k: i64) -> Affine {
+        self.constant -= k;
+        self
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(c: i64) -> Affine {
+        Affine::constant(c)
+    }
+}
+
+impl From<VarId> for Affine {
+    fn from(v: VarId) -> Affine {
+        Affine::var(v)
+    }
+}
+
+impl From<ParamId> for Affine {
+    fn from(p: ParamId) -> Affine {
+        Affine::param(p)
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut write_term = |f: &mut fmt::Formatter<'_>,
+                              coeff: i64,
+                              name: String|
+         -> fmt::Result {
+            if coeff == 0 {
+                return Ok(());
+            }
+            if first {
+                first = false;
+                if coeff == -1 {
+                    write!(f, "-{name}")?;
+                } else if coeff == 1 {
+                    write!(f, "{name}")?;
+                } else {
+                    write!(f, "{coeff}*{name}")?;
+                }
+            } else if coeff < 0 {
+                if coeff == -1 {
+                    write!(f, " - {name}")?;
+                } else {
+                    write!(f, " - {}*{name}", -coeff)?;
+                }
+            } else if coeff == 1 {
+                write!(f, " + {name}")?;
+            } else {
+                write!(f, " + {coeff}*{name}")?;
+            }
+            Ok(())
+        };
+        for &(v, c) in &self.vars {
+            write_term(f, c, v.to_string())?;
+        }
+        for &(p, c) in &self.params {
+            write_term(f, c, p.to_string())?;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// A variable/parameter binding environment for [`Affine::eval`] and
+/// expression evaluation in the interpreter.
+///
+/// Backed by dense vectors indexed by id — variable lookup is the
+/// interpreter's hottest operation.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    vars: Vec<Option<i64>>,
+    params: Vec<Option<i64>>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds or rebinds an index variable.
+    pub fn bind_var(&mut self, v: VarId, value: i64) {
+        let idx = v.index();
+        if idx >= self.vars.len() {
+            self.vars.resize(idx + 1, None);
+        }
+        self.vars[idx] = Some(value);
+    }
+
+    /// Removes an index-variable binding (used when a loop exits).
+    pub fn unbind_var(&mut self, v: VarId) {
+        if let Some(slot) = self.vars.get_mut(v.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Binds a symbolic parameter.
+    pub fn bind_param(&mut self, p: ParamId, value: i64) {
+        let idx = p.index();
+        if idx >= self.params.len() {
+            self.params.resize(idx + 1, None);
+        }
+        self.params[idx] = Some(value);
+    }
+
+    /// Looks up an index variable.
+    #[inline]
+    pub fn var(&self, v: VarId) -> Option<i64> {
+        self.vars.get(v.index()).copied().flatten()
+    }
+
+    /// Looks up a parameter.
+    #[inline]
+    pub fn param(&self, p: ParamId) -> Option<i64> {
+        self.params.get(p.index()).copied().flatten()
+    }
+}
+
+/// Error produced when evaluating an [`Affine`] with a missing binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// An index variable had no binding.
+    UnboundVar(VarId),
+    /// A parameter had no binding.
+    UnboundParam(ParamId),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound index variable {v}"),
+            EvalError::UnboundParam(p) => write!(f, "unbound parameter {p}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+    fn p(n: u32) -> ParamId {
+        ParamId(n)
+    }
+
+    #[test]
+    fn construction_and_coefficients() {
+        let e = Affine::var(v(0)) * 3 + Affine::param(p(1)) * 2 - Affine::constant(5);
+        assert_eq!(e.coeff_of_var(v(0)), 3);
+        assert_eq!(e.coeff_of_var(v(1)), 0);
+        assert_eq!(e.coeff_of_param(p(1)), 2);
+        assert_eq!(e.constant_term(), -5);
+    }
+
+    #[test]
+    fn addition_cancels_terms() {
+        let e = Affine::var(v(0)) + Affine::var(v(0)) * -1;
+        assert_eq!(e, Affine::zero());
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn normalization_makes_equality_semantic() {
+        let a = Affine::from_parts(1, [(v(0), 2), (v(1), 0)], [(p(0), 1)]);
+        let b = Affine::from_parts(1, [(v(0), 1), (v(0), 1)], [(p(0), 2), (p(0), -1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_with_env() {
+        let e = Affine::var(v(0)) * 2 + Affine::param(p(0)) + Affine::constant(1);
+        let mut env = Env::new();
+        env.bind_var(v(0), 10);
+        env.bind_param(p(0), 100);
+        assert_eq!(e.eval(&env).unwrap(), 121);
+    }
+
+    #[test]
+    fn eval_reports_missing_bindings() {
+        let e = Affine::var(v(3));
+        let env = Env::new();
+        assert_eq!(e.eval(&env), Err(EvalError::UnboundVar(v(3))));
+        let e = Affine::param(p(2));
+        assert_eq!(e.eval(&env), Err(EvalError::UnboundParam(p(2))));
+    }
+
+    #[test]
+    fn substitute_var_replaces_occurrences() {
+        // e = 2*i + j + 1, substitute i := N - i  (reversal-style)
+        let e = Affine::var(v(0)) * 2 + Affine::var(v(1)) + Affine::constant(1);
+        let repl = Affine::param(p(0)) - Affine::var(v(0));
+        let out = e.substitute_var(v(0), &repl);
+        // 2*(N - i) + j + 1 = -2i + j + 2N + 1
+        assert_eq!(out.coeff_of_var(v(0)), -2);
+        assert_eq!(out.coeff_of_var(v(1)), 1);
+        assert_eq!(out.coeff_of_param(p(0)), 2);
+        assert_eq!(out.constant_term(), 1);
+    }
+
+    #[test]
+    fn substitute_var_noop_when_absent() {
+        let e = Affine::var(v(1)) + Affine::constant(4);
+        let out = e.substitute_var(v(0), &Affine::constant(77));
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn rename_vars_handles_swaps() {
+        // e = 2i + 3j; swap i and j → 2j + 3i.
+        let e = Affine::var(v(0)) * 2 + Affine::var(v(1)) * 3;
+        let out = e.rename_vars(&[(v(0), v(1)), (v(1), v(0))]);
+        assert_eq!(out.coeff_of_var(v(0)), 3);
+        assert_eq!(out.coeff_of_var(v(1)), 2);
+        // Identity entries are no-ops.
+        let same = e.rename_vars(&[(v(0), v(0))]);
+        assert_eq!(same, e);
+        // Cycle of three.
+        let f = Affine::var(v(0)) + Affine::var(v(1)) * 2 + Affine::var(v(2)) * 4;
+        let out = f.rename_vars(&[(v(0), v(1)), (v(1), v(2)), (v(2), v(0))]);
+        assert_eq!(out.coeff_of_var(v(1)), 1);
+        assert_eq!(out.coeff_of_var(v(2)), 2);
+        assert_eq!(out.coeff_of_var(v(0)), 4);
+    }
+
+    #[test]
+    fn scaling_by_zero_gives_zero() {
+        let e = Affine::var(v(0)) + Affine::param(p(0)) + Affine::constant(9);
+        let k = 0; // via a binding so the intent (testing Mul) is explicit
+        #[allow(clippy::erasing_op)]
+        let scaled = e * k;
+        assert_eq!(scaled, Affine::zero());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Affine::var(v(0)) * 2 - Affine::var(v(1)) + Affine::constant(3);
+        assert_eq!(e.to_string(), "2*i0 - i1 + 3");
+        assert_eq!(Affine::zero().to_string(), "0");
+        assert_eq!((Affine::var(v(0)) * -1).to_string(), "-i0");
+    }
+}

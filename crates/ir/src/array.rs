@@ -1,0 +1,213 @@
+//! Array declarations.
+//!
+//! Arrays are Fortran-style: column-major, with one [`Extent`] per
+//! dimension. Extents may reference symbolic parameters but never loop
+//! index variables (array shapes are loop-invariant).
+
+use crate::affine::{Affine, Env, EvalError};
+use crate::ids::ParamId;
+use std::fmt;
+
+/// The extent (number of elements) of one array dimension.
+///
+/// An extent is an affine expression in symbolic parameters only, e.g. `N`,
+/// `N+1`, or the constant `5` (the `applu`-style tiny leading dimension).
+///
+/// # Example
+///
+/// ```
+/// use cmt_ir::array::Extent;
+/// use cmt_ir::ids::ParamId;
+///
+/// let n = ParamId(0);
+/// let e = Extent::param(n);
+/// assert!(e.as_affine().is_var_free());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Extent(Affine);
+
+impl Extent {
+    /// An extent of a fixed number of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1`; zero-extent dimensions are not representable in
+    /// the Fortran programs the paper studies.
+    pub fn constant(n: i64) -> Self {
+        assert!(n >= 1, "array extents must be at least 1, got {n}");
+        Extent(Affine::constant(n))
+    }
+
+    /// An extent equal to a symbolic parameter.
+    pub fn param(p: ParamId) -> Self {
+        Extent(Affine::param(p))
+    }
+
+    /// An extent given by an arbitrary variable-free affine expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` mentions a loop index variable.
+    pub fn from_affine(e: Affine) -> Self {
+        assert!(
+            e.is_var_free(),
+            "array extents may not reference loop index variables: {e}"
+        );
+        Extent(e)
+    }
+
+    /// A view of the underlying affine expression.
+    pub fn as_affine(&self) -> &Affine {
+        &self.0
+    }
+
+    /// Evaluates the extent under parameter bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a referenced parameter is unbound.
+    pub fn eval(&self, env: &Env) -> Result<i64, EvalError> {
+        self.0.eval(env)
+    }
+}
+
+impl From<ParamId> for Extent {
+    fn from(p: ParamId) -> Extent {
+        Extent::param(p)
+    }
+}
+
+impl From<Affine> for Extent {
+    fn from(e: Affine) -> Extent {
+        Extent::from_affine(e)
+    }
+}
+
+impl From<i64> for Extent {
+    fn from(n: i64) -> Extent {
+        Extent::constant(n)
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Declaration of one array: a name and a shape.
+///
+/// Subscripts in array references are 1-based (Fortran convention); element
+/// `(1, 1, …)` is the first element of the column-major layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayInfo {
+    name: String,
+    dims: Vec<Extent>,
+}
+
+impl ArrayInfo {
+    /// Creates an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty — scalars are modeled as statements'
+    /// temporaries, not zero-dimensional arrays.
+    pub fn new(name: impl Into<String>, dims: Vec<Extent>) -> Self {
+        let name = name.into();
+        assert!(!dims.is_empty(), "array {name} must have at least 1 dimension");
+        ArrayInfo { name, dims }
+    }
+
+    /// The source-level name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-dimension extents, leftmost (fastest-varying, column-major)
+    /// first.
+    pub fn dims(&self) -> &[Extent] {
+        &self.dims
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements under the given parameter bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an extent references an unbound parameter.
+    pub fn len(&self, env: &Env) -> Result<i64, EvalError> {
+        let mut total = 1i64;
+        for d in &self.dims {
+            total *= d.eval(env)?;
+        }
+        Ok(total)
+    }
+
+    /// True when the array has zero total elements; always false for valid
+    /// parameter bindings (extents are ≥ 1), provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for ArrayInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_constructors() {
+        let e = Extent::constant(5);
+        assert_eq!(e.as_affine().constant_term(), 5);
+        let p = Extent::param(ParamId(0));
+        assert_eq!(p.as_affine().coeff_of_param(ParamId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_extent_rejected() {
+        let _ = Extent::constant(0);
+    }
+
+    #[test]
+    fn array_len_is_product_of_extents() {
+        let n = ParamId(0);
+        let a = ArrayInfo::new("A", vec![Extent::param(n), Extent::constant(3)]);
+        let mut env = Env::new();
+        env.bind_param(n, 10);
+        assert_eq!(a.len(&env).unwrap(), 30);
+        assert_eq!(a.rank(), 2);
+        assert_eq!(a.name(), "A");
+    }
+
+    #[test]
+    fn array_display_is_fortran_like() {
+        let a = ArrayInfo::new(
+            "X",
+            vec![Extent::param(ParamId(0)), Extent::param(ParamId(0))],
+        );
+        assert_eq!(a.to_string(), "X(p0,p0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 dimension")]
+    fn zero_rank_rejected() {
+        let _ = ArrayInfo::new("A", vec![]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Ergonomic construction of programs.
+//!
+//! [`ProgramBuilder`] builds the loop-nest tree with nested closures, so the
+//! Rust source visually mirrors the Fortran it models:
+//!
+//! ```
+//! use cmt_ir::build::ProgramBuilder;
+//! use cmt_ir::expr::Expr;
+//!
+//! // DO I = 1, N
+//! //   A(I) = A(I) + 1.0
+//! let mut b = ProgramBuilder::new("inc");
+//! let n = b.param("N");
+//! let a = b.array("A", vec![n.into()]);
+//! b.loop_("I", 1, n, |b| {
+//!     let i = b.var("I");
+//!     let ai = b.at(a, [i]);
+//!     let rhs = Expr::load(b.at(a, [i])) + Expr::Const(1.0);
+//!     b.assign(ai, rhs);
+//! });
+//! let p = b.finish();
+//! assert_eq!(p.nests().len(), 1);
+//! ```
+
+use crate::affine::Affine;
+use crate::array::{ArrayInfo, Extent};
+use crate::expr::Expr;
+use crate::ids::{ArrayId, LoopId, ParamId, VarId};
+use crate::node::{Loop, Node};
+use crate::program::Program;
+use crate::stmt::{ArrayRef, Stmt};
+use crate::validate::{validate, ValidateError};
+
+/// Incremental builder for [`Program`]; see the [module docs](self).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    /// Stack of open loop bodies; index 0 is the program's top level.
+    bodies: Vec<Vec<Node>>,
+    /// Headers of currently-open loops, parallel to `bodies[1..]`.
+    open: Vec<(LoopId, VarId, Affine, Affine, i64)>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given procedure name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            program: Program::new(name),
+            bodies: vec![Vec::new()],
+            open: Vec::new(),
+        }
+    }
+
+    /// Declares a symbolic parameter.
+    pub fn param(&mut self, name: &str) -> ParamId {
+        assert!(
+            self.program.find_param(name).is_none(),
+            "parameter {name} declared twice"
+        );
+        self.program.declare_param(name)
+    }
+
+    /// Declares an array with the given per-dimension extents.
+    pub fn array(&mut self, name: &str, dims: Vec<Extent>) -> ArrayId {
+        assert!(
+            self.program.find_array(name).is_none(),
+            "array {name} declared twice"
+        );
+        self.program.declare_array(ArrayInfo::new(name, dims))
+    }
+
+    /// Declares a square 2-D array `name(n, n)`.
+    pub fn matrix(&mut self, name: &str, n: ParamId) -> ArrayId {
+        self.array(name, vec![Extent::param(n), Extent::param(n)])
+    }
+
+    /// Returns the index variable with the given name, declaring it on
+    /// first use. Loop headers and subscripts share variables by name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        match self.program.find_var(name) {
+            Some(v) => v,
+            None => self.program.declare_var(name),
+        }
+    }
+
+    /// Opens a `DO name = lower, upper` loop (step 1), runs `body` to fill
+    /// it, and appends it to the current nesting level. Returns the loop's
+    /// id.
+    pub fn loop_<L, U>(
+        &mut self,
+        name: &str,
+        lower: L,
+        upper: U,
+        body: impl FnOnce(&mut Self),
+    ) -> LoopId
+    where
+        L: Into<Affine>,
+        U: Into<Affine>,
+    {
+        self.loop_step(name, lower, upper, 1, body)
+    }
+
+    /// Opens a loop with an explicit step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0` or if the variable is already bound by an
+    /// enclosing open loop.
+    pub fn loop_step<L, U>(
+        &mut self,
+        name: &str,
+        lower: L,
+        upper: U,
+        step: i64,
+        body: impl FnOnce(&mut Self),
+    ) -> LoopId
+    where
+        L: Into<Affine>,
+        U: Into<Affine>,
+    {
+        assert!(step != 0, "loop step must be nonzero");
+        let var = self.var(name);
+        assert!(
+            !self.open.iter().any(|(_, v, ..)| *v == var),
+            "index variable {name} already bound by an enclosing loop"
+        );
+        let id = self.program.fresh_loop_id();
+        self.open
+            .push((id, var, lower.into(), upper.into(), step));
+        self.bodies.push(Vec::new());
+        body(self);
+        let nodes = self.bodies.pop().expect("builder body stack underflow");
+        let (id, var, lo, hi, st) = self.open.pop().expect("builder open stack underflow");
+        let l = Loop::new(id, var, lo, hi, st, nodes);
+        self.bodies
+            .last_mut()
+            .expect("builder body stack underflow")
+            .push(Node::Loop(l));
+        id
+    }
+
+    /// Builds an array reference `array(subs…)`.
+    pub fn at<S, const N: usize>(&self, array: ArrayId, subs: [S; N]) -> ArrayRef
+    where
+        S: Into<Affine>,
+    {
+        ArrayRef::new(array, subs.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds an array reference from a `Vec` of subscripts (for callers
+    /// whose rank is not a compile-time constant).
+    pub fn at_vec(&self, array: ArrayId, subs: Vec<Affine>) -> ArrayRef {
+        ArrayRef::new(array, subs)
+    }
+
+    /// Appends an assignment statement at the current nesting level and
+    /// returns its id.
+    pub fn assign(&mut self, lhs: ArrayRef, rhs: Expr) -> crate::ids::StmtId {
+        let id = self.program.fresh_stmt_id();
+        self.bodies
+            .last_mut()
+            .expect("builder body stack underflow")
+            .push(Node::Stmt(Stmt::new(id, lhs, rhs)));
+        id
+    }
+
+    /// Finishes the build, validating the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails — builder misuse is a programming error.
+    /// Use [`ProgramBuilder::try_finish`] to handle errors.
+    pub fn finish(self) -> Program {
+        match self.try_finish() {
+            Ok(p) => p,
+            Err(e) => panic!("invalid program: {e}"),
+        }
+    }
+
+    /// Finishes the build, returning a validation error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the constructed tree violates IR
+    /// invariants (see [`crate::validate`]).
+    pub fn try_finish(mut self) -> Result<Program, ValidateError> {
+        assert!(
+            self.open.is_empty() && self.bodies.len() == 1,
+            "finish called with unclosed loops"
+        );
+        let body = self.bodies.pop().unwrap();
+        *self.program.body_mut() = body;
+        validate(&self.program)?;
+        Ok(self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_loops() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into(), n.into()]);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(a, [i, j]);
+                b.assign(lhs, Expr::Const(0.0));
+            });
+        });
+        let p = b.finish();
+        let nest = p.nests()[0];
+        assert_eq!(p.var_name(nest.var()), "I");
+        let inner = nest.only_loop_child().unwrap();
+        assert_eq!(p.var_name(inner.var()), "J");
+        assert_eq!(Node::Loop(nest.clone()).depth(), 2);
+    }
+
+    #[test]
+    fn triangular_bounds() {
+        let mut b = ProgramBuilder::new("tri");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            b.loop_("J", Affine::var(i) + 1, n, |b| {
+                let j = b.var("J");
+                let lhs = b.at(a, [i, j]);
+                b.assign(lhs, Expr::Const(1.0));
+            });
+        });
+        let p = b.finish();
+        let inner = p.nests()[0].only_loop_child().unwrap();
+        assert_eq!(inner.lower().coeff_of_var(p.find_var("I").unwrap()), 1);
+    }
+
+    #[test]
+    fn sibling_loops_may_reuse_variables() {
+        let mut b = ProgramBuilder::new("sib");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        for _ in 0..2 {
+            b.loop_("I", 1, n, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i]);
+                b.assign(lhs, Expr::Const(0.0));
+            });
+        }
+        let p = b.finish();
+        assert_eq!(p.nests().len(), 2);
+        assert_eq!(p.vars().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn nested_variable_reuse_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let n = b.param("N");
+        b.loop_("I", 1, n, |b| {
+            b.loop_("I", 1, n, |_| {});
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_param_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        b.param("N");
+        b.param("N");
+    }
+}

@@ -1,0 +1,372 @@
+//! Right-hand-side expression language for statements.
+//!
+//! Statements assign the value of an [`Expr`] to an array element. The
+//! expression language is deliberately small — arithmetic over array loads,
+//! index variables, parameters, and constants — but rich enough to express
+//! every kernel in the paper (matrix multiply, Cholesky with `SQRT`, ADI
+//! integration, stencils, reductions).
+
+use crate::ids::{ParamId, VarId};
+use crate::stmt::ArrayRef;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operator to two values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "MIN",
+            BinOp::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Square root (`SQRT` in the paper's Cholesky kernel).
+    Sqrt,
+    /// Absolute value.
+    Abs,
+}
+
+impl UnOp {
+    /// Applies the operator to a value.
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnOp::Neg => -a,
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Abs => a.abs(),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Sqrt => "SQRT",
+            UnOp::Abs => "ABS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A right-hand-side expression.
+///
+/// # Example
+///
+/// ```
+/// use cmt_ir::expr::Expr;
+///
+/// let e = Expr::Const(1.0) + Expr::Const(2.0) * Expr::Const(3.0);
+/// assert_eq!(e.loads().count(), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A floating-point literal.
+    Const(f64),
+    /// The current value of a loop index variable, as a float.
+    Index(VarId),
+    /// The value of a symbolic parameter, as a float.
+    Param(ParamId),
+    /// A load from an array element.
+    Load(ArrayRef),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a load.
+    pub fn load(r: ArrayRef) -> Expr {
+        Expr::Load(r)
+    }
+
+    /// Square root of an expression.
+    pub fn sqrt(e: Expr) -> Expr {
+        Expr::Unary(UnOp::Sqrt, Box::new(e))
+    }
+
+    /// Iterates over every [`ArrayRef`] read by this expression, in
+    /// left-to-right source order.
+    pub fn loads(&self) -> Loads<'_> {
+        Loads { stack: vec![self] }
+    }
+
+    /// Rewrites every array reference with `f` (used by transformations
+    /// that rename index variables, e.g. reversal).
+    pub fn map_refs(&self, f: &mut impl FnMut(&ArrayRef) -> ArrayRef) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Index(v) => Expr::Index(*v),
+            Expr::Param(p) => Expr::Param(*p),
+            Expr::Load(r) => Expr::Load(f(r)),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.map_refs(f))),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(a.map_refs(f)), Box::new(b.map_refs(f)))
+            }
+        }
+    }
+
+    /// Rewrites every [`Expr::Index`] leaf with `f` — the expression-side
+    /// counterpart of subscript substitution, required whenever a
+    /// transformation renames or re-expresses a loop variable.
+    pub fn map_index(&self, f: &mut impl FnMut(VarId) -> Expr) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Index(v) => f(*v),
+            Expr::Param(p) => Expr::Param(*p),
+            Expr::Load(r) => Expr::Load(r.clone()),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.map_index(f))),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(a.map_index(f)), Box::new(b.map_index(f)))
+            }
+        }
+    }
+
+    /// Builds the expression computing an affine form's value at run
+    /// time: `2i − j + N + 3` becomes the corresponding `Expr` tree.
+    pub fn from_affine(a: &crate::affine::Affine) -> Expr {
+        fn push(acc: &mut Option<Expr>, term: Expr) {
+            *acc = Some(match acc.take() {
+                None => term,
+                Some(prev) => prev + term,
+            });
+        }
+        let mut acc: Option<Expr> = None;
+        for (v, c) in a.var_terms() {
+            let base = Expr::Index(v);
+            push(
+                &mut acc,
+                if c == 1 {
+                    base
+                } else {
+                    Expr::Const(c as f64) * base
+                },
+            );
+        }
+        for (p, c) in a.param_terms() {
+            let base = Expr::Param(p);
+            push(
+                &mut acc,
+                if c == 1 {
+                    base
+                } else {
+                    Expr::Const(c as f64) * base
+                },
+            );
+        }
+        let k = a.constant_term();
+        if k != 0 || acc.is_none() {
+            push(&mut acc, Expr::Const(k as f64));
+        }
+        acc.expect("at least the constant was pushed")
+    }
+
+    /// The number of operator nodes; used by property-test size bounds.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Index(_) | Expr::Param(_) | Expr::Load(_) => 1,
+            Expr::Unary(_, e) => 1 + e.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+/// Iterator over array loads in an expression; see [`Expr::loads`].
+#[derive(Debug)]
+pub struct Loads<'a> {
+    stack: Vec<&'a Expr>,
+}
+
+impl<'a> Iterator for Loads<'a> {
+    type Item = &'a ArrayRef;
+
+    fn next(&mut self) -> Option<&'a ArrayRef> {
+        while let Some(e) = self.stack.pop() {
+            match e {
+                Expr::Load(r) => return Some(r),
+                Expr::Unary(_, inner) => self.stack.push(inner),
+                Expr::Binary(_, a, b) => {
+                    // Push right first so left pops first (source order).
+                    self.stack.push(b);
+                    self.stack.push(a);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::ids::ArrayId;
+
+    fn r(a: u32, sub: i64) -> ArrayRef {
+        ArrayRef::new(ArrayId(a), vec![Affine::constant(sub)])
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(6.0, 3.0), 2.0);
+        assert_eq!(BinOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn unop_apply() {
+        assert_eq!(UnOp::Neg.apply(2.0), -2.0);
+        assert_eq!(UnOp::Sqrt.apply(9.0), 3.0);
+        assert_eq!(UnOp::Abs.apply(-4.0), 4.0);
+    }
+
+    #[test]
+    fn loads_in_source_order() {
+        let e = Expr::load(r(0, 1)) + Expr::load(r(1, 2)) * Expr::load(r(2, 3));
+        let arrays: Vec<u32> = e.loads().map(|l| l.array().0).collect();
+        assert_eq!(arrays, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn loads_skips_non_load_leaves() {
+        let e = Expr::Index(VarId(0)) + Expr::Param(ParamId(0)) - Expr::Const(1.0);
+        assert_eq!(e.loads().count(), 0);
+    }
+
+    #[test]
+    fn map_refs_rewrites_all_loads() {
+        let e = Expr::load(r(0, 1)) + Expr::sqrt(Expr::load(r(0, 2)));
+        let out = e.map_refs(&mut |rf| ArrayRef::new(ArrayId(9), rf.subscripts().to_vec()));
+        assert!(out.loads().all(|l| l.array() == ArrayId(9)));
+        assert_eq!(out.loads().count(), 2);
+    }
+
+    #[test]
+    fn map_index_rewrites_leaves() {
+        let e = Expr::Index(VarId(0)) + Expr::load(r(0, 1)) * Expr::Index(VarId(1));
+        let out = e.map_index(&mut |v| {
+            if v == VarId(0) {
+                Expr::Const(7.0)
+            } else {
+                Expr::Index(v)
+            }
+        });
+        // The load is untouched, Index(0) replaced, Index(1) kept.
+        assert_eq!(out.loads().count(), 1);
+        match &out {
+            Expr::Binary(BinOp::Add, a, _) => assert_eq!(**a, Expr::Const(7.0)),
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_affine_builds_equivalent_expression() {
+        use crate::affine::{Affine, Env};
+        // 2i − j + 3
+        let a = Affine::var(VarId(0)) * 2 - Affine::var(VarId(1)) + 3;
+        let e = Expr::from_affine(&a);
+        // Evaluate both ways.
+        let mut env = Env::new();
+        env.bind_var(VarId(0), 5);
+        env.bind_var(VarId(1), 2);
+        let expect = a.eval(&env).unwrap() as f64;
+        fn eval(e: &Expr, env: &Env) -> f64 {
+            match e {
+                Expr::Const(c) => *c,
+                Expr::Index(v) => env.var(*v).unwrap() as f64,
+                Expr::Param(p) => env.param(*p).unwrap() as f64,
+                Expr::Load(_) => unreachable!("no loads in affine exprs"),
+                Expr::Unary(op, x) => op.apply(eval(x, env)),
+                Expr::Binary(op, x, y) => op.apply(eval(x, env), eval(y, env)),
+            }
+        }
+        assert_eq!(eval(&e, &env), expect);
+        // Zero builds the constant 0.
+        assert_eq!(Expr::from_affine(&Affine::zero()), Expr::Const(0.0));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = -(Expr::Const(1.0) + Expr::Const(2.0));
+        assert_eq!(e.size(), 4);
+    }
+}

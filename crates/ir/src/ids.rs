@@ -1,0 +1,109 @@
+//! Typed identifiers for IR entities.
+//!
+//! Every entity in a [`crate::Program`] — symbolic parameters, loop index
+//! variables, arrays, statements, and loops — is referred to by a small
+//! integer id wrapped in a newtype, so the type system prevents mixing them
+//! up (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index, usable to index side tables.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A symbolic integer parameter of a program, e.g. the matrix order `N`.
+    ///
+    /// Parameters are fixed for a whole program execution; loop bounds and
+    /// array extents may reference them.
+    ParamId,
+    "p"
+);
+id_type!(
+    /// A loop index variable.
+    ///
+    /// Each `DO` loop binds exactly one index variable; the same variable
+    /// may be bound by sibling loops (e.g. after loop distribution) but
+    /// never by two loops on the same nesting path.
+    VarId,
+    "i"
+);
+id_type!(
+    /// An array declared by a program.
+    ArrayId,
+    "a"
+);
+id_type!(
+    /// A statement. Statement ids are unique within a program and survive
+    /// transformations (statements move between loops, they are not
+    /// re-created), which lets reports track statements across rewrites.
+    StmtId,
+    "s"
+);
+id_type!(
+    /// A loop occurrence. Unique within a program; loop distribution clones
+    /// a loop header into several loops with fresh ids.
+    LoopId,
+    "L"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", ParamId(3)), "p3");
+        assert_eq!(format!("{:?}", VarId(0)), "i0");
+        assert_eq!(format!("{}", ArrayId(7)), "a7");
+        assert_eq!(format!("{}", StmtId(2)), "s2");
+        assert_eq!(format!("{}", LoopId(9)), "L9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(VarId(1));
+        set.insert(VarId(2));
+        set.insert(VarId(1));
+        assert_eq!(set.len(), 2);
+        assert!(VarId(1) < VarId(2));
+    }
+
+    #[test]
+    fn id_index_round_trip() {
+        assert_eq!(StmtId(5).index(), 5);
+        let as_usize: usize = LoopId(11).into();
+        assert_eq!(as_usize, 11);
+    }
+}

@@ -1,0 +1,60 @@
+//! Loop-nest intermediate representation for the Carr–McKinley–Tseng
+//! data-locality reproduction.
+//!
+//! This crate models the program representation a Fortran 77 front end would
+//! hand to the locality optimizer of *Compiler Optimizations for Improving
+//! Data Locality* (ASPLOS 1994): imperfectly nested `DO` loops with affine
+//! bounds (rectangular, triangular, and symbolic), statements that assign
+//! array elements, and array references with affine subscripts. Arrays are
+//! column-major, matching Fortran.
+//!
+//! # Example
+//!
+//! Build the matrix-multiply nest from Figure 2 of the paper:
+//!
+//! ```
+//! use cmt_ir::build::ProgramBuilder;
+//! use cmt_ir::expr::Expr;
+//!
+//! let mut b = ProgramBuilder::new("matmul");
+//! let n = b.param("N");
+//! let a = b.array("A", vec![n.into(), n.into()]);
+//! let bb = b.array("B", vec![n.into(), n.into()]);
+//! let c = b.array("C", vec![n.into(), n.into()]);
+//! b.loop_("I", 1, n, |b| {
+//!     b.loop_("J", 1, n, |b| {
+//!         b.loop_("K", 1, n, |b| {
+//!             let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+//!             let cij = b.at(c, [i, j]);
+//!             let rhs = Expr::load(b.at(c, [i, j]))
+//!                 + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+//!             b.assign(cij, rhs);
+//!         });
+//!     });
+//! });
+//! let program = b.finish();
+//! assert_eq!(program.nests().len(), 1);
+//! ```
+
+pub mod affine;
+pub mod array;
+pub mod build;
+pub mod expr;
+pub mod ids;
+pub mod node;
+pub mod parse;
+pub mod pretty;
+pub mod program;
+pub mod stmt;
+pub mod validate;
+pub mod visit;
+
+pub use affine::Affine;
+pub use array::{ArrayInfo, Extent};
+pub use build::ProgramBuilder;
+pub use expr::{BinOp, Expr, UnOp};
+pub use ids::{ArrayId, LoopId, ParamId, StmtId, VarId};
+pub use node::{Loop, Node};
+pub use program::Program;
+pub use stmt::{ArrayRef, Stmt};
+pub use validate::ValidateError;

@@ -1,0 +1,287 @@
+//! Loop-nest tree nodes.
+//!
+//! A program body is an ordered forest of [`Node`]s; a node is either a
+//! `DO` loop containing a nested body, or a statement. This directly
+//! represents *imperfect* nests, which the paper's `Compound` algorithm
+//! must handle (fusing or distributing to expose permutable perfect nests).
+
+use crate::affine::Affine;
+use crate::ids::{LoopId, VarId};
+use crate::stmt::Stmt;
+
+/// A `DO var = lower, upper, step` loop and its body.
+///
+/// `step` is a nonzero compile-time constant (the common case in the
+/// paper's suite; symbolic steps defeat the stride analysis anyway and
+/// would be classified "no reuse"). Bounds are affine in outer loop
+/// variables and parameters, which covers rectangular, triangular, and
+/// symbolically-bounded loops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Loop {
+    id: LoopId,
+    var: VarId,
+    lower: Affine,
+    upper: Affine,
+    step: i64,
+    body: Vec<Node>,
+}
+
+impl Loop {
+    /// Creates a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn new(
+        id: LoopId,
+        var: VarId,
+        lower: Affine,
+        upper: Affine,
+        step: i64,
+        body: Vec<Node>,
+    ) -> Self {
+        assert!(step != 0, "loop step must be nonzero");
+        Loop {
+            id,
+            var,
+            lower,
+            upper,
+            step,
+            body,
+        }
+    }
+
+    /// The loop's stable identifier.
+    pub fn id(&self) -> LoopId {
+        self.id
+    }
+
+    /// The index variable bound by this loop.
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Lower bound expression.
+    pub fn lower(&self) -> &Affine {
+        &self.lower
+    }
+
+    /// Upper bound expression.
+    pub fn upper(&self) -> &Affine {
+        &self.upper
+    }
+
+    /// Constant step.
+    pub fn step(&self) -> i64 {
+        self.step
+    }
+
+    /// The loop body.
+    pub fn body(&self) -> &[Node] {
+        &self.body
+    }
+
+    /// Mutable access to the body (transformations rewrite in place).
+    pub fn body_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.body
+    }
+
+    /// Consumes the loop, returning its body.
+    pub fn into_body(self) -> Vec<Node> {
+        self.body
+    }
+
+    /// Replaces the header (id, var, bounds, step) keeping the body.
+    /// Used by permutation, which moves headers rather than bodies.
+    pub fn set_header(&mut self, id: LoopId, var: VarId, lower: Affine, upper: Affine, step: i64) {
+        assert!(step != 0, "loop step must be nonzero");
+        self.id = id;
+        self.var = var;
+        self.lower = lower;
+        self.upper = upper;
+        self.step = step;
+    }
+
+    /// True if the loop body is a single loop (the nest continues
+    /// perfectly below this level).
+    pub fn has_single_loop_body(&self) -> bool {
+        self.body.len() == 1 && matches!(self.body[0], Node::Loop(_))
+    }
+
+    /// If the body is exactly one loop, a reference to it.
+    pub fn only_loop_child(&self) -> Option<&Loop> {
+        match self.body.as_slice() {
+            [Node::Loop(l)] => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The trip count `(ub - lb + step)/step` as an affine expression when
+    /// the division is exact at the symbolic level, i.e. `step == 1` or
+    /// `-1`; otherwise `None` and callers fall back on numeric evaluation.
+    pub fn symbolic_trip(&self) -> Option<Affine> {
+        match self.step {
+            1 => Some(self.upper.clone() - self.lower.clone() + 1),
+            -1 => Some(self.lower.clone() - self.upper.clone() + 1),
+            _ => None,
+        }
+    }
+}
+
+/// One element of a loop body: a nested loop or a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// A nested loop.
+    Loop(Loop),
+    /// An assignment statement.
+    Stmt(Stmt),
+}
+
+impl Node {
+    /// The node as a loop, if it is one.
+    pub fn as_loop(&self) -> Option<&Loop> {
+        match self {
+            Node::Loop(l) => Some(l),
+            Node::Stmt(_) => None,
+        }
+    }
+
+    /// The node as a mutable loop, if it is one.
+    pub fn as_loop_mut(&mut self) -> Option<&mut Loop> {
+        match self {
+            Node::Loop(l) => Some(l),
+            Node::Stmt(_) => None,
+        }
+    }
+
+    /// The node as a statement, if it is one.
+    pub fn as_stmt(&self) -> Option<&Stmt> {
+        match self {
+            Node::Stmt(s) => Some(s),
+            Node::Loop(_) => None,
+        }
+    }
+
+    /// Maximum loop nesting depth of the subtree rooted here: a statement
+    /// has depth 0; a loop has depth 1 + max over body.
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Stmt(_) => 0,
+            Node::Loop(l) => 1 + l.body().iter().map(Node::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// All statements in the subtree, in source order.
+    pub fn statements(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        self.collect_statements(&mut out);
+        out
+    }
+
+    fn collect_statements<'a>(&'a self, out: &mut Vec<&'a Stmt>) {
+        match self {
+            Node::Stmt(s) => out.push(s),
+            Node::Loop(l) => {
+                for n in l.body() {
+                    n.collect_statements(out);
+                }
+            }
+        }
+    }
+}
+
+impl From<Loop> for Node {
+    fn from(l: Loop) -> Node {
+        Node::Loop(l)
+    }
+}
+
+impl From<Stmt> for Node {
+    fn from(s: Stmt) -> Node {
+        Node::Stmt(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ids::{ArrayId, StmtId};
+    use crate::stmt::ArrayRef;
+
+    fn stmt(n: u32) -> Stmt {
+        Stmt::new(
+            StmtId(n),
+            ArrayRef::new(ArrayId(0), vec![Affine::var(VarId(0))]),
+            Expr::Const(0.0),
+        )
+    }
+
+    fn simple_loop(id: u32, var: u32, body: Vec<Node>) -> Loop {
+        Loop::new(
+            LoopId(id),
+            VarId(var),
+            Affine::constant(1),
+            Affine::constant(10),
+            1,
+            body,
+        )
+    }
+
+    #[test]
+    fn depth_of_imperfect_nest() {
+        // DO i { s0; DO j { s1 } }
+        let inner = simple_loop(1, 1, vec![stmt(1).into()]);
+        let outer = simple_loop(0, 0, vec![stmt(0).into(), inner.into()]);
+        let node: Node = outer.into();
+        assert_eq!(node.depth(), 2);
+        assert_eq!(node.statements().len(), 2);
+    }
+
+    #[test]
+    fn statements_in_source_order() {
+        let inner = simple_loop(1, 1, vec![stmt(5).into(), stmt(6).into()]);
+        let outer = simple_loop(0, 0, vec![stmt(4).into(), inner.into(), stmt(7).into()]);
+        let node: Node = outer.into();
+        let ids: Vec<u32> = node.statements().iter().map(|s| s.id().0).collect();
+        assert_eq!(ids, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn symbolic_trip_unit_step() {
+        let l = simple_loop(0, 0, vec![]);
+        assert_eq!(l.symbolic_trip().unwrap(), Affine::constant(10));
+        let l2 = Loop::new(
+            LoopId(1),
+            VarId(0),
+            Affine::constant(0),
+            Affine::constant(9),
+            2,
+            vec![],
+        );
+        assert!(l2.symbolic_trip().is_none());
+    }
+
+    #[test]
+    fn only_loop_child_detection() {
+        let inner = simple_loop(1, 1, vec![stmt(0).into()]);
+        let perfect = simple_loop(0, 0, vec![inner.clone().into()]);
+        assert!(perfect.has_single_loop_body());
+        assert_eq!(perfect.only_loop_child().unwrap().id(), LoopId(1));
+        let imperfect = simple_loop(2, 0, vec![stmt(0).into(), inner.into()]);
+        assert!(imperfect.only_loop_child().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_step_rejected() {
+        let _ = Loop::new(
+            LoopId(0),
+            VarId(0),
+            Affine::constant(1),
+            Affine::constant(2),
+            0,
+            vec![],
+        );
+    }
+}

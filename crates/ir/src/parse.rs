@@ -1,0 +1,686 @@
+//! A parser for the Fortran-like loop language the pretty-printer emits.
+//!
+//! Programs can be written as text instead of through the builder:
+//!
+//! ```
+//! use cmt_ir::parse::parse_program;
+//!
+//! let p = parse_program(
+//!     "PROGRAM matmul
+//!      PARAM N
+//!      REAL A(N,N), B(N,N), C(N,N)
+//!      DO I = 1, N
+//!        DO J = 1, N
+//!          DO K = 1, N
+//!            C(I,J) = C(I,J) + A(I,K) * B(K,J)",
+//! ).unwrap();
+//! assert_eq!(p.nests().len(), 1);
+//! ```
+//!
+//! Grammar (indentation-insensitive; nesting is tracked by `DO`/`ENDDO`,
+//! with `ENDDO` optional — a `DO` body extends to the next `DO`/statement
+//! at the same or outer syntactic level using explicit `ENDDO` or to the
+//! end of input):
+//!
+//! ```text
+//! program   := "PROGRAM" name decl* node*
+//! decl      := "PARAM" name ("," name)*
+//!            | "REAL" array ("," array)*
+//! array     := name "(" extent ("," extent)* ")"
+//! node      := do | stmt
+//! do        := "DO" name "=" affine "," affine ("," int)? node* ["ENDDO"]
+//! stmt      := ref "=" expr
+//! ref       := name "(" affine ("," affine)* ")"
+//! expr      := term (("+"|"-") term)*
+//! term      := factor (("*"|"/") factor)*
+//! factor    := number | ref | name | "(" expr ")"
+//!            | ("SQRT"|"ABS"|"MIN"|"MAX") "(" args ")" | "-" factor
+//! affine    := integer linear combination of names and constants
+//! ```
+//!
+//! Since `ENDDO` is optional, *without* it every following node nests
+//! inside the most recent `DO` (convenient for the perfectly nested
+//! kernels of the paper); mixed bodies need explicit `ENDDO`.
+
+use crate::affine::Affine;
+use crate::array::{ArrayInfo, Extent};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::ids::{ArrayId, VarId};
+use crate::node::{Loop, Node};
+use crate::program::Program;
+use crate::stmt::{ArrayRef, Stmt};
+use crate::validate::validate;
+use std::fmt;
+
+/// A parse or validation failure, with a 1-based line number when the
+/// location is known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 when unknown).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole program. See the [module docs](self) for the grammar.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for syntax errors,
+/// unknown names, or IR validation failures.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src).parse()
+}
+
+struct Parser<'s> {
+    lines: Vec<(usize, &'s str)>,
+    pos: usize,
+    program: Program,
+}
+
+/// A token scanner over one line.
+struct Cursor<'s> {
+    s: &'s str,
+    at: usize,
+    line: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(s: &'s str, line: usize) -> Self {
+        Cursor { s, at: 0, line }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.s[self.at..].starts_with(' ') || self.s[self.at..].starts_with('\t') {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.s[self.at..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.at += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'s str> {
+        self.skip_ws();
+        let rest = &self.s[self.at..];
+        let end = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+            .map(|(k, c)| k + c.len_utf8())
+            .last()?;
+        let word = &rest[..end];
+        if word.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            self.at += end;
+            Some(word)
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let rest = &self.s[self.at..];
+        let mut end = 0;
+        let mut dot = false;
+        for (k, c) in rest.char_indices() {
+            if c.is_ascii_digit() {
+                end = k + 1;
+            } else if c == '.' && !dot && k == end {
+                dot = true;
+                end = k + 1;
+            } else {
+                break;
+            }
+        }
+        if end == 0 || rest[..end].ends_with('.') && end == 1 {
+            return None;
+        }
+        let parsed = rest[..end].parse().ok()?;
+        self.at += end;
+        Some(parsed)
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let save = self.at;
+        let neg = self.eat('-');
+        let rest = &self.s[self.at..];
+        let end = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        if end == 0 {
+            self.at = save;
+            return None;
+        }
+        let v: i64 = rest[..end].parse().ok()?;
+        self.at += end;
+        Some(if neg { -v } else { v })
+    }
+
+    fn done(&mut self) -> bool {
+        self.skip_ws();
+        self.at >= self.s.len()
+    }
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(k, l)| (k + 1, l.split('!').next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            program: Program::new("anonymous"),
+        }
+    }
+
+    fn current(&self) -> Option<(usize, &'s str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn parse(mut self) -> Result<Program, ParseError> {
+        // Header.
+        if let Some((line, text)) = self.current() {
+            let mut c = Cursor::new(text, line);
+            if c.ident() == Some("PROGRAM") {
+                let name = c
+                    .ident()
+                    .ok_or_else(|| c.err("expected program name"))?;
+                self.program = Program::new(name);
+                self.pos += 1;
+            }
+        }
+        // Declarations.
+        while let Some((line, text)) = self.current() {
+            let mut c = Cursor::new(text, line);
+            match c.ident() {
+                Some("PARAM") => {
+                    loop {
+                        let name = c.ident().ok_or_else(|| c.err("expected parameter name"))?;
+                        if self.program.find_param(name).is_some() {
+                            return Err(c.err(format!("parameter {name} declared twice")));
+                        }
+                        self.program.declare_param(name);
+                        if !c.eat(',') {
+                            break;
+                        }
+                    }
+                    if !c.done() {
+                        return Err(c.err("trailing input after PARAM"));
+                    }
+                    self.pos += 1;
+                }
+                Some("REAL") => {
+                    loop {
+                        let name = c.ident().ok_or_else(|| c.err("expected array name"))?;
+                        c.expect('(')?;
+                        let mut dims = Vec::new();
+                        loop {
+                            let e = self.parse_affine(&mut c, /*vars_allowed=*/ false)?;
+                            dims.push(Extent::from_affine(e));
+                            if !c.eat(',') {
+                                break;
+                            }
+                        }
+                        c.expect(')')?;
+                        if self.program.find_array(name).is_some() {
+                            return Err(c.err(format!("array {name} declared twice")));
+                        }
+                        self.program.declare_array(ArrayInfo::new(name, dims));
+                        if !c.eat(',') {
+                            break;
+                        }
+                    }
+                    if !c.done() {
+                        return Err(c.err("trailing input after REAL"));
+                    }
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        // Body.
+        let mut scope: Vec<VarId> = Vec::new();
+        let body = self.parse_nodes(&mut scope)?;
+        *self.program.body_mut() = body;
+        validate(&self.program).map_err(|e| ParseError {
+            line: 0,
+            message: format!("invalid program: {e}"),
+        })?;
+        Ok(self.program)
+    }
+
+    /// Parses nodes until `ENDDO` or end of input.
+    fn parse_nodes(&mut self, scope: &mut Vec<VarId>) -> Result<Vec<Node>, ParseError> {
+        let mut out = Vec::new();
+        while let Some((line, text)) = self.current() {
+            let mut c = Cursor::new(text, line);
+            let save = c.at;
+            match c.ident() {
+                Some("ENDDO") => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some("DO") => {
+                    self.pos += 1;
+                    out.push(Node::Loop(self.parse_do(&mut c, scope)?));
+                }
+                Some(_) => {
+                    c.at = save;
+                    self.pos += 1;
+                    out.push(Node::Stmt(self.parse_stmt(&mut c, scope)?));
+                }
+                None => return Err(c.err("expected DO, ENDDO, or a statement")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_do(&mut self, c: &mut Cursor<'_>, scope: &mut Vec<VarId>) -> Result<Loop, ParseError> {
+        let name = c.ident().ok_or_else(|| c.err("expected loop variable"))?;
+        let var = match self.program.find_var(name) {
+            Some(v) => v,
+            None => self.program.declare_var(name),
+        };
+        if scope.contains(&var) {
+            return Err(c.err(format!("loop variable {name} already bound")));
+        }
+        c.expect('=')?;
+        let lo = self.parse_affine(c, true)?;
+        c.expect(',')?;
+        let hi = self.parse_affine(c, true)?;
+        let step = if c.eat(',') {
+            c.integer().ok_or_else(|| c.err("expected step"))?
+        } else {
+            1
+        };
+        if step == 0 {
+            return Err(c.err("loop step must be nonzero"));
+        }
+        if !c.done() {
+            return Err(c.err("trailing input after DO header"));
+        }
+        scope.push(var);
+        let body = self.parse_nodes(scope)?;
+        scope.pop();
+        let id = self.program.fresh_loop_id();
+        Ok(Loop::new(id, var, lo, hi, step, body))
+    }
+
+    fn parse_stmt(&mut self, c: &mut Cursor<'_>, scope: &[VarId]) -> Result<Stmt, ParseError> {
+        let lhs = self.parse_ref(c, scope)?;
+        c.expect('=')?;
+        let rhs = self.parse_expr(c, scope)?;
+        if !c.done() {
+            return Err(c.err("trailing input after statement"));
+        }
+        let id = self.program.fresh_stmt_id();
+        Ok(Stmt::new(id, lhs, rhs))
+    }
+
+    fn parse_ref(&mut self, c: &mut Cursor<'_>, scope: &[VarId]) -> Result<ArrayRef, ParseError> {
+        let name = c.ident().ok_or_else(|| c.err("expected array name"))?;
+        let array = self.lookup_array(c, name)?;
+        c.expect('(')?;
+        let mut subs = Vec::new();
+        loop {
+            subs.push(self.parse_affine(c, true)?);
+            if !c.eat(',') {
+                break;
+            }
+        }
+        c.expect(')')?;
+        let _ = scope;
+        Ok(ArrayRef::new(array, subs))
+    }
+
+    fn lookup_array(&self, c: &Cursor<'_>, name: &str) -> Result<ArrayId, ParseError> {
+        self.program
+            .find_array(name)
+            .ok_or_else(|| c.err(format!("unknown array {name}")))
+    }
+
+    /// Affine expressions: `±? term (± term)*` where
+    /// `term := int ["*" name] | name` and `name` is a loop variable or
+    /// parameter.
+    fn parse_affine(&mut self, c: &mut Cursor<'_>, vars_allowed: bool) -> Result<Affine, ParseError> {
+        let mut acc = Affine::zero();
+        let mut sign = 1i64;
+        if c.eat('-') {
+            sign = -1;
+        } else {
+            let _ = c.eat('+');
+        }
+        loop {
+            if let Some(k) = c.integer() {
+                if c.eat('*') {
+                    let name = c.ident().ok_or_else(|| c.err("expected name after '*'"))?;
+                    acc = acc + self.name_term(c, name, vars_allowed)? * (sign * k);
+                } else {
+                    acc = acc + sign * k;
+                }
+            } else if let Some(name) = c.ident() {
+                acc = acc + self.name_term(c, name, vars_allowed)? * sign;
+            } else {
+                return Err(c.err("expected affine term"));
+            }
+            if c.eat('+') {
+                sign = 1;
+            } else if c.eat('-') {
+                sign = -1;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn name_term(
+        &mut self,
+        c: &Cursor<'_>,
+        name: &str,
+        vars_allowed: bool,
+    ) -> Result<Affine, ParseError> {
+        if let Some(p) = self.program.find_param(name) {
+            return Ok(Affine::param(p));
+        }
+        if vars_allowed {
+            if let Some(v) = self.program.find_var(name) {
+                return Ok(Affine::var(v));
+            }
+        }
+        Err(c.err(format!("unknown name {name}")))
+    }
+
+    fn parse_expr(&mut self, c: &mut Cursor<'_>, scope: &[VarId]) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term(c, scope)?;
+        loop {
+            if c.eat('+') {
+                let rhs = self.parse_term(c, scope)?;
+                lhs = lhs + rhs;
+            } else if c.eat('-') {
+                let rhs = self.parse_term(c, scope)?;
+                lhs = lhs - rhs;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_term(&mut self, c: &mut Cursor<'_>, scope: &[VarId]) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor(c, scope)?;
+        loop {
+            if c.eat('*') {
+                let rhs = self.parse_factor(c, scope)?;
+                lhs = lhs * rhs;
+            } else if c.eat('/') {
+                let rhs = self.parse_factor(c, scope)?;
+                lhs = lhs / rhs;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_factor(&mut self, c: &mut Cursor<'_>, scope: &[VarId]) -> Result<Expr, ParseError> {
+        if c.eat('(') {
+            let e = self.parse_expr(c, scope)?;
+            c.expect(')')?;
+            return Ok(e);
+        }
+        if c.eat('-') {
+            let e = self.parse_factor(c, scope)?;
+            return Ok(-e);
+        }
+        if let Some(n) = c.number() {
+            return Ok(Expr::Const(n));
+        }
+        let save = c.at;
+        let name = c.ident().ok_or_else(|| c.err("expected expression"))?;
+        match name {
+            "SQRT" | "ABS" => {
+                c.expect('(')?;
+                let inner = self.parse_expr(c, scope)?;
+                c.expect(')')?;
+                let op = if name == "SQRT" { UnOp::Sqrt } else { UnOp::Abs };
+                return Ok(Expr::Unary(op, Box::new(inner)));
+            }
+            "MIN" | "MAX" => {
+                c.expect('(')?;
+                let a = self.parse_expr(c, scope)?;
+                c.expect(',')?;
+                let b = self.parse_expr(c, scope)?;
+                c.expect(')')?;
+                let op = if name == "MIN" { BinOp::Min } else { BinOp::Max };
+                return Ok(Expr::Binary(op, Box::new(a), Box::new(b)));
+            }
+            _ => {}
+        }
+        // Array reference, loop variable, or parameter.
+        if self.program.find_array(name).is_some() {
+            c.at = save;
+            let r = self.parse_ref(c, scope)?;
+            return Ok(Expr::load(r));
+        }
+        if let Some(v) = self.program.find_var(name) {
+            return Ok(Expr::Index(v));
+        }
+        if let Some(p) = self.program.find_param(name) {
+            return Ok(Expr::Param(p));
+        }
+        Err(c.err(format!("unknown name {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::program_to_string;
+
+    const MATMUL: &str = "PROGRAM matmul
+        PARAM N
+        REAL A(N,N), B(N,N), C(N,N)
+        DO I = 1, N
+          DO J = 1, N
+            DO K = 1, N
+              C(I,J) = C(I,J) + A(I,K) * B(K,J)";
+
+    #[test]
+    fn parses_matmul() {
+        let p = parse_program(MATMUL).unwrap();
+        assert_eq!(p.name(), "matmul");
+        assert_eq!(p.arrays().len(), 3);
+        assert_eq!(p.nests().len(), 1);
+        let chain = crate::visit::perfect_chain(p.nests()[0]);
+        assert_eq!(chain.len(), 3);
+        let names: Vec<&str> = chain.iter().map(|l| p.var_name(l.var())).collect();
+        assert_eq!(names, vec!["I", "J", "K"]);
+    }
+
+    #[test]
+    fn round_trips_with_pretty_printer() {
+        let p = parse_program(MATMUL).unwrap();
+        let printed = program_to_string(&p);
+        let reparsed = parse_program(&format!(
+            "PROGRAM matmul\nPARAM N\nREAL A(N,N), B(N,N), C(N,N)\n{}",
+            printed.lines().skip(1).collect::<Vec<_>>().join("\n")
+        ))
+        .unwrap();
+        assert_eq!(program_to_string(&reparsed), printed);
+    }
+
+    #[test]
+    fn enddo_closes_scopes() {
+        let src = "PROGRAM two
+            PARAM N
+            REAL A(N), B(N)
+            DO I = 1, N
+              A(I) = 1.0
+            ENDDO
+            DO J = 1, N
+              B(J) = 2.0
+            ENDDO";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.nests().len(), 2);
+    }
+
+    #[test]
+    fn triangular_bounds_and_steps() {
+        let src = "PROGRAM tri
+            PARAM N
+            REAL A(N,N)
+            DO K = 1, N, 2
+              DO J = K+1, N
+                A(J,K) = A(J,K) / 2.0";
+        let p = parse_program(src).unwrap();
+        let outer = p.nests()[0];
+        assert_eq!(outer.step(), 2);
+        let inner = outer.only_loop_child().unwrap();
+        assert_eq!(inner.lower().coeff_of_var(p.find_var("K").unwrap()), 1);
+        assert_eq!(inner.lower().constant_term(), 1);
+    }
+
+    #[test]
+    fn intrinsics_parse() {
+        let src = "PROGRAM f
+            PARAM N
+            REAL A(N)
+            DO I = 1, N
+              A(I) = SQRT(A(I)) + MIN(A(I), 2.0) - ABS(-A(I))";
+        let p = parse_program(src).unwrap();
+        let s = p.statements()[0].rhs().clone();
+        assert!(s.size() > 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "PROGRAM c
+            ! header comment
+            PARAM N
+
+            REAL A(N)   ! trailing comment
+            DO I = 1, N
+              A(I) = 0.0  ! set";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.nests().len(), 1);
+    }
+
+    #[test]
+    fn unknown_array_reported_with_line() {
+        let src = "PROGRAM e
+            PARAM N
+            REAL A(N)
+            DO I = 1, N
+              B(I) = 0.0";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.message.contains("unknown array B"), "{err}");
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let src = "PROGRAM e
+            PARAM N
+            REAL A(N,N)
+            DO I = 1, N
+              DO I = 1, N
+                A(I,I) = 0.0";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.message.contains("already bound"), "{err}");
+    }
+
+    #[test]
+    fn negative_constants_and_subtraction() {
+        let src = "PROGRAM neg
+            PARAM N
+            REAL A(N)
+            DO I = 2, N-1
+              A(I) = A(I-1) - 0.5";
+        let p = parse_program(src).unwrap();
+        let nest = p.nests()[0];
+        assert_eq!(nest.upper().constant_term(), -1);
+        let load = p.statements()[0].rhs().loads().next().unwrap();
+        assert_eq!(load.subscripts()[0].constant_term(), -1);
+    }
+
+    #[test]
+    fn coefficient_syntax() {
+        let src = "PROGRAM co
+            PARAM N
+            REAL A(2*N+1)
+            DO I = 1, N
+              A(2*I+1) = 0.0";
+        let p = parse_program(src).unwrap();
+        let lhs = p.statements()[0].lhs();
+        assert_eq!(lhs.subscripts()[0].coeff_of_var(p.find_var("I").unwrap()), 2);
+        assert_eq!(lhs.subscripts()[0].constant_term(), 1);
+    }
+
+    #[test]
+    fn parsed_program_executes() {
+        let p = parse_program(MATMUL).unwrap();
+        // Equivalent to the builder-made matmul.
+        use crate::build::ProgramBuilder;
+        use crate::expr::Expr;
+        let mut b = ProgramBuilder::new("matmul");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let built = b.finish();
+        // Structural equality modulo ids: compare pretty-printed text.
+        assert_eq!(
+            program_to_string(&p),
+            program_to_string(&built)
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Fortran-like pretty-printing of programs.
+//!
+//! The printer resolves ids back to declared names so transformed programs
+//! can be eyeballed against the paper's figures:
+//!
+//! ```text
+//! DO K = 1, N
+//!   A(K,K) = SQRT(A(K,K))
+//!   DO I = K+1, N
+//!     A(I,K) = A(I,K) / A(K,K)
+//! ```
+
+use crate::affine::Affine;
+use crate::expr::{BinOp, Expr};
+use crate::node::{Loop, Node};
+use crate::program::Program;
+use crate::stmt::{ArrayRef, Stmt};
+use std::fmt::Write as _;
+
+/// Renders a program as indented Fortran-like text.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM {}", p.name());
+    for n in p.body() {
+        print_node(p, n, 1, &mut out);
+    }
+    out
+}
+
+/// Renders a program as complete, re-parseable source: `PROGRAM` header,
+/// `PARAM` and `REAL` declarations, then the body. The output satisfies
+/// `parse_program(program_to_source(p)) ≈ p` (fresh ids, same structure).
+pub fn program_to_source(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM {}", p.name());
+    if !p.params().is_empty() {
+        let names: Vec<&str> = p.params().iter().map(|q| q.name.as_str()).collect();
+        let _ = writeln!(out, "PARAM {}", names.join(", "));
+    }
+    if !p.arrays().is_empty() {
+        let decls: Vec<String> = p
+            .arrays()
+            .iter()
+            .map(|a| {
+                let dims: Vec<String> = a
+                    .dims()
+                    .iter()
+                    .map(|d| affine_str(p, d.as_affine()))
+                    .collect();
+                format!("{}({})", a.name(), dims.join(","))
+            })
+            .collect();
+        let _ = writeln!(out, "REAL {}", decls.join(", "));
+    }
+    for n in p.body() {
+        print_node_src(p, n, 0, &mut out);
+    }
+    out
+}
+
+/// Body printer for [`program_to_source`]: every `DO` gets an explicit
+/// `ENDDO` so imperfect nests re-parse unambiguously.
+fn print_node_src(p: &Program, n: &Node, level: usize, out: &mut String) {
+    match n {
+        Node::Stmt(s) => print_stmt(p, s, level, out),
+        Node::Loop(l) => {
+            indent(out, level);
+            let var = p.var_name(l.var());
+            if l.step() == 1 {
+                let _ = writeln!(
+                    out,
+                    "DO {var} = {}, {}",
+                    affine_str(p, l.lower()),
+                    affine_str(p, l.upper())
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "DO {var} = {}, {}, {}",
+                    affine_str(p, l.lower()),
+                    affine_str(p, l.upper()),
+                    l.step()
+                );
+            }
+            for inner in l.body() {
+                print_node_src(p, inner, level + 1, out);
+            }
+            indent(out, level);
+            out.push_str("ENDDO\n");
+        }
+    }
+}
+
+/// Renders one loop nest.
+pub fn nest_to_string(p: &Program, l: &Loop) -> String {
+    let mut out = String::new();
+    print_loop(p, l, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_node(p: &Program, n: &Node, level: usize, out: &mut String) {
+    match n {
+        Node::Loop(l) => print_loop(p, l, level, out),
+        Node::Stmt(s) => print_stmt(p, s, level, out),
+    }
+}
+
+fn print_loop(p: &Program, l: &Loop, level: usize, out: &mut String) {
+    indent(out, level);
+    let var = p.var_name(l.var());
+    if l.step() == 1 {
+        let _ = writeln!(
+            out,
+            "DO {var} = {}, {}",
+            affine_str(p, l.lower()),
+            affine_str(p, l.upper())
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "DO {var} = {}, {}, {}",
+            affine_str(p, l.lower()),
+            affine_str(p, l.upper()),
+            l.step()
+        );
+    }
+    for n in l.body() {
+        print_node(p, n, level + 1, out);
+    }
+}
+
+fn print_stmt(p: &Program, s: &Stmt, level: usize, out: &mut String) {
+    indent(out, level);
+    let _ = writeln!(out, "{} = {}", ref_str(p, s.lhs()), expr_str(p, s.rhs()));
+}
+
+/// Renders an affine expression with declared names.
+pub fn affine_str(p: &Program, e: &Affine) -> String {
+    let mut parts: Vec<(i64, String)> = Vec::new();
+    for (v, c) in e.var_terms() {
+        parts.push((c, p.var_name(v).to_string()));
+    }
+    for (q, c) in e.param_terms() {
+        parts.push((c, p.param_name(q).to_string()));
+    }
+    let mut s = String::new();
+    for (k, (c, name)) in parts.iter().enumerate() {
+        if k == 0 {
+            match *c {
+                1 => {
+                    let _ = write!(s, "{name}");
+                }
+                -1 => {
+                    let _ = write!(s, "-{name}");
+                }
+                c => {
+                    let _ = write!(s, "{c}*{name}");
+                }
+            }
+        } else if *c < 0 {
+            if *c == -1 {
+                let _ = write!(s, "-{name}");
+            } else {
+                let _ = write!(s, "{}*{name}", *c);
+            }
+        } else if *c == 1 {
+            let _ = write!(s, "+{name}");
+        } else {
+            let _ = write!(s, "+{c}*{name}");
+        }
+    }
+    let c = e.constant_term();
+    if s.is_empty() {
+        let _ = write!(s, "{c}");
+    } else if c > 0 {
+        let _ = write!(s, "+{c}");
+    } else if c < 0 {
+        let _ = write!(s, "{c}");
+    }
+    s
+}
+
+/// Renders an array reference with declared names.
+pub fn ref_str(p: &Program, r: &ArrayRef) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{}(", p.array(r.array()).name());
+    for (k, sub) in r.subscripts().iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&affine_str(p, sub));
+    }
+    s.push(')');
+    s
+}
+
+/// Renders an expression with declared names.
+pub fn expr_str(p: &Program, e: &Expr) -> String {
+    fn prec(op: BinOp) -> u8 {
+        match op {
+            BinOp::Add | BinOp::Sub => 1,
+            BinOp::Mul | BinOp::Div => 2,
+            BinOp::Min | BinOp::Max => 3,
+        }
+    }
+    fn go(p: &Program, e: &Expr, parent_prec: u8, out: &mut String) {
+        match e {
+            Expr::Const(c) => {
+                let _ = write!(out, "{c}");
+            }
+            Expr::Index(v) => out.push_str(p.var_name(*v)),
+            Expr::Param(q) => out.push_str(p.param_name(*q)),
+            Expr::Load(r) => out.push_str(&ref_str(p, r)),
+            Expr::Unary(op, inner) => {
+                let _ = write!(out, "{op}(");
+                go(p, inner, 0, out);
+                out.push(')');
+            }
+            Expr::Binary(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                let _ = write!(out, "{op}(");
+                go(p, a, 0, out);
+                out.push_str(", ");
+                go(p, b, 0, out);
+                out.push(')');
+            }
+            Expr::Binary(op, a, b) => {
+                let this = prec(*op);
+                let need_parens = this < parent_prec;
+                if need_parens {
+                    out.push('(');
+                }
+                go(p, a, this, out);
+                let _ = write!(out, " {op} ");
+                // Right operand of - and / needs parens at equal precedence.
+                go(p, b, this + u8::from(matches!(op, BinOp::Sub | BinOp::Div)), out);
+                if need_parens {
+                    out.push(')');
+                }
+            }
+        }
+    }
+    let mut s = String::new();
+    go(p, e, 0, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    fn matmul() -> Program {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn matmul_prints_like_fortran() {
+        let p = matmul();
+        let s = program_to_string(&p);
+        assert!(s.contains("DO I = 1, N"), "{s}");
+        assert!(s.contains("C(I,J) = C(I,J) + A(I,K) * B(K,J)"), "{s}");
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", vec![n.into()]);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i]);
+            // A(I) = (A(I) + 1) * 2
+            let rhs = (Expr::load(b.at(a, [i])) + Expr::Const(1.0)) * Expr::Const(2.0);
+            b.assign(lhs, rhs);
+        });
+        let p = b.finish();
+        let s = program_to_string(&p);
+        assert!(s.contains("(A(I) + 1) * 2"), "{s}");
+    }
+
+    #[test]
+    fn source_round_trips_through_parser() {
+        let p = matmul();
+        let src = crate::pretty::program_to_source(&p);
+        let q = crate::parse::parse_program(&src).unwrap();
+        assert_eq!(crate::pretty::program_to_source(&q), src);
+        assert_eq!(program_to_string(&q), program_to_string(&p));
+    }
+
+    #[test]
+    fn source_includes_declarations_and_enddo() {
+        let p = matmul();
+        let src = crate::pretty::program_to_source(&p);
+        assert!(src.contains("PARAM N"), "{src}");
+        assert!(src.contains("REAL A(N,N), B(N,N), C(N,N)"), "{src}");
+        assert_eq!(src.matches("ENDDO").count(), 3, "{src}");
+    }
+
+    #[test]
+    fn affine_rendering_uses_names() {
+        let p = matmul();
+        let i = p.find_var("I").unwrap();
+        let e = Affine::var(i) * 2 - 1;
+        assert_eq!(affine_str(&p, &e), "2*I-1");
+        assert_eq!(affine_str(&p, &Affine::zero()), "0");
+    }
+}

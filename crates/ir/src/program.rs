@@ -1,0 +1,272 @@
+//! The top-level program container.
+
+use crate::affine::Env;
+use crate::array::ArrayInfo;
+use crate::ids::{ArrayId, LoopId, ParamId, StmtId, VarId};
+use crate::node::{Loop, Node};
+use crate::stmt::Stmt;
+
+/// Metadata for a symbolic parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamInfo {
+    /// Source-level name, e.g. `"N"`.
+    pub name: String,
+}
+
+/// Metadata for a loop index variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source-level name, e.g. `"I"`.
+    pub name: String,
+}
+
+/// A complete procedure: declarations plus an ordered forest of loop nests
+/// and straight-line statements.
+///
+/// `Program` corresponds to one Fortran subroutine after front-end
+/// normalization (induction-variable substitution, constant propagation),
+/// which is exactly what the paper's Memoria compiler hands to the
+/// locality phase.
+///
+/// Construct programs with [`crate::build::ProgramBuilder`]; transformations
+/// in the `cmt-locality` crate rewrite the body in place.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    name: String,
+    params: Vec<ParamInfo>,
+    vars: Vec<VarInfo>,
+    arrays: Vec<ArrayInfo>,
+    body: Vec<Node>,
+    next_stmt: u32,
+    next_loop: u32,
+}
+
+impl Program {
+    /// Creates an empty program; prefer [`crate::build::ProgramBuilder`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            params: Vec::new(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            body: Vec::new(),
+            next_stmt: 0,
+            next_loop: 0,
+        }
+    }
+
+    /// The program (procedure) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared parameters, indexed by [`ParamId`].
+    pub fn params(&self) -> &[ParamInfo] {
+        &self.params
+    }
+
+    /// Declared index variables, indexed by [`VarId`].
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// Declared arrays, indexed by [`ArrayId`].
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Looks up an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not declared by this program.
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        &self.arrays[id.index()]
+    }
+
+    /// Looks up a parameter's name.
+    pub fn param_name(&self, id: ParamId) -> &str {
+        &self.params[id.index()].name
+    }
+
+    /// Looks up an index variable's name.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.vars[id.index()].name
+    }
+
+    /// The top-level body.
+    pub fn body(&self) -> &[Node] {
+        &self.body
+    }
+
+    /// Mutable top-level body, for transformations.
+    pub fn body_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.body
+    }
+
+    /// The top-level loop nests (loops only, skipping any stray top-level
+    /// statements), in source order.
+    pub fn nests(&self) -> Vec<&Loop> {
+        self.body.iter().filter_map(Node::as_loop).collect()
+    }
+
+    /// All statements in the program, source order.
+    pub fn statements(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        for n in &self.body {
+            out.extend(n.statements());
+        }
+        out
+    }
+
+    /// Allocates a fresh statement id (builder and transformations).
+    pub fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Allocates a fresh loop id (builder, distribution).
+    pub fn fresh_loop_id(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    /// Declares a parameter, returning its id.
+    pub fn declare_param(&mut self, name: impl Into<String>) -> ParamId {
+        self.params.push(ParamInfo { name: name.into() });
+        ParamId(self.params.len() as u32 - 1)
+    }
+
+    /// Declares an index variable, returning its id.
+    pub fn declare_var(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(VarInfo { name: name.into() });
+        VarId(self.vars.len() as u32 - 1)
+    }
+
+    /// Declares an array, returning its id.
+    pub fn declare_array(&mut self, info: ArrayInfo) -> ArrayId {
+        self.arrays.push(info);
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Finds a declared index variable by name.
+    pub fn find_var(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Finds a declared parameter by name.
+    pub fn find_param(&self, name: &str) -> Option<ParamId> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ParamId(i as u32))
+    }
+
+    /// Finds a declared array by name.
+    pub fn find_array(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name() == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    /// An environment with the given values bound to this program's
+    /// parameters in declaration order. Convenience for tests and the
+    /// interpreter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of declared
+    /// parameters.
+    pub fn param_env(&self, values: &[i64]) -> Env {
+        assert_eq!(
+            values.len(),
+            self.params.len(),
+            "program {} declares {} parameter(s), got {} value(s)",
+            self.name,
+            self.params.len(),
+            values.len()
+        );
+        let mut env = Env::new();
+        for (i, &v) in values.iter().enumerate() {
+            env.bind_param(ParamId(i as u32), v);
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::array::Extent;
+    use crate::expr::Expr;
+    use crate::stmt::ArrayRef;
+
+    #[test]
+    fn declarations_round_trip() {
+        let mut p = Program::new("t");
+        let n = p.declare_param("N");
+        let i = p.declare_var("I");
+        let a = p.declare_array(ArrayInfo::new("A", vec![Extent::param(n)]));
+        assert_eq!(p.find_param("N"), Some(n));
+        assert_eq!(p.find_var("I"), Some(i));
+        assert_eq!(p.find_array("A"), Some(a));
+        assert_eq!(p.find_array("B"), None);
+        assert_eq!(p.param_name(n), "N");
+        assert_eq!(p.var_name(i), "I");
+        assert_eq!(p.array(a).name(), "A");
+    }
+
+    #[test]
+    fn fresh_ids_are_sequential() {
+        let mut p = Program::new("t");
+        assert_eq!(p.fresh_stmt_id(), StmtId(0));
+        assert_eq!(p.fresh_stmt_id(), StmtId(1));
+        assert_eq!(p.fresh_loop_id(), LoopId(0));
+        assert_eq!(p.fresh_loop_id(), LoopId(1));
+    }
+
+    #[test]
+    fn nests_skips_top_level_statements() {
+        let mut p = Program::new("t");
+        let n = p.declare_param("N");
+        let i = p.declare_var("I");
+        let a = p.declare_array(ArrayInfo::new("A", vec![Extent::param(n)]));
+        let sid = p.fresh_stmt_id();
+        let lid = p.fresh_loop_id();
+        let s = Stmt::new(
+            sid,
+            ArrayRef::new(a, vec![Affine::constant(1)]),
+            Expr::Const(0.0),
+        );
+        p.body_mut().push(Node::Stmt(s.clone()));
+        p.body_mut().push(Node::Loop(Loop::new(
+            lid,
+            i,
+            Affine::constant(1),
+            Affine::param(n),
+            1,
+            vec![Node::Stmt(Stmt::new(
+                StmtId(99),
+                ArrayRef::new(a, vec![Affine::var(i)]),
+                Expr::Const(1.0),
+            ))],
+        )));
+        assert_eq!(p.nests().len(), 1);
+        assert_eq!(p.statements().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter")]
+    fn param_env_arity_checked() {
+        let mut p = Program::new("t");
+        p.declare_param("N");
+        let _ = p.param_env(&[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Statements and array references.
+
+use crate::affine::Affine;
+use crate::expr::Expr;
+use crate::ids::{ArrayId, StmtId, VarId};
+use std::fmt;
+
+/// A reference to an array element: `A(f1, f2, …)` with affine subscripts.
+///
+/// Subscripts are listed leftmost-first; with Fortran's column-major
+/// storage, the *first* subscript is the one with unit stride in memory —
+/// the cost model's "consecutive" test inspects `f1` only.
+///
+/// # Example
+///
+/// ```
+/// use cmt_ir::{affine::Affine, ids::{ArrayId, VarId}, stmt::ArrayRef};
+///
+/// // A(I, K+1)
+/// let r = ArrayRef::new(
+///     ArrayId(0),
+///     vec![Affine::var(VarId(0)), Affine::var(VarId(2)) + 1],
+/// );
+/// assert_eq!(r.rank(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    array: ArrayId,
+    subscripts: Vec<Affine>,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscripts` is empty.
+    pub fn new(array: ArrayId, subscripts: Vec<Affine>) -> Self {
+        assert!(!subscripts.is_empty(), "array references need ≥1 subscript");
+        ArrayRef { array, subscripts }
+    }
+
+    /// The referenced array.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// The subscript expressions, leftmost first.
+    pub fn subscripts(&self) -> &[Affine] {
+        &self.subscripts
+    }
+
+    /// Number of subscripts.
+    pub fn rank(&self) -> usize {
+        self.subscripts.len()
+    }
+
+    /// Coefficient of index variable `v` in subscript `dim` (0-based).
+    pub fn coeff(&self, dim: usize, v: VarId) -> i64 {
+        self.subscripts[dim].coeff_of_var(v)
+    }
+
+    /// True if no subscript mentions `v` — a candidate loop-invariant
+    /// reference with respect to loop `v`.
+    pub fn invariant_in(&self, v: VarId) -> bool {
+        self.subscripts.iter().all(|s| !s.mentions_var(v))
+    }
+
+    /// Returns a copy with each subscript rewritten by `f`.
+    pub fn map_subscripts(&self, mut f: impl FnMut(&Affine) -> Affine) -> ArrayRef {
+        ArrayRef {
+            array: self.array,
+            subscripts: self.subscripts.iter().map(&mut f).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.array)?;
+        for (k, s) in self.subscripts.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An assignment statement `lhs = rhs`.
+///
+/// The left-hand side is always an array element (Fortran scalars that
+/// carry locality significance are modeled as rank-1 single-element
+/// arrays).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    id: StmtId,
+    lhs: ArrayRef,
+    rhs: Expr,
+}
+
+impl Stmt {
+    /// Creates a statement. Ids are assigned by
+    /// [`crate::build::ProgramBuilder`]; tests may construct them directly.
+    pub fn new(id: StmtId, lhs: ArrayRef, rhs: Expr) -> Self {
+        Stmt { id, lhs, rhs }
+    }
+
+    /// The statement's stable identifier.
+    pub fn id(&self) -> StmtId {
+        self.id
+    }
+
+    /// The store target.
+    pub fn lhs(&self) -> &ArrayRef {
+        &self.lhs
+    }
+
+    /// The right-hand-side expression.
+    pub fn rhs(&self) -> &Expr {
+        &self.rhs
+    }
+
+    /// All array references in the statement: the store target first, then
+    /// the loads in source order. This is the reference universe the cost
+    /// model's `RefGroup` partitions.
+    pub fn refs(&self) -> Vec<&ArrayRef> {
+        let mut v = Vec::with_capacity(1 + self.rhs.size());
+        v.push(&self.lhs);
+        v.extend(self.rhs.loads());
+        v
+    }
+
+    /// Returns a copy with every array reference (including the store)
+    /// rewritten by `f`.
+    pub fn map_refs(&self, mut f: impl FnMut(&ArrayRef) -> ArrayRef) -> Stmt {
+        Stmt {
+            id: self.id,
+            lhs: f(&self.lhs),
+            rhs: self.rhs.map_refs(&mut f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i() -> VarId {
+        VarId(0)
+    }
+    fn j() -> VarId {
+        VarId(1)
+    }
+
+    fn aref() -> ArrayRef {
+        ArrayRef::new(ArrayId(0), vec![Affine::var(i()), Affine::var(j())])
+    }
+
+    #[test]
+    fn invariance_query() {
+        let r = aref();
+        assert!(!r.invariant_in(i()));
+        assert!(r.invariant_in(VarId(7)));
+    }
+
+    #[test]
+    fn coeff_query() {
+        let r = ArrayRef::new(ArrayId(1), vec![Affine::var(i()) * 2 + 1]);
+        assert_eq!(r.coeff(0, i()), 2);
+        assert_eq!(r.coeff(0, j()), 0);
+    }
+
+    #[test]
+    fn stmt_refs_lhs_first() {
+        let s = Stmt::new(
+            StmtId(0),
+            aref(),
+            Expr::load(ArrayRef::new(ArrayId(1), vec![Affine::var(j())]))
+                + Expr::load(ArrayRef::new(ArrayId(2), vec![Affine::var(i())])),
+        );
+        let ids: Vec<u32> = s.refs().iter().map(|r| r.array().0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_refs_covers_lhs_and_rhs() {
+        let s = Stmt::new(
+            StmtId(0),
+            aref(),
+            Expr::load(aref()) * Expr::Const(2.0),
+        );
+        let out = s.map_refs(|r| r.map_subscripts(|sub| sub.clone() + 1));
+        assert_eq!(out.lhs().subscripts()[0], Affine::var(i()) + 1);
+        let load = out.rhs().loads().next().unwrap();
+        assert_eq!(load.subscripts()[1], Affine::var(j()) + 1);
+        assert_eq!(out.id(), s.id());
+    }
+
+    #[test]
+    fn display_is_fortran_like() {
+        assert_eq!(aref().to_string(), "a0(i0,i1)");
+    }
+}

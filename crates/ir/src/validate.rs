@@ -1,0 +1,376 @@
+//! Structural validation of programs.
+//!
+//! Validation enforces the IR invariants every pass relies on:
+//!
+//! * loop index variables, parameters, and arrays are declared;
+//! * no index variable is bound twice on one nesting path;
+//! * loop bounds reference only *outer* index variables (plus parameters);
+//! * subscripts reference only enclosing index variables;
+//! * array reference ranks match declarations;
+//! * statement and loop ids are unique program-wide.
+//!
+//! Transformations call [`validate`] in debug assertions after rewriting.
+
+use crate::affine::Affine;
+use crate::ids::{LoopId, StmtId, VarId};
+use crate::node::{Loop, Node};
+use crate::program::Program;
+use crate::stmt::Stmt;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violated IR invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An id referenced an undeclared variable.
+    UndeclaredVar(VarId),
+    /// An id referenced an undeclared parameter.
+    UndeclaredParam(u32),
+    /// An id referenced an undeclared array.
+    UndeclaredArray(u32),
+    /// A loop bound or subscript used an index variable not bound by an
+    /// enclosing loop.
+    OutOfScopeVar {
+        /// The offending variable.
+        var: VarId,
+        /// Human-readable location.
+        site: String,
+    },
+    /// The same variable was bound by two loops on one nesting path.
+    RedundantBinding(VarId),
+    /// An array reference's rank differed from the declaration.
+    RankMismatch {
+        /// Array name.
+        array: String,
+        /// Declared rank.
+        declared: usize,
+        /// Rank at the reference.
+        used: usize,
+    },
+    /// Two statements shared an id.
+    DuplicateStmtId(StmtId),
+    /// Two loops shared an id.
+    DuplicateLoopId(LoopId),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UndeclaredVar(v) => write!(f, "undeclared index variable {v}"),
+            ValidateError::UndeclaredParam(p) => write!(f, "undeclared parameter p{p}"),
+            ValidateError::UndeclaredArray(a) => write!(f, "undeclared array a{a}"),
+            ValidateError::OutOfScopeVar { var, site } => {
+                write!(f, "variable {var} used out of scope at {site}")
+            }
+            ValidateError::RedundantBinding(v) => {
+                write!(f, "variable {v} bound twice on one nesting path")
+            }
+            ValidateError::RankMismatch {
+                array,
+                declared,
+                used,
+            } => write!(
+                f,
+                "array {array} declared rank {declared} but referenced with {used} subscript(s)"
+            ),
+            ValidateError::DuplicateStmtId(s) => write!(f, "duplicate statement id {s}"),
+            ValidateError::DuplicateLoopId(l) => write!(f, "duplicate loop id {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Checker<'p> {
+    program: &'p Program,
+    scope: Vec<VarId>,
+    stmt_ids: HashSet<StmtId>,
+    loop_ids: HashSet<LoopId>,
+}
+
+impl<'p> Checker<'p> {
+    fn check_affine(&self, e: &Affine, site: &str, allow: &[VarId]) -> Result<(), ValidateError> {
+        for (v, _) in e.var_terms() {
+            if v.index() >= self.program.vars().len() {
+                return Err(ValidateError::UndeclaredVar(v));
+            }
+            if !allow.contains(&v) {
+                return Err(ValidateError::OutOfScopeVar {
+                    var: v,
+                    site: site.to_string(),
+                });
+            }
+        }
+        for (p, _) in e.param_terms() {
+            if p.index() >= self.program.params().len() {
+                return Err(ValidateError::UndeclaredParam(p.0));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_expr_scope(&self, e: &crate::expr::Expr) -> Result<(), ValidateError> {
+        match e {
+            crate::expr::Expr::Index(v) => {
+                if v.index() >= self.program.vars().len() {
+                    return Err(ValidateError::UndeclaredVar(*v));
+                }
+                if !self.scope.contains(v) {
+                    return Err(ValidateError::OutOfScopeVar {
+                        var: *v,
+                        site: "index expression".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            crate::expr::Expr::Param(p) => {
+                if p.index() >= self.program.params().len() {
+                    return Err(ValidateError::UndeclaredParam(p.0));
+                }
+                Ok(())
+            }
+            crate::expr::Expr::Const(_) | crate::expr::Expr::Load(_) => Ok(()),
+            crate::expr::Expr::Unary(_, inner) => self.check_expr_scope(inner),
+            crate::expr::Expr::Binary(_, a, b) => {
+                self.check_expr_scope(a)?;
+                self.check_expr_scope(b)
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), ValidateError> {
+        if !self.stmt_ids.insert(s.id()) {
+            return Err(ValidateError::DuplicateStmtId(s.id()));
+        }
+        self.check_expr_scope(s.rhs())?;
+        for r in s.refs() {
+            let aidx = r.array().index();
+            if aidx >= self.program.arrays().len() {
+                return Err(ValidateError::UndeclaredArray(r.array().0));
+            }
+            let decl = self.program.array(r.array());
+            if decl.rank() != r.rank() {
+                return Err(ValidateError::RankMismatch {
+                    array: decl.name().to_string(),
+                    declared: decl.rank(),
+                    used: r.rank(),
+                });
+            }
+            for (d, sub) in r.subscripts().iter().enumerate() {
+                let site = format!("{}(subscript {})", decl.name(), d + 1);
+                self.check_affine(sub, &site, &self.scope)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_loop(&mut self, l: &Loop) -> Result<(), ValidateError> {
+        if !self.loop_ids.insert(l.id()) {
+            return Err(ValidateError::DuplicateLoopId(l.id()));
+        }
+        if l.var().index() >= self.program.vars().len() {
+            return Err(ValidateError::UndeclaredVar(l.var()));
+        }
+        if self.scope.contains(&l.var()) {
+            return Err(ValidateError::RedundantBinding(l.var()));
+        }
+        let site = format!("bounds of loop {}", l.id());
+        // Bounds may reference only *outer* variables.
+        self.check_affine(l.lower(), &site, &self.scope)?;
+        self.check_affine(l.upper(), &site, &self.scope)?;
+        self.scope.push(l.var());
+        for n in l.body() {
+            self.check_node(n)?;
+        }
+        self.scope.pop();
+        Ok(())
+    }
+
+    fn check_node(&mut self, n: &Node) -> Result<(), ValidateError> {
+        match n {
+            Node::Stmt(s) => self.check_stmt(s),
+            Node::Loop(l) => self.check_loop(l),
+        }
+    }
+}
+
+/// Validates a program against the IR invariants listed in the
+/// [module docs](self).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut checker = Checker {
+        program,
+        scope: Vec::new(),
+        stmt_ids: HashSet::new(),
+        loop_ids: HashSet::new(),
+    };
+    for n in program.body() {
+        checker.check_node(n)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::array::{ArrayInfo, Extent};
+    use crate::expr::Expr;
+    use crate::stmt::ArrayRef;
+
+    fn base() -> Program {
+        let mut p = Program::new("t");
+        p.declare_param("N");
+        p.declare_var("I");
+        p.declare_array(ArrayInfo::new("A", vec![Extent::constant(10)]));
+        p
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut p = base();
+        let i = p.find_var("I").unwrap();
+        let a = p.find_array("A").unwrap();
+        let sid = p.fresh_stmt_id();
+        let lid = p.fresh_loop_id();
+        p.body_mut().push(Node::Loop(Loop::new(
+            lid,
+            i,
+            Affine::constant(1),
+            Affine::constant(10),
+            1,
+            vec![Node::Stmt(Stmt::new(
+                sid,
+                ArrayRef::new(a, vec![Affine::var(i)]),
+                Expr::Const(0.0),
+            ))],
+        )));
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn out_of_scope_subscript_rejected() {
+        let mut p = base();
+        let a = p.find_array("A").unwrap();
+        let sid = p.fresh_stmt_id();
+        // Statement at top level references loop variable I.
+        let i = p.find_var("I").unwrap();
+        p.body_mut().push(Node::Stmt(Stmt::new(
+            sid,
+            ArrayRef::new(a, vec![Affine::var(i)]),
+            Expr::Const(0.0),
+        )));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::OutOfScopeVar { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_scope_index_expression_rejected() {
+        // A(1) = I with I not bound by any loop: Expr::Index scoping.
+        let mut p = base();
+        let i = p.find_var("I").unwrap();
+        let a = p.find_array("A").unwrap();
+        let sid = p.fresh_stmt_id();
+        p.body_mut().push(Node::Stmt(Stmt::new(
+            sid,
+            ArrayRef::new(a, vec![Affine::constant(1)]),
+            Expr::Index(i),
+        )));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::OutOfScopeVar { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut p = base();
+        let a = p.find_array("A").unwrap();
+        let sid = p.fresh_stmt_id();
+        p.body_mut().push(Node::Stmt(Stmt::new(
+            sid,
+            ArrayRef::new(a, vec![Affine::constant(1), Affine::constant(1)]),
+            Expr::Const(0.0),
+        )));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_stmt_ids_rejected() {
+        let mut p = base();
+        let a = p.find_array("A").unwrap();
+        let mk = |id| {
+            Node::Stmt(Stmt::new(
+                StmtId(id),
+                ArrayRef::new(a, vec![Affine::constant(1)]),
+                Expr::Const(0.0),
+            ))
+        };
+        p.body_mut().push(mk(0));
+        p.body_mut().push(mk(0));
+        assert_eq!(validate(&p), Err(ValidateError::DuplicateStmtId(StmtId(0))));
+    }
+
+    #[test]
+    fn redundant_binding_rejected() {
+        let mut p = base();
+        let i = p.find_var("I").unwrap();
+        let inner_id = p.fresh_loop_id();
+        let outer_id = p.fresh_loop_id();
+        let inner = Loop::new(
+            inner_id,
+            i,
+            Affine::constant(1),
+            Affine::constant(2),
+            1,
+            vec![],
+        );
+        p.body_mut().push(Node::Loop(Loop::new(
+            outer_id,
+            i,
+            Affine::constant(1),
+            Affine::constant(2),
+            1,
+            vec![Node::Loop(inner)],
+        )));
+        assert_eq!(validate(&p), Err(ValidateError::RedundantBinding(i)));
+    }
+
+    #[test]
+    fn bound_referencing_inner_var_rejected() {
+        let mut p = base();
+        let i = p.find_var("I").unwrap();
+        let j = p.declare_var("J");
+        let l0 = p.fresh_loop_id();
+        let l1 = p.fresh_loop_id();
+        // DO I = 1, J  — J not bound anywhere outside.
+        let inner = Loop::new(
+            l1,
+            j,
+            Affine::constant(1),
+            Affine::constant(5),
+            1,
+            vec![],
+        );
+        p.body_mut().push(Node::Loop(Loop::new(
+            l0,
+            i,
+            Affine::constant(1),
+            Affine::var(j),
+            1,
+            vec![Node::Loop(inner)],
+        )));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::OutOfScopeVar { .. })
+        ));
+    }
+}

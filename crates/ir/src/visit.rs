@@ -1,0 +1,161 @@
+//! Traversal helpers shared by analyses and transformations.
+
+use crate::node::{Loop, Node};
+use crate::stmt::Stmt;
+
+/// Calls `f` for every statement under `nodes`, passing the stack of
+/// enclosing loops outermost-first. This is the shape every analysis in the
+/// paper consumes: a statement plus its loop context.
+pub fn for_each_stmt<'a>(nodes: &'a [Node], f: &mut impl FnMut(&[&'a Loop], &'a Stmt)) {
+    fn go<'a>(
+        nodes: &'a [Node],
+        stack: &mut Vec<&'a Loop>,
+        f: &mut impl FnMut(&[&'a Loop], &'a Stmt),
+    ) {
+        for n in nodes {
+            match n {
+                Node::Stmt(s) => f(stack, s),
+                Node::Loop(l) => {
+                    stack.push(l);
+                    go(l.body(), stack, f);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    let mut stack = Vec::new();
+    go(nodes, &mut stack, f);
+}
+
+/// Collects `(enclosing loops, statement)` pairs in source order.
+pub fn stmts_with_context(nodes: &[Node]) -> Vec<(Vec<&Loop>, &Stmt)> {
+    let mut out = Vec::new();
+    for_each_stmt(nodes, &mut |loops, s| out.push((loops.to_vec(), s)));
+    out
+}
+
+/// The maximal *perfect* chain of loops starting at `l`: `l`, then its only
+/// loop child, and so on while each body is exactly one loop. The last
+/// element's body holds the statements (and possibly further imperfect
+/// structure).
+pub fn perfect_chain(l: &Loop) -> Vec<&Loop> {
+    let mut chain = vec![l];
+    let mut cur = l;
+    while let Some(child) = cur.only_loop_child() {
+        chain.push(child);
+        cur = child;
+    }
+    chain
+}
+
+/// True when the nest rooted at `l` is perfect all the way down to
+/// statements: every level has exactly one loop child, and the innermost
+/// level contains statements only.
+pub fn is_perfect(l: &Loop) -> bool {
+    let chain = perfect_chain(l);
+    let innermost = chain.last().expect("chain contains at least the root");
+    innermost
+        .body()
+        .iter()
+        .all(|n| matches!(n, Node::Stmt(_)))
+}
+
+/// All loops in the subtree rooted at `l`, preorder.
+pub fn all_loops(l: &Loop) -> Vec<&Loop> {
+    let mut out = Vec::new();
+    fn go<'a>(l: &'a Loop, out: &mut Vec<&'a Loop>) {
+        out.push(l);
+        for n in l.body() {
+            if let Node::Loop(inner) = n {
+                go(inner, out);
+            }
+        }
+    }
+    go(l, &mut out);
+    out
+}
+
+/// The immediate loop children of a body (direct `Node::Loop` entries).
+pub fn loop_children(nodes: &[Node]) -> Vec<&Loop> {
+    nodes.iter().filter_map(Node::as_loop).collect()
+}
+
+/// Mutable visitor over every loop in a body, preorder. `f` may rewrite
+/// headers and bodies; the walk recurses into the possibly-rewritten body.
+pub fn for_each_loop_mut(nodes: &mut [Node], f: &mut impl FnMut(&mut Loop)) {
+    for n in nodes {
+        if let Node::Loop(l) = n {
+            f(l);
+            for_each_loop_mut(l.body_mut(), f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::expr::Expr;
+    use crate::ids::{ArrayId, LoopId, StmtId, VarId};
+    use crate::stmt::ArrayRef;
+
+    fn stmt(n: u32) -> Stmt {
+        Stmt::new(
+            StmtId(n),
+            ArrayRef::new(ArrayId(0), vec![Affine::constant(1)]),
+            Expr::Const(0.0),
+        )
+    }
+
+    fn lp(id: u32, var: u32, body: Vec<Node>) -> Loop {
+        Loop::new(
+            LoopId(id),
+            VarId(var),
+            Affine::constant(1),
+            Affine::constant(4),
+            1,
+            body,
+        )
+    }
+
+    #[test]
+    fn for_each_stmt_reports_context() {
+        let inner = lp(1, 1, vec![stmt(0).into()]);
+        let outer = lp(0, 0, vec![inner.into(), stmt(1).into()]);
+        let nodes = vec![Node::Loop(outer)];
+        let mut seen = Vec::new();
+        for_each_stmt(&nodes, &mut |loops, s| {
+            seen.push((s.id().0, loops.iter().map(|l| l.id().0).collect::<Vec<_>>()));
+        });
+        assert_eq!(seen, vec![(0, vec![0, 1]), (1, vec![0])]);
+    }
+
+    #[test]
+    fn perfect_chain_stops_at_imperfection() {
+        let innermost = lp(2, 2, vec![stmt(0).into()]);
+        let mid = lp(1, 1, vec![innermost.into()]);
+        let outer = lp(0, 0, vec![mid.into()]);
+        assert_eq!(perfect_chain(&outer).len(), 3);
+        assert!(is_perfect(&outer));
+
+        let imperfect = lp(3, 0, vec![stmt(1).into(), lp(4, 1, vec![stmt(2).into()]).into()]);
+        assert_eq!(perfect_chain(&imperfect).len(), 1);
+        assert!(!is_perfect(&imperfect));
+    }
+
+    #[test]
+    fn all_loops_preorder() {
+        let a = lp(1, 1, vec![stmt(0).into()]);
+        let b = lp(2, 2, vec![stmt(1).into()]);
+        let outer = lp(0, 0, vec![a.into(), b.into()]);
+        let ids: Vec<u32> = all_loops(&outer).iter().map(|l| l.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn is_perfect_requires_stmt_only_innermost() {
+        // DO i { DO j { } }  — innermost has empty body, trivially all-stmt.
+        let outer = lp(0, 0, vec![lp(1, 1, vec![]).into()]);
+        assert!(is_perfect(&outer));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the affine-expression algebra the whole system
+//! rests on.
+
+use cmt_ir::affine::{Affine, Env};
+use cmt_ir::ids::{ParamId, VarId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct AffSpec {
+    constant: i64,
+    vars: Vec<(u32, i64)>,
+    params: Vec<(u32, i64)>,
+}
+
+fn aff_strategy() -> impl Strategy<Value = AffSpec> {
+    (
+        -100i64..100,
+        prop::collection::vec((0u32..4, -10i64..10), 0..4),
+        prop::collection::vec((0u32..2, -10i64..10), 0..3),
+    )
+        .prop_map(|(constant, vars, params)| AffSpec {
+            constant,
+            vars,
+            params,
+        })
+}
+
+fn build(spec: &AffSpec) -> Affine {
+    Affine::from_parts(
+        spec.constant,
+        spec.vars.iter().map(|&(v, c)| (VarId(v), c)),
+        spec.params.iter().map(|&(p, c)| (ParamId(p), c)),
+    )
+}
+
+fn env(values: &[i64; 4], params: &[i64; 2]) -> Env {
+    let mut e = Env::new();
+    for (k, &v) in values.iter().enumerate() {
+        e.bind_var(VarId(k as u32), v);
+    }
+    for (k, &p) in params.iter().enumerate() {
+        e.bind_param(ParamId(k as u32), p);
+    }
+    e
+}
+
+proptest! {
+    /// Evaluation is a ring homomorphism: eval(a ± b) = eval(a) ± eval(b),
+    /// eval(k·a) = k·eval(a).
+    #[test]
+    fn eval_is_linear(
+        a in aff_strategy(), b in aff_strategy(),
+        vals in prop::array::uniform4(-20i64..20),
+        ps in prop::array::uniform2(-20i64..20),
+        k in -5i64..5,
+    ) {
+        let e = env(&vals, &ps);
+        let (x, y) = (build(&a), build(&b));
+        let (ex, ey) = (x.eval(&e).unwrap(), y.eval(&e).unwrap());
+        prop_assert_eq!((x.clone() + y.clone()).eval(&e).unwrap(), ex + ey);
+        prop_assert_eq!((x.clone() - y).eval(&e).unwrap(), ex - ey);
+        prop_assert_eq!((x * k).eval(&e).unwrap(), ex * k);
+    }
+
+    /// Substitution agrees with evaluation: eval(a[v := r]) under E equals
+    /// eval(a) under E[v ↦ eval(r)].
+    #[test]
+    fn substitution_respects_eval(
+        a in aff_strategy(), r in aff_strategy(),
+        vals in prop::array::uniform4(-20i64..20),
+        ps in prop::array::uniform2(-20i64..20),
+        which in 0u32..4,
+    ) {
+        let e = env(&vals, &ps);
+        let v = VarId(which);
+        let x = build(&a);
+        let repl = build(&r);
+        let substituted = x.substitute_var(v, &repl);
+        let mut e2 = e.clone();
+        e2.bind_var(v, repl.eval(&e).unwrap());
+        prop_assert_eq!(substituted.eval(&e).unwrap(), x.eval(&e2).unwrap());
+    }
+
+    /// Simultaneous renaming is evaluation under a permuted environment.
+    #[test]
+    fn rename_vars_matches_swapped_env(
+        a in aff_strategy(),
+        vals in prop::array::uniform4(-20i64..20),
+        ps in prop::array::uniform2(-20i64..20),
+    ) {
+        let e = env(&vals, &ps);
+        let x = build(&a);
+        // Swap v0 and v1 everywhere.
+        let swapped = x.rename_vars(&[(VarId(0), VarId(1)), (VarId(1), VarId(0))]);
+        let mut e2 = e.clone();
+        e2.bind_var(VarId(0), vals[1]);
+        e2.bind_var(VarId(1), vals[0]);
+        prop_assert_eq!(swapped.eval(&e).unwrap(), x.eval(&e2).unwrap());
+    }
+
+    /// Normalization: structural equality equals semantic equality on a
+    /// probing set of environments.
+    #[test]
+    fn normalization_canonical(a in aff_strategy(), b in aff_strategy()) {
+        let (x, y) = (build(&a), build(&b));
+        if x == y {
+            for probe in [[1, 2, 3, 4], [7, -3, 0, 11], [100, 100, -100, 5]] {
+                let e = env(&probe, &[13, -7]);
+                prop_assert_eq!(x.eval(&e).unwrap(), y.eval(&e).unwrap());
+            }
+        }
+    }
+
+    /// Negation is an involution and `a - a = 0`.
+    #[test]
+    fn neg_involution(a in aff_strategy()) {
+        let x = build(&a);
+        prop_assert_eq!(-(-x.clone()), x.clone());
+        prop_assert!((x.clone() - x).is_constant());
+    }
+}

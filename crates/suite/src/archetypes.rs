@@ -1,0 +1,340 @@
+//! Nest archetypes: the building blocks of the benchmark-program models.
+//!
+//! Each archetype is a small loop nest with a *known* fate under the
+//! compound algorithm, verified by unit tests:
+//!
+//! | archetype | fate |
+//! |---|---|
+//! | [`add_good`] | already in memory order |
+//! | [`add_permutable`] | permuted into memory order |
+//! | [`add_good3`] / [`add_permutable3`] | depth-3 variants |
+//! | [`add_blocked`] | dependences block memory order (Fail) |
+//! | [`add_complex_bounds`] | banded bounds defeat interchange (Fail) |
+//! | [`add_unanalyzable`] | coupled subscripts defeat analysis (Fail) — models index-array / linearized-array coding styles |
+//! | [`add_fusion_pair`] | two compatible nests fused for temporal reuse |
+//! | [`add_distributable`] | distribution + permutation splits the nest |
+//! | [`add_reduction_small_dim`] | tiny leading dimension (`applu`-style); transformation legal but unprofitable at run time |
+
+use cmt_ir::affine::Affine;
+use cmt_ir::build::ProgramBuilder;
+use cmt_ir::expr::Expr;
+use cmt_ir::ids::ParamId;
+
+/// `DO J { DO I { C(I,J) = A(I,J)+1 } }` — unit stride innermost; already
+/// in memory order.
+pub fn add_good(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("GA{tag}"), n);
+    let c = b.matrix(&format!("GC{tag}"), n);
+    let (jn, inn) = (format!("gj{tag}"), format!("gi{tag}"));
+    b.loop_(&jn, 1, n, |b| {
+        b.loop_(&inn, 1, n, |b| {
+            let (i, j) = (b.var(&inn), b.var(&jn));
+            let lhs = b.at(c, [i, j]);
+            let rhs = Expr::load(b.at(a, [i, j])) + Expr::Const(1.0);
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+/// `DO I { DO J { C(I,J) = A(I,J) } }` — strides across rows; the
+/// compiler interchanges it.
+pub fn add_permutable(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("PA{tag}"), n);
+    let c = b.matrix(&format!("PC{tag}"), n);
+    let (jn, inn) = (format!("pj{tag}"), format!("pi{tag}"));
+    b.loop_(&inn, 1, n, |b| {
+        b.loop_(&jn, 1, n, |b| {
+            let (i, j) = (b.var(&inn), b.var(&jn));
+            let lhs = b.at(c, [i, j]);
+            let rhs = Expr::load(b.at(a, [i, j])) * Expr::Const(0.5);
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+/// Depth-3 nest already in memory order (JKI matmul shape). The `K`
+/// extent is a constant 8 so simulation stays O(n²); the LoopCost ranking
+/// (J > K > I) is unchanged.
+pub fn add_good3(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("G3A{tag}"), n);
+    let bb = b.matrix(&format!("G3B{tag}"), n);
+    let c = b.matrix(&format!("G3C{tag}"), n);
+    let (jn, kn, inn) = (format!("g3j{tag}"), format!("g3k{tag}"), format!("g3i{tag}"));
+    b.loop_(&jn, 1, n, |b| {
+        b.loop_(&kn, 1, 8, |b| {
+            b.loop_(&inn, 1, n, |b| {
+                let (i, j, k) = (b.var(&inn), b.var(&jn), b.var(&kn));
+                let lhs = b.at(c, [i, j]);
+                let rhs = Expr::load(b.at(c, [i, j]))
+                    + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                b.assign(lhs, rhs);
+            });
+        });
+    });
+}
+
+/// Depth-3 nest in IJK order; permuted to JKI. Constant `K` extent as in
+/// [`add_good3`].
+pub fn add_permutable3(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("P3A{tag}"), n);
+    let bb = b.matrix(&format!("P3B{tag}"), n);
+    let c = b.matrix(&format!("P3C{tag}"), n);
+    let (jn, kn, inn) = (format!("p3j{tag}"), format!("p3k{tag}"), format!("p3i{tag}"));
+    b.loop_(&inn, 1, n, |b| {
+        b.loop_(&jn, 1, n, |b| {
+            b.loop_(&kn, 1, 8, |b| {
+                let (i, j, k) = (b.var(&inn), b.var(&jn), b.var(&kn));
+                let lhs = b.at(c, [i, j]);
+                let rhs = Expr::load(b.at(c, [i, j]))
+                    + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                b.assign(lhs, rhs);
+            });
+        });
+    });
+}
+
+/// `A(I,J) = A(I-1,J-1) + A(I-1,J+1)` — the (1,1)/(1,−1) vector pair
+/// blocks every improving permutation (and reversal).
+pub fn add_blocked(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("BA{tag}"), n);
+    let (jn, inn) = (format!("bj{tag}"), format!("bi{tag}"));
+    b.loop_(&inn, 2, Affine::param(n) - 1, |b| {
+        b.loop_(&jn, 2, Affine::param(n) - 1, |b| {
+            let (i, j) = (b.var(&inn), b.var(&jn));
+            let lhs = b.at(a, [i, j]);
+            let rhs = Expr::load(b.at_vec(
+                a,
+                vec![Affine::var(i) - 1, Affine::var(j) - 1],
+            )) + Expr::load(b.at_vec(
+                a,
+                vec![Affine::var(i) - 1, Affine::var(j) + 1],
+            ));
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+/// Banded inner bounds `DO J = I, I+2` — memory order wants the
+/// interchange but the bound rewrite is unsupported ("bounds too
+/// complex").
+pub fn add_complex_bounds(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("XA{tag}"), n);
+    let c = b.matrix(&format!("XC{tag}"), n);
+    let (jn, inn) = (format!("xj{tag}"), format!("xi{tag}"));
+    b.loop_(&inn, 1, Affine::param(n) - 2, |b| {
+        let i = b.var(&inn);
+        b.loop_(&jn, Affine::var(i), Affine::var(i) + 2, |b| {
+            let j = b.var(&jn);
+            let lhs = b.at(c, [i, j]);
+            let rhs = Expr::load(b.at(a, [i, j])) + Expr::Const(2.0);
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+/// Coupled subscripts `A(I+J, J) = A(I+J−1, J±1)` — the coupled first
+/// dimension degrades the dependence tests to `*`, and the resulting
+/// conservative vectors block the interchange the model wants. Stands in
+/// for the index-array (`cgm`) and linearized-array (`mg3d`) coding
+/// styles whose analysis the paper reports as defeated.
+pub fn add_unanalyzable(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.array(
+        &format!("UA{tag}"),
+        vec![(Affine::param(n) * 2 + 1).into(), Affine::param(n).into()],
+    );
+    let (jn, inn) = (format!("uj{tag}"), format!("ui{tag}"));
+    b.loop_(&inn, 1, n, |b| {
+        b.loop_(&jn, 2, Affine::param(n) - 1, |b| {
+            let (i, j) = (b.var(&inn), b.var(&jn));
+            let lhs = b.at_vec(a, vec![Affine::var(i) + Affine::var(j), Affine::var(j)]);
+            let rhs = Expr::load(b.at_vec(
+                a,
+                vec![Affine::var(i) + Affine::var(j) - 1, Affine::var(j) + 1],
+            )) + Expr::load(b.at_vec(
+                a,
+                vec![Affine::var(i) + Affine::var(j) - 1, Affine::var(j) - 1],
+            ));
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+/// Two adjacent memory-order nests that share array `A` — the final
+/// fusion pass merges them for group-temporal reuse.
+pub fn add_fusion_pair(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.matrix(&format!("FA{tag}"), n);
+    let c = b.matrix(&format!("FC{tag}"), n);
+    let d = b.matrix(&format!("FD{tag}"), n);
+    let (j1, i1) = (format!("fj{tag}"), format!("fi{tag}"));
+    b.loop_(&j1, 1, n, |b| {
+        b.loop_(&i1, 1, n, |b| {
+            let (i, j) = (b.var(&i1), b.var(&j1));
+            let lhs = b.at(c, [i, j]);
+            let rhs = Expr::load(b.at(a, [i, j])) + Expr::Const(1.0);
+            b.assign(lhs, rhs);
+        });
+    });
+    let (j2, i2) = (format!("fj2{tag}"), format!("fi2{tag}"));
+    b.loop_(&j2, 1, n, |b| {
+        b.loop_(&i2, 1, n, |b| {
+            let (i, j) = (b.var(&i2), b.var(&j2));
+            let lhs = b.at(d, [i, j]);
+            let rhs = Expr::load(b.at(a, [i, j])) * Expr::Const(2.0);
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+/// Two independent statements in one nest: `S1` streams unit-stride data
+/// and wants the interchange, `S2` carries a dependence pair that pins
+/// the nest. Distribution separates them so `S1`'s copy can be permuted
+/// into memory order while `S2`'s copy stays — the paper's motivation for
+/// `Distribute` ("statements in different partitions may prefer different
+/// memory orders").
+pub fn add_distributable(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let c = b.matrix(&format!("DC{tag}"), n);
+    let e: Vec<_> = (0..4)
+        .map(|k| b.matrix(&format!("DE{k}{tag}"), n))
+        .collect();
+    let bb = b.matrix(&format!("DB{tag}"), n);
+    let (jn, inn) = (format!("dj{tag}"), format!("di{tag}"));
+    b.loop_(&inn, 2, Affine::param(n) - 1, |b| {
+        b.loop_(&jn, 2, n, |b| {
+            let (i, j) = (b.var(&inn), b.var(&jn));
+            // S1: recurrence carried by J; every read unit-stride in I.
+            let lhs = b.at(c, [i, j]);
+            let rhs = Expr::load(b.at_vec(c, vec![Affine::var(i), Affine::var(j) - 1]))
+                + Expr::load(b.at(e[0], [i, j]))
+                + Expr::load(b.at(e[1], [i, j]))
+                + Expr::load(b.at(e[2], [i, j]))
+                + Expr::load(b.at(e[3], [i, j]));
+            b.assign(lhs, rhs);
+            // S2: (1,−1)/(1,1)-style vectors in (I,J) block its movement.
+            let lhs2 = b.at(bb, [j, i]);
+            let rhs2 = Expr::load(b.at_vec(
+                bb,
+                vec![Affine::var(j) - 1, Affine::var(i) + 1],
+            )) + Expr::load(b.at_vec(
+                bb,
+                vec![Affine::var(j) - 1, Affine::var(i) - 1],
+            ));
+            b.assign(lhs2, rhs2);
+        });
+    });
+}
+
+/// `applu`-style reduction over arrays with a tiny leading dimension
+/// (5×N): the model prefers unit stride, but with 5-element columns the
+/// original reduction is at least as fast — the paper's one degradation.
+pub fn add_reduction_small_dim(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
+    let a = b.array(&format!("RA{tag}"), vec![5.into(), Affine::param(n).into()]);
+    let r = b.array(&format!("RR{tag}"), vec![5.into()]);
+    let (jn, mn) = (format!("rj{tag}"), format!("rm{tag}"));
+    b.loop_(&jn, 1, n, |b| {
+        b.loop_(&mn, 1, 5, |b| {
+            let (j, m) = (b.var(&jn), b.var(&mn));
+            let lhs = b.at(r, [m]);
+            let rhs = Expr::load(b.at(r, [m])) + Expr::load(b.at(a, [m, j]));
+            b.assign(lhs, rhs);
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::program::Program;
+    use cmt_locality::compound::compound;
+    use cmt_locality::model::CostModel;
+
+    fn one(adder: impl FnOnce(&mut ProgramBuilder, &str, ParamId)) -> Program {
+        let mut b = ProgramBuilder::new("arch");
+        let n = b.param("N");
+        adder(&mut b, "0", n);
+        b.finish()
+    }
+
+    #[test]
+    fn good_is_untouched() {
+        let mut p = one(add_good);
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.nests_orig_memory_order, 1);
+        assert_eq!(r.nests_failed, 0);
+    }
+
+    #[test]
+    fn permutable_is_permuted() {
+        for adder in [add_permutable, add_permutable3]
+            as [fn(&mut ProgramBuilder, &str, ParamId); 2]
+        {
+            let mut p = one(adder);
+            let orig = p.clone();
+            let r = compound(&mut p, &CostModel::new(4));
+            assert_eq!(r.nests_permuted, 1, "{r:#?}");
+            cmt_interp::assert_equivalent(&orig, &p, &[10]);
+        }
+    }
+
+    #[test]
+    fn good3_is_memory_order() {
+        let mut p = one(add_good3);
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.nests_orig_memory_order, 1);
+    }
+
+    #[test]
+    fn blocked_fails_on_dependences() {
+        let mut p = one(add_blocked);
+        let orig = p.clone();
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.nests_failed, 1, "{r:#?}");
+        assert_eq!(r.fail_dependences, 1);
+        assert_eq!(p, orig, "blocked nest must not change");
+    }
+
+    #[test]
+    fn complex_bounds_fail() {
+        let mut p = one(add_complex_bounds);
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.nests_failed, 1, "{r:#?}");
+        assert_eq!(r.fail_complex_bounds, 1, "{r:#?}");
+    }
+
+    #[test]
+    fn unanalyzable_fails() {
+        let mut p = one(add_unanalyzable);
+        let orig = p.clone();
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.nests_failed, 1, "{r:#?}");
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn fusion_pair_fuses() {
+        let mut p = one(add_fusion_pair);
+        let orig = p.clone();
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.fusion_candidates, 2, "{r:#?}");
+        assert_eq!(r.nests_fused, 2, "{r:#?}");
+        assert_eq!(p.nests().len(), 1);
+        cmt_interp::assert_equivalent(&orig, &p, &[10]);
+    }
+
+    #[test]
+    fn distributable_distributes() {
+        let mut p = one(add_distributable);
+        let orig = p.clone();
+        let r = compound(&mut p, &CostModel::new(4));
+        assert_eq!(r.distributions, 1, "{r:#?}");
+        assert!(r.nests_resulting >= 2);
+        cmt_interp::assert_equivalent(&orig, &p, &[10]);
+    }
+
+    #[test]
+    fn reduction_small_dim_behaviour() {
+        let mut p = one(add_reduction_small_dim);
+        let orig = p.clone();
+        let _ = compound(&mut p, &CostModel::new(4));
+        cmt_interp::assert_equivalent(&orig, &p, &[10]);
+    }
+}

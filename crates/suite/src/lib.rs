@@ -1,0 +1,21 @@
+//! Workloads for the reproduction: the paper's kernels, and IR models of
+//! its 35-program benchmark suite.
+//!
+//! The paper evaluates on the Perfect Club, SPEC, and NAS benchmarks plus
+//! miscellaneous programs — Fortran sources we cannot redistribute.
+//! Following DESIGN.md §4, [`models`] provides one synthetic *program
+//! model* per paper row, built from nest archetypes ([`archetypes`]) whose
+//! mixture matches the paper's reported per-program characteristics:
+//! fraction of nests originally in memory order, permutable vs
+//! dependence-blocked vs complex-bounds nests, and fusion/distribution
+//! opportunities. [`kernels`] holds the exactly-specified kernels of the
+//! paper's figures (matrix multiply, Cholesky, ADI integration,
+//! Erlebacher).
+
+pub mod archetypes;
+pub mod generator;
+pub mod kernels;
+pub mod models;
+pub mod stencils;
+
+pub use models::{suite, BenchmarkModel, Group, ModelSpec, NestMix};

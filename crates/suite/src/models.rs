@@ -1,0 +1,336 @@
+//! IR models of the paper's 35-program benchmark suite.
+//!
+//! One [`ModelSpec`] per row of the paper's Table 2. Each model is built
+//! from the nest archetypes of [`crate::archetypes`] in a mixture chosen
+//! to match the row's reported characteristics: the fraction of nests
+//! originally in memory order, how many are permutable vs blocked by
+//! dependences vs defeated by complex bounds or unanalyzable subscripts,
+//! and the fusion/distribution opportunities. The `rest` program models
+//! the unoptimized remainder of the application (already-good nests),
+//! which dilutes whole-program cache statistics exactly as in Table 4.
+//!
+//! The mixtures are scaled down (~8–12 nests per program instead of up to
+//! 162) to keep simulation fast; percentages, not absolute counts, are
+//! what the reproduction preserves.
+
+use crate::archetypes::*;
+use cmt_ir::build::ProgramBuilder;
+use cmt_ir::program::Program;
+
+/// Benchmark family, mirroring the paper's table sections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Perfect Club benchmarks.
+    Perfect,
+    /// SPEC benchmarks.
+    Spec,
+    /// NAS kernels.
+    Nas,
+    /// Miscellaneous programs.
+    Misc,
+}
+
+impl Group {
+    /// Display label used by the table harnesses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Group::Perfect => "Perfect Benchmarks",
+            Group::Spec => "SPEC Benchmarks",
+            Group::Nas => "NAS Benchmarks",
+            Group::Misc => "Miscellaneous Programs",
+        }
+    }
+}
+
+/// How many nests of each archetype a model contains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NestMix {
+    /// Depth-2 nests already in memory order.
+    pub good: usize,
+    /// Depth-2 nests the compiler permutes.
+    pub perm: usize,
+    /// Depth-3 nests already in memory order.
+    pub good3: usize,
+    /// Depth-3 nests the compiler permutes.
+    pub perm3: usize,
+    /// Dependence-blocked nests (fail).
+    pub blocked: usize,
+    /// Banded-bounds nests (fail: bounds too complex).
+    pub complex: usize,
+    /// Unanalyzable-subscript nests (fail; `cgm`/`mg3d` coding styles).
+    pub unanalyzable: usize,
+    /// Adjacent compatible nest *pairs* that fusion merges.
+    pub fusion_pairs: usize,
+    /// Nests that require distribution + permutation.
+    pub dist: usize,
+    /// Tiny-leading-dimension reductions (`applu`'s degradation).
+    pub reduction: usize,
+}
+
+impl NestMix {
+    /// Total nests of depth ≥ 2 (each fusion pair contributes two).
+    pub fn total_nests(&self) -> usize {
+        self.good
+            + self.perm
+            + self.good3
+            + self.perm3
+            + self.blocked
+            + self.complex
+            + self.unanalyzable
+            + 2 * self.fusion_pairs
+            + self.dist
+            + self.reduction
+    }
+}
+
+/// A row of the benchmark table: name, family, archetype mixture, and
+/// simulation sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Program name (matching the paper's row).
+    pub name: &'static str,
+    /// Benchmark family.
+    pub group: Group,
+    /// Archetype mixture for the optimized procedures.
+    pub mix: NestMix,
+    /// Already-good background nests (the program's unoptimized
+    /// remainder).
+    pub rest_nests: usize,
+    /// Matrix order for cache simulations (Table 4).
+    pub sim_n: i64,
+    /// Non-comment source lines reported by the paper (context column).
+    pub lines: u32,
+}
+
+/// A built model: the optimized-procedures program and the background
+/// program.
+#[derive(Clone, Debug)]
+pub struct BenchmarkModel {
+    /// The row's metadata.
+    pub spec: ModelSpec,
+    /// The nests the optimizer works on.
+    pub optimized: Program,
+    /// The rest of the application (good locality, left untouched).
+    pub rest: Program,
+}
+
+impl BenchmarkModel {
+    /// Builds the model's programs from its spec.
+    pub fn build(spec: ModelSpec) -> Self {
+        let mix = spec.mix;
+        let mut b = ProgramBuilder::new(spec.name);
+        let n = b.param("N");
+        let mut tag = 0usize;
+        let t = |tag: &mut usize| {
+            *tag += 1;
+            format!("{tag}")
+        };
+        // Interleave archetypes in a fixed round-robin so adjacency (for
+        // fusion) is what each archetype expects.
+        for _ in 0..mix.good {
+            add_good(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.perm {
+            add_permutable(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.good3 {
+            add_good3(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.perm3 {
+            add_permutable3(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.blocked {
+            add_blocked(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.complex {
+            add_complex_bounds(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.unanalyzable {
+            add_unanalyzable(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.fusion_pairs {
+            add_fusion_pair(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.dist {
+            add_distributable(&mut b, &t(&mut tag), n);
+        }
+        for _ in 0..mix.reduction {
+            add_reduction_small_dim(&mut b, &t(&mut tag), n);
+        }
+        let optimized = b.finish();
+
+        let mut rb = ProgramBuilder::new(format!("{}-rest", spec.name));
+        let rn = rb.param("N");
+        for k in 0..spec.rest_nests {
+            add_good(&mut rb, &format!("r{k}"), rn);
+        }
+        let rest = rb.finish();
+
+        BenchmarkModel {
+            spec,
+            optimized,
+            rest,
+        }
+    }
+}
+
+/// The full 35-model suite, in the paper's table order.
+pub fn suite() -> Vec<BenchmarkModel> {
+    specs().into_iter().map(BenchmarkModel::build).collect()
+}
+
+/// The specs behind [`suite`].
+#[rustfmt::skip]
+pub fn specs() -> Vec<ModelSpec> {
+    use Group::*;
+    let m = |name, group, lines, mix: NestMix, rest_nests, sim_n| ModelSpec {
+        name, group, mix, rest_nests, sim_n, lines,
+    };
+    let mix = |good, perm, good3, perm3, blocked, complex, unanalyzable,
+               fusion_pairs, dist, reduction| NestMix {
+        good, perm, good3, perm3, blocked, complex, unanalyzable,
+        fusion_pairs, dist, reduction,
+    };
+    vec![
+        // Perfect Benchmarks.          g  p g3 p3 bl cx un fu di re
+        m("adm",        Perfect, 6105, mix(6, 2, 0, 0, 3, 1, 0, 0, 1, 0), 10, 192),
+        m("arc2d",      Perfect, 3965, mix(4, 2, 1, 1, 2, 0, 0, 2, 1, 0),  2, 192),
+        m("bdna",       Perfect, 3980, mix(6, 2, 0, 0, 1, 0, 0, 1, 1, 0),  8, 192),
+        m("dyfesm",     Perfect, 7608, mix(6, 2, 0, 0, 2, 0, 0, 1, 0, 0),  8, 192),
+        m("flo52",      Perfect, 1986, mix(6, 1, 1, 0, 0, 0, 0, 1, 0, 0),  6, 192),
+        m("mdg",        Perfect, 1238, mix(5, 1, 0, 0, 1, 0, 0, 0, 0, 0),  6, 192),
+        m("mg3d",       Perfect, 2812, mix(8, 0, 0, 0, 0, 0, 1, 0, 1, 0),  6, 192),
+        m("ocean",      Perfect, 4343, mix(7, 1, 0, 0, 0, 0, 0, 1, 1, 0),  5, 192),
+        m("qcd",        Perfect, 2327, mix(5, 1, 0, 0, 3, 0, 0, 0, 0, 0),  6, 192),
+        m("spec77",     Perfect, 3885, mix(7, 1, 0, 0, 3, 0, 0, 0, 0, 0),  8, 192),
+        m("track",      Perfect, 3735, mix(4, 1, 0, 0, 2, 0, 0, 1, 1, 0),  6, 192),
+        m("trfd",       Perfect,  485, mix(4, 0, 0, 0, 3, 1, 0, 0, 0, 0),  4, 192),
+        // SPEC Benchmarks.
+        m("dnasa7",     Spec,    1105, mix(3, 1, 2, 1, 2, 0, 0, 1, 1, 0),  2, 192),
+        m("doduc",      Spec,    5334, mix(1, 1, 0, 0, 6, 1, 0, 0, 1, 0),  8, 192),
+        m("fpppp",      Spec,    2718, mix(4, 1, 0, 0, 0, 0, 0, 0, 0, 0), 10, 192),
+        m("hydro2d",    Spec,    4461, mix(2, 0, 0, 0, 0, 0, 0, 3, 0, 0),  4, 192),
+        m("matrix300",  Spec,     439, mix(0, 0, 1, 1, 0, 0, 0, 0, 1, 0),  1, 192),
+        m("mdljdp2",    Spec,    4316, mix(0, 0, 0, 0, 1, 0, 0, 0, 0, 0),  8, 192),
+        m("mdljsp2",    Spec,    3885, mix(0, 0, 0, 0, 1, 0, 0, 0, 0, 0),  8, 192),
+        m("ora",        Spec,     453, mix(2, 0, 0, 0, 0, 0, 0, 0, 0, 0),  4, 192),
+        m("su2cor",     Spec,    2514, mix(3, 1, 0, 0, 2, 0, 0, 0, 1, 0),  6, 192),
+        m("swm256",     Spec,     487, mix(5, 1, 0, 0, 0, 0, 0, 0, 0, 0),  3, 192),
+        m("tomcatv",    Spec,     195, mix(2, 0, 0, 0, 0, 0, 0, 1, 0, 0),  2, 192),
+        // NAS Benchmarks.
+        m("appbt",      Nas,     4457, mix(7, 0, 0, 0, 0, 0, 0, 1, 0, 0),  6, 192),
+        m("applu",      Nas,     3285, mix(5, 1, 0, 0, 2, 0, 0, 1, 1, 1),  6, 192),
+        m("appsp",      Nas,     3516, mix(5, 1, 1, 0, 1, 0, 0, 2, 0, 0),  4, 192),
+        m("buk",        Nas,      305, mix(0, 0, 0, 0, 0, 0, 0, 0, 0, 0),  2, 192),
+        m("cgm",        Nas,      855, mix(0, 0, 0, 0, 0, 0, 3, 0, 0, 0),  4, 192),
+        m("embar",      Nas,      265, mix(1, 0, 0, 0, 1, 0, 0, 0, 0, 0),  4, 192),
+        m("fftpde",     Nas,      773, mix(6, 0, 0, 0, 1, 0, 0, 0, 0, 0),  4, 192),
+        m("mgrid",      Nas,      676, mix(5, 1, 0, 0, 0, 0, 0, 1, 1, 0),  4, 192),
+        // Miscellaneous Programs.
+        m("erlebacher", Misc,     870, mix(3, 1, 0, 0, 0, 0, 0, 4, 0, 0),  2, 192),
+        m("linpackd",   Misc,     797, mix(1, 0, 0, 0, 1, 0, 0, 1, 0, 0),  6, 192),
+        m("simple",     Misc,    1892, mix(4, 2, 0, 0, 1, 0, 0, 1, 0, 0),  2, 192),
+        m("wave",       Misc,    7519, mix(4, 2, 0, 1, 1, 0, 0, 3, 0, 0),  2, 192),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::validate::validate;
+
+    #[test]
+    fn suite_has_35_models() {
+        let s = suite();
+        assert_eq!(s.len(), 35);
+        let names: Vec<&str> = s.iter().map(|m| m.spec.name).collect();
+        assert!(names.contains(&"arc2d"));
+        assert!(names.contains(&"tomcatv"));
+        assert!(names.contains(&"wave"));
+        // Unique names.
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 35);
+    }
+
+    #[test]
+    fn all_models_validate() {
+        for m in suite() {
+            validate(&m.optimized).unwrap_or_else(|e| panic!("{}: {e}", m.spec.name));
+            validate(&m.rest).unwrap_or_else(|e| panic!("{}-rest: {e}", m.spec.name));
+        }
+    }
+
+    #[test]
+    fn nest_counts_match_mix() {
+        for m in suite() {
+            let nests = m
+                .optimized
+                .nests()
+                .iter()
+                .filter(|l| cmt_ir::node::Node::Loop((**l).clone()).depth() >= 2)
+                .count();
+            assert_eq!(
+                nests,
+                m.spec.mix.total_nests(),
+                "{} nest count mismatch",
+                m.spec.name
+            );
+            assert_eq!(m.rest.nests().len(), m.spec.rest_nests);
+        }
+    }
+
+    #[test]
+    fn groups_cover_all_families() {
+        let s = specs();
+        for g in [Group::Perfect, Group::Spec, Group::Nas, Group::Misc] {
+            assert!(s.iter().any(|m| m.group == g), "{g:?} missing");
+        }
+        assert_eq!(Group::Nas.label(), "NAS Benchmarks");
+    }
+
+    #[test]
+    fn compound_matches_mix_expectations() {
+        use cmt_locality::{compound::compound, model::CostModel};
+        // Spot-check three models with distinctive mixes.
+        for m in suite() {
+            if !["hydro2d", "trfd", "arc2d"].contains(&m.spec.name) {
+                continue;
+            }
+            let mut p = m.optimized.clone();
+            let r = compound(&mut p, &CostModel::new(4));
+            match m.spec.name {
+                "hydro2d" => {
+                    // All nests originally in memory order; fusion only.
+                    assert_eq!(r.nests_failed, 0, "{r:#?}");
+                    assert_eq!(r.nests_orig_memory_order, r.nests_total);
+                    assert!(r.nests_fused >= 2 * m.spec.mix.fusion_pairs);
+                }
+                "trfd" => {
+                    assert_eq!(r.nests_failed, m.spec.mix.blocked + m.spec.mix.complex);
+                    assert_eq!(r.nests_permuted, 0);
+                }
+                "arc2d" => {
+                    assert!(r.nests_permuted >= m.spec.mix.perm + m.spec.mix.perm3);
+                    assert_eq!(r.distributions, m.spec.mix.dist);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn transformed_models_stay_equivalent() {
+        use cmt_locality::{compound::compound, model::CostModel};
+        for m in suite() {
+            if !["arc2d", "applu", "erlebacher"].contains(&m.spec.name) {
+                continue;
+            }
+            let orig = m.optimized.clone();
+            let mut p = m.optimized.clone();
+            let _ = compound(&mut p, &CostModel::new(4));
+            cmt_interp::assert_equivalent(&orig, &p, &[12]);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Explore how cache geometry changes the payoff of memory order: run the
+//! strided and unit-stride versions of a copy kernel across a grid of
+//! cache configurations.
+//!
+//! This is the experiment behind the paper's §5.5 observation that the
+//! 8 KB i860 cache exposes improvements the 64 KB RS/6000 cache hides.
+//!
+//! ```text
+//! cargo run --release --example cache_explorer [N]
+//! ```
+
+use cmt_locality_repro::cache::{Cache, CacheConfig};
+use cmt_locality_repro::interp::Machine;
+use cmt_locality_repro::ir::build::ProgramBuilder;
+use cmt_locality_repro::ir::expr::Expr;
+use cmt_locality_repro::ir::program::Program;
+
+fn copy_kernel(row_major_order: bool) -> Program {
+    let mut b = ProgramBuilder::new(if row_major_order { "strided" } else { "unit" });
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    let c = b.matrix("C", n);
+    let body = |b: &mut ProgramBuilder| {
+        let (i, j) = (b.var("I"), b.var("J"));
+        let lhs = b.at(c, [i, j]);
+        let rhs = Expr::load(b.at(a, [i, j]));
+        b.assign(lhs, rhs);
+    };
+    if row_major_order {
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, body);
+        });
+    } else {
+        b.loop_("J", 1, n, |b| {
+            b.loop_("I", 1, n, body);
+        });
+    }
+    b.finish()
+}
+
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let strided = copy_kernel(true);
+    let unit = copy_kernel(false);
+
+    println!("2-D copy, N = {n} (array = {} KB)", n * n * 8 / 1024);
+    println!(
+        "{:<18} {:>14} {:>14} {:>10}",
+        "cache", "strided hit%", "unit hit%", "gain"
+    );
+    for (size_kb, assoc, line) in [
+        (8u64, 1u32, 32u64),
+        (8, 2, 32),
+        (16, 2, 64),
+        (32, 4, 64),
+        (64, 4, 128),
+        (128, 4, 128),
+        (256, 8, 128),
+    ] {
+        let cfg = CacheConfig::new(size_kb * 1024, assoc, line);
+        let rate = |p: &Program| -> f64 {
+            let mut m = Machine::new(p, &[n]).expect("allocation");
+            let mut c = Cache::new(cfg);
+            m.run(p, &mut c).expect("execution");
+            c.stats().hit_rate_excluding_cold()
+        };
+        let rs = rate(&strided);
+        let ru = rate(&unit);
+        println!(
+            "{:<18} {:>13.1}% {:>13.1}% {:>9.1}%",
+            cfg.to_string(),
+            100.0 * rs,
+            100.0 * ru,
+            100.0 * (ru - rs)
+        );
+    }
+    println!(
+        "\nSmaller caches expose the permutation payoff that big caches hide —\n\
+         the paper's explanation for Table 4's cache1 vs cache2 contrast."
+    );
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: scripts/reproduce_all.sh [--quick]
+#   --quick  uses reduced problem sizes (minutes instead of tens of minutes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=${1:-}
+if [ "$QUICK" = "--quick" ]; then
+  FIG2_N=128; FIG3_N=128; FIG7_N=200; T1_N=32; T3_N=192; T4_N=96
+else
+  FIG2_N=544; FIG3_N=320; FIG7_N=600; T1_N=64; T3_N=576; T4_N=""
+fi
+
+mkdir -p results
+run() {
+  local name=$1; shift
+  echo ">>> $name"
+  cargo run --release -q -p cmt-bench --bin "$name" "$@" | tee "results/$name.txt"
+  echo
+}
+
+cargo build --release -q -p cmt-bench
+
+run fig2_matmul "$FIG2_N"
+run fig3_adi "$FIG3_N"
+run fig7_cholesky "$FIG7_N"
+run table1_erlebacher "$T1_N"
+run table2_memory_order
+run table3_performance "$T3_N"
+if [ -n "$T4_N" ]; then run table4_hit_rates "$T4_N"; else run table4_hit_rates; fi
+run table5_access_properties
+run fig8_9_histograms
+run ablation_table
+run ext_multilevel_tiling 160
+
+echo "All artifacts written to results/."

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Carr–McKinley–Tseng data-locality reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! one import root. See the individual crates for the real APIs:
+//! [`cmt_ir`], [`cmt_dependence`], [`cmt_locality`], [`cmt_cache`],
+//! [`cmt_interp`], [`cmt_suite`].
+pub use cmt_cache as cache;
+pub use cmt_dependence as dependence;
+pub use cmt_interp as interp;
+pub use cmt_ir as ir;
+pub use cmt_locality as locality;
+pub use cmt_suite as suite;

@@ -1,0 +1,76 @@
+//! Property tests on the cache-simulator substrate.
+
+use cmt_locality_repro::cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 20), 1..2000)
+}
+
+proptest! {
+    /// Accounting invariants: hits + misses = accesses, cold ≤ misses,
+    /// cold = distinct lines touched.
+    #[test]
+    fn accounting_invariants(trace in trace_strategy()) {
+        let cfg = CacheConfig::i860();
+        let mut c = Cache::new(cfg);
+        let mut lines = std::collections::HashSet::new();
+        for &a in &trace {
+            c.access(a, false);
+            lines.insert(a / cfg.line());
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.cold_misses <= s.misses);
+        prop_assert_eq!(s.cold_misses as usize, lines.len());
+        prop_assert!(c.resident_lines() <= (cfg.sets() * u64::from(cfg.assoc())) as usize);
+    }
+
+    /// LRU inclusion: with the same sets and line size, a higher
+    /// associativity never produces more misses on the same trace
+    /// (true-LRU stack property per set).
+    #[test]
+    fn associativity_monotonicity(trace in trace_strategy()) {
+        // Same number of sets (32) and line (32B); capacity scales with
+        // associativity.
+        let small = CacheConfig::new(32 * 32 * 2, 2, 32);
+        let large = CacheConfig::new(32 * 32 * 8, 8, 32);
+        let mut cs = Cache::new(small);
+        let mut cl = Cache::new(large);
+        for &a in &trace {
+            cs.access(a, false);
+            cl.access(a, false);
+        }
+        prop_assert!(
+            cl.stats().misses <= cs.stats().misses,
+            "LRU inclusion violated: {} vs {}",
+            cl.stats().misses,
+            cs.stats().misses
+        );
+    }
+
+    /// Determinism: replaying a trace gives identical statistics.
+    #[test]
+    fn deterministic_replay(trace in trace_strategy()) {
+        let run = || {
+            let mut c = Cache::new(CacheConfig::rs6000());
+            for &a in &trace {
+                c.access(a, a % 3 == 0);
+            }
+            c.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A trace folded to one line always hits after the first access.
+    #[test]
+    fn single_line_always_hits(count in 1usize..500) {
+        let mut c = Cache::new(CacheConfig::i860());
+        for k in 0..count {
+            c.access((k % 4) as u64 * 8, false);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.misses, 1);
+        prop_assert_eq!(s.hits, count as u64 - 1);
+    }
+}

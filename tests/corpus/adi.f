@@ -1,0 +1,12 @@
+! ADI integration scalarized from Fortran 90 (paper Figure 3b).
+PROGRAM adi
+PARAM N
+REAL X(N,N), A(N,N), B(N,N)
+DO I = 2, N
+  DO K = 1, N
+    X(I,K) = X(I,K) - X(I-1,K) * A(I,K) / B(I-1,K)
+  ENDDO
+  DO K2 = 1, N
+    B(I,K2) = B(I,K2) - A(I,K2) * A(I,K2) / B(I-1,K2)
+  ENDDO
+ENDDO

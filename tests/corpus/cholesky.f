@@ -1,0 +1,10 @@
+! Cholesky factorization, KIJ form (paper Figure 7a).
+PROGRAM cholesky
+PARAM N
+REAL A(N,N)
+DO K = 1, N
+  A(K,K) = SQRT(A(K,K))
+  DO I = K+1, N
+    A(I,K) = A(I,K) / A(K,K)
+    DO J = K+1, I
+      A(I,J) = A(I,J) - A(I,K) * A(J,K)

@@ -1,0 +1,7 @@
+! Jacobi relaxation with the row-major walk.
+PROGRAM jacobi
+PARAM N
+REAL A(N,N), B(N,N)
+DO I = 2, N-1
+  DO J = 2, N-1
+    B(I,J) = 0.25 * (A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1))

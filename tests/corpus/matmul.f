@@ -1,0 +1,8 @@
+! Textbook matrix multiply in the cache-hostile IJK order.
+PROGRAM matmul
+PARAM N
+REAL A(N,N), B(N,N), C(N,N)
+DO I = 1, N
+  DO J = 1, N
+    DO K = 1, N
+      C(I,J) = C(I,J) + A(I,K) * B(K,J)

@@ -1,0 +1,14 @@
+! Two fusable sweeps sharing A, both needing the interchange.
+PROGRAM pipeline
+PARAM N
+REAL A(N,N), C(N,N), D(N,N)
+DO I = 1, N
+  DO J = 1, N
+    C(I,J) = A(I,J) + 1.0
+  ENDDO
+ENDDO
+DO I2 = 1, N
+  DO J2 = 1, N
+    D(I2,J2) = A(I2,J2) * 2.0
+  ENDDO
+ENDDO

@@ -1,0 +1,7 @@
+! Gauss-Seidel wavefront: interchange legal, vectors (1,0) and (0,1).
+PROGRAM wavefront
+PARAM N
+REAL A(N,N)
+DO I = 2, N
+  DO J = 2, N
+    A(I,J) = (A(I,J) + A(I-1,J) + A(I,J-1)) / 3.0

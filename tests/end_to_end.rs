@@ -1,0 +1,167 @@
+//! End-to-end integration: the compound algorithm over the whole
+//! 35-model suite — correctness, statistics shape, and no-regression
+//! guarantees.
+
+use cmt_locality_repro::interp::assert_equivalent;
+use cmt_locality_repro::locality::{compound::compound, model::CostModel};
+use cmt_locality_repro::suite::suite;
+
+#[test]
+fn every_model_transforms_and_stays_equivalent() {
+    let model = CostModel::new(4);
+    for m in suite() {
+        let orig = m.optimized.clone();
+        let mut p = m.optimized.clone();
+        let report = compound(&mut p, &model);
+        cmt_locality_repro::ir::validate::validate(&p)
+            .unwrap_or_else(|e| panic!("{} invalid after compound: {e}", m.spec.name));
+        assert_equivalent(&orig, &p, &[10]);
+        // Statistics are internally consistent.
+        assert_eq!(
+            report.nests_orig_memory_order + report.nests_permuted + report.nests_failed,
+            report.nests_total,
+            "{}: memory-order partition must cover all nests: {report:#?}",
+            m.spec.name
+        );
+        assert_eq!(
+            report.inner_orig + report.inner_permuted + report.inner_failed,
+            report.nests_total,
+            "{}: inner-loop partition must cover all nests",
+            m.spec.name
+        );
+        assert!(report.loopcost_ratio_final >= 1.0 - 1e-9);
+        assert!(report.loopcost_ratio_ideal >= 1.0 - 1e-9);
+        // The ideal program permutes without regard to legality but does
+        // not distribute; a distributed final version can beat it, so the
+        // inequality only holds for distribution-free programs.
+        if report.distributions == 0 {
+            assert!(
+                report.loopcost_ratio_ideal >= report.loopcost_ratio_final - 1e-9,
+                "{}: ideal {} < final {}",
+                m.spec.name,
+                report.loopcost_ratio_ideal,
+                report.loopcost_ratio_final
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_totals_match_paper_shape() {
+    // Paper totals: 69% of nests originally in memory order, +11%
+    // permuted (80% total), 20% fail; 74% inner loops originally
+    // positioned, 85% after. Our scaled models must land in the same
+    // region (±12 points).
+    let model = CostModel::new(4);
+    let mut nests = 0usize;
+    let mut orig = 0usize;
+    let mut perm = 0usize;
+    let mut fail = 0usize;
+    let mut inner_orig = 0usize;
+    let mut inner_after = 0usize;
+    for m in suite() {
+        let mut p = m.optimized.clone();
+        let r = compound(&mut p, &model);
+        nests += r.nests_total;
+        orig += r.nests_orig_memory_order;
+        perm += r.nests_permuted;
+        fail += r.nests_failed;
+        inner_orig += r.inner_orig;
+        inner_after += r.inner_orig + r.inner_permuted;
+    }
+    let pct = |x: usize| 100.0 * x as f64 / nests as f64;
+    assert!(nests > 200, "suite should have a substantial nest count, got {nests}");
+    assert!(
+        (57.0..=81.0).contains(&pct(orig)),
+        "orig in memory order: {:.0}% (paper 69%)",
+        pct(orig)
+    );
+    assert!(
+        (68.0..=92.0).contains(&pct(orig + perm)),
+        "after transformation: {:.0}% (paper 80%)",
+        pct(orig + perm)
+    );
+    assert!(
+        pct(fail) <= 32.0,
+        "failures: {:.0}% (paper 20%)",
+        pct(fail)
+    );
+    assert!(
+        pct(inner_after) >= pct(inner_orig),
+        "inner-loop positioning must not regress"
+    );
+    assert!(
+        (73.0..=97.0).contains(&pct(inner_after)),
+        "inner loops positioned: {:.0}% (paper 85%)",
+        pct(inner_after)
+    );
+}
+
+#[test]
+fn reversal_never_fires_on_the_suite() {
+    // The paper: "Our algorithms never found an opportunity where loop
+    // reversal could improve locality." Same here.
+    let model = CostModel::new(4);
+    let mut reversals = 0;
+    for m in suite() {
+        let mut p = m.optimized.clone();
+        let r = compound(&mut p, &model);
+        reversals += r.reversals;
+    }
+    assert_eq!(reversals, 0, "suite should never profit from reversal");
+}
+
+#[test]
+fn fusion_and_distribution_are_applied_where_expected() {
+    let model = CostModel::new(4);
+    let mut fused_programs = 0;
+    let mut distributed_programs = 0;
+    for m in suite() {
+        let mut p = m.optimized.clone();
+        let r = compound(&mut p, &model);
+        if r.nests_fused > 0 {
+            fused_programs += 1;
+            assert!(
+                m.spec.mix.fusion_pairs > 0,
+                "{} fused without fusion_pairs in its mix",
+                m.spec.name
+            );
+        }
+        if r.distributions > 0 {
+            distributed_programs += 1;
+        }
+        assert_eq!(
+            r.distributions, m.spec.mix.dist,
+            "{}: distribution count mismatch",
+            m.spec.name
+        );
+    }
+    // Paper: fusion or distribution applied in 22 of 35 programs; fusion
+    // in 17, distribution in 12.
+    assert!(
+        (12..=22).contains(&fused_programs),
+        "programs with fusion: {fused_programs} (paper 17)"
+    );
+    assert!(
+        (8..=16).contains(&distributed_programs),
+        "programs with distribution: {distributed_programs} (paper 12)"
+    );
+}
+
+#[test]
+fn tiling_candidates_found_in_matmul_models() {
+    use cmt_locality_repro::locality::tiling::tiling_candidates;
+    let model = CostModel::new(4);
+    let m = suite()
+        .into_iter()
+        .find(|m| m.spec.name == "dnasa7")
+        .expect("dnasa7 exists");
+    let mut p = m.optimized.clone();
+    let _ = compound(&mut p, &model);
+    let total: usize = p
+        .nests()
+        .iter()
+        .map(|nest| tiling_candidates(&p, nest, &model).len())
+        .sum();
+    assert!(total > 0, "matmul-shaped nests should offer tiling reuse");
+}

@@ -1,0 +1,163 @@
+//! Known-answer numeric tests: the interpreter and the kernels compute
+//! the right *values*, not merely consistent ones.
+
+use cmt_locality_repro::interp::{Machine, NullSink};
+use cmt_locality_repro::suite::kernels;
+
+/// 3×3 matmul against hand-computed values.
+#[test]
+fn matmul_golden_3x3() {
+    let p = kernels::matmul("IJK");
+    let n = 3i64;
+    let mut m = Machine::new(&p, &[n]).unwrap();
+    let a_id = p.find_array("A").unwrap();
+    let b_id = p.find_array("B").unwrap();
+    let c_id = p.find_array("C").unwrap();
+    // Column-major: element (i,j) at index (i-1) + (j-1)*3.
+    // A = [1 2 3; 4 5 6; 7 8 9] (row i, col j = 3(i-1)+j)
+    // B = identity, C = 0  →  C = A.
+    m.init_with(|arr, k| {
+        let (i, j) = (k % 3, k / 3); // 0-based (row, col)
+        if arr == a_id {
+            (3 * i + j + 1) as f64
+        } else if arr == b_id {
+            if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        }
+    });
+    m.run(&p, &mut NullSink).unwrap();
+    let c = m.array_data(c_id);
+    let a_expect = |i: usize, j: usize| (3 * i + j + 1) as f64;
+    for j in 0..3 {
+        for i in 0..3 {
+            assert_eq!(c[i + 3 * j], a_expect(i, j), "C({},{})", i + 1, j + 1);
+        }
+    }
+}
+
+/// Matmul against a straightforward Rust reference implementation with
+/// arbitrary data.
+#[test]
+fn matmul_matches_reference() {
+    let p = kernels::matmul("JKI");
+    let n = 7usize;
+    let mut m = Machine::new(&p, &[n as i64]).unwrap();
+    let a_id = p.find_array("A").unwrap();
+    let b_id = p.find_array("B").unwrap();
+    let c_id = p.find_array("C").unwrap();
+    let av = |k: usize| ((k * 7 + 3) % 11) as f64 * 0.5;
+    let bv = |k: usize| ((k * 5 + 1) % 13) as f64 * 0.25;
+    m.init_with(|arr, k| {
+        if arr == a_id {
+            av(k)
+        } else if arr == b_id {
+            bv(k)
+        } else {
+            0.0
+        }
+    });
+    m.run(&p, &mut NullSink).unwrap();
+    let c = m.array_data(c_id);
+    for j in 0..n {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += av(i + n * k) * bv(k + n * j);
+            }
+            let got = c[i + n * j];
+            assert!(
+                (got - acc).abs() < 1e-9,
+                "C({},{}) = {got}, want {acc}",
+                i + 1,
+                j + 1
+            );
+        }
+    }
+}
+
+/// Cholesky: factor a known SPD matrix M = L·Lᵀ and recover L.
+#[test]
+fn cholesky_recovers_known_factor() {
+    let p = kernels::cholesky_kij();
+    let n = 4usize;
+    // L lower-triangular with positive diagonal.
+    let l = [
+        [2.0, 0.0, 0.0, 0.0],
+        [1.0, 3.0, 0.0, 0.0],
+        [0.5, 1.5, 1.0, 0.0],
+        [2.0, 0.25, 0.75, 2.5],
+    ];
+    // M = L·Lᵀ.
+    let mut mmat = [[0.0f64; 4]; 4];
+    for (i, li) in l.iter().enumerate() {
+        for (j, lj) in l.iter().enumerate() {
+            mmat[i][j] = (0..4).map(|k| li[k] * lj[k]).sum();
+        }
+    }
+    let mut m = Machine::new(&p, &[n as i64]).unwrap();
+    let a_id = p.find_array("A").unwrap();
+    m.init_with(|_, k| {
+        let (i, j) = (k % 4, k / 4);
+        mmat[i][j]
+    });
+    m.run(&p, &mut NullSink).unwrap();
+    let a = m.array_data(a_id);
+    for (i, li) in l.iter().enumerate() {
+        for (j, &lij) in li.iter().enumerate().take(i + 1) {
+            let got = a[i + 4 * j];
+            assert!(
+                (got - lij).abs() < 1e-9,
+                "L({},{}) = {got}, want {lij}",
+                i + 1,
+                j + 1
+            );
+        }
+    }
+}
+
+/// The KJI variant computes the identical factor (bit-exact).
+#[test]
+fn cholesky_variants_agree_numerically() {
+    let n = 5i64;
+    let mut factors = Vec::new();
+    for (_, p) in kernels::cholesky_variants() {
+        let mut m = Machine::new(&p, &[n]).unwrap();
+        let a_id = p.find_array("A").unwrap();
+        // Diagonally dominant symmetric init.
+        m.init_with(|_, k| {
+            let (i, j) = ((k % 5) as f64, (k / 5) as f64);
+            if i == j {
+                10.0 + i
+            } else {
+                1.0 / (1.0 + (i - j).abs())
+            }
+        });
+        m.run(&p, &mut NullSink).unwrap();
+        factors.push(m.array_data(a_id).to_vec());
+    }
+    for f in &factors[1..] {
+        assert_eq!(&factors[0], f);
+    }
+}
+
+/// One Jacobi sweep at a point with known neighbours.
+#[test]
+fn jacobi_sweep_golden_point() {
+    use cmt_locality_repro::suite::stencils::jacobi2d;
+    let p = jacobi2d("JI");
+    let n = 5usize;
+    let mut m = Machine::new(&p, &[n as i64]).unwrap();
+    let a_id = p.find_array("A").unwrap();
+    let b_id = p.find_array("B").unwrap();
+    m.init_with(|arr, k| if arr == a_id { k as f64 } else { 0.0 });
+    m.run(&p, &mut NullSink).unwrap();
+    let b = m.array_data(b_id);
+    // B(3,3): neighbours of A at linear index 2 + 5*2 = 12 → 11, 13, 7, 17.
+    let idx = 2 + 5 * 2;
+    assert_eq!(b[idx], 0.25 * (11.0 + 13.0 + 7.0 + 17.0));
+}

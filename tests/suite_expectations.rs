@@ -1,0 +1,103 @@
+//! Table-driven expectations for all 35 benchmark models: each model's
+//! compound-transformation report must follow exactly from its archetype
+//! mixture (the archetypes' individual fates are pinned by unit tests in
+//! `cmt-suite`; this test checks they compose).
+
+use cmt_locality_repro::locality::{compound::compound, model::CostModel};
+use cmt_locality_repro::suite::suite;
+
+#[test]
+fn every_model_report_matches_its_mix() {
+    let model = CostModel::new(4);
+    for m in suite() {
+        let mix = m.spec.mix;
+        let mut p = m.optimized.clone();
+        let r = compound(&mut p, &model);
+        let name = m.spec.name;
+
+        // Memory-order partition.
+        let expected_orig = mix.good + mix.good3 + 2 * mix.fusion_pairs + mix.reduction;
+        assert_eq!(
+            r.nests_orig_memory_order, expected_orig,
+            "{name}: originally-in-memory-order count"
+        );
+        let expected_fail = mix.blocked + mix.complex + mix.unanalyzable;
+        assert_eq!(r.nests_failed, expected_fail, "{name}: failure count");
+        // Everything permutable (incl. distribution-enabled) gets there.
+        assert_eq!(
+            r.nests_permuted,
+            mix.perm + mix.perm3 + mix.dist,
+            "{name}: permuted count"
+        );
+
+        // Pass application counts.
+        assert_eq!(r.distributions, mix.dist, "{name}: distribution count");
+        assert_eq!(
+            r.nests_fused,
+            2 * mix.fusion_pairs,
+            "{name}: fused nest count"
+        );
+        assert_eq!(r.reversals, 0, "{name}: reversal never fires");
+
+        // Failure attribution: complex-bounds failures exactly match the
+        // banded archetypes.
+        assert_eq!(
+            r.fail_complex_bounds, mix.complex,
+            "{name}: complex-bounds attribution"
+        );
+        assert_eq!(
+            r.fail_dependences,
+            mix.blocked + mix.unanalyzable,
+            "{name}: dependence attribution"
+        );
+
+        // Cost ratios: strictly improving iff something happened.
+        if mix.perm + mix.perm3 + mix.dist > 0 {
+            assert!(
+                r.loopcost_ratio_final > 1.0 + 1e-9,
+                "{name}: expected LoopCost improvement, got {}",
+                r.loopcost_ratio_final
+            );
+        } else {
+            assert!(
+                (r.loopcost_ratio_final - 1.0).abs() < 1e-9,
+                "{name}: expected no LoopCost change, got {}",
+                r.loopcost_ratio_final
+            );
+        }
+    }
+}
+
+#[test]
+fn rest_programs_are_entirely_in_memory_order() {
+    let model = CostModel::new(4);
+    for m in suite() {
+        if m.spec.rest_nests == 0 {
+            continue;
+        }
+        let mut p = m.rest.clone();
+        let before = p.clone();
+        let r = compound(&mut p, &model);
+        assert_eq!(
+            r.nests_orig_memory_order, r.nests_total,
+            "{}-rest must be already optimal",
+            m.spec.name
+        );
+        // Fusion may still merge the independent background nests? They
+        // share no data, so the cost model must refuse.
+        assert_eq!(r.nests_fused, 0, "{}-rest: no beneficial fusion", m.spec.name);
+        assert_eq!(p, before, "{}-rest must be untouched", m.spec.name);
+    }
+}
+
+#[test]
+fn suite_is_deterministic() {
+    // Two builds of the suite produce identical programs (the table
+    // harness relies on this for reproducibility).
+    let a = suite();
+    let b = suite();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.optimized, y.optimized, "{}", x.spec.name);
+        assert_eq!(x.rest, y.rest, "{}", x.spec.name);
+    }
+}

@@ -1,0 +1,141 @@
+//! Smoke tests for every table/figure generator: each runs at a reduced
+//! size and produces structurally sane output. The full-size artifacts
+//! come from the `cmt-bench` binaries (see EXPERIMENTS.md).
+
+use cmt_bench::tables;
+
+#[test]
+fn fig2_shape() {
+    let (text, rows) = tables::fig2_matmul(48);
+    assert_eq!(rows.len(), 6);
+    assert!(text.contains("JKI"));
+    assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.c1_hit)));
+}
+
+#[test]
+fn fig3_shape() {
+    let (text, rows) = tables::fig3_adi(48);
+    assert_eq!(rows.len(), 2);
+    assert!(text.contains("scalarized"));
+    // Paper's cost table entries present.
+    assert!(text.contains("fused"));
+}
+
+#[test]
+fn fig7_shape() {
+    let (text, rows) = tables::fig7_cholesky(48);
+    assert_eq!(rows.len(), 3);
+    assert!(text.contains("KJI"));
+}
+
+#[test]
+fn table1_shape() {
+    let (text, rows) = tables::table1_erlebacher(16, 4);
+    assert_eq!(rows.len(), 3);
+    assert!(text.contains("Erlebacher"));
+}
+
+#[test]
+fn table2_covers_all_programs() {
+    let (text, rows) = tables::table2();
+    assert_eq!(rows.len(), 35);
+    assert!(text.contains("arc2d"));
+    assert!(text.contains("totals"));
+    // Failure attribution is dominated by dependences, as in the paper
+    // (87% of failures from dependence constraints).
+    let dep_fail: usize = rows.iter().map(|r| r.report.fail_dependences).sum();
+    let cx_fail: usize = rows.iter().map(|r| r.report.fail_complex_bounds).sum();
+    assert!(dep_fail > cx_fail, "dep {dep_fail} vs complex {cx_fail}");
+}
+
+#[test]
+fn table3_improves_arc2d_like_programs() {
+    // Small n: the cache1 effect needs huge arrays, so just check shape
+    // and that nothing degrades catastrophically.
+    let (text, rows) = tables::table3(64);
+    assert!(rows.len() >= 9);
+    assert!(text.contains("speedup"));
+    for r in &rows {
+        assert!(r.speedup > 0.5, "{}: speedup {}", r.name, r.speedup);
+    }
+    let gmtry = rows
+        .iter()
+        .find(|r| r.name.contains("gmtry"))
+        .expect("gmtry row");
+    assert!(gmtry.speedup >= 1.0);
+}
+
+#[test]
+fn table4_rates_are_sane_and_directionally_right() {
+    let (_, rows) = tables::table4(Some(96));
+    assert_eq!(rows.len(), 34, "34 models with loops (buk has none)");
+    for r in &rows {
+        for v in r.opt.iter().chain(r.whole.iter()) {
+            assert!((0.0..=1.0).contains(v), "{}: rate {v}", r.name);
+        }
+        // Optimization must not make the optimized procedures worse on
+        // cache2 by more than noise.
+        assert!(
+            r.opt[3] + 0.02 >= r.opt[2],
+            "{}: cache2 opt rate regressed {} -> {}",
+            r.name,
+            r.opt[2],
+            r.opt[3]
+        );
+    }
+    // arc2d improves visibly on cache2 even at this size.
+    let arc2d = rows.iter().find(|r| r.name == "arc2d").expect("arc2d");
+    assert!(arc2d.opt[3] > arc2d.opt[2]);
+}
+
+#[test]
+fn table5_shape() {
+    let (text, rows) = tables::table5();
+    // 5 highlighted programs + all-programs, × 3 versions.
+    assert_eq!(rows.len(), 18);
+    assert!(text.contains("all programs"));
+    // Final versions should have at least as much unit-stride locality as
+    // the originals (suite-wide).
+    let all_orig = rows
+        .iter()
+        .find(|r| r.name == "all programs" && r.version == "original")
+        .unwrap();
+    let all_final = rows
+        .iter()
+        .find(|r| r.name == "all programs" && r.version == "final")
+        .unwrap();
+    use cmt_locality_repro::locality::SelfReuse;
+    assert!(
+        all_final.stats.pct(SelfReuse::Consecutive) >= all_orig.stats.pct(SelfReuse::Consecutive),
+        "unit-stride share must grow: {} -> {}",
+        all_orig.stats.pct(SelfReuse::Consecutive),
+        all_final.stats.pct(SelfReuse::Consecutive)
+    );
+}
+
+#[test]
+fn fig8_9_buckets() {
+    let (text, hists) = tables::fig8_9();
+    assert!(text.contains("Figure 8"));
+    assert!(text.contains("Figure 9"));
+    let programs: usize = hists[0].iter().sum();
+    assert_eq!(programs, 34, "34 models with nests");
+    for h in &hists {
+        assert_eq!(h.iter().sum::<usize>(), programs);
+    }
+    // Transformation shifts mass toward the top bucket.
+    assert!(hists[1][5] >= hists[0][5]);
+    assert!(hists[3][5] >= hists[2][5]);
+}
+
+#[test]
+fn ablation_shows_pass_contributions() {
+    let (text, rows) = tables::ablation();
+    assert!(text.contains("full"));
+    let full = rows.iter().find(|r| r.0 == "full").unwrap();
+    let perm_only = rows.iter().find(|r| r.0 == "permutation-only").unwrap();
+    assert!(full.3 > 0, "full config fuses");
+    assert_eq!(perm_only.3, 0, "permutation-only must not fuse");
+    assert_eq!(perm_only.4, 0, "permutation-only must not distribute");
+    assert!(full.1 >= perm_only.1 - 1e-9, "full ratio >= permutation-only");
+}
