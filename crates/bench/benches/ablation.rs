@@ -2,13 +2,13 @@
 //! transformation costs at compile time (the quality ablation lives in
 //! the `ablation_table` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmt_bench::timing::bench;
 use cmt_locality::compound::{compound_with, CompoundOptions};
 use cmt_locality::model::CostModel;
 use cmt_suite::suite;
 use std::hint::black_box;
 
-fn bench(cr: &mut Criterion) {
+fn main() {
     let model = CostModel::new(4);
     let models = suite();
     let variants: [(&str, CompoundOptions); 4] = [
@@ -36,23 +36,16 @@ fn bench(cr: &mut Criterion) {
             },
         ),
     ];
-    let mut group = cr.benchmark_group("compound_ablation");
-    group.sample_size(10);
+    println!("compound_ablation (full suite per iteration)");
     for (name, opts) in variants {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for m in &models {
-                    let mut p = m.optimized.clone();
-                    let r = compound_with(&mut p, &model, &opts);
-                    total += r.nests_permuted + r.nests_fused;
-                }
-                black_box(total)
-            })
+        bench(&format!("compound_ablation/{name}"), 10, || {
+            let mut total = 0usize;
+            for m in &models {
+                let mut p = m.optimized.clone();
+                let r = compound_with(&mut p, &model, &opts);
+                total += r.nests_permuted + r.nests_fused;
+            }
+            black_box(total);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

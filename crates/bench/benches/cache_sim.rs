@@ -1,51 +1,41 @@
 //! Throughput of the cache simulator substrate: sequential, strided, and
 //! random access streams against both paper cache configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cmt_bench::timing::{bench, human_ns};
 use cmt_cache::{Cache, CacheConfig};
 use std::hint::black_box;
 
 const ACCESSES: u64 = 1_000_000;
 
-fn bench(cr: &mut Criterion) {
-    let mut group = cr.benchmark_group("cache_sim");
-    group.throughput(Throughput::Elements(ACCESSES));
+fn main() {
+    println!("cache_sim ({ACCESSES} accesses per iteration)");
     for (label, cfg) in [
         ("rs6000", CacheConfig::rs6000()),
         ("i860", CacheConfig::i860()),
     ] {
-        group.bench_function(BenchmarkId::new("sequential", label), |b| {
-            b.iter(|| {
-                let mut c = Cache::new(cfg);
-                for k in 0..ACCESSES {
-                    c.access(k * 8 % (1 << 22), false);
-                }
-                black_box(c.stats())
-            })
+        let r = bench(&format!("sequential/{label}"), 10, || {
+            let mut c = Cache::new(cfg);
+            for k in 0..ACCESSES {
+                c.access(k * 8 % (1 << 22), false);
+            }
+            black_box(c.stats());
         });
-        group.bench_function(BenchmarkId::new("strided_4k", label), |b| {
-            b.iter(|| {
-                let mut c = Cache::new(cfg);
-                for k in 0..ACCESSES {
-                    c.access(k * 4096 % (1 << 26), false);
-                }
-                black_box(c.stats())
-            })
+        println!("  -> {} per access", human_ns(r.min_ns / ACCESSES as f64));
+        bench(&format!("strided_4k/{label}"), 10, || {
+            let mut c = Cache::new(cfg);
+            for k in 0..ACCESSES {
+                c.access(k * 4096 % (1 << 26), false);
+            }
+            black_box(c.stats());
         });
-        group.bench_function(BenchmarkId::new("lcg_random", label), |b| {
-            b.iter(|| {
-                let mut c = Cache::new(cfg);
-                let mut x = 0x243F6A8885A308D3u64;
-                for _ in 0..ACCESSES {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    c.access(x % (1 << 24), false);
-                }
-                black_box(c.stats())
-            })
+        bench(&format!("lcg_random/{label}"), 10, || {
+            let mut c = Cache::new(cfg);
+            let mut x = 0x243F6A8885A308D3u64;
+            for _ in 0..ACCESSES {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                c.access(x % (1 << 24), false);
+            }
+            black_box(c.stats());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
-//! Native-hardware companion to Figure 2: the same six matmul loop orders
-//! compiled to real Rust loops over `f64` buffers, timed with Criterion.
-//! The *shape* of the paper's ranking (I-innermost orders fastest,
-//! J-innermost with B(K,J) column walks slowest) holds on modern caches.
+//! Native-hardware companion to Figure 2: the same six matmul loop
+//! orders compiled to real Rust loops over `f64` buffers, timed with the
+//! in-repo harness. The *shape* of the paper's ranking (I-innermost
+//! orders fastest, J-innermost with B(K,J) column walks slowest) holds
+//! on modern caches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmt_bench::timing::bench;
 use std::hint::black_box;
 
 const N: usize = 256;
@@ -71,11 +72,9 @@ fn mm_kji(c: &mut [f64], a: &[f64], b: &[f64]) {
     }
 }
 
-fn bench(cr: &mut Criterion) {
+fn main() {
     let a: Vec<f64> = (0..N * N).map(|x| (x % 7) as f64).collect();
     let b: Vec<f64> = (0..N * N).map(|x| (x % 5) as f64).collect();
-    let mut group = cr.benchmark_group("native_matmul");
-    group.sample_size(10);
     let orders: [(&str, Kernel); 6] = [
         ("JKI", mm_jki),
         ("KJI", mm_kji),
@@ -84,17 +83,12 @@ fn bench(cr: &mut Criterion) {
         ("KIJ", mm_kij),
         ("IKJ", mm_ikj),
     ];
+    println!("native_matmul (N = {N}, column-major)");
     for (name, f) in orders {
-        group.bench_function(BenchmarkId::from_parameter(name), |bch| {
-            bch.iter(|| {
-                let mut c = vec![0.0f64; N * N];
-                f(black_box(&mut c), black_box(&a), black_box(&b));
-                black_box(c)
-            })
+        bench(&format!("native_matmul/{name}"), 10, || {
+            let mut c = vec![0.0f64; N * N];
+            f(black_box(&mut c), black_box(&a), black_box(&b));
+            black_box(&c);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,54 +2,51 @@
 //! single-evaluation approach beats enumerating n! permutations; these
 //! benches measure the analysis and the full compound pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cmt_bench::timing::bench;
 use cmt_locality::{compound::compound, model::CostModel};
 use cmt_suite::{kernels, suite};
 use std::hint::black_box;
 
-fn bench(cr: &mut Criterion) {
+fn main() {
     let model = CostModel::new(4);
 
-    cr.bench_function("loopcost_matmul", |b| {
+    {
         let p = kernels::matmul("IJK");
-        b.iter(|| {
+        bench("loopcost_matmul", 200, || {
             let costs = model.nest_costs(black_box(&p), p.nests()[0]);
-            black_box(costs)
-        })
-    });
+            black_box(&costs);
+        });
+    }
 
-    cr.bench_function("compound_cholesky", |b| {
+    {
         let p = kernels::cholesky_kij();
-        b.iter(|| {
+        bench("compound_cholesky", 100, || {
             let mut work = p.clone();
-            black_box(compound(&mut work, &model))
-        })
-    });
+            black_box(compound(&mut work, &model));
+        });
+    }
 
-    cr.bench_function("exhaustive_baseline_matmul", |b| {
+    {
         // The §2 comparison: prior work's n! evaluation vs our single
         // evaluation (`loopcost_matmul` above is the latter's cost).
         use cmt_locality::exhaustive::best_permutation_exhaustive;
         let p = kernels::matmul("IJK");
-        b.iter(|| {
+        bench("exhaustive_baseline_matmul", 100, || {
             let r = best_permutation_exhaustive(black_box(&p), p.nests()[0], &model);
-            black_box(r)
-        })
-    });
+            black_box(&r);
+        });
+    }
 
-    cr.bench_function("compound_full_suite", |b| {
+    {
         let models = suite();
-        b.iter(|| {
+        bench("compound_full_suite", 20, || {
             let mut total = 0usize;
             for m in &models {
                 let mut p = m.optimized.clone();
                 let r = compound(&mut p, &model);
                 total += r.nests_total;
             }
-            black_box(total)
-        })
-    });
+            black_box(total);
+        });
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

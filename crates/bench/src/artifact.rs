@@ -1,0 +1,88 @@
+//! Machine-readable artifacts: JSONL remark streams and JSON metric
+//! snapshots written next to the human-readable tables.
+//!
+//! Every table/figure binary calls [`write_remarks_jsonl`] /
+//! [`write_metrics_json`] after printing; the files land in
+//! `$CMT_OBS_DIR` (default `results/`) so CI and the reproduction script
+//! can diff runs without scraping stdout.
+
+use cmt_obs::{MetricsRegistry, Remark};
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// The artifact directory: `$CMT_OBS_DIR`, or `results/` under the
+/// current working directory.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("CMT_OBS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes one remark per line as JSON into
+/// `{artifact_dir}/{name}.remarks.jsonl`, creating the directory as
+/// needed. Returns the path written.
+pub fn write_remarks_jsonl(name: &str, remarks: &[Remark]) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.remarks.jsonl"));
+    let mut out = String::new();
+    for r in remarks {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Writes the registry snapshot into `{artifact_dir}/{name}.metrics.json`,
+/// creating the directory as needed. Returns the path written.
+pub fn write_metrics_json(name: &str, metrics: &MetricsRegistry) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.metrics.json"));
+    fs::write(&path, metrics.to_json() + "\n")?;
+    Ok(path)
+}
+
+/// Convenience: write both artifacts and report the paths on stdout in
+/// the same style the tables use. Errors are printed, not fatal —
+/// artifact emission must never fail a run that already computed its
+/// results.
+pub fn emit(name: &str, remarks: &[Remark], metrics: &MetricsRegistry) {
+    match write_remarks_jsonl(name, remarks) {
+        Ok(p) => println!("[obs] remarks:  {}", p.display()),
+        Err(e) => eprintln!("[obs] could not write remarks for {name}: {e}"),
+    }
+    match write_metrics_json(name, metrics) {
+        Ok(p) => println!("[obs] metrics:  {}", p.display()),
+        Err(e) => eprintln!("[obs] could not write metrics for {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_obs::{Remark, RemarkKind};
+
+    #[test]
+    fn artifacts_round_trip_to_disk() {
+        let dir = std::env::temp_dir().join(format!("cmt-obs-test-{}", std::process::id()));
+        // Scope the env override to this test binary; tests in this crate
+        // run in one process but no other test reads CMT_OBS_DIR.
+        std::env::set_var("CMT_OBS_DIR", &dir);
+        let remarks =
+            vec![Remark::new("permute", "p/nest0:I.J", RemarkKind::Applied).reason("test")];
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x", 3);
+        let rp = write_remarks_jsonl("unit", &remarks).unwrap();
+        let mp = write_metrics_json("unit", &reg).unwrap();
+        let rtext = std::fs::read_to_string(&rp).unwrap();
+        assert_eq!(rtext.lines().count(), 1);
+        assert!(rtext.contains("\"pass\":\"permute\""));
+        let mtext = std::fs::read_to_string(&mp).unwrap();
+        assert!(mtext.contains("\"x\":3"));
+        std::env::remove_var("CMT_OBS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -43,7 +43,10 @@ fn main() {
 
     println!("multi-level tiling, matmul JKI, N = {n}");
     println!("L1 = 64KB/4w/128B, L2 = 1MB/direct/128B, latencies 1/10/50\n");
-    println!("{:<16} {:>8} {:>8} {:>14}", "version", "L1 hit%", "L2 hit%", "cycles");
+    println!(
+        "{:<16} {:>8} {:>8} {:>14}",
+        "version", "L1 hit%", "L2 hit%", "cycles"
+    );
     for (label, p) in [
         ("memory order", &base),
         ("L2-tiled (80)", &l2_tiled),

@@ -1,4 +1,8 @@
 //! Regenerates Figure 7: Cholesky variants.
+
+use cmt_locality::pass::Pipeline;
+use cmt_obs::CollectSink;
+
 fn main() {
     let n: i64 = std::env::args()
         .nth(1)
@@ -8,4 +12,17 @@ fn main() {
     println!("{text}");
     let best = rows.iter().min_by_key(|r| r.cycles).expect("variants");
     println!("fastest variant: {} (paper: KJI / memory order)", best.name);
+
+    // Observability artifacts: remarks from optimizing KIJ Cholesky
+    // (distribution is the interesting decision), plus an attributed
+    // simulation of the result.
+    let mut sink = CollectSink::new();
+    let mut p = cmt_suite::kernels::cholesky_kij();
+    let reports = Pipeline::paper_default(4).run_observed(&mut p, &mut sink);
+    for r in &reports {
+        println!("[pass] {}: {}", r.name, r.summary);
+    }
+    let sim = cmt_bench::simulate_program_observed(&p, n.min(160), 10_000);
+    sim.export_metrics(&mut sink.metrics, "fig7.cholesky_opt");
+    cmt_bench::emit("fig7_cholesky", &sink.remarks, &sink.metrics);
 }

@@ -25,8 +25,14 @@ fn main() {
     let model = CostModel::new(4);
     let variants = [
         CompoundOptions::default(),
-        CompoundOptions { fusion: false, ..Default::default() },
-        CompoundOptions { distribution: false, ..Default::default() },
+        CompoundOptions {
+            fusion: false,
+            ..Default::default()
+        },
+        CompoundOptions {
+            distribution: false,
+            ..Default::default()
+        },
     ];
     let mut failures = 0u64;
     for seed in start..start + seeds {
@@ -55,7 +61,10 @@ fn main() {
             println!("{} seeds checked, {failures} failure(s)", seed - start + 1);
         }
     }
-    println!("done: {seeds} seeds × {} variants, {failures} failure(s)", variants.len());
+    println!(
+        "done: {seeds} seeds × {} variants, {failures} failure(s)",
+        variants.len()
+    );
     if failures > 0 {
         std::process::exit(1);
     }

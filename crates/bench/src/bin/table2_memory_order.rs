@@ -1,5 +1,20 @@
 //! Regenerates Table 2: per-program memory-order statistics.
+
+use cmt_locality::compound_observed;
+use cmt_locality::model::CostModel;
+use cmt_obs::CollectSink;
+
 fn main() {
     let (text, _) = cmt_bench::tables::table2();
     println!("{text}");
+
+    // Observability artifacts: the full remark stream for every suite
+    // model — one `compound` run each, same decisions the table counts.
+    let model = CostModel::new(4);
+    let mut sink = CollectSink::new();
+    for m in cmt_suite::suite() {
+        let mut p = m.optimized.clone();
+        let _ = compound_observed(&mut p, &model, &Default::default(), &mut sink);
+    }
+    cmt_bench::emit("table2_memory_order", &sink.remarks, &sink.metrics);
 }

@@ -13,8 +13,14 @@
 //! cargo run --release -p cmt-bench --bin table4_hit_rates
 //! ```
 
+pub mod artifact;
 pub mod fmt;
 pub mod runner;
 pub mod tables;
+pub mod timing;
 
-pub use runner::{simulate_program, simulate_versions, ProgramSim, VersionPair};
+pub use artifact::{artifact_dir, emit, write_metrics_json, write_remarks_jsonl};
+pub use runner::{
+    simulate_program, simulate_program_observed, simulate_versions, ObservedSim, ProgramSim,
+    VersionPair,
+};

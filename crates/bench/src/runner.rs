@@ -1,9 +1,11 @@
 //! Execution + cache-simulation plumbing shared by the table generators.
 
-use cmt_cache::{Cache, CacheConfig, CacheStats};
-use cmt_interp::{Machine, TraceSink};
+use cmt_cache::{Cache, CacheConfig, CacheStats, ObservedCache};
+use cmt_interp::{Machine, MeteredSink, TraceSink};
+use cmt_ir::ids::ArrayId;
 use cmt_ir::program::Program;
 use cmt_locality::{compound::compound, model::CostModel};
+use cmt_obs::MetricsRegistry;
 use cmt_suite::BenchmarkModel;
 
 /// Cache statistics for one program run under both paper caches.
@@ -62,6 +64,98 @@ pub fn simulate_program(program: &Program, n: i64) -> ProgramSim {
     ProgramSim {
         cache1: caches[0].stats(),
         cache2: caches[1].stats(),
+    }
+}
+
+/// One observed run: whole-trace stats plus per-array attribution and
+/// interval miss-rate snapshots for both paper caches, and the
+/// interpreter's access counts.
+#[derive(Clone, Debug)]
+pub struct ObservedSim {
+    /// Whole-trace stats, same shape as [`simulate_program`] returns.
+    pub sim: ProgramSim,
+    /// RS/6000-style cache with attribution.
+    pub cache1: ObservedCache,
+    /// i860-style cache with attribution.
+    pub cache2: ObservedCache,
+    /// Loads the interpreter issued.
+    pub loads: u64,
+    /// Stores the interpreter issued.
+    pub stores: u64,
+}
+
+impl ObservedSim {
+    /// Exports everything under `prefix`: `{prefix}.cache1.*`,
+    /// `{prefix}.cache2.*` (see [`ObservedCache::export_metrics`]) and
+    /// `{prefix}.interp.{loads,stores,accesses}`.
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        self.cache1
+            .export_metrics(registry, &format!("{prefix}.cache1"));
+        self.cache2
+            .export_metrics(registry, &format!("{prefix}.cache2"));
+        registry.counter(&format!("{prefix}.interp.loads"), self.loads);
+        registry.counter(&format!("{prefix}.interp.stores"), self.stores);
+        registry.counter(
+            &format!("{prefix}.interp.accesses"),
+            self.loads + self.stores,
+        );
+    }
+}
+
+/// Feeds both observed caches.
+struct BothObserved<'a> {
+    caches: &'a mut [ObservedCache; 2],
+}
+
+impl TraceSink for BothObserved<'_> {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.caches[0].access(addr, is_write);
+        self.caches[1].access(addr, is_write);
+    }
+}
+
+/// [`simulate_program`] with observability: every array's address range
+/// is registered for per-array attribution, and miss rates are
+/// snapshotted every `interval` accesses (`0` disables snapshots).
+///
+/// The wrapped caches see the identical trace, so `result.sim` equals
+/// what [`simulate_program`] reports for the same inputs.
+///
+/// # Panics
+///
+/// Panics if execution fails (suite programs are in-bounds by
+/// construction).
+pub fn simulate_program_observed(program: &Program, n: i64, interval: u64) -> ObservedSim {
+    let mut caches = [
+        ObservedCache::new(Cache::new(CacheConfig::rs6000()), interval),
+        ObservedCache::new(Cache::new(CacheConfig::i860()), interval),
+    ];
+    let mut m = Machine::new(program, &[n]).expect("allocation");
+    for (k, info) in program.arrays().iter().enumerate() {
+        let id = ArrayId(k as u32);
+        let start = m.storage(id).address_of(0);
+        let bytes = m.array_data(id).len() as u64 * 8;
+        for c in &mut caches {
+            c.register_region(info.name(), start, bytes);
+        }
+    }
+    let mut sink = MeteredSink::new(BothObserved {
+        caches: &mut caches,
+    });
+    m.run(program, &mut sink).expect("execution");
+    let (loads, stores) = (sink.loads, sink.stores);
+    let [mut c1, mut c2] = caches;
+    c1.flush_window();
+    c2.flush_window();
+    ObservedSim {
+        sim: ProgramSim {
+            cache1: c1.stats(),
+            cache2: c2.stats(),
+        },
+        cache1: c1,
+        cache2: c2,
+        loads,
+        stores,
     }
 }
 
@@ -141,7 +235,32 @@ mod tests {
         // Whole-program improvement is diluted but monotone.
         let wb = pair.whole_orig.cache2.hit_rate_excluding_cold();
         let wa = pair.whole_final.cache2.hit_rate_excluding_cold();
-        assert!(wa >= wb, "whole-program rate must not regress: {wb} vs {wa}");
+        assert!(
+            wa >= wb,
+            "whole-program rate must not regress: {wb} vs {wa}"
+        );
+    }
+
+    #[test]
+    fn observed_sim_matches_plain_sim() {
+        let p = cmt_suite::kernels::matmul("IJK");
+        let plain = simulate_program(&p, 24);
+        let obs = simulate_program_observed(&p, 24, 1000);
+        assert_eq!(plain.cache1, obs.sim.cache1);
+        assert_eq!(plain.cache2, obs.sim.cache2);
+        // All accesses land in registered arrays, and attribution
+        // partitions the trace.
+        assert_eq!(obs.cache1.unattributed().accesses, 0);
+        let sum: u64 = obs.cache1.per_array().map(|(_, s)| s.accesses).sum();
+        assert_eq!(sum, obs.sim.cache1.accesses);
+        assert_eq!(obs.loads + obs.stores, obs.sim.cache1.accesses);
+        assert!(!obs.cache1.snapshots().is_empty());
+        let mut reg = MetricsRegistry::new();
+        obs.export_metrics(&mut reg, "sim.mm");
+        assert_eq!(
+            reg.counter_value("sim.mm.interp.accesses"),
+            obs.sim.cache1.accesses
+        );
     }
 
     #[test]

@@ -50,15 +50,19 @@ fn rank_program(name: &str, p: &Program, n: i64, model: &CostModel) -> RankRow {
 pub fn fig2_matmul(n: i64) -> (String, Vec<RankRow>) {
     let model = CostModel::new(4);
     let base = kernels::matmul("IJK");
-    let cost_table =
-        cmt_locality::figures::cost_table(&base, base.nests()[0], &model);
+    let cost_table = cmt_locality::figures::cost_table(&base, base.nests()[0], &model);
     let rows: Vec<RankRow> = kernels::matmul_orders()
         .iter()
         .map(|(name, p)| rank_program(name, p, n, &model))
         .collect();
     let table = render_table(
         &[
-            "order", "LoopCost(innermost)", "cost@N", "cache1 hit%", "cache2 hit%", "cycles",
+            "order",
+            "LoopCost(innermost)",
+            "cost@N",
+            "cache1 hit%",
+            "cache2 hit%",
+            "cycles",
         ],
         &rows
             .iter()
@@ -413,8 +417,14 @@ pub fn table4(n_override: Option<i64>) -> (String, Vec<Table4Row>) {
     let table = render_table(
         &[
             "program",
-            "opt c1 orig", "opt c1 final", "opt c2 orig", "opt c2 final",
-            "whole c1 orig", "whole c1 final", "whole c2 orig", "whole c2 final",
+            "opt c1 orig",
+            "opt c1 final",
+            "opt c2 orig",
+            "opt c2 final",
+            "whole c1 orig",
+            "whole c1 final",
+            "whole c2 orig",
+            "whole c2 final",
         ],
         &rows
             .iter()
@@ -464,11 +474,7 @@ pub fn table5() -> (String, Vec<Table5Row>) {
         let _ = compound(&mut fin, &model);
         let mut ideal = m.optimized.clone();
         let _ = force_memory_order(&mut ideal, &model);
-        let versions = [
-            ("original", &original),
-            ("final", &fin),
-            ("ideal", &ideal),
-        ];
+        let versions = [("original", &original), ("final", &fin), ("ideal", &ideal)];
         for (k, (label, p)) in versions.iter().enumerate() {
             let stats = locality_stats(p, &model);
             all[k].merge(&stats);
@@ -494,8 +500,8 @@ pub fn table5() -> (String, Vec<Table5Row>) {
     };
     let table = render_table(
         &[
-            "program", "version", "Inv%", "Unit%", "None%", "Group%",
-            "R/G Inv", "R/G Unit", "R/G None", "R/G Avg",
+            "program", "version", "Inv%", "Unit%", "None%", "Group%", "R/G Inv", "R/G Unit",
+            "R/G None", "R/G Avg",
         ],
         &rows
             .iter()
@@ -547,9 +553,15 @@ pub fn fig8_9() -> (String, [[usize; 6]; 4]) {
     let mut out = String::new();
     for (title, h) in [
         ("Figure 8 — % nests in memory order (original)", &hists[0]),
-        ("Figure 8 — % nests in memory order (transformed)", &hists[1]),
+        (
+            "Figure 8 — % nests in memory order (transformed)",
+            &hists[1],
+        ),
         ("Figure 9 — % inner loops in position (original)", &hists[2]),
-        ("Figure 9 — % inner loops in position (transformed)", &hists[3]),
+        (
+            "Figure 9 — % inner loops in position (transformed)",
+            &hists[3],
+        ),
     ] {
         out.push_str(title);
         out.push('\n');
@@ -635,7 +647,13 @@ pub fn ablation() -> (String, Vec<AblationRow>) {
         ));
     }
     let table = render_table(
-        &["variant", "avg LoopCost ratio", "permuted", "fused", "distributed"],
+        &[
+            "variant",
+            "avg LoopCost ratio",
+            "permuted",
+            "fused",
+            "distributed",
+        ],
         &rows
             .iter()
             .map(|(n, r, p, f, d)| {
@@ -649,5 +667,8 @@ pub fn ablation() -> (String, Vec<AblationRow>) {
             })
             .collect::<Vec<_>>(),
     );
-    (format!("Ablation — compound algorithm variants\n{table}"), rows)
+    (
+        format!("Ablation — compound algorithm variants\n{table}"),
+        rows,
+    )
 }

@@ -1,0 +1,96 @@
+//! Minimal timing harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the benches use this small
+//! wall-clock harness instead of an external framework: one warm-up
+//! iteration, `iters` timed iterations, min/mean reported. Good enough
+//! to rank loop orders and spot order-of-magnitude regressions; not a
+//! statistics engine.
+
+use cmt_obs::{MetricsRegistry, SpanTimer};
+
+/// Timing for one benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Case label.
+    pub name: String,
+    /// Timed iterations (excludes the warm-up).
+    pub iters: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// `name  min  mean` with human time units.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<28} min {:>12}  mean {:>12}  ({} iters)",
+            self.name,
+            human_ns(self.min_ns),
+            human_ns(self.mean_ns),
+            self.iters
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Runs `f` once to warm up, then `iters` timed times, printing and
+/// returning the result.
+pub fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) -> BenchResult {
+    assert!(iters > 0, "need at least one timed iteration");
+    f(); // warm-up: page in code and data, fill allocator pools
+    let mut reg = MetricsRegistry::new();
+    for _ in 0..iters {
+        let t = SpanTimer::start();
+        f();
+        t.record(&mut reg, name);
+    }
+    let h = reg.histogram(name).expect("recorded above");
+    let result = BenchResult {
+        name: name.to_string(),
+        iters,
+        min_ns: h.min,
+        mean_ns: h.mean(),
+    };
+    println!("{}", result.line());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let r = bench("spin", 3, || {
+            let mut acc = 0u64;
+            for k in 0..1000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(k));
+            }
+            std::hint::black_box(acc);
+        });
+        assert_eq!(r.iters, 3);
+        assert!(r.min_ns >= 0.0 && r.mean_ns >= r.min_ns);
+    }
+
+    #[test]
+    fn units_format() {
+        assert_eq!(human_ns(500.0), "500 ns");
+        assert_eq!(human_ns(1500.0), "1.50 µs");
+        assert_eq!(human_ns(2.5e6), "2.50 ms");
+        assert_eq!(human_ns(3.0e9), "3.000 s");
+    }
+}

@@ -60,10 +60,7 @@ impl Hierarchy {
     /// A typical configuration around the paper's RS/6000 L1: 64 KB L1
     /// backed by a 1 MB direct-mapped L2.
     pub fn rs6000_with_l2() -> Self {
-        Hierarchy::new(
-            CacheConfig::rs6000(),
-            CacheConfig::new(1024 * 1024, 1, 128),
-        )
+        Hierarchy::new(CacheConfig::rs6000(), CacheConfig::new(1024 * 1024, 1, 128))
     }
 
     /// Simulates one access; returns the level that hit (1, 2) or 3 for

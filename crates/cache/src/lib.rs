@@ -30,6 +30,7 @@
 pub mod config;
 pub mod cycle;
 pub mod hierarchy;
+pub mod observe;
 pub mod reuse;
 pub mod sim;
 pub mod stats;
@@ -38,6 +39,7 @@ pub mod tlb;
 pub use config::CacheConfig;
 pub use cycle::CycleModel;
 pub use hierarchy::{Hierarchy, HierarchyLatency};
+pub use observe::{ArrayRegion, IntervalSnapshot, ObservedCache};
 pub use reuse::ReuseDistance;
 pub use sim::{Cache, MultiCache};
 pub use stats::CacheStats;

@@ -260,7 +260,10 @@ mod tests {
         let mut prev = 1.0f64 + 1e-9;
         for cap in 1..110 {
             let m = r.miss_rate_for_capacity(cap);
-            assert!(m <= prev + 1e-12, "miss rate must not increase: {m} > {prev}");
+            assert!(
+                m <= prev + 1e-12,
+                "miss rate must not increase: {m} > {prev}"
+            );
             prev = m;
         }
         assert_eq!(r.miss_rate_for_capacity(100), 0.0);

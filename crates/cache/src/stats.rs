@@ -28,8 +28,13 @@ impl CacheStats {
 
     /// Hit rate with cold misses removed from the denominator — the
     /// paper's Table 4 convention ("cold misses are not included").
+    ///
+    /// Saturating: counters assembled by hand (e.g. per-region splits)
+    /// may carry more cold misses than accesses; that degenerate case
+    /// reports `1.0` rather than panicking in debug or wrapping in
+    /// release.
     pub fn hit_rate_excluding_cold(&self) -> f64 {
-        let denom = self.accesses - self.cold_misses;
+        let denom = self.accesses.saturating_sub(self.cold_misses);
         if denom == 0 {
             1.0
         } else {
@@ -37,9 +42,10 @@ impl CacheStats {
         }
     }
 
-    /// Misses that are not cold (capacity + conflict).
+    /// Misses that are not cold (capacity + conflict). Saturating, like
+    /// [`CacheStats::hit_rate_excluding_cold`].
     pub fn warm_misses(&self) -> u64 {
-        self.misses - self.cold_misses
+        self.misses.saturating_sub(self.cold_misses)
     }
 }
 
@@ -87,6 +93,20 @@ mod tests {
     fn empty_trace_is_perfect() {
         let s = CacheStats::default();
         assert_eq!(s.hit_rate(), 1.0);
+        assert_eq!(s.hit_rate_excluding_cold(), 1.0);
+    }
+
+    #[test]
+    fn inconsistent_counters_saturate() {
+        // Hand-assembled per-region stats can end up with cold_misses
+        // exceeding the other counters; the derived values must not wrap.
+        let s = CacheStats {
+            accesses: 3,
+            hits: 1,
+            misses: 2,
+            cold_misses: 5,
+        };
+        assert_eq!(s.warm_misses(), 0);
         assert_eq!(s.hit_rate_excluding_cold(), 1.0);
     }
 

@@ -26,7 +26,10 @@ impl Tlb {
     ///
     /// Panics unless the page size is a power of two and `entries ≥ 1`.
     pub fn new(page_bytes: u64, entries: usize) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(entries >= 1, "TLB needs at least one entry");
         Tlb {
             page_bytes,

@@ -7,7 +7,7 @@
 //! profitable adjacent nests.
 
 use crate::distribute::distribute_nest;
-use crate::fuse::{fuse_adjacent, fuse_all_inner};
+use crate::fuse::{fuse_adjacent_observed, fuse_all_inner};
 use crate::model::CostModel;
 use crate::permute::{permute_loop_in_place, permute_nest, PermuteFailure};
 use crate::report::{
@@ -15,7 +15,8 @@ use crate::report::{
 };
 use cmt_ir::node::Node;
 use cmt_ir::program::Program;
-use cmt_ir::visit::{all_loops, is_perfect};
+use cmt_ir::visit::{all_loops, is_perfect, nest_label};
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind};
 
 /// Switches for ablation studies; the defaults match the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,10 +55,29 @@ pub fn compound_with(
     model: &CostModel,
     opts: &CompoundOptions,
 ) -> TransformReport {
+    compound_observed(program, model, opts, &mut NullObs)
+}
+
+/// [`compound_with`] plus an optimization-remark stream: every
+/// accept/reject decision (permutation, fusion-enabled permutation,
+/// distribution, cross-nest fusion) emits a [`Remark`] into `obs`, and
+/// the report's headline numbers are mirrored as `compound.*` counters.
+///
+/// With a disabled sink (e.g. [`NullObs`]) this is exactly
+/// `compound_with`: remark construction is skipped and the transformed
+/// program and report are byte-identical.
+pub fn compound_observed(
+    program: &mut Program,
+    model: &CostModel,
+    opts: &CompoundOptions,
+    obs: &mut dyn ObsSink,
+) -> TransformReport {
+    const PASS: &str = "permute";
     let mut report = TransformReport::default();
     let mut ratio_final_sum = 0.0;
     let mut ratio_ideal_sum = 0.0;
     let mut ratio_count = 0usize;
+    const EVAL_AT: f64 = 100.0;
 
     let mut idx = 0;
     while idx < program.body().len() {
@@ -68,18 +88,37 @@ pub fn compound_with(
         report.loops_total += all_loops(root).len();
         let depth = Node::Loop(root.clone()).depth();
         if depth < 2 {
+            if obs.enabled() {
+                obs.remark(
+                    Remark::new(PASS, nest_label(program, idx), RemarkKind::Analysis)
+                        .reason("depth-1 loop: permutation not applicable"),
+                );
+            }
             idx += 1;
             continue;
         }
         report.nests_total += 1;
 
         let root_snapshot = root.clone();
+        let label = if obs.enabled() {
+            nest_label(program, idx)
+        } else {
+            String::new()
+        };
         let orig_mem = nest_in_memory_order(program, &root_snapshot, model);
         let orig_inner = inner_loop_in_position(program, &root_snapshot, model);
         let orig_cost = realized_cost(program, &root_snapshot, model);
         let ideal = ideal_cost(program, &root_snapshot, model);
+        let orig_eval = orig_cost.eval_uniform(EVAL_AT);
         if orig_mem {
             report.nests_orig_memory_order += 1;
+            if obs.enabled() {
+                obs.remark(
+                    Remark::new(PASS, label.clone(), RemarkKind::Analysis)
+                        .reason("nest is already in memory order")
+                        .cost_before(orig_eval),
+                );
+            }
         }
         if orig_inner {
             report.inner_orig += 1;
@@ -93,34 +132,100 @@ pub fn compound_with(
             report.reversals += out.reversed.len();
             last_failure = out.failure;
             let mut achieved = out.memory_order;
+            if obs.enabled() {
+                if achieved && out.changed {
+                    let reason = if out.reversed.is_empty() {
+                        "permuted into memory order".to_string()
+                    } else {
+                        format!(
+                            "permuted into memory order ({} loop(s) reversed to legalize)",
+                            out.reversed.len()
+                        )
+                    };
+                    obs.remark(
+                        Remark::new(PASS, label.clone(), RemarkKind::Applied).reason(reason),
+                    );
+                } else if let Some(f) = out.failure {
+                    let mut reason = f.to_string();
+                    if let Some(level) = out.blocked_level {
+                        reason.push_str(&format!(" (no loop is legal at nest level {level})"));
+                    }
+                    obs.remark(Remark::new(PASS, label.clone(), RemarkKind::Missed).reason(reason));
+                }
+            }
 
             // Step 2: FuseAll to expose a perfect nest.
             if !achieved && opts.fusion && !is_perfect(&root_snapshot) {
-                let current = program.body()[idx]
-                    .as_loop()
-                    .expect("still a loop")
-                    .clone();
-                if let Some(fused) = fuse_all_inner(program, &current) {
-                    let (out2, rewritten) =
-                        permute_loop_in_place(program, &fused, model, opts.reversal);
-                    if out2.memory_order {
-                        let new_root = rewritten.unwrap_or(fused);
-                        program.body_mut()[idx] = Node::Loop(new_root);
-                        report.reversals += out2.reversed.len();
-                        report.fusion_enabled_permutation += 1;
-                        achieved = true;
-                        last_failure = None;
+                let current = program.body()[idx].as_loop().expect("still a loop").clone();
+                match fuse_all_inner(program, &current) {
+                    Some(fused) => {
+                        let (out2, rewritten) =
+                            permute_loop_in_place(program, &fused, model, opts.reversal);
+                        if out2.memory_order {
+                            let new_root = rewritten.unwrap_or(fused);
+                            program.body_mut()[idx] = Node::Loop(new_root);
+                            report.reversals += out2.reversed.len();
+                            report.fusion_enabled_permutation += 1;
+                            achieved = true;
+                            last_failure = None;
+                            if obs.enabled() {
+                                obs.remark(
+                                    Remark::new("fuse-all", label.clone(), RemarkKind::Applied)
+                                        .reason(
+                                            "fused inner loops to expose a perfect nest, \
+                                             enabling permutation into memory order",
+                                        ),
+                                );
+                            }
+                        } else if obs.enabled() {
+                            let why = out2
+                                .failure
+                                .map(|f| f.to_string())
+                                .unwrap_or_else(|| "permutation not improving".to_string());
+                            obs.remark(
+                                Remark::new("fuse-all", label.clone(), RemarkKind::Missed)
+                                    .reason(format!("fused nest still not permutable: {why}")),
+                            );
+                        }
+                    }
+                    None => {
+                        if obs.enabled() {
+                            obs.remark(
+                                Remark::new("fuse-all", label.clone(), RemarkKind::Missed)
+                                    .reason("inner loops cannot be fused legally"),
+                            );
+                        }
                     }
                 }
             }
 
             // Step 3: distribution.
             if !achieved && opts.distribution {
-                if let Some(dist) = distribute_nest(program, idx, model, opts.reversal) {
-                    report.distributions += 1;
-                    report.nests_resulting += dist.resulting;
-                    span = dist.top_level_span;
-                    last_failure = None;
+                match distribute_nest(program, idx, model, opts.reversal) {
+                    Some(dist) => {
+                        report.distributions += 1;
+                        report.nests_resulting += dist.resulting;
+                        span = dist.top_level_span;
+                        last_failure = None;
+                        if obs.enabled() {
+                            obs.remark(
+                                Remark::new("distribute", label.clone(), RemarkKind::Applied)
+                                    .reason(format!(
+                                        "distributed into {} nest(s); {} permuted into \
+                                         memory order",
+                                        dist.resulting, dist.permuted_copies
+                                    )),
+                            );
+                        }
+                    }
+                    None => {
+                        if obs.enabled() {
+                            obs.remark(
+                                Remark::new("distribute", label.clone(), RemarkKind::Missed)
+                                    .reason("no distribution enables memory order"),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -157,16 +262,27 @@ pub fn compound_with(
         for l in &finals {
             final_cost += realized_cost(program, l, model);
         }
-        const EVAL_AT: f64 = 100.0;
         ratio_final_sum += orig_cost.ratio_at(&final_cost, EVAL_AT).max(1.0);
         ratio_ideal_sum += orig_cost.ratio_at(&ideal, EVAL_AT).max(1.0);
         ratio_count += 1;
+        if obs.enabled() {
+            let final_eval = final_cost.eval_uniform(EVAL_AT);
+            obs.remark(
+                Remark::new("loopcost", label, RemarkKind::Analysis)
+                    .reason(format!(
+                        "LoopCost at N={EVAL_AT}: {} in memory order, ideal {:.1}",
+                        if final_mem { "now" } else { "NOT" },
+                        ideal.eval_uniform(EVAL_AT)
+                    ))
+                    .costs(orig_eval, final_eval),
+            );
+        }
         idx += span;
     }
 
     // Final pass: fuse adjacent nests for temporal locality.
     if opts.fusion {
-        let stats = fuse_adjacent(program, model);
+        let stats = fuse_adjacent_observed(program, model, obs);
         report.fusion_candidates = stats.candidates;
         report.nests_fused = stats.fused;
     }
@@ -177,6 +293,22 @@ pub fn compound_with(
     } else {
         report.loopcost_ratio_final = 1.0;
         report.loopcost_ratio_ideal = 1.0;
+    }
+    if obs.enabled() {
+        obs.counter("compound.nests_total", report.nests_total as u64);
+        obs.counter("compound.nests_permuted", report.nests_permuted as u64);
+        obs.counter("compound.nests_failed", report.nests_failed as u64);
+        obs.counter("compound.reversals", report.reversals as u64);
+        obs.counter("compound.distributions", report.distributions as u64);
+        obs.counter(
+            "compound.fusion_enabled_permutation",
+            report.fusion_enabled_permutation as u64,
+        );
+        obs.counter(
+            "compound.fusion_candidates",
+            report.fusion_candidates as u64,
+        );
+        obs.counter("compound.nests_fused", report.nests_fused as u64);
     }
     report
 }

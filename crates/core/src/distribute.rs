@@ -9,8 +9,8 @@
 
 use crate::model::CostModel;
 use crate::permute::permute_loop_in_place;
-use cmt_dependence::scc::partitions_at_level;
 use cmt_dependence::analyze_nest;
+use cmt_dependence::scc::partitions_at_level;
 use cmt_ir::ids::{LoopId, StmtId};
 use cmt_ir::node::{Loop, Node};
 use cmt_ir::program::Program;
@@ -174,11 +174,7 @@ fn loops_at_depth(root: &Loop, depth: usize) -> Vec<&Loop> {
 /// Builds one distribution copy: a clone of `l` (with a fresh loop id at
 /// every level) containing only the statements in `keep`; returns `None`
 /// when nothing remains.
-fn copy_for_partition(
-    program: &mut Program,
-    l: &Loop,
-    keep: &HashSet<StmtId>,
-) -> Option<Loop> {
+fn copy_for_partition(program: &mut Program, l: &Loop, keep: &HashSet<StmtId>) -> Option<Loop> {
     let body: Vec<Node> = l
         .body()
         .iter()
@@ -390,8 +386,16 @@ mod tests {
             )
         };
         let mut work = root.clone();
-        assert!(replace_loop_with(&mut work, inner.id(), vec![mk(id1), mk(id2)]));
+        assert!(replace_loop_with(
+            &mut work,
+            inner.id(),
+            vec![mk(id1), mk(id2)]
+        ));
         assert_eq!(work.body().len(), 2);
-        assert!(!replace_loop_with(&mut work, inner.id(), vec![mk(LoopId(99))]));
+        assert!(!replace_loop_with(
+            &mut work,
+            inner.id(),
+            vec![mk(LoopId(99))]
+        ));
     }
 }

@@ -57,9 +57,8 @@ pub fn best_permutation_exhaustive(
     let ids: Vec<LoopId> = chain.iter().map(|l| l.id()).collect();
     let n = ids.len();
     let costs = model.analyze(program, nest);
-    let cost_of = |id: LoopId| -> CostPoly {
-        costs.cost_of(id).expect("chain loop analyzed").cost.clone()
-    };
+    let cost_of =
+        |id: LoopId| -> CostPoly { costs.cost_of(id).expect("chain loop analyzed").cost.clone() };
 
     let graph = analyze_nest(program, nest);
     let vectors: Vec<DepVector> = graph
@@ -73,16 +72,15 @@ pub fn best_permutation_exhaustive(
     let mut legal = 0usize;
     permutations(n, &mut |perm| {
         enumerated += 1;
-        if !vectors.iter().all(|v| v.permuted(perm).is_lex_nonnegative()) {
+        if !vectors
+            .iter()
+            .all(|v| v.permuted(perm).is_lex_nonnegative())
+        {
             return;
         }
         legal += 1;
         // Key: innermost cost first, then outward.
-        let key: Vec<CostPoly> = perm
-            .iter()
-            .rev()
-            .map(|&k| cost_of(ids[k]))
-            .collect();
+        let key: Vec<CostPoly> = perm.iter().rev().map(|&k| cost_of(ids[k])).collect();
         let candidate: Vec<LoopId> = perm.iter().map(|&k| ids[k]).collect();
         let better = match &best {
             None => true,

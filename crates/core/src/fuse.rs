@@ -12,7 +12,8 @@ use cmt_dependence::analyze_fused_pair;
 use cmt_ir::ids::StmtId;
 use cmt_ir::node::{Loop, Node};
 use cmt_ir::program::Program;
-use cmt_ir::visit::perfect_chain;
+use cmt_ir::visit::{chain_label, perfect_chain};
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind};
 use std::collections::HashSet;
 
 /// Counters matching the paper's Table 2 "Loop Fusion" columns.
@@ -78,10 +79,12 @@ pub fn fuse_pair(a: &Loop, b: &Loop, depth: usize) -> Option<Loop> {
     assert!(depth >= 1, "fusion depth must be at least 1");
     let ca = perfect_chain(a);
     let cb = perfect_chain(b);
-    assert!(depth <= ca.len() && depth <= cb.len(), "depth exceeds chains");
-    let renames: Vec<(cmt_ir::ids::VarId, cmt_ir::ids::VarId)> = (0..depth)
-        .map(|k| (cb[k].var(), ca[k].var()))
-        .collect();
+    assert!(
+        depth <= ca.len() && depth <= cb.len(),
+        "depth exceeds chains"
+    );
+    let renames: Vec<(cmt_ir::ids::VarId, cmt_ir::ids::VarId)> =
+        (0..depth).map(|k| (cb[k].var(), ca[k].var())).collect();
 
     let mut appended: Vec<Node> = cb[depth - 1].body().to_vec();
     // Capture check: a rename target bound by a deeper loop of the moved
@@ -154,11 +157,7 @@ pub fn fusion_benefit(program: &Program, model: &CostModel, a: &Loop, b: &Loop) 
     let level_loop_b = perfect_chain(b)[depth - 1].id();
     let fused_costs = model.analyze(program, &fused);
     let fused_cost = fused_costs.cost_of(level_loop)?.cost.clone();
-    let cost_a = model
-        .analyze(program, a)
-        .cost_of(level_loop)?
-        .cost
-        .clone();
+    let cost_a = model.analyze(program, a).cost_of(level_loop)?.cost.clone();
     let cost_b = model
         .analyze(program, b)
         .cost_of(level_loop_b)?
@@ -173,6 +172,18 @@ pub fn fusion_benefit(program: &Program, model: &CostModel, a: &Loop, b: &Loop) 
 /// pair whenever it is legal and the cost model reports a benefit, until
 /// no pair qualifies. Returns Table-2 style statistics.
 pub fn fuse_adjacent(program: &mut Program, model: &CostModel) -> FuseStats {
+    fuse_adjacent_observed(program, model, &mut NullObs)
+}
+
+/// [`fuse_adjacent`] plus optimization remarks: an `Applied` remark for
+/// every pair actually fused, and after the greedy loop settles, one
+/// `Missed` remark per adjacent compatible pair left unfused explaining
+/// which test (legality, benefit, or renaming) blocked it.
+pub fn fuse_adjacent_observed(
+    program: &mut Program,
+    model: &CostModel,
+    obs: &mut dyn ObsSink,
+) -> FuseStats {
     // Candidate count: nests adjacent to a compatible nest, in the
     // *original* program.
     let candidates = {
@@ -212,6 +223,20 @@ pub fn fuse_adjacent(program: &mut Program, model: &CostModel) -> FuseStats {
             let Some(fused) = fuse_pair(a, b, depth) else {
                 continue;
             };
+            if obs.enabled() {
+                obs.remark(
+                    Remark::new(
+                        "fuse",
+                        format!("{}/fuse@{}:{}", program.name(), i, chain_label(program, a)),
+                        RemarkKind::Applied,
+                    )
+                    .reason(format!(
+                        "fused with following nest {} at depth {depth} for \
+                         group-temporal locality",
+                        chain_label(program, b)
+                    )),
+                );
+            }
             program.body_mut()[i] = Node::Loop(fused);
             program.body_mut().remove(i + 1);
             let w = weights.remove(i + 1);
@@ -221,6 +246,39 @@ pub fn fuse_adjacent(program: &mut Program, model: &CostModel) -> FuseStats {
         }
         if fused_at.is_none() {
             break;
+        }
+    }
+
+    // Remark on every adjacent compatible pair the greedy loop left
+    // unfused, naming the test that blocked it.
+    if obs.enabled() {
+        for i in 0..program.body().len().saturating_sub(1) {
+            let (Node::Loop(a), Node::Loop(b)) = (&program.body()[i], &program.body()[i + 1])
+            else {
+                continue;
+            };
+            let depth = compatible_depth(a, b);
+            if depth == 0 {
+                continue;
+            }
+            let reason = if !legal_to_fuse(program, a, b) {
+                "fusion would reverse a dependence between the nests"
+            } else if fusion_benefit(program, model, a, b) != Some(true) {
+                "cost model reports no locality benefit from fusing"
+            } else {
+                "variable capture prevents renaming the second nest"
+            };
+            obs.remark(
+                Remark::new(
+                    "fuse",
+                    format!("{}/fuse@{}:{}", program.name(), i, chain_label(program, a)),
+                    RemarkKind::Missed,
+                )
+                .reason(format!(
+                    "not fused with following nest {}: {reason}",
+                    chain_label(program, b)
+                )),
+            );
         }
     }
 

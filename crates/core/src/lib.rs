@@ -68,7 +68,7 @@ pub mod tile;
 pub mod tiling;
 pub mod unroll;
 
-pub use compound::{compound, CompoundOptions};
+pub use compound::{compound, compound_observed, CompoundOptions};
 pub use cost::CostPoly;
 pub use model::{CostModel, LoopCostEntry, NestCosts, SelfReuse};
 pub use report::TransformReport;

@@ -36,11 +36,12 @@
 //! assert!(reports.iter().all(|r| r.validated));
 //! ```
 
-use crate::compound::{compound_with, CompoundOptions};
+use crate::compound::{compound_observed, CompoundOptions};
 use crate::model::CostModel;
-use crate::scalar::scalar_replace;
+use crate::scalar::scalar_replace_observed;
 use cmt_ir::program::Program;
 use cmt_ir::validate::validate;
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind, SpanTimer};
 
 /// Summary of one pass execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,6 +54,9 @@ pub struct PassReport {
     pub summary: String,
     /// Whether the program validated after the pass (always checked).
     pub validated: bool,
+    /// Wall time of the pass body in nanoseconds (excludes the
+    /// pipeline's own clone/validate bookkeeping).
+    pub nanos: u64,
 }
 
 /// A program transformation with a name.
@@ -61,6 +65,14 @@ pub trait Pass {
     fn name(&self) -> &'static str;
     /// Runs the pass; returns a one-line summary.
     fn run(&self, program: &mut Program) -> String;
+    /// Runs the pass, streaming optimization remarks and metrics into
+    /// `obs`. The default ignores the sink; passes with decision points
+    /// override this (and their `run` is then `run_observed` with a
+    /// [`NullObs`]).
+    fn run_observed(&self, program: &mut Program, obs: &mut dyn ObsSink) -> String {
+        let _ = obs;
+        self.run(program)
+    }
 }
 
 /// An ordered list of passes.
@@ -88,21 +100,41 @@ impl Pipeline {
     /// Panics if a pass produces an invalid program — that is a bug in
     /// the pass, not a user error.
     pub fn run(&self, program: &mut Program) -> Vec<PassReport> {
+        self.run_observed(program, &mut NullObs)
+    }
+
+    /// [`Pipeline::run`] with observability: each pass streams its
+    /// remarks into `obs`, and per-pass wall time (`pass.<name>.ns`
+    /// histogram) and change flags (`pass.<name>.changed` counter) are
+    /// recorded alongside the [`PassReport`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass produces an invalid program.
+    pub fn run_observed(&self, program: &mut Program, obs: &mut dyn ObsSink) -> Vec<PassReport> {
         let mut out = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             let before = program.clone();
-            let summary = pass.run(program);
+            let timer = SpanTimer::start();
+            let summary = pass.run_observed(program, obs);
+            let nanos = timer.elapsed_ns();
             let validated = validate(program).is_ok();
             assert!(
                 validated,
                 "pass {} produced an invalid program",
                 pass.name()
             );
+            let changed = *program != before;
+            if obs.enabled() {
+                obs.span_ns(&format!("pass.{}.ns", pass.name()), nanos);
+                obs.counter(&format!("pass.{}.changed", pass.name()), changed as u64);
+            }
             out.push(PassReport {
                 name: pass.name(),
-                changed: *program != before,
+                changed,
                 summary,
                 validated,
+                nanos,
             });
         }
         out
@@ -152,7 +184,11 @@ impl Pass for CompoundPass {
     }
 
     fn run(&self, program: &mut Program) -> String {
-        let r = compound_with(program, &self.model, &self.options);
+        self.run_observed(program, &mut NullObs)
+    }
+
+    fn run_observed(&self, program: &mut Program, obs: &mut dyn ObsSink) -> String {
+        let r = compound_observed(program, &self.model, &self.options, obs);
         format!(
             "{} nests: {} orig / {} permuted / {} failed; fused {}, distributed {}",
             r.nests_total,
@@ -175,7 +211,11 @@ impl Pass for ScalarReplacePass {
     }
 
     fn run(&self, program: &mut Program) -> String {
-        let s = scalar_replace(program);
+        self.run_observed(program, &mut NullObs)
+    }
+
+    fn run_observed(&self, program: &mut Program, obs: &mut dyn ObsSink) -> String {
+        let s = scalar_replace_observed(program, obs);
         format!("hoisted {} invariant load(s)", s.replaced)
     }
 }
@@ -200,12 +240,39 @@ impl Pass for TilePass {
     }
 
     fn run(&self, program: &mut Program) -> String {
+        self.run_observed(program, &mut NullObs)
+    }
+
+    fn run_observed(&self, program: &mut Program, obs: &mut dyn ObsSink) -> String {
+        let label = if obs.enabled() {
+            cmt_ir::visit::nest_label(program, self.nest)
+        } else {
+            String::new()
+        };
         match crate::tile::tile_loop(program, self.nest, self.depth, self.tile, self.hoist_to) {
-            Ok(out) => format!(
-                "tiled nest {} depth {} by {} (control {})",
-                self.nest, self.depth, self.tile, out.control_var
-            ),
-            Err(e) => format!("skipped: {e}"),
+            Ok(out) => {
+                if obs.enabled() {
+                    obs.remark(
+                        Remark::new("tile", label, RemarkKind::Applied).reason(format!(
+                            "tiled depth {} by {} (control loop {})",
+                            self.depth, self.tile, out.control_var
+                        )),
+                    );
+                }
+                format!(
+                    "tiled nest {} depth {} by {} (control {})",
+                    self.nest, self.depth, self.tile, out.control_var
+                )
+            }
+            Err(e) => {
+                if obs.enabled() {
+                    obs.remark(
+                        Remark::new("tile", label, RemarkKind::Missed)
+                            .reason(format!("not tiled: {e}")),
+                    );
+                }
+                format!("skipped: {e}")
+            }
         }
     }
 }
@@ -227,12 +294,39 @@ impl Pass for UnrollJamPass {
     }
 
     fn run(&self, program: &mut Program) -> String {
+        self.run_observed(program, &mut NullObs)
+    }
+
+    fn run_observed(&self, program: &mut Program, obs: &mut dyn ObsSink) -> String {
+        let label = if obs.enabled() {
+            cmt_ir::visit::nest_label(program, self.nest)
+        } else {
+            String::new()
+        };
         match crate::unroll::unroll_and_jam(program, self.nest, self.depth, self.factor) {
-            Ok(()) => format!(
-                "unrolled nest {} depth {} by {}",
-                self.nest, self.depth, self.factor
-            ),
-            Err(e) => format!("skipped: {e}"),
+            Ok(()) => {
+                if obs.enabled() {
+                    obs.remark(
+                        Remark::new("unroll-and-jam", label, RemarkKind::Applied).reason(format!(
+                            "unrolled depth {} by factor {}",
+                            self.depth, self.factor
+                        )),
+                    );
+                }
+                format!(
+                    "unrolled nest {} depth {} by {}",
+                    self.nest, self.depth, self.factor
+                )
+            }
+            Err(e) => {
+                if obs.enabled() {
+                    obs.remark(
+                        Remark::new("unroll-and-jam", label, RemarkKind::Missed)
+                            .reason(format!("not unrolled: {e}")),
+                    );
+                }
+                format!("skipped: {e}")
+            }
         }
     }
 }

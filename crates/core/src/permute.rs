@@ -59,6 +59,11 @@ pub struct PermuteOutcome {
     pub reversed: Vec<LoopId>,
     /// Set when memory order was not achieved.
     pub failure: Option<PermuteFailure>,
+    /// For dependence failures: the nest level (0 = outermost) at which
+    /// the greedy construction could place no loop — i.e. where the
+    /// direction matrix stops admitting a lexicographically positive
+    /// order. Feeds optimization remarks.
+    pub blocked_level: Option<usize>,
 }
 
 /// Attempts to permute the top-level nest `nest_idx` of `program` into
@@ -90,6 +95,7 @@ pub fn permute_nest(
             changed: false,
             reversed: Vec::new(),
             failure: Some(PermuteFailure::Imperfect),
+            blocked_level: None,
         };
     }
 
@@ -120,7 +126,11 @@ pub fn permute_loop_in_place(
 
     // Desired order: the full ranking (all loops of a perfect nest are on
     // the chain).
-    let desired: Vec<LoopId> = ranking.iter().filter(|id| chain.contains(id)).copied().collect();
+    let desired: Vec<LoopId> = ranking
+        .iter()
+        .filter(|id| chain.contains(id))
+        .copied()
+        .collect();
     let already = desired == chain;
     if already || depth < 2 {
         let out = PermuteOutcome {
@@ -130,6 +140,7 @@ pub fn permute_loop_in_place(
             changed: false,
             reversed: Vec::new(),
             failure: None,
+            blocked_level: None,
         };
         return (out, None);
     }
@@ -149,17 +160,21 @@ pub fn permute_loop_in_place(
         .iter()
         .map(|id| chain.iter().position(|c| c == id).expect("chain member"))
         .collect();
-    let Some((perm, reversed_positions)) = build_legal_permutation(&vectors, &pref, allow_reversal)
-    else {
-        let out = PermuteOutcome {
-            memory_order: false,
-            inner_in_position: false,
-            already_in_order: false,
-            changed: false,
-            reversed: Vec::new(),
-            failure: Some(PermuteFailure::Dependences),
-        };
-        return (out, None);
+    let (perm, reversed_positions) = match build_legal_permutation(&vectors, &pref, allow_reversal)
+    {
+        Ok(found) => found,
+        Err(blocked_at) => {
+            let out = PermuteOutcome {
+                memory_order: false,
+                inner_in_position: false,
+                already_in_order: false,
+                changed: false,
+                reversed: Vec::new(),
+                failure: Some(PermuteFailure::Dependences),
+                blocked_level: Some(blocked_at),
+            };
+            return (out, None);
+        }
     };
 
     let identity: Vec<usize> = (0..depth).collect();
@@ -173,6 +188,7 @@ pub fn permute_loop_in_place(
             changed: false,
             reversed: Vec::new(),
             failure: Some(PermuteFailure::Dependences),
+            blocked_level: None,
         };
         return (out, None);
     }
@@ -190,6 +206,7 @@ pub fn permute_loop_in_place(
             changed: false,
             reversed: Vec::new(),
             failure: Some(PermuteFailure::ComplexBounds),
+            blocked_level: None,
         };
         return (out, None);
     }
@@ -209,6 +226,7 @@ pub fn permute_loop_in_place(
         } else {
             Some(PermuteFailure::Dependences)
         },
+        blocked_level: None,
     };
     (out, Some(work))
 }
@@ -267,12 +285,13 @@ fn is_prefix_consistent(chain: &[LoopId], ranking: &[LoopId]) -> bool {
 /// highest-preference remaining loop whose column cannot make any
 /// still-unsatisfied dependence vector negative; optionally reverse a loop
 /// to flip its column. Returns `perm` (original indices in new order) and
-/// the original positions reversed.
+/// the original positions reversed, or `Err(level)` with the nest level
+/// (0 = outermost) at which no remaining loop could be placed.
 fn build_legal_permutation(
     vectors: &[DepVector],
     pref: &[usize],
     allow_reversal: bool,
-) -> Option<(Vec<usize>, Vec<usize>)> {
+) -> Result<(Vec<usize>, Vec<usize>), usize> {
     let n = pref.len();
     let mut remaining: Vec<usize> = pref.to_vec();
     let mut satisfied = vec![false; vectors.len()];
@@ -294,14 +313,13 @@ fn build_legal_permutation(
             let cand = remaining[ri];
             let rev_cand = reversed.contains(&cand);
             // Direct placement.
-            let ok = vectors.iter().enumerate().all(|(vi, v)| {
-                satisfied[vi] || !entry_dir(v, cand, rev_cand).may_gt()
-            });
+            let ok = vectors
+                .iter()
+                .enumerate()
+                .all(|(vi, v)| satisfied[vi] || !entry_dir(v, cand, rev_cand).may_gt());
             if ok {
                 for (vi, v) in vectors.iter().enumerate() {
-                    if !satisfied[vi]
-                        && entry_dir(v, cand, rev_cand) == Direction::Lt
-                    {
+                    if !satisfied[vi] && entry_dir(v, cand, rev_cand) == Direction::Lt {
                         satisfied[vi] = true;
                     }
                 }
@@ -312,9 +330,10 @@ fn build_legal_permutation(
             }
             // Reversal-enabled placement.
             if allow_reversal && !rev_cand {
-                let ok_rev = vectors.iter().enumerate().all(|(vi, v)| {
-                    satisfied[vi] || !entry_dir(v, cand, true).may_gt()
-                });
+                let ok_rev = vectors
+                    .iter()
+                    .enumerate()
+                    .all(|(vi, v)| satisfied[vi] || !entry_dir(v, cand, true).may_gt());
                 if ok_rev {
                     reversed.push(cand);
                     for (vi, v) in vectors.iter().enumerate() {
@@ -330,10 +349,10 @@ fn build_legal_permutation(
             }
         }
         if !placed {
-            return None;
+            return Err(perm.len());
         }
     }
-    Some((perm, reversed))
+    Ok((perm, reversed))
 }
 
 /// Mutable access to the chain loop at `depth` under `root` (0 = root).
@@ -425,8 +444,12 @@ pub fn interchange_adjacent(root: &mut Loop, depth: usize) -> Result<(), Permute
         .ok_or(PermuteFailure::Imperfect)?
         .clone();
     let w = inner.var();
-    let (inner_id, inner_lo, inner_hi, inner_step) =
-        (inner.id(), inner.lower().clone(), inner.upper().clone(), inner.step());
+    let (inner_id, inner_lo, inner_hi, inner_step) = (
+        inner.id(),
+        inner.lower().clone(),
+        inner.upper().clone(),
+        inner.step(),
+    );
 
     let c_l = inner_lo.coeff_of_var(u);
     let c_u = inner_hi.coeff_of_var(u);
@@ -571,10 +594,7 @@ mod tests {
             b.loop_("J", 1, n, |b| {
                 let (i, j) = (b.var("I"), b.var("J"));
                 let lhs = b.at(a, [i, j]);
-                let rhs = Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i) - 1, Affine::var(j) + 1],
-                ));
+                let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j) + 1]));
                 b.assign(lhs, rhs);
             });
         });
@@ -601,10 +621,7 @@ mod tests {
             b.loop_("J", 1, n, |b| {
                 let (i, j) = (b.var("I"), b.var("J"));
                 let lhs = b.at(a, [i, j]);
-                let rhs = Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i) - 1, Affine::var(j) + 1],
-                ));
+                let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j) + 1]));
                 b.assign(lhs, rhs);
             });
         });

@@ -25,6 +25,7 @@ use cmt_ir::expr::Expr;
 use cmt_ir::node::Node;
 use cmt_ir::program::Program;
 use cmt_ir::stmt::{ArrayRef, Stmt};
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind};
 use std::collections::HashSet;
 
 /// Statistics from one scalar-replacement pass.
@@ -42,14 +43,29 @@ pub struct ScalarStats {
 /// loop body are hoisted (a write to the same array could alias the
 /// hoisted element and stale the temporary).
 pub fn scalar_replace(program: &mut Program) -> ScalarStats {
+    scalar_replace_observed(program, &mut NullObs)
+}
+
+/// [`scalar_replace`] plus optimization remarks: one `Applied` remark per
+/// hoisted load, and a `Missed` remark for each invariant load that could
+/// not be hoisted because its array is written inside the loop.
+pub fn scalar_replace_observed(program: &mut Program, obs: &mut dyn ObsSink) -> ScalarStats {
     let mut stats = ScalarStats::default();
     let mut body = std::mem::take(program.body_mut());
-    walk_body(program, &mut body, &mut stats);
+    walk_body(program, &mut body, &mut stats, obs);
     *program.body_mut() = body;
+    if obs.enabled() {
+        obs.counter("scalar.replaced", stats.replaced as u64);
+    }
     stats
 }
 
-fn walk_body(program: &mut Program, body: &mut Vec<Node>, stats: &mut ScalarStats) {
+fn walk_body(
+    program: &mut Program,
+    body: &mut Vec<Node>,
+    stats: &mut ScalarStats,
+    obs: &mut dyn ObsSink,
+) {
     let mut k = 0;
     while k < body.len() {
         let is_innermost_loop = matches!(
@@ -61,7 +77,7 @@ fn walk_body(program: &mut Program, body: &mut Vec<Node>, stats: &mut ScalarStat
                 let Node::Loop(l) = &mut body[k] else {
                     unreachable!("checked above")
                 };
-                hoist_invariants(program, l, stats)
+                hoist_invariants(program, l, stats, obs)
             };
             let count = hoists.len();
             for (off, h) in hoists.into_iter().enumerate() {
@@ -70,7 +86,7 @@ fn walk_body(program: &mut Program, body: &mut Vec<Node>, stats: &mut ScalarStat
             k += count + 1;
         } else {
             if let Node::Loop(l) = &mut body[k] {
-                walk_body(program, l.body_mut(), stats);
+                walk_body(program, l.body_mut(), stats, obs);
             }
             k += 1;
         }
@@ -83,6 +99,7 @@ fn hoist_invariants(
     program: &mut Program,
     l: &mut cmt_ir::node::Loop,
     stats: &mut ScalarStats,
+    obs: &mut dyn ObsSink,
 ) -> Vec<Node> {
     let var = l.var();
     let written: HashSet<_> = l
@@ -92,13 +109,40 @@ fn hoist_invariants(
         .map(|s| s.lhs().array())
         .collect();
 
+    let loop_label = if obs.enabled() {
+        format!("{}/loop:{}", program.name(), program.var_name(var))
+    } else {
+        String::new()
+    };
     let mut candidates: Vec<ArrayRef> = Vec::new();
+    let mut blocked: Vec<ArrayRef> = Vec::new();
     for n in l.body() {
         let Some(s) = n.as_stmt() else { continue };
         for r in s.rhs().loads() {
-            if r.invariant_in(var) && !written.contains(&r.array()) && !candidates.contains(r) {
+            if !r.invariant_in(var) {
+                continue;
+            }
+            if written.contains(&r.array()) {
+                if obs.enabled() && !blocked.contains(r) {
+                    blocked.push(r.clone());
+                }
+                continue;
+            }
+            if !candidates.contains(r) {
                 candidates.push(r.clone());
             }
+        }
+    }
+    if obs.enabled() {
+        for r in &blocked {
+            obs.remark(
+                Remark::new("scalar-replace", loop_label.clone(), RemarkKind::Missed).reason(
+                    format!(
+                        "invariant load of {} not hoisted: array is written in the loop",
+                        program.array(r.array()).name()
+                    ),
+                ),
+            );
         }
     }
     if candidates.is_empty() {
@@ -109,10 +153,25 @@ fn hoist_invariants(
     let mut rewrites: Vec<(ArrayRef, ArrayRef)> = Vec::with_capacity(candidates.len());
     for r in candidates {
         let tmp_name = format!("SR{}", program.arrays().len());
+        if obs.enabled() {
+            obs.remark(
+                Remark::new("scalar-replace", loop_label.clone(), RemarkKind::Applied).reason(
+                    format!(
+                        "hoisted invariant load of {} into temporary {tmp_name} \
+                         (one load per entry instead of one per iteration)",
+                        program.array(r.array()).name()
+                    ),
+                ),
+            );
+        }
         let tmp = program.declare_array(ArrayInfo::new(tmp_name, vec![Extent::constant(1)]));
         let tmp_ref = ArrayRef::new(tmp, vec![Affine::constant(1)]);
         let sid = program.fresh_stmt_id();
-        hoists.push(Node::Stmt(Stmt::new(sid, tmp_ref.clone(), Expr::load(r.clone()))));
+        hoists.push(Node::Stmt(Stmt::new(
+            sid,
+            tmp_ref.clone(),
+            Expr::load(r.clone()),
+        )));
         rewrites.push((r, tmp_ref));
         stats.replaced += 1;
     }

@@ -31,10 +31,7 @@ pub fn skew_inner(root: &mut Loop, depth: usize, factor: i64) {
         if d == 0 {
             l
         } else {
-            at(
-                l.body_mut()[0].as_loop_mut().expect("perfect chain"),
-                d - 1,
-            )
+            at(l.body_mut()[0].as_loop_mut().expect("perfect chain"), d - 1)
         }
     }
     let outer_var = at(root, depth).var();
@@ -151,10 +148,7 @@ mod tests {
             DepElem::Dist(2),
         ]);
         let w2 = skewed_vector(&v2, 0, 1, 3);
-        assert_eq!(
-            w2.elems()[1],
-            DepElem::Dir(cmt_dependence::Direction::Star)
-        );
+        assert_eq!(w2.elems()[1], DepElem::Dir(cmt_dependence::Direction::Star));
     }
 
     #[test]

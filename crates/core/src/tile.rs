@@ -109,8 +109,7 @@ pub fn tile_loop(
     // The control loop will sit above loops hoist_to..depth; its bounds
     // (the target's bounds) must not reference those loops' variables.
     for crossed in &chain[hoist_to..depth] {
-        if target.lower().mentions_var(crossed.var())
-            || target.upper().mentions_var(crossed.var())
+        if target.lower().mentions_var(crossed.var()) || target.upper().mentions_var(crossed.var())
         {
             return Err(TileError::ComplexBounds);
         }

@@ -32,7 +32,11 @@ pub struct TilingCandidate {
 
 /// Scans a nest for tiling candidates: non-innermost loops with respect
 /// to which at least one reference group is loop-invariant.
-pub fn tiling_candidates(program: &Program, nest: &Loop, model: &CostModel) -> Vec<TilingCandidate> {
+pub fn tiling_candidates(
+    program: &Program,
+    nest: &Loop,
+    model: &CostModel,
+) -> Vec<TilingCandidate> {
     let costs = model.analyze(program, nest);
     let nodes = [Node::Loop(nest.clone())];
     let ctxs = stmts_with_context(&nodes);

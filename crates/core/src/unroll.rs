@@ -143,9 +143,7 @@ pub fn unroll_and_jam(
             for n in &base {
                 let Node::Stmt(s) = n else { continue };
                 let shifted = s.map_refs(|r| {
-                    r.map_subscripts(|sub| {
-                        sub.substitute_var(var, &(Affine::var(var) + u))
-                    })
+                    r.map_subscripts(|sub| sub.substitute_var(var, &(Affine::var(var) + u)))
                 });
                 let rhs = shifted.rhs().map_index(&mut |w| {
                     if w == var {
@@ -154,8 +152,7 @@ pub fn unroll_and_jam(
                         cmt_ir::expr::Expr::Index(w)
                     }
                 });
-                let shifted =
-                    cmt_ir::stmt::Stmt::new(shifted.id(), shifted.lhs().clone(), rhs);
+                let shifted = cmt_ir::stmt::Stmt::new(shifted.id(), shifted.lhs().clone(), rhs);
                 new_stmts.push((u as usize, Node::Stmt(shifted)));
             }
         }
@@ -260,7 +257,10 @@ mod tests {
     #[test]
     fn innermost_rejected() {
         let mut p = matmul_jki();
-        assert_eq!(unroll_and_jam(&mut p, 0, 2, 2), Err(UnrollError::BadPosition));
+        assert_eq!(
+            unroll_and_jam(&mut p, 0, 2, 2),
+            Err(UnrollError::BadPosition)
+        );
         assert_eq!(unroll_and_jam(&mut p, 0, 0, 1), Err(UnrollError::BadFactor));
     }
 
@@ -277,10 +277,7 @@ mod tests {
             b.loop_("J", 1, Affine::param(n) - 1, |b| {
                 let (i, j) = (b.var("I"), b.var("J"));
                 let lhs = b.at(a, [i, j]);
-                let rhs = Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i) - 1, Affine::var(j) + 1],
-                ));
+                let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j) + 1]));
                 b.assign(lhs, rhs);
             });
         });

@@ -269,9 +269,8 @@ pub fn analyze_fused_pair(_program: &Program, first: &Loop, second: &Loop) -> Ve
     let rename: Vec<(cmt_ir::ids::VarId, cmt_ir::ids::VarId)> = (0..depth)
         .map(|k| (chain2[k].var(), chain1[k].var()))
         .collect();
-    let rename_ref = |r: &ArrayRef| -> ArrayRef {
-        r.map_subscripts(|sub| sub.rename_vars(&rename))
-    };
+    let rename_ref =
+        |r: &ArrayRef| -> ArrayRef { r.map_subscripts(|sub| sub.rename_vars(&rename)) };
 
     let nodes1 = [cmt_ir::node::Node::Loop(first.clone())];
     let nodes2 = [cmt_ir::node::Node::Loop(second.clone())];
@@ -288,8 +287,7 @@ pub fn analyze_fused_pair(_program: &Program, first: &Loop, second: &Loop) -> Ve
     let mut deps = Vec::new();
     for (stack1, s1) in &ctxs1 {
         for (stack2, s2) in &ctxs2 {
-            let d = lead(stack1, &chain1[..depth])
-                .min(lead(stack2, &chain2[..depth]));
+            let d = lead(stack1, &chain1[..depth]).min(lead(stack2, &chain2[..depth]));
             let common_d = &common[..d];
             let renamed = s2.map_refs(|r| rename_ref(r));
             let src_ranges = foreign_ranges(stack1, d);
@@ -355,7 +353,8 @@ fn pair_deps(
                     continue;
                 }
             }
-            let Some(raw) = test_dependence_with_ranges(r1, r2, &ctxs, src_ranges, dst_ranges) else {
+            let Some(raw) = test_dependence_with_ranges(r1, r2, &ctxs, src_ranges, dst_ranges)
+            else {
                 continue;
             };
             for branch in normalize(&raw) {
@@ -475,8 +474,7 @@ mod tests {
         b.loop_("I", 2, n, |b| {
             let i = b.var("I");
             let lhs = b.at(a, [i]);
-            let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1]))
-                + Expr::load(b.at(bb, [i]));
+            let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1])) + Expr::load(b.at(bb, [i]));
             b.assign(lhs, rhs);
         });
         b.finish()
@@ -486,8 +484,11 @@ mod tests {
     fn flow_distance_one() {
         let p = recurrence();
         let g = analyze_nest(&p, p.nests()[0]);
-        let flows: Vec<&Dependence> =
-            g.deps().iter().filter(|d| d.kind == DepKind::Flow).collect();
+        let flows: Vec<&Dependence> = g
+            .deps()
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow)
+            .collect();
         assert_eq!(flows.len(), 1, "{:?}", g.deps());
         assert_eq!(flows[0].vector.elems(), &[DepElem::Dist(1)]);
         assert_eq!(flows[0].vector.carried_level(), Some(0));
@@ -550,10 +551,10 @@ mod tests {
         });
         let p = b.finish();
         let g = analyze_nest(&p, p.nests()[0]);
-        assert!(
-            g.deps().iter().all(|d| !d.kind.constrains()
-                || d.src_ref.array() == d.dst_ref.array()),
-        );
+        assert!(g
+            .deps()
+            .iter()
+            .all(|d| !d.kind.constrains() || d.src_ref.array() == d.dst_ref.array()),);
         // A is written only (self output dep impossible at distance 0),
         // C read only → no constraining deps at all.
         assert_eq!(g.constraining().count(), 0, "{:#?}", g.deps());

@@ -43,5 +43,7 @@ pub mod scc;
 pub mod subscript;
 pub mod vector;
 
-pub use graph::{analyze_fused_pair, analyze_nest, DepKind, DepSummary, Dependence, DependenceGraph};
+pub use graph::{
+    analyze_fused_pair, analyze_nest, DepKind, DepSummary, Dependence, DependenceGraph,
+};
 pub use vector::{DepElem, DepVector, Direction, LexSign};

@@ -24,8 +24,7 @@ pub fn partitions_at_level(
     stmts: &[StmtId],
     level: usize,
 ) -> Vec<Vec<StmtId>> {
-    let index_of: HashMap<StmtId, usize> =
-        stmts.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let index_of: HashMap<StmtId, usize> = stmts.iter().enumerate().map(|(i, s)| (*s, i)).collect();
     let n = stmts.len();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for d in graph.constraining() {

@@ -210,9 +210,7 @@ fn test_dimension(
     for v in vars {
         if let Some(k) = loops.iter().position(|lc| lc.var == v) {
             mentioned.push(k);
-        } else if src_ranges.iter().any(|r| r.var == v)
-            || dst_ranges.iter().any(|r| r.var == v)
-        {
+        } else if src_ranges.iter().any(|r| r.var == v) || dst_ranges.iter().any(|r| r.var == v) {
             ranged = true;
         } else {
             cfix.add_var_term(v, g.coeff_of_var(v) - f.coeff_of_var(v));
@@ -331,19 +329,16 @@ fn siv_fixed(a: i64, b: i64, c: i64, cfix: &Affine, ctx: &LoopCtx) -> Option<Dim
 /// Single-index-variable tests. `a` is the source coefficient, `b` the
 /// sink coefficient, constraint `a·i − b·i' = c`; element `k` of the
 /// result describes `i' − i`.
-fn siv(
-    a: i64,
-    b: i64,
-    c: i64,
-    ctx: &LoopCtx,
-    k: usize,
-    nloops: usize,
-) -> Option<DimResult> {
+fn siv(a: i64, b: i64, c: i64, ctx: &LoopCtx, k: usize, nloops: usize) -> Option<DimResult> {
     let mut per = vec![Constraint::Any; nloops];
     if a == b {
         if a == 0 {
             // Actually ZIV (handled earlier), but be safe.
-            return if c == 0 { Some(DimResult::NoConstraint) } else { None };
+            return if c == 0 {
+                Some(DimResult::NoConstraint)
+            } else {
+                None
+            };
         }
         // Strong SIV: a(i − i') = c → i' − i = −c/a.
         if c % a != 0 {

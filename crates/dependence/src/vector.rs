@@ -371,7 +371,10 @@ mod tests {
     #[test]
     fn lex_sign_cases() {
         assert_eq!(DepVector::new(vec![Dist(1)]).lex_sign(), LexSign::Positive);
-        assert_eq!(DepVector::new(vec![Dist(0), Dist(0)]).lex_sign(), LexSign::Zero);
+        assert_eq!(
+            DepVector::new(vec![Dist(0), Dist(0)]).lex_sign(),
+            LexSign::Zero
+        );
         assert_eq!(
             DepVector::new(vec![Dist(0), Dist(-2)]).lex_sign(),
             LexSign::Negative

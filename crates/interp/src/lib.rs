@@ -41,5 +41,5 @@ pub mod verify;
 
 pub use exec::{ExecError, ExecSummary};
 pub use machine::Machine;
-pub use sink::{CacheSink, CountingSink, NullSink, RecordingSink, TeeSink, TraceSink};
+pub use sink::{CacheSink, CountingSink, MeteredSink, NullSink, RecordingSink, TeeSink, TraceSink};
 pub use verify::{assert_equivalent, equivalent, EquivalenceReport};

@@ -74,9 +74,7 @@ impl Machine {
         for (k, info) in program.arrays().iter().enumerate() {
             let mut dims = Vec::with_capacity(info.rank());
             for e in info.dims() {
-                let v = e
-                    .eval(&env)
-                    .map_err(|e| ExecError::Eval(e.to_string()))?;
+                let v = e.eval(&env).map_err(|e| ExecError::Eval(e.to_string()))?;
                 if v < 1 {
                     return Err(ExecError::BadExtent {
                         array: info.name().to_string(),

@@ -1,6 +1,7 @@
 //! Trace sinks: consumers of the interpreter's memory accesses.
 
-use cmt_cache::{Cache, MultiCache};
+use cmt_cache::{Cache, MultiCache, ObservedCache};
+use cmt_obs::MetricsRegistry;
 
 /// Receives every memory access the interpreter performs, in execution
 /// order.
@@ -46,6 +47,60 @@ impl TraceSink for Cache {
 impl TraceSink for MultiCache {
     fn access(&mut self, addr: u64, is_write: bool) {
         MultiCache::access(self, addr, is_write);
+    }
+}
+
+impl TraceSink for ObservedCache {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        let _ = ObservedCache::access(self, addr, is_write);
+    }
+}
+
+/// Wraps another sink and meters the stream: loads and stores executed,
+/// exportable into a [`MetricsRegistry`]. This is how a bench run answers
+/// "how many accesses did the interpreter actually issue" without a
+/// second pass over the trace.
+#[derive(Clone, Debug, Default)]
+pub struct MeteredSink<S> {
+    /// The wrapped sink.
+    pub inner: S,
+    /// Loads forwarded so far.
+    pub loads: u64,
+    /// Stores forwarded so far.
+    pub stores: u64,
+}
+
+impl<S: TraceSink> MeteredSink<S> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: S) -> Self {
+        MeteredSink {
+            inner,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Total accesses forwarded.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Writes `{prefix}.{loads,stores,accesses}` counters into `registry`.
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        registry.counter(&format!("{prefix}.loads"), self.loads);
+        registry.counter(&format!("{prefix}.stores"), self.stores);
+        registry.counter(&format!("{prefix}.accesses"), self.accesses());
+    }
+}
+
+impl<S: TraceSink> TraceSink for MeteredSink<S> {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        if is_write {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+        self.inner.access(addr, is_write);
     }
 }
 
@@ -127,6 +182,35 @@ mod tests {
         tee.access(24, true);
         assert_eq!(tee.0.loads + tee.0.stores, 2);
         assert_eq!(tee.1.trace.len(), 2);
+    }
+
+    #[test]
+    fn metered_sink_counts_and_forwards() {
+        let mut m = MeteredSink::new(RecordingSink::default());
+        m.access(0, false);
+        m.access(8, true);
+        m.access(16, false);
+        assert_eq!(m.loads, 2);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.accesses(), 3);
+        assert_eq!(m.inner.trace.len(), 3);
+        let mut reg = MetricsRegistry::new();
+        m.export_metrics(&mut reg, "interp");
+        assert_eq!(reg.counter_value("interp.accesses"), 3);
+        assert_eq!(reg.counter_value("interp.loads"), 2);
+    }
+
+    #[test]
+    fn observed_cache_as_sink() {
+        let mut oc = ObservedCache::new(Cache::new(CacheConfig::i860()), 0);
+        oc.register_region("A", 0, 64);
+        {
+            let mut sink = CacheSink(&mut oc);
+            sink.access(0, false);
+            sink.access(8, false);
+        }
+        assert_eq!(oc.stats().hits, 1);
+        assert_eq!(oc.per_array().next().unwrap().1.accesses, 2);
     }
 
     #[test]

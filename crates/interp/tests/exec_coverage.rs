@@ -23,7 +23,10 @@ fn params_and_intrinsics_evaluate() {
                 Box::new(Expr::Index(i)),
                 Box::new(Expr::Param(n) / Expr::Const(2.0)),
             )),
-            Box::new(Expr::Unary(cmt_ir::expr::UnOp::Abs, Box::new(Expr::Const(-3.0)))),
+            Box::new(Expr::Unary(
+                cmt_ir::expr::UnOp::Abs,
+                Box::new(Expr::Const(-3.0)),
+            )),
         );
         b.assign(lhs, rhs);
     });

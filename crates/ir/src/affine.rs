@@ -321,35 +321,33 @@ impl fmt::Debug for Affine {
 impl fmt::Display for Affine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        let mut write_term = |f: &mut fmt::Formatter<'_>,
-                              coeff: i64,
-                              name: String|
-         -> fmt::Result {
-            if coeff == 0 {
-                return Ok(());
-            }
-            if first {
-                first = false;
-                if coeff == -1 {
-                    write!(f, "-{name}")?;
+        let mut write_term =
+            |f: &mut fmt::Formatter<'_>, coeff: i64, name: String| -> fmt::Result {
+                if coeff == 0 {
+                    return Ok(());
+                }
+                if first {
+                    first = false;
+                    if coeff == -1 {
+                        write!(f, "-{name}")?;
+                    } else if coeff == 1 {
+                        write!(f, "{name}")?;
+                    } else {
+                        write!(f, "{coeff}*{name}")?;
+                    }
+                } else if coeff < 0 {
+                    if coeff == -1 {
+                        write!(f, " - {name}")?;
+                    } else {
+                        write!(f, " - {}*{name}", -coeff)?;
+                    }
                 } else if coeff == 1 {
-                    write!(f, "{name}")?;
+                    write!(f, " + {name}")?;
                 } else {
-                    write!(f, "{coeff}*{name}")?;
+                    write!(f, " + {coeff}*{name}")?;
                 }
-            } else if coeff < 0 {
-                if coeff == -1 {
-                    write!(f, " - {name}")?;
-                } else {
-                    write!(f, " - {}*{name}", -coeff)?;
-                }
-            } else if coeff == 1 {
-                write!(f, " + {name}")?;
-            } else {
-                write!(f, " + {coeff}*{name}")?;
-            }
-            Ok(())
-        };
+                Ok(())
+            };
         for &(v, c) in &self.vars {
             write_term(f, c, v.to_string())?;
         }

@@ -114,7 +114,10 @@ impl ArrayInfo {
     /// temporaries, not zero-dimensional arrays.
     pub fn new(name: impl Into<String>, dims: Vec<Extent>) -> Self {
         let name = name.into();
-        assert!(!dims.is_empty(), "array {name} must have at least 1 dimension");
+        assert!(
+            !dims.is_empty(),
+            "array {name} must have at least 1 dimension"
+        );
         ArrayInfo { name, dims }
     }
 

@@ -125,8 +125,7 @@ impl ProgramBuilder {
             "index variable {name} already bound by an enclosing loop"
         );
         let id = self.program.fresh_loop_id();
-        self.open
-            .push((id, var, lower.into(), upper.into(), step));
+        self.open.push((id, var, lower.into(), upper.into(), step));
         self.bodies.push(Vec::new());
         body(self);
         let nodes = self.bodies.pop().expect("builder body stack underflow");

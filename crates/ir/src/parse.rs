@@ -222,9 +222,7 @@ impl<'s> Parser<'s> {
         if let Some((line, text)) = self.current() {
             let mut c = Cursor::new(text, line);
             if c.ident() == Some("PROGRAM") {
-                let name = c
-                    .ident()
-                    .ok_or_else(|| c.err("expected program name"))?;
+                let name = c.ident().ok_or_else(|| c.err("expected program name"))?;
                 self.program = Program::new(name);
                 self.pos += 1;
             }
@@ -382,7 +380,11 @@ impl<'s> Parser<'s> {
     /// Affine expressions: `±? term (± term)*` where
     /// `term := int ["*" name] | name` and `name` is a loop variable or
     /// parameter.
-    fn parse_affine(&mut self, c: &mut Cursor<'_>, vars_allowed: bool) -> Result<Affine, ParseError> {
+    fn parse_affine(
+        &mut self,
+        c: &mut Cursor<'_>,
+        vars_allowed: bool,
+    ) -> Result<Affine, ParseError> {
         let mut acc = Affine::zero();
         let mut sign = 1i64;
         if c.eat('-') {
@@ -480,7 +482,11 @@ impl<'s> Parser<'s> {
                 c.expect('(')?;
                 let inner = self.parse_expr(c, scope)?;
                 c.expect(')')?;
-                let op = if name == "SQRT" { UnOp::Sqrt } else { UnOp::Abs };
+                let op = if name == "SQRT" {
+                    UnOp::Sqrt
+                } else {
+                    UnOp::Abs
+                };
                 return Ok(Expr::Unary(op, Box::new(inner)));
             }
             "MIN" | "MAX" => {
@@ -489,7 +495,11 @@ impl<'s> Parser<'s> {
                 c.expect(',')?;
                 let b = self.parse_expr(c, scope)?;
                 c.expect(')')?;
-                let op = if name == "MIN" { BinOp::Min } else { BinOp::Max };
+                let op = if name == "MIN" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 return Ok(Expr::Binary(op, Box::new(a), Box::new(b)));
             }
             _ => {}
@@ -650,7 +660,10 @@ mod tests {
               A(2*I+1) = 0.0";
         let p = parse_program(src).unwrap();
         let lhs = p.statements()[0].lhs();
-        assert_eq!(lhs.subscripts()[0].coeff_of_var(p.find_var("I").unwrap()), 2);
+        assert_eq!(
+            lhs.subscripts()[0].coeff_of_var(p.find_var("I").unwrap()),
+            2
+        );
         assert_eq!(lhs.subscripts()[0].constant_term(), 1);
     }
 
@@ -678,9 +691,6 @@ mod tests {
         });
         let built = b.finish();
         // Structural equality modulo ids: compare pretty-printed text.
-        assert_eq!(
-            program_to_string(&p),
-            program_to_string(&built)
-        );
+        assert_eq!(program_to_string(&p), program_to_string(&built));
     }
 }

@@ -238,7 +238,12 @@ pub fn expr_str(p: &Program, e: &Expr) -> String {
                 go(p, a, this, out);
                 let _ = write!(out, " {op} ");
                 // Right operand of - and / needs parens at equal precedence.
-                go(p, b, this + u8::from(matches!(op, BinOp::Sub | BinOp::Div)), out);
+                go(
+                    p,
+                    b,
+                    this + u8::from(matches!(op, BinOp::Sub | BinOp::Div)),
+                    out,
+                );
                 if need_parens {
                     out.push(')');
                 }

@@ -192,11 +192,7 @@ mod tests {
 
     #[test]
     fn map_refs_covers_lhs_and_rhs() {
-        let s = Stmt::new(
-            StmtId(0),
-            aref(),
-            Expr::load(aref()) * Expr::Const(2.0),
-        );
+        let s = Stmt::new(StmtId(0), aref(), Expr::load(aref()) * Expr::Const(2.0));
         let out = s.map_refs(|r| r.map_subscripts(|sub| sub.clone() + 1));
         assert_eq!(out.lhs().subscripts()[0], Affine::var(i()) + 1);
         let load = out.rhs().loads().next().unwrap();

@@ -352,14 +352,7 @@ mod tests {
         let l0 = p.fresh_loop_id();
         let l1 = p.fresh_loop_id();
         // DO I = 1, J  — J not bound anywhere outside.
-        let inner = Loop::new(
-            l1,
-            j,
-            Affine::constant(1),
-            Affine::constant(5),
-            1,
-            vec![],
-        );
+        let inner = Loop::new(l1, j, Affine::constant(1), Affine::constant(5), 1, vec![]);
         p.body_mut().push(Node::Loop(Loop::new(
             l0,
             i,

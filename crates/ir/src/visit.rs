@@ -54,10 +54,7 @@ pub fn perfect_chain(l: &Loop) -> Vec<&Loop> {
 pub fn is_perfect(l: &Loop) -> bool {
     let chain = perfect_chain(l);
     let innermost = chain.last().expect("chain contains at least the root");
-    innermost
-        .body()
-        .iter()
-        .all(|n| matches!(n, Node::Stmt(_)))
+    innermost.body().iter().all(|n| matches!(n, Node::Stmt(_)))
 }
 
 /// All loops in the subtree rooted at `l`, preorder.
@@ -88,6 +85,30 @@ pub fn for_each_loop_mut(nodes: &mut [Node], f: &mut impl FnMut(&mut Loop)) {
             f(l);
             for_each_loop_mut(l.body_mut(), f);
         }
+    }
+}
+
+/// The induction-variable names down the perfect chain of `l`, joined
+/// with `.` — e.g. `"I.J.K"`. This is the per-nest half of the stable
+/// labels optimization remarks use.
+pub fn chain_label(program: &crate::program::Program, l: &Loop) -> String {
+    perfect_chain(l)
+        .iter()
+        .map(|lp| program.var_name(lp.var()))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Stable label for the top-level nest at body index `idx`:
+/// `"{program}/nest{idx}:I.J.K"`. Remark streams key on these labels,
+/// so they must stay deterministic across runs of the same program.
+/// Non-loop body entries get a `stmt` suffix instead of a chain.
+pub fn nest_label(program: &crate::program::Program, idx: usize) -> String {
+    match program.body().get(idx) {
+        Some(Node::Loop(l)) => {
+            format!("{}/nest{}:{}", program.name(), idx, chain_label(program, l))
+        }
+        _ => format!("{}/nest{}:stmt", program.name(), idx),
     }
 }
 
@@ -138,7 +159,11 @@ mod tests {
         assert_eq!(perfect_chain(&outer).len(), 3);
         assert!(is_perfect(&outer));
 
-        let imperfect = lp(3, 0, vec![stmt(1).into(), lp(4, 1, vec![stmt(2).into()]).into()]);
+        let imperfect = lp(
+            3,
+            0,
+            vec![stmt(1).into(), lp(4, 1, vec![stmt(2).into()]).into()],
+        );
         assert_eq!(perfect_chain(&imperfect).len(), 1);
         assert!(!is_perfect(&imperfect));
     }
@@ -157,5 +182,22 @@ mod tests {
         // DO i { DO j { } }  — innermost has empty body, trivially all-stmt.
         let outer = lp(0, 0, vec![lp(1, 1, vec![]).into()]);
         assert!(is_perfect(&outer));
+    }
+
+    #[test]
+    fn nest_labels_are_stable() {
+        use crate::affine::Affine;
+        use crate::build::ProgramBuilder;
+
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        b.loop_("I", 1, Affine::param(n), |b| {
+            b.loop_("J", 1, Affine::param(n), |_| {});
+        });
+        let p = b.finish();
+        assert_eq!(nest_label(&p, 0), "mm/nest0:I.J");
+        assert_eq!(nest_label(&p, 7), "mm/nest7:stmt");
+        let l = p.body()[0].as_loop().unwrap();
+        assert_eq!(chain_label(&p, l), "I.J");
     }
 }

@@ -1,9 +1,13 @@
-//! Property tests for the affine-expression algebra the whole system
-//! rests on.
+//! Property-style tests for the affine-expression algebra the whole
+//! system rests on. Inputs come from a seeded in-repo PRNG
+//! ([`cmt_obs::SplitMix64`]) so the suite is deterministic and needs no
+//! external crates.
 
 use cmt_ir::affine::{Affine, Env};
 use cmt_ir::ids::{ParamId, VarId};
-use proptest::prelude::*;
+use cmt_obs::SplitMix64;
+
+const CASES: usize = 256;
 
 #[derive(Clone, Debug)]
 struct AffSpec {
@@ -12,17 +16,18 @@ struct AffSpec {
     params: Vec<(u32, i64)>,
 }
 
-fn aff_strategy() -> impl Strategy<Value = AffSpec> {
-    (
-        -100i64..100,
-        prop::collection::vec((0u32..4, -10i64..10), 0..4),
-        prop::collection::vec((0u32..2, -10i64..10), 0..3),
-    )
-        .prop_map(|(constant, vars, params)| AffSpec {
-            constant,
-            vars,
-            params,
-        })
+fn random_spec(rng: &mut SplitMix64) -> AffSpec {
+    let nvars = rng.gen_range_usize(0, 3);
+    let nparams = rng.gen_range_usize(0, 2);
+    AffSpec {
+        constant: rng.gen_range_i64(-100, 99),
+        vars: (0..nvars)
+            .map(|_| (rng.gen_range_i64(0, 3) as u32, rng.gen_range_i64(-10, 9)))
+            .collect(),
+        params: (0..nparams)
+            .map(|_| (rng.gen_range_i64(0, 1) as u32, rng.gen_range_i64(-10, 9)))
+            .collect(),
+    }
 }
 
 fn build(spec: &AffSpec) -> Affine {
@@ -44,33 +49,45 @@ fn env(values: &[i64; 4], params: &[i64; 2]) -> Env {
     e
 }
 
-proptest! {
-    /// Evaluation is a ring homomorphism: eval(a ± b) = eval(a) ± eval(b),
-    /// eval(k·a) = k·eval(a).
-    #[test]
-    fn eval_is_linear(
-        a in aff_strategy(), b in aff_strategy(),
-        vals in prop::array::uniform4(-20i64..20),
-        ps in prop::array::uniform2(-20i64..20),
-        k in -5i64..5,
-    ) {
+fn random_env_values(rng: &mut SplitMix64) -> ([i64; 4], [i64; 2]) {
+    let mut vals = [0i64; 4];
+    let mut ps = [0i64; 2];
+    for v in &mut vals {
+        *v = rng.gen_range_i64(-20, 19);
+    }
+    for p in &mut ps {
+        *p = rng.gen_range_i64(-20, 19);
+    }
+    (vals, ps)
+}
+
+/// Evaluation is a ring homomorphism: eval(a ± b) = eval(a) ± eval(b),
+/// eval(k·a) = k·eval(a).
+#[test]
+fn eval_is_linear() {
+    let mut rng = SplitMix64::seed_from_u64(0xA11E);
+    for _ in 0..CASES {
+        let (a, b) = (random_spec(&mut rng), random_spec(&mut rng));
+        let (vals, ps) = random_env_values(&mut rng);
+        let k = rng.gen_range_i64(-5, 4);
         let e = env(&vals, &ps);
         let (x, y) = (build(&a), build(&b));
         let (ex, ey) = (x.eval(&e).unwrap(), y.eval(&e).unwrap());
-        prop_assert_eq!((x.clone() + y.clone()).eval(&e).unwrap(), ex + ey);
-        prop_assert_eq!((x.clone() - y).eval(&e).unwrap(), ex - ey);
-        prop_assert_eq!((x * k).eval(&e).unwrap(), ex * k);
+        assert_eq!((x.clone() + y.clone()).eval(&e).unwrap(), ex + ey);
+        assert_eq!((x.clone() - y).eval(&e).unwrap(), ex - ey);
+        assert_eq!((x * k).eval(&e).unwrap(), ex * k);
     }
+}
 
-    /// Substitution agrees with evaluation: eval(a[v := r]) under E equals
-    /// eval(a) under E[v ↦ eval(r)].
-    #[test]
-    fn substitution_respects_eval(
-        a in aff_strategy(), r in aff_strategy(),
-        vals in prop::array::uniform4(-20i64..20),
-        ps in prop::array::uniform2(-20i64..20),
-        which in 0u32..4,
-    ) {
+/// Substitution agrees with evaluation: eval(a[v := r]) under E equals
+/// eval(a) under E[v ↦ eval(r)].
+#[test]
+fn substitution_respects_eval() {
+    let mut rng = SplitMix64::seed_from_u64(0x5B5);
+    for _ in 0..CASES {
+        let (a, r) = (random_spec(&mut rng), random_spec(&mut rng));
+        let (vals, ps) = random_env_values(&mut rng);
+        let which = rng.gen_range_i64(0, 3) as u32;
         let e = env(&vals, &ps);
         let v = VarId(which);
         let x = build(&a);
@@ -78,16 +95,17 @@ proptest! {
         let substituted = x.substitute_var(v, &repl);
         let mut e2 = e.clone();
         e2.bind_var(v, repl.eval(&e).unwrap());
-        prop_assert_eq!(substituted.eval(&e).unwrap(), x.eval(&e2).unwrap());
+        assert_eq!(substituted.eval(&e).unwrap(), x.eval(&e2).unwrap());
     }
+}
 
-    /// Simultaneous renaming is evaluation under a permuted environment.
-    #[test]
-    fn rename_vars_matches_swapped_env(
-        a in aff_strategy(),
-        vals in prop::array::uniform4(-20i64..20),
-        ps in prop::array::uniform2(-20i64..20),
-    ) {
+/// Simultaneous renaming is evaluation under a permuted environment.
+#[test]
+fn rename_vars_matches_swapped_env() {
+    let mut rng = SplitMix64::seed_from_u64(0x4E4A);
+    for _ in 0..CASES {
+        let a = random_spec(&mut rng);
+        let (vals, ps) = random_env_values(&mut rng);
         let e = env(&vals, &ps);
         let x = build(&a);
         // Swap v0 and v1 everywhere.
@@ -95,27 +113,35 @@ proptest! {
         let mut e2 = e.clone();
         e2.bind_var(VarId(0), vals[1]);
         e2.bind_var(VarId(1), vals[0]);
-        prop_assert_eq!(swapped.eval(&e).unwrap(), x.eval(&e2).unwrap());
+        assert_eq!(swapped.eval(&e).unwrap(), x.eval(&e2).unwrap());
     }
+}
 
-    /// Normalization: structural equality equals semantic equality on a
-    /// probing set of environments.
-    #[test]
-    fn normalization_canonical(a in aff_strategy(), b in aff_strategy()) {
+/// Normalization: structural equality equals semantic equality on a
+/// probing set of environments.
+#[test]
+fn normalization_canonical() {
+    let mut rng = SplitMix64::seed_from_u64(0xCA40);
+    for _ in 0..CASES {
+        let (a, b) = (random_spec(&mut rng), random_spec(&mut rng));
         let (x, y) = (build(&a), build(&b));
         if x == y {
             for probe in [[1, 2, 3, 4], [7, -3, 0, 11], [100, 100, -100, 5]] {
                 let e = env(&probe, &[13, -7]);
-                prop_assert_eq!(x.eval(&e).unwrap(), y.eval(&e).unwrap());
+                assert_eq!(x.eval(&e).unwrap(), y.eval(&e).unwrap());
             }
         }
     }
+}
 
-    /// Negation is an involution and `a - a = 0`.
-    #[test]
-    fn neg_involution(a in aff_strategy()) {
+/// Negation is an involution and `a - a = 0`.
+#[test]
+fn neg_involution() {
+    let mut rng = SplitMix64::seed_from_u64(0x1407);
+    for _ in 0..CASES {
+        let a = random_spec(&mut rng);
         let x = build(&a);
-        prop_assert_eq!(-(-x.clone()), x.clone());
-        prop_assert!((x.clone() - x).is_constant());
+        assert_eq!(-(-x.clone()), x.clone());
+        assert!((x.clone() - x).is_constant());
     }
 }

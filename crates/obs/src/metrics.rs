@@ -1,0 +1,292 @@
+//! Counters, histograms, and wall-clock span timing.
+//!
+//! A [`MetricsRegistry`] is a flat, name-addressed store: monotonic
+//! `u64` counters plus value histograms (count/sum/min/max). Pass
+//! runtimes, per-array miss counts, and interval miss-rate snapshots all
+//! land here and export as one JSON snapshot comparable across runs.
+
+use crate::json::{number, ObjectWriter};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Aggregate of the values recorded under one histogram name.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A name-addressed counter/histogram store.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry_ref_or_owned(name).or_insert(0) += delta;
+    }
+
+    /// Records one observation under histogram `name`.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry_ref_or_owned(name)
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (zero when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summary of a histogram, if anything was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSummary)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.counter(k, v);
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry_ref_or_owned(k).or_default();
+            mine.count += h.count;
+            mine.sum += h.sum;
+            mine.min = mine.min.min(h.min);
+            mine.max = mine.max.max(h.max);
+        }
+    }
+
+    /// Renders the whole registry as one stable JSON snapshot:
+    /// `{"counters":{…},"histograms":{name:{count,sum,min,max,mean}}}`.
+    /// Keys are sorted, so two snapshots of the same run are
+    /// byte-identical and two runs diff cleanly.
+    pub fn to_json(&self) -> String {
+        let mut counters = ObjectWriter::new();
+        for (k, &v) in &self.counters {
+            counters.field_u64(k, v);
+        }
+        let mut hists = ObjectWriter::new();
+        for (k, h) in &self.histograms {
+            let mut o = ObjectWriter::new();
+            o.field_u64("count", h.count)
+                .field_f64("sum", h.sum)
+                .field_raw(
+                    "min",
+                    &if h.count == 0 {
+                        "null".into()
+                    } else {
+                        number(h.min)
+                    },
+                )
+                .field_raw(
+                    "max",
+                    &if h.count == 0 {
+                        "null".into()
+                    } else {
+                        number(h.max)
+                    },
+                )
+                .field_f64("mean", h.mean());
+            hists.field_raw(k, &o.finish());
+        }
+        let mut top = ObjectWriter::new();
+        top.field_raw("counters", &counters.finish())
+            .field_raw("histograms", &hists.finish());
+        top.finish()
+    }
+}
+
+/// `BTreeMap::entry` forces an owned key even on hits; this tiny
+/// extension looks up by `&str` first so the hot path never allocates.
+trait EntryRefExt<V> {
+    fn entry_ref_or_owned(&mut self, key: &str) -> EntrySlot<'_, V>;
+}
+
+/// The slot returned by [`EntryRefExt::entry_ref_or_owned`].
+enum EntrySlot<'a, V> {
+    Occupied(&'a mut V),
+    Vacant(&'a mut BTreeMap<String, V>, String),
+}
+
+impl<'a, V> EntrySlot<'a, V> {
+    fn or_insert(self, default: V) -> &'a mut V {
+        match self {
+            EntrySlot::Occupied(v) => v,
+            EntrySlot::Vacant(map, key) => map.entry(key).or_insert(default),
+        }
+    }
+
+    fn or_default(self) -> &'a mut V
+    where
+        V: Default,
+    {
+        match self {
+            EntrySlot::Occupied(v) => v,
+            EntrySlot::Vacant(map, key) => map.entry(key).or_default(),
+        }
+    }
+}
+
+impl<V> EntryRefExt<V> for BTreeMap<String, V> {
+    fn entry_ref_or_owned(&mut self, key: &str) -> EntrySlot<'_, V> {
+        // Split borrow: `contains_key` first keeps the map borrow short.
+        if self.contains_key(key) {
+            EntrySlot::Occupied(self.get_mut(key).expect("checked above"))
+        } else {
+            EntrySlot::Vacant(self, key.to_owned())
+        }
+    }
+}
+
+/// A started wall-clock span; record the elapsed time into a registry
+/// (or an `ObsSink`) when the work completes.
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start() -> SpanTimer {
+        SpanTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since `start` (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed nanoseconds under histogram `name`.
+    pub fn record(self, registry: &mut MetricsRegistry, name: &str) -> u64 {
+        let ns = self.elapsed_ns();
+        registry.record(name, ns as f64);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter("a", 2);
+        m.counter("a", 3);
+        assert_eq!(m.counter_value("a"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 9.0] {
+            m.record("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 9.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_both_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter("c", 1);
+        a.record("h", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.counter("c", 4);
+        b.record("h", 6.0);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), 5);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 6.0);
+    }
+
+    #[test]
+    fn json_snapshot_is_stable() {
+        let mut m = MetricsRegistry::new();
+        m.counter("z", 1);
+        m.counter("a", 2);
+        m.record("t", 3.0);
+        let j = m.to_json();
+        assert!(j.starts_with("{\"counters\":{\"a\":2,\"z\":1}"), "{j}");
+        assert!(j.contains("\"t\":{\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"mean\":3}"));
+        assert_eq!(j, m.clone().to_json(), "snapshot must be deterministic");
+    }
+
+    #[test]
+    fn span_timer_records() {
+        let mut m = MetricsRegistry::new();
+        let t = SpanTimer::start();
+        let ns = t.record(&mut m, "span");
+        let h = m.histogram("span").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, ns as f64);
+    }
+}

@@ -1,0 +1,147 @@
+//! Structured optimization remarks, in the spirit of LLVM's `-Rpass`
+//! family: every accept/reject decision the optimizer makes becomes one
+//! event carrying the pass, the nest it concerns, and a human-readable
+//! reason.
+
+use crate::json::ObjectWriter;
+use std::fmt;
+
+/// What a remark reports about a transformation decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemarkKind {
+    /// The transformation was applied (LLVM `-Rpass`).
+    Applied,
+    /// The transformation was considered and rejected
+    /// (`-Rpass-missed`).
+    Missed,
+    /// Neutral analysis information (`-Rpass-analysis`).
+    Analysis,
+}
+
+impl RemarkKind {
+    /// Stable string form used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RemarkKind::Applied => "Applied",
+            RemarkKind::Missed => "Missed",
+            RemarkKind::Analysis => "Analysis",
+        }
+    }
+}
+
+impl fmt::Display for RemarkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One optimization-remark event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Remark {
+    /// The emitting pass ("permute", "fuse", "distribute", …).
+    pub pass: &'static str,
+    /// Stable label of the nest (or loop) concerned, e.g.
+    /// `"mm/nest0:I.J.K"`.
+    pub nest: String,
+    /// Applied / Missed / Analysis.
+    pub kind: RemarkKind,
+    /// Human-readable explanation of the decision.
+    pub reason: String,
+    /// `LoopCost` of the nest before the decision, evaluated at the
+    /// reference problem size (when known).
+    pub loopcost_before: Option<f64>,
+    /// `LoopCost` after (when the pass changed or would have changed the
+    /// nest).
+    pub loopcost_after: Option<f64>,
+}
+
+impl Remark {
+    /// Starts a remark with an empty reason and no costs.
+    pub fn new(pass: &'static str, nest: impl Into<String>, kind: RemarkKind) -> Remark {
+        Remark {
+            pass,
+            nest: nest.into(),
+            kind,
+            reason: String::new(),
+            loopcost_before: None,
+            loopcost_after: None,
+        }
+    }
+
+    /// Sets the human-readable reason.
+    pub fn reason(mut self, reason: impl Into<String>) -> Remark {
+        self.reason = reason.into();
+        self
+    }
+
+    /// Attaches before/after `LoopCost` values.
+    pub fn costs(mut self, before: f64, after: f64) -> Remark {
+        self.loopcost_before = Some(before);
+        self.loopcost_after = Some(after);
+        self
+    }
+
+    /// Attaches only the before-cost (for Missed/Analysis remarks).
+    pub fn cost_before(mut self, before: f64) -> Remark {
+        self.loopcost_before = Some(before);
+        self
+    }
+
+    /// Renders the remark as one JSON object (one JSONL line, no
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_str("pass", self.pass)
+            .field_str("nest", &self.nest)
+            .field_str("kind", self.kind.as_str())
+            .field_str("reason", &self.reason);
+        if let Some(b) = self.loopcost_before {
+            o.field_f64("loopcost_before", b);
+        }
+        if let Some(a) = self.loopcost_after {
+            o.field_f64("loopcost_after", a);
+        }
+        o.finish()
+    }
+}
+
+impl fmt::Display for Remark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.kind, self.pass, self.nest, self.reason
+        )?;
+        if let (Some(b), Some(a)) = (self.loopcost_before, self.loopcost_after) {
+            write!(f, " (LoopCost {b:.3e} -> {a:.3e})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_shape() {
+        let r = Remark::new("permute", "mm/nest0:I.J.K", RemarkKind::Missed)
+            .reason("direction vector not lexicographically positive at level 2")
+            .cost_before(1.5);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"pass\":\"permute\""));
+        assert!(j.contains("\"kind\":\"Missed\""));
+        assert!(j.contains("\"loopcost_before\":1.5"));
+        assert!(!j.contains("loopcost_after"));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let r = Remark::new("fuse", "adi/nest0:I", RemarkKind::Applied)
+            .reason("fused inner K loops")
+            .costs(5.0, 3.0);
+        let s = format!("{r}");
+        assert!(s.contains("[Applied] fuse adi/nest0:I"), "{s}");
+        assert!(s.contains("LoopCost"), "{s}");
+    }
+}

@@ -1,0 +1,198 @@
+//! The [`ObsSink`] trait every instrumented component writes to, plus
+//! the stock sinks: [`NullObs`] (free no-op), [`CollectSink`]
+//! (in-memory), and [`JsonlSink`] (streaming JSONL writer).
+//!
+//! Producers must guard any non-trivial event *construction* behind
+//! [`ObsSink::enabled`], so with [`NullObs`] the optimizer does no extra
+//! allocation or formatting and its output stays byte-identical to the
+//! un-instrumented build.
+
+use crate::metrics::MetricsRegistry;
+use crate::remark::Remark;
+use std::io;
+
+/// Receiver for observability events.
+///
+/// All methods have no-op defaults so a sink can implement only what it
+/// cares about. `enabled()` defaults to `false`; producers use it to
+/// skip building remark strings entirely on the hot path.
+pub trait ObsSink {
+    /// Whether this sink wants events at all. When `false`, producers
+    /// skip event construction, not just delivery.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Delivers one optimization remark.
+    fn remark(&mut self, remark: Remark) {
+        let _ = remark;
+    }
+
+    /// Adds `delta` to counter `name`.
+    fn counter(&mut self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one histogram observation.
+    fn record(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records an elapsed span (nanoseconds) under histogram `name`.
+    /// Default forwards to [`ObsSink::record`].
+    fn span_ns(&mut self, name: &str, nanos: u64) {
+        self.record(name, nanos as f64);
+    }
+}
+
+/// The do-nothing sink. `enabled()` is `false`, so instrumented code
+/// pays only one branch per decision point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObs;
+
+impl ObsSink for NullObs {}
+
+/// Collects remarks and metrics in memory, for tests and for binaries
+/// that export artifacts after the run.
+#[derive(Clone, Debug, Default)]
+pub struct CollectSink {
+    /// Remarks in emission order.
+    pub remarks: Vec<Remark>,
+    /// Counter/histogram store.
+    pub metrics: MetricsRegistry,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders all collected remarks as JSONL (one object per line,
+    /// trailing newline included when non-empty).
+    pub fn remarks_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.remarks {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ObsSink for CollectSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn remark(&mut self, remark: Remark) {
+        self.remarks.push(remark);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.metrics.counter(name, delta);
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        self.metrics.record(name, value);
+    }
+}
+
+/// Streams each remark as one JSON line to an [`io::Write`], while
+/// accumulating metrics in memory (metrics only make sense as an
+/// end-of-run snapshot).
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    writer: W,
+    /// Metrics accumulated alongside the streamed remarks.
+    pub metrics: MetricsRegistry,
+    /// First write error, if any (later events are dropped silently —
+    /// observability must never abort the run it observes).
+    pub error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            metrics: MetricsRegistry::new(),
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: io::Write> ObsSink for JsonlSink<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn remark(&mut self, remark: Remark) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = remark.to_json();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.metrics.counter(name, delta);
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        self.metrics.record(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remark::RemarkKind;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullObs;
+        assert!(!s.enabled());
+        // All events are accepted and dropped.
+        s.remark(Remark::new("permute", "n", RemarkKind::Applied));
+        s.counter("c", 1);
+        s.record("h", 1.0);
+        s.span_ns("t", 5);
+    }
+
+    #[test]
+    fn collect_sink_gathers_everything() {
+        let mut s = CollectSink::new();
+        assert!(s.enabled());
+        s.remark(Remark::new("fuse", "a", RemarkKind::Missed).reason("not legal"));
+        s.counter("c", 2);
+        s.span_ns("t", 7);
+        assert_eq!(s.remarks.len(), 1);
+        assert_eq!(s.metrics.counter_value("c"), 2);
+        assert_eq!(s.metrics.histogram("t").unwrap().sum, 7.0);
+        let jsonl = s.remarks_jsonl();
+        assert!(jsonl.ends_with('\n'));
+        assert_eq!(jsonl.lines().count(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.remark(Remark::new("permute", "n0", RemarkKind::Applied).reason("ok"));
+        s.remark(Remark::new("tile", "n1", RemarkKind::Analysis).reason("info"));
+        s.counter("c", 1);
+        let buf = s.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

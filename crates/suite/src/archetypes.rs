@@ -59,7 +59,11 @@ pub fn add_good3(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
     let a = b.matrix(&format!("G3A{tag}"), n);
     let bb = b.matrix(&format!("G3B{tag}"), n);
     let c = b.matrix(&format!("G3C{tag}"), n);
-    let (jn, kn, inn) = (format!("g3j{tag}"), format!("g3k{tag}"), format!("g3i{tag}"));
+    let (jn, kn, inn) = (
+        format!("g3j{tag}"),
+        format!("g3k{tag}"),
+        format!("g3i{tag}"),
+    );
     b.loop_(&jn, 1, n, |b| {
         b.loop_(&kn, 1, 8, |b| {
             b.loop_(&inn, 1, n, |b| {
@@ -79,7 +83,11 @@ pub fn add_permutable3(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
     let a = b.matrix(&format!("P3A{tag}"), n);
     let bb = b.matrix(&format!("P3B{tag}"), n);
     let c = b.matrix(&format!("P3C{tag}"), n);
-    let (jn, kn, inn) = (format!("p3j{tag}"), format!("p3k{tag}"), format!("p3i{tag}"));
+    let (jn, kn, inn) = (
+        format!("p3j{tag}"),
+        format!("p3k{tag}"),
+        format!("p3i{tag}"),
+    );
     b.loop_(&inn, 1, n, |b| {
         b.loop_(&jn, 1, n, |b| {
             b.loop_(&kn, 1, 8, |b| {
@@ -102,13 +110,8 @@ pub fn add_blocked(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
         b.loop_(&jn, 2, Affine::param(n) - 1, |b| {
             let (i, j) = (b.var(&inn), b.var(&jn));
             let lhs = b.at(a, [i, j]);
-            let rhs = Expr::load(b.at_vec(
-                a,
-                vec![Affine::var(i) - 1, Affine::var(j) - 1],
-            )) + Expr::load(b.at_vec(
-                a,
-                vec![Affine::var(i) - 1, Affine::var(j) + 1],
-            ));
+            let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j) - 1]))
+                + Expr::load(b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j) + 1]));
             b.assign(lhs, rhs);
         });
     });
@@ -211,13 +214,8 @@ pub fn add_distributable(b: &mut ProgramBuilder, tag: &str, n: ParamId) {
             b.assign(lhs, rhs);
             // S2: (1,−1)/(1,1)-style vectors in (I,J) block its movement.
             let lhs2 = b.at(bb, [j, i]);
-            let rhs2 = Expr::load(b.at_vec(
-                bb,
-                vec![Affine::var(j) - 1, Affine::var(i) + 1],
-            )) + Expr::load(b.at_vec(
-                bb,
-                vec![Affine::var(j) - 1, Affine::var(i) - 1],
-            ));
+            let rhs2 = Expr::load(b.at_vec(bb, vec![Affine::var(j) - 1, Affine::var(i) + 1]))
+                + Expr::load(b.at_vec(bb, vec![Affine::var(j) - 1, Affine::var(i) - 1]));
             b.assign(lhs2, rhs2);
         });
     });
@@ -264,8 +262,8 @@ mod tests {
 
     #[test]
     fn permutable_is_permuted() {
-        for adder in [add_permutable, add_permutable3]
-            as [fn(&mut ProgramBuilder, &str, ParamId); 2]
+        for adder in
+            [add_permutable, add_permutable3] as [fn(&mut ProgramBuilder, &str, ParamId); 2]
         {
             let mut p = one(adder);
             let orig = p.clone();

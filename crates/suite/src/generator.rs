@@ -11,8 +11,7 @@ use cmt_ir::build::ProgramBuilder;
 use cmt_ir::expr::{BinOp, Expr};
 use cmt_ir::ids::{ArrayId, VarId};
 use cmt_ir::program::Program;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cmt_obs::SplitMix64;
 
 /// Tunables for [`generate`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +43,7 @@ impl Default for GenConfig {
 /// Generates a random valid program. Subscript offsets stay within ±1
 /// and loops run `2 .. N−1`, so execution is in bounds for any `N ≥ 4`.
 pub fn generate(seed: u64, config: &GenConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut b = ProgramBuilder::new(format!("gen-{seed}"));
     let n = b.param("N");
     let arrays: Vec<ArrayId> = (0..config.arrays.max(1))
@@ -54,7 +53,7 @@ pub fn generate(seed: u64, config: &GenConfig) -> Program {
     for nest in 0..config.nests.max(1) {
         let depth3 = config.allow_depth3 && rng.gen_bool(0.3);
         let order_swap = rng.gen_bool(0.5);
-        let stmts = rng.gen_range(1..=config.max_stmts.max(1));
+        let stmts = rng.gen_range_usize(1, config.max_stmts.max(1));
         let imperfect = config.allow_imperfect && !depth3 && rng.gen_bool(0.25);
 
         let (outer, inner) = if order_swap {
@@ -72,20 +71,25 @@ pub fn generate(seed: u64, config: &GenConfig) -> Program {
             off1: i64,
             off2: i64,
         }
-        let plan_ref = |rng: &mut StdRng| RefPlan {
-            array: rng.gen_range(0..arrays.len()),
-            pattern: rng.gen_range(0..4),
-            off1: rng.gen_range(-1..=1),
-            off2: rng.gen_range(-1..=1),
+        let plan_ref = |rng: &mut SplitMix64| RefPlan {
+            array: rng.gen_range_usize(0, arrays.len() - 1),
+            pattern: rng.gen_range_i64(0, 3) as u8,
+            off1: rng.gen_range_i64(-1, 1),
+            off2: rng.gen_range_i64(-1, 1),
         };
         let plans: Vec<(RefPlan, RefPlan, RefPlan, BinOp)> = (0..stmts)
             .map(|_| {
-                let op = match rng.gen_range(0..3) {
+                let op = match rng.gen_range_i64(0, 2) {
                     0 => BinOp::Add,
                     1 => BinOp::Sub,
                     _ => BinOp::Mul,
                 };
-                (plan_ref(&mut rng), plan_ref(&mut rng), plan_ref(&mut rng), op)
+                (
+                    plan_ref(&mut rng),
+                    plan_ref(&mut rng),
+                    plan_ref(&mut rng),
+                    op,
+                )
             })
             .collect();
         let imperfect_plan = imperfect.then(|| plan_ref(&mut rng));

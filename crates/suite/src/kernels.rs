@@ -235,7 +235,10 @@ pub fn erlebacher_distributed(stages: usize) -> Program {
 /// The "Hand" version of Table 1: the same pipeline with stages fused in
 /// pairs (as the original author hand-coded some, but not all, fusion).
 pub fn erlebacher_hand(stages: usize) -> Program {
-    assert!(stages >= 2 && stages.is_multiple_of(2), "pairs require even stages");
+    assert!(
+        stages >= 2 && stages.is_multiple_of(2),
+        "pairs require even stages"
+    );
     let mut b = ProgramBuilder::new("erlebacher-hand");
     let n = b.param("N");
     let dims = vec![n.into(), n.into(), n.into()];
@@ -345,11 +348,7 @@ mod tests {
 
     #[test]
     fn erlebacher_versions_compute_identically() {
-        cmt_interp::assert_equivalent(
-            &erlebacher_distributed(4),
-            &erlebacher_hand(4),
-            &[8],
-        );
+        cmt_interp::assert_equivalent(&erlebacher_distributed(4), &erlebacher_hand(4), &[8]);
     }
 
     #[test]

@@ -179,25 +179,19 @@ pub fn stencil3d() -> Program {
             b.loop_("I", 2, Affine::param(n) - 1, |b| {
                 let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
                 let lhs = b.at(out, [i, j, k]);
-                let rhs = (Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i) - 1, Affine::var(j), Affine::var(k)],
-                )) + Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i) + 1, Affine::var(j), Affine::var(k)],
-                )) + Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i), Affine::var(j) - 1, Affine::var(k)],
-                )) + Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i), Affine::var(j) + 1, Affine::var(k)],
-                )) + Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i), Affine::var(j), Affine::var(k) - 1],
-                )) + Expr::load(b.at_vec(
-                    a,
-                    vec![Affine::var(i), Affine::var(j), Affine::var(k) + 1],
-                ))) * Expr::Const(1.0 / 6.0);
+                let rhs = (Expr::load(
+                    b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j), Affine::var(k)]),
+                ) + Expr::load(
+                    b.at_vec(a, vec![Affine::var(i) + 1, Affine::var(j), Affine::var(k)]),
+                ) + Expr::load(
+                    b.at_vec(a, vec![Affine::var(i), Affine::var(j) - 1, Affine::var(k)]),
+                ) + Expr::load(
+                    b.at_vec(a, vec![Affine::var(i), Affine::var(j) + 1, Affine::var(k)]),
+                ) + Expr::load(
+                    b.at_vec(a, vec![Affine::var(i), Affine::var(j), Affine::var(k) - 1]),
+                ) + Expr::load(
+                    b.at_vec(a, vec![Affine::var(i), Affine::var(j), Affine::var(k) + 1]),
+                )) * Expr::Const(1.0 / 6.0);
                 b.assign(lhs, rhs);
             });
         });

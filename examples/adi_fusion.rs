@@ -22,12 +22,18 @@ fn main() {
         .unwrap_or(256);
 
     let original = adi_scalarized();
-    println!("--- scalarized (Figure 3b) ---\n{}", program_to_string(&original));
+    println!(
+        "--- scalarized (Figure 3b) ---\n{}",
+        program_to_string(&original)
+    );
 
     let model = CostModel::new(4);
     let mut transformed = original.clone();
     let report = compound(&mut transformed, &model);
-    println!("--- after compound (Figure 3c) ---\n{}", program_to_string(&transformed));
+    println!(
+        "--- after compound (Figure 3c) ---\n{}",
+        program_to_string(&transformed)
+    );
     println!(
         "fusion enabled permutation on {} nest(s)",
         report.fusion_enabled_permutation

@@ -20,7 +20,10 @@ fn main() {
         .unwrap_or(300);
 
     let original = cholesky_kij();
-    println!("--- KIJ form (Figure 7a) ---\n{}", program_to_string(&original));
+    println!(
+        "--- KIJ form (Figure 7a) ---\n{}",
+        program_to_string(&original)
+    );
 
     let model = CostModel::new(4);
     let nest = original.nests()[0];

@@ -27,7 +27,10 @@ fn measure(p: &Program, n: i64) -> (f64, u64) {
     let mut c = Cache::new(CacheConfig::i860());
     m.run(p, &mut c).expect("execution");
     let s = c.stats();
-    (s.hit_rate_excluding_cold(), CycleModel::default().cycles(&s))
+    (
+        s.hit_rate_excluding_cold(),
+        CycleModel::default().cycles(&s),
+    )
 }
 
 fn main() {

@@ -21,7 +21,10 @@ fn main() {
     let cyc = CycleModel::default();
 
     println!("matrix multiply, N = {n}");
-    println!("{:<6} {:>24} {:>12} {:>12} {:>14}", "order", "LoopCost(innermost)", "cache1 hit%", "cache2 hit%", "cycles");
+    println!(
+        "{:<6} {:>24} {:>12} {:>12} {:>14}",
+        "order", "LoopCost(innermost)", "cache1 hit%", "cache2 hit%", "cycles"
+    );
 
     let mut results = Vec::new();
     for (name, p) in matmul_orders() {

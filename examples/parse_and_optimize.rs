@@ -71,7 +71,10 @@ fn main() {
     let before = profile(&original, n);
     let after = profile(&transformed, n);
     println!("reuse-distance profile (32-byte lines, N = {n}):");
-    println!("{:>14} {:>12} {:>12}", "capacity", "orig miss%", "opt miss%");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "capacity", "orig miss%", "opt miss%"
+    );
     for lines in [64u64, 256, 1024, 4096] {
         println!(
             "{:>8} lines {:>11.1}% {:>11.1}%",

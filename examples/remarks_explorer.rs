@@ -1,0 +1,84 @@
+//! Explore the optimizer's decisions as an LLVM-`-Rpass`-style remark
+//! stream: parse each Fortran-like corpus file, run the paper pipeline
+//! with an observing sink, and print every Applied / Missed / Analysis
+//! remark with its reason and LoopCost evidence.
+//!
+//! ```text
+//! cargo run --release --example remarks_explorer [file.f ...]
+//! ```
+//!
+//! Without arguments, every file in `tests/corpus/` is processed. Pass
+//! `--jsonl` to print the machine-readable stream instead of the
+//! human-readable one.
+
+use cmt_locality_repro::ir::parse::parse_program;
+use cmt_locality_repro::locality::pass::Pipeline;
+use cmt_locality_repro::obs::CollectSink;
+use std::path::PathBuf;
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "f"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn main() {
+    let mut jsonl = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--jsonl" {
+            jsonl = true;
+        } else {
+            files.push(PathBuf::from(arg));
+        }
+    }
+    if files.is_empty() {
+        files = corpus_files();
+    }
+    if files.is_empty() {
+        eprintln!("no corpus files found and none given");
+        std::process::exit(1);
+    }
+
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        let mut program = match parse_program(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {}: parse error: {e}", path.display());
+                continue;
+            }
+        };
+
+        let mut sink = CollectSink::new();
+        let reports = Pipeline::paper_default(4).run_observed(&mut program, &mut sink);
+
+        if jsonl {
+            print!("{}", sink.remarks_jsonl());
+            continue;
+        }
+
+        println!("=== {} ({})", path.display(), program.name());
+        for r in &reports {
+            println!("  pass {:<15} {:>9} ns  {}", r.name, r.nanos, r.summary);
+        }
+        for remark in &sink.remarks {
+            println!("  {remark}");
+        }
+        println!();
+    }
+}

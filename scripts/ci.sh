@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full offline CI gate: build, test, format check, and an observability
+# smoke run. No network access required (the workspace has no external
+# dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo ">>> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo ">>> cargo test --release --workspace"
+cargo test -q --release --workspace
+
+echo ">>> cargo fmt --check"
+cargo fmt --all --check
+
+echo ">>> observability smoke (fig2_matmul artifacts)"
+SMOKE_DIR=$(mktemp -d)
+CMT_OBS_DIR="$SMOKE_DIR" cargo run --release -q -p cmt-bench --bin fig2_matmul 64 > /dev/null
+for f in fig2_matmul.remarks.jsonl fig2_matmul.metrics.json; do
+  test -s "$SMOKE_DIR/$f" || { echo "missing artifact: $f" >&2; exit 1; }
+done
+grep -q '"pass":"permute"' "$SMOKE_DIR/fig2_matmul.remarks.jsonl"
+grep -q '"counters"' "$SMOKE_DIR/fig2_matmul.metrics.json"
+rm -rf "$SMOKE_DIR"
+
+echo "CI OK"

@@ -13,6 +13,10 @@ else
 fi
 
 mkdir -p results
+# The figure/table binaries also drop machine-readable observability
+# artifacts ({name}.remarks.jsonl + {name}.metrics.json) wherever
+# CMT_OBS_DIR points.
+export CMT_OBS_DIR=results
 run() {
   local name=$1; shift
   echo ">>> $name"
@@ -34,4 +38,4 @@ run fig8_9_histograms
 run ablation_table
 run ext_multilevel_tiling 160
 
-echo "All artifacts written to results/."
+echo "All artifacts written to results/ (text + remarks JSONL + metrics JSON)."

@@ -3,10 +3,12 @@
 //! Re-exports the workspace crates so examples and integration tests can use
 //! one import root. See the individual crates for the real APIs:
 //! [`cmt_ir`], [`cmt_dependence`], [`cmt_locality`], [`cmt_cache`],
-//! [`cmt_interp`], [`cmt_suite`].
+//! [`cmt_interp`], [`cmt_suite`], [`cmt_obs`].
+pub use cmt_bench as bench;
 pub use cmt_cache as cache;
 pub use cmt_dependence as dependence;
 pub use cmt_interp as interp;
 pub use cmt_ir as ir;
 pub use cmt_locality as locality;
+pub use cmt_obs as obs;
 pub use cmt_suite as suite;

@@ -28,8 +28,7 @@ fn corpus() -> Vec<(String, String)> {
 fn corpus_parses_and_optimizes_safely() {
     let model = CostModel::new(4);
     for (name, src) in corpus() {
-        let original =
-            parse_program(&src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let original = parse_program(&src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
         let mut transformed = original.clone();
         let report = compound(&mut transformed, &model);
         cmt_locality_repro::ir::validate::validate(&transformed)

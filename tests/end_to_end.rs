@@ -70,7 +70,10 @@ fn suite_totals_match_paper_shape() {
         inner_after += r.inner_orig + r.inner_permuted;
     }
     let pct = |x: usize| 100.0 * x as f64 / nests as f64;
-    assert!(nests > 200, "suite should have a substantial nest count, got {nests}");
+    assert!(
+        nests > 200,
+        "suite should have a substantial nest count, got {nests}"
+    );
     assert!(
         (57.0..=81.0).contains(&pct(orig)),
         "orig in memory order: {:.0}% (paper 69%)",
@@ -81,11 +84,7 @@ fn suite_totals_match_paper_shape() {
         "after transformation: {:.0}% (paper 80%)",
         pct(orig + perm)
     );
-    assert!(
-        pct(fail) <= 32.0,
-        "failures: {:.0}% (paper 20%)",
-        pct(fail)
-    );
+    assert!(pct(fail) <= 32.0, "failures: {:.0}% (paper 20%)", pct(fail));
     assert!(
         pct(inner_after) >= pct(inner_orig),
         "inner-loop positioning must not regress"

@@ -2,10 +2,10 @@
 //! and 7 encoded as assertions, and the experiment rankings at small
 //! simulation sizes.
 
+use cmt_ir::ids::ParamId;
 use cmt_locality_repro::locality::model::CostModel;
 use cmt_locality_repro::locality::CostPoly;
 use cmt_locality_repro::suite::kernels;
-use cmt_ir::ids::ParamId;
 
 fn n() -> CostPoly {
     CostPoly::param(ParamId(0))
@@ -56,12 +56,24 @@ fn fig3_adi_fusion_costs() {
     let k2_unfused = dominant(&scalarized, "K2");
     assert!((k_unfused - k2_unfused).abs() < 0.01);
     let k_fused = dominant(&fused, "K");
-    assert!((k_unfused - 5.0).abs() < 0.01, "unfused K = {k_unfused} (paper 5n²)");
-    assert!((k_fused - 3.0).abs() < 0.01, "fused K = {k_fused} (paper 3n²)");
+    assert!(
+        (k_unfused - 5.0).abs() < 0.01,
+        "unfused K = {k_unfused} (paper 5n²)"
+    );
+    assert!(
+        (k_fused - 3.0).abs() < 0.01,
+        "fused K = {k_fused} (paper 3n²)"
+    );
     let i_unfused = dominant(&scalarized, "I");
     let i_fused = dominant(&fused, "I");
-    assert!((i_unfused - 1.25).abs() < 0.01, "unfused I = {i_unfused} (paper 5/4n²)");
-    assert!((i_fused - 0.75).abs() < 0.01, "fused I = {i_fused} (paper 3/4n²)");
+    assert!(
+        (i_unfused - 1.25).abs() < 0.01,
+        "unfused I = {i_unfused} (paper 5/4n²)"
+    );
+    assert!(
+        (i_fused - 0.75).abs() < 0.01,
+        "fused I = {i_fused} (paper 3/4n²)"
+    );
 }
 
 /// Figure 7: Cholesky memory order is KJI.

@@ -96,7 +96,10 @@ fn lu_after_distribution_still_tileable_subnest() {
     let r = compound(&mut p, &model);
     assert_eq!(r.distributions, 1);
     let err = tile_loop(&mut p, 0, 1, 4, 0).unwrap_err();
-    assert_eq!(err, cmt_locality_repro::locality::tile::TileError::NotPerfect);
+    assert_eq!(
+        err,
+        cmt_locality_repro::locality::tile::TileError::NotPerfect
+    );
     assert_equivalent(&original, &p, &[12]);
 }
 

@@ -1,7 +1,9 @@
-//! Property-based correctness: the compound algorithm preserves program
+//! Property-style correctness: the compound algorithm preserves program
 //! semantics on randomized loop nests, and the cost machinery satisfies
-//! its algebraic contracts.
+//! its algebraic contracts. Inputs come from the seeded in-repo PRNG so
+//! the suite is deterministic and fully offline.
 
+use cmt_ir::ids::ParamId;
 use cmt_locality_repro::interp::equivalent;
 use cmt_locality_repro::ir::affine::Affine;
 use cmt_locality_repro::ir::build::ProgramBuilder;
@@ -10,8 +12,7 @@ use cmt_locality_repro::ir::program::Program;
 use cmt_locality_repro::locality::compound::{compound_with, CompoundOptions};
 use cmt_locality_repro::locality::model::CostModel;
 use cmt_locality_repro::locality::CostPoly;
-use cmt_ir::ids::ParamId;
-use proptest::prelude::*;
+use cmt_locality_repro::obs::SplitMix64;
 
 /// A randomized reference: which array, subscript order, and offsets.
 #[derive(Clone, Debug)]
@@ -39,39 +40,40 @@ struct NestSpec {
     stmts: Vec<StmtSpec>,
 }
 
-fn ref_strategy(arrays: usize) -> impl Strategy<Value = RefSpec> {
-    (0..arrays, any::<bool>(), -1i64..=1, -1i64..=1).prop_map(|(array, swap_subs, off1, off2)| {
-        RefSpec {
-            array,
-            swap_subs,
-            off1,
-            off2,
-        }
-    })
+fn random_ref(rng: &mut SplitMix64, arrays: usize) -> RefSpec {
+    RefSpec {
+        array: rng.gen_range_usize(0, arrays - 1),
+        swap_subs: rng.gen_bool(0.5),
+        off1: rng.gen_range_i64(-1, 1),
+        off2: rng.gen_range_i64(-1, 1),
+    }
 }
 
-fn stmt_strategy(arrays: usize) -> impl Strategy<Value = StmtSpec> {
-    (
-        ref_strategy(arrays),
-        ref_strategy(arrays),
-        ref_strategy(arrays),
-        prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)],
-    )
-        .prop_map(|(target, load_a, load_b, op)| StmtSpec {
-            target,
-            load_a,
-            load_b,
-            op,
-        })
+fn random_stmt(rng: &mut SplitMix64, arrays: usize) -> StmtSpec {
+    let op = match rng.gen_range_i64(0, 2) {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        _ => BinOp::Mul,
+    };
+    StmtSpec {
+        target: random_ref(rng, arrays),
+        load_a: random_ref(rng, arrays),
+        load_b: random_ref(rng, arrays),
+        op,
+    }
 }
 
-fn nest_strategy(arrays: usize) -> impl Strategy<Value = NestSpec> {
-    (any::<bool>(), prop::collection::vec(stmt_strategy(arrays), 1..3))
-        .prop_map(|(ji_order, stmts)| NestSpec { ji_order, stmts })
+fn random_nest(rng: &mut SplitMix64, arrays: usize) -> NestSpec {
+    let stmts = rng.gen_range_usize(1, 2);
+    NestSpec {
+        ji_order: rng.gen_bool(0.5),
+        stmts: (0..stmts).map(|_| random_stmt(rng, arrays)).collect(),
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = Vec<NestSpec>> {
-    prop::collection::vec(nest_strategy(3), 1..4)
+fn random_program(rng: &mut SplitMix64) -> Vec<NestSpec> {
+    let nests = rng.gen_range_usize(1, 3);
+    (0..nests).map(|_| random_nest(rng, 3)).collect()
 }
 
 /// Materializes the specs into an IR program. Offsets are within ±1 and
@@ -82,15 +84,9 @@ fn build_program(nests: &[NestSpec]) -> Program {
     let arrays: Vec<_> = (0..3).map(|k| b.matrix(&format!("A{k}"), n)).collect();
     let mk_ref = |b: &ProgramBuilder, spec: &RefSpec, i, j| {
         let (s1, s2) = if spec.swap_subs {
-            (
-                Affine::var(j) + spec.off1,
-                Affine::var(i) + spec.off2,
-            )
+            (Affine::var(j) + spec.off1, Affine::var(i) + spec.off2)
         } else {
-            (
-                Affine::var(i) + spec.off1,
-                Affine::var(j) + spec.off2,
-            )
+            (Affine::var(i) + spec.off1, Affine::var(j) + spec.off2)
         };
         b.at_vec(arrays[spec.array], vec![s1, s2])
     };
@@ -117,78 +113,97 @@ fn build_program(nests: &[NestSpec]) -> Program {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The headline safety property: whatever the compound algorithm does
-    /// to a random program, execution results are bit-identical.
-    #[test]
-    fn compound_preserves_semantics(nests in program_strategy()) {
+/// The headline safety property: whatever the compound algorithm does
+/// to a random program, execution results are bit-identical.
+#[test]
+fn compound_preserves_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0DE);
+    for _ in 0..48 {
+        let nests = random_program(&mut rng);
         let original = build_program(&nests);
         let mut transformed = original.clone();
         let model = CostModel::new(4);
         let _ = compound_with(&mut transformed, &model, &CompoundOptions::default());
         cmt_locality_repro::ir::validate::validate(&transformed).expect("valid after compound");
         let report = equivalent(&original, &transformed, &[9]).expect("executes");
-        prop_assert!(report.equivalent, "diff: {:?}", report.first_diff);
+        assert!(report.equivalent, "diff: {:?}", report.first_diff);
     }
+}
 
-    /// Every pass combination is individually safe too.
-    #[test]
-    fn ablated_compound_preserves_semantics(
-        nests in program_strategy(),
-        fusion in any::<bool>(),
-        distribution in any::<bool>(),
-        reversal in any::<bool>(),
-    ) {
+/// Every pass combination is individually safe too.
+#[test]
+fn ablated_compound_preserves_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0xAB1A);
+    for _ in 0..48 {
+        let nests = random_program(&mut rng);
         let original = build_program(&nests);
         let mut transformed = original.clone();
         let model = CostModel::new(4);
-        let opts = CompoundOptions { fusion, distribution, reversal };
+        let opts = CompoundOptions {
+            fusion: rng.gen_bool(0.5),
+            distribution: rng.gen_bool(0.5),
+            reversal: rng.gen_bool(0.5),
+        };
         let _ = compound_with(&mut transformed, &model, &opts);
         let report = equivalent(&original, &transformed, &[8]).expect("executes");
-        prop_assert!(report.equivalent, "opts {opts:?}, diff: {:?}", report.first_diff);
+        assert!(
+            report.equivalent,
+            "opts {opts:?}, diff: {:?}",
+            report.first_diff
+        );
     }
+}
 
-    /// CostPoly is a commutative semiring under the operations the model
-    /// uses.
-    #[test]
-    fn cost_poly_semiring(
-        a in 0u32..4, b in 0u32..4, c in 0u32..4,
+/// CostPoly is a commutative semiring under the operations the model
+/// uses.
+#[test]
+fn cost_poly_semiring() {
+    let mut rng = SplitMix64::seed_from_u64(0x5E71);
+    let p = |deg: u32, k: f64| {
+        let mut poly = CostPoly::constant(k);
+        for _ in 0..deg {
+            poly = poly * CostPoly::param(ParamId(0));
+        }
+        poly
+    };
+    for _ in 0..256 {
+        let (a, b, c) = (
+            rng.gen_range_i64(0, 3) as u32,
+            rng.gen_range_i64(0, 3) as u32,
+            rng.gen_range_i64(0, 3) as u32,
+        );
         // Dyadic coefficients keep f64 arithmetic exact, so the ring laws
         // hold bit-for-bit.
-        kai in -16i32..16, kbi in -16i32..16,
-    ) {
-        let (ka, kb) = (kai as f64 * 0.25, kbi as f64 * 0.25);
-        let p = |deg: u32, k: f64| {
-            let mut poly = CostPoly::constant(k);
-            for _ in 0..deg {
-                poly = poly * CostPoly::param(ParamId(0));
-            }
-            poly
-        };
+        let ka = rng.gen_range_i64(-16, 15) as f64 * 0.25;
+        let kb = rng.gen_range_i64(-16, 15) as f64 * 0.25;
         let (x, y, z) = (p(a, ka), p(b, kb), p(c, 1.5));
-        prop_assert_eq!(x.clone() + y.clone(), y.clone() + x.clone());
-        prop_assert_eq!(x.clone() * y.clone(), y.clone() * x.clone());
-        prop_assert_eq!(
+        assert_eq!(x.clone() + y.clone(), y.clone() + x.clone());
+        assert_eq!(x.clone() * y.clone(), y.clone() * x.clone());
+        assert_eq!(
             (x.clone() + y.clone()) * z.clone(),
             x.clone() * z.clone() + y.clone() * z.clone()
         );
-        prop_assert_eq!(x.clone() * CostPoly::one(), x.clone());
-        prop_assert_eq!(x.clone() + CostPoly::zero(), x);
+        assert_eq!(x.clone() * CostPoly::one(), x.clone());
+        assert_eq!(x.clone() + CostPoly::zero(), x);
     }
+}
 
-    /// The paper's central algorithmic claim: the single-evaluation
-    /// greedy permutation reaches an order whose innermost loop matches
-    /// the n!-enumeration baseline's choice whenever it succeeds.
-    #[test]
-    fn greedy_permute_matches_exhaustive_baseline(nests in program_strategy()) {
-        use cmt_locality_repro::locality::exhaustive::best_permutation_exhaustive;
-        use cmt_locality_repro::locality::permute::permute_nest;
+/// The paper's central algorithmic claim: the single-evaluation greedy
+/// permutation reaches an order whose innermost loop matches the
+/// n!-enumeration baseline's choice whenever it succeeds.
+#[test]
+fn greedy_permute_matches_exhaustive_baseline() {
+    use cmt_locality_repro::locality::exhaustive::best_permutation_exhaustive;
+    use cmt_locality_repro::locality::permute::permute_nest;
+    let mut rng = SplitMix64::seed_from_u64(0x93EE);
+    for _ in 0..48 {
+        let nests = random_program(&mut rng);
         let program = build_program(&nests);
         let model = CostModel::new(4);
         for idx in 0..program.body().len() {
-            let Some(nest) = program.body()[idx].as_loop() else { continue };
+            let Some(nest) = program.body()[idx].as_loop() else {
+                continue;
+            };
             let Some(ex) = best_permutation_exhaustive(&program, nest, &model) else {
                 continue;
             };
@@ -204,31 +219,35 @@ proptest! {
                 .map(|l| l.id());
                 // Innermost choice must agree (outer ties may order
                 // differently without cost consequence).
-                prop_assert_eq!(greedy_inner, ex.best.last().copied());
+                assert_eq!(greedy_inner, ex.best.last().copied());
             }
         }
     }
+}
 
-    /// Dominating comparison agrees with large-value evaluation.
-    #[test]
-    fn dominating_cmp_matches_evaluation(
-        d1 in 0u32..4, k1 in 0.25f64..8.0,
-        d2 in 0u32..4, k2 in 0.25f64..8.0,
-    ) {
-        let p = |deg: u32, k: f64| {
-            let mut poly = CostPoly::constant(k);
-            for _ in 0..deg {
-                poly = poly * CostPoly::param(ParamId(0));
-            }
-            poly
-        };
+/// Dominating comparison agrees with large-value evaluation.
+#[test]
+fn dominating_cmp_matches_evaluation() {
+    let mut rng = SplitMix64::seed_from_u64(0xD0CA);
+    let p = |deg: u32, k: f64| {
+        let mut poly = CostPoly::constant(k);
+        for _ in 0..deg {
+            poly = poly * CostPoly::param(ParamId(0));
+        }
+        poly
+    };
+    for _ in 0..256 {
+        let d1 = rng.gen_range_i64(0, 3) as u32;
+        let d2 = rng.gen_range_i64(0, 3) as u32;
+        let k1 = 0.25 + rng.next_f64() * 7.75;
+        let k2 = 0.25 + rng.next_f64() * 7.75;
         let (x, y) = (p(d1, k1), p(d2, k2));
         let cmp = x.dominating_cmp(&y);
         let (ex, ey) = (x.eval_uniform(1e6), y.eval_uniform(1e6));
         match cmp {
-            std::cmp::Ordering::Greater => prop_assert!(ex > ey),
-            std::cmp::Ordering::Less => prop_assert!(ex < ey),
-            std::cmp::Ordering::Equal => prop_assert!((ex - ey).abs() <= 1e-6 * ex.abs().max(1.0)),
+            std::cmp::Ordering::Greater => assert!(ex > ey),
+            std::cmp::Ordering::Less => assert!(ex < ey),
+            std::cmp::Ordering::Equal => assert!((ex - ey).abs() <= 1e-6 * ex.abs().max(1.0)),
         }
     }
 }

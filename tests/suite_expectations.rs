@@ -85,7 +85,11 @@ fn rest_programs_are_entirely_in_memory_order() {
         );
         // Fusion may still merge the independent background nests? They
         // share no data, so the cost model must refuse.
-        assert_eq!(r.nests_fused, 0, "{}-rest: no beneficial fusion", m.spec.name);
+        assert_eq!(
+            r.nests_fused, 0,
+            "{}-rest: no beneficial fusion",
+            m.spec.name
+        );
         assert_eq!(p, before, "{}-rest must be untouched", m.spec.name);
     }
 }

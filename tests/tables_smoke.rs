@@ -137,5 +137,8 @@ fn ablation_shows_pass_contributions() {
     assert!(full.3 > 0, "full config fuses");
     assert_eq!(perm_only.3, 0, "permutation-only must not fuse");
     assert_eq!(perm_only.4, 0, "permutation-only must not distribute");
-    assert!(full.1 >= perm_only.1 - 1e-9, "full ratio >= permutation-only");
+    assert!(
+        full.1 >= perm_only.1 - 1e-9,
+        "full ratio >= permutation-only"
+    );
 }
