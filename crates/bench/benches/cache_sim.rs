@@ -1,41 +1,257 @@
-//! Throughput of the cache simulator substrate: sequential, strided, and
-//! random access streams against both paper cache configurations.
+//! Throughput of the cache-simulation engine, three ways per stream:
+//!
+//! * `legacy_scalar` — the seed `Vec<Vec<u64>>` + `HashSet` simulator
+//!   ([`LegacyCache`]), one call per access: the baseline the flat
+//!   engine is measured against;
+//! * `flat_scalar` — the flat tag/stamp engine ([`Cache`]), still one
+//!   call per access;
+//! * `flat_batched` — the flat engine fed 4 K-entry packed buffers via
+//!   `access_batch`, the shape the interpreter produces.
+//!
+//! Plus an end-to-end corpus comparison: Table 4 over the full suite,
+//! sequential (`CMT_JOBS=1`) vs parallel, asserting byte-identical
+//! output. All cases run an **equivalence check first** — identical
+//! `CacheStats` across the three engines — and the process exits
+//! non-zero on mismatch, so CI can gate on correctness without gating
+//! on timing.
+//!
+//! Environment:
+//!
+//! * `CMT_BENCH_QUICK=1` — smaller streams and fewer iterations (CI);
+//! * `CMT_BENCH_JSON=PATH` — where to write the JSON baseline
+//!   (default `BENCH_cache_sim.json` in the working directory).
+//!
+//! Reproduce the committed baseline with:
+//!
+//! ```text
+//! cargo bench -p cmt-bench --bench cache_sim
+//! ```
 
 use cmt_bench::timing::{bench, human_ns};
-use cmt_cache::{Cache, CacheConfig};
+use cmt_cache::{pack_access, Cache, CacheConfig, LegacyCache};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::Instant;
 
-const ACCESSES: u64 = 1_000_000;
+fn quick() -> bool {
+    std::env::var("CMT_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Byte span `[0, span)` a stream's addresses fall in — the "arena" the
+/// flat engine registers for dense cold-line tracking, mirroring what
+/// `ObservedCache::register_region` does for real program arenas.
+fn stream_span(kind: &str) -> u64 {
+    match kind {
+        "sequential" => 1 << 22,
+        "strided_4k" => 1 << 26,
+        "lcg_random" => 1 << 24,
+        _ => unreachable!("unknown stream kind"),
+    }
+}
+
+/// One packed synthetic access stream.
+fn stream(kind: &str, accesses: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(accesses as usize);
+    let mut x = 0x243F6A8885A308D3u64;
+    for k in 0..accesses {
+        let addr = match kind {
+            "sequential" => k * 8 % (1 << 22),
+            "strided_4k" => k * 4096 % (1 << 26),
+            "lcg_random" => {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x % (1 << 24)
+            }
+            _ => unreachable!("unknown stream kind"),
+        };
+        out.push(pack_access(addr, k % 4 == 0));
+    }
+    out
+}
+
+/// Feeds `trace` to all three engines; returns (legacy, flat-scalar,
+/// flat-batched) stats for the equivalence gate. The batched engine gets
+/// the stream span registered (the scalar one deliberately does not), so
+/// the gate also proves region registration never changes the counts.
+fn run_all_engines(cfg: CacheConfig, kind: &str, trace: &[u64]) -> [cmt_cache::CacheStats; 3] {
+    let mut legacy = LegacyCache::new(cfg);
+    let mut scalar = Cache::new(cfg);
+    let mut batched = Cache::new(cfg);
+    batched.reserve_region(0, stream_span(kind));
+    for &p in trace {
+        let (a, w) = cmt_cache::unpack_access(p);
+        legacy.access(a, w);
+        scalar.access(a, w);
+    }
+    for chunk in trace.chunks(4096) {
+        batched.access_batch(chunk);
+    }
+    [legacy.stats(), scalar.stats(), batched.stats()]
+}
+
+struct Case {
+    name: String,
+    legacy_ns: f64,
+    flat_ns: f64,
+    batched_ns: f64,
+}
 
 fn main() {
-    println!("cache_sim ({ACCESSES} accesses per iteration)");
+    let quick = quick();
+    let accesses: u64 = if quick { 200_000 } else { 1_000_000 };
+    let iters: u32 = if quick { 3 } else { 10 };
+    println!(
+        "cache_sim ({accesses} accesses per iteration{})",
+        if quick { ", quick mode" } else { "" }
+    );
+
+    // ---- Equivalence gate: run before any timing, fail hard. --------
+    let mut mismatches = 0;
+    for kind in ["sequential", "strided_4k", "lcg_random"] {
+        let trace = stream(kind, accesses.min(300_000));
+        for cfg in [
+            CacheConfig::rs6000(),
+            CacheConfig::i860(),
+            CacheConfig::decstation(),
+        ] {
+            let [l, s, b] = run_all_engines(cfg, kind, &trace);
+            if l != s || l != b {
+                eprintln!(
+                    "EQUIVALENCE MISMATCH {kind}/{cfg}: legacy={l:?} flat={s:?} batched={b:?}"
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} engine equivalence mismatches — failing");
+        std::process::exit(1);
+    }
+    println!("engine equivalence: OK (legacy == flat == batched on all streams/geometries)");
+
+    // ---- Hot-loop timing: three engines per stream/config. ----------
+    let mut cases = Vec::new();
     for (label, cfg) in [
         ("rs6000", CacheConfig::rs6000()),
         ("i860", CacheConfig::i860()),
+        ("decstation", CacheConfig::decstation()),
     ] {
-        let r = bench(&format!("sequential/{label}"), 10, || {
-            let mut c = Cache::new(cfg);
-            for k in 0..ACCESSES {
-                c.access(k * 8 % (1 << 22), false);
-            }
-            black_box(c.stats());
-        });
-        println!("  -> {} per access", human_ns(r.min_ns / ACCESSES as f64));
-        bench(&format!("strided_4k/{label}"), 10, || {
-            let mut c = Cache::new(cfg);
-            for k in 0..ACCESSES {
-                c.access(k * 4096 % (1 << 26), false);
-            }
-            black_box(c.stats());
-        });
-        bench(&format!("lcg_random/{label}"), 10, || {
-            let mut c = Cache::new(cfg);
-            let mut x = 0x243F6A8885A308D3u64;
-            for _ in 0..ACCESSES {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                c.access(x % (1 << 24), false);
-            }
-            black_box(c.stats());
-        });
+        for kind in ["sequential", "strided_4k", "lcg_random"] {
+            let trace = stream(kind, accesses);
+            let name = format!("{kind}/{label}");
+            let legacy = bench(&format!("{name}/legacy_scalar"), iters, || {
+                let mut c = LegacyCache::new(cfg);
+                for &p in &trace {
+                    let (a, w) = cmt_cache::unpack_access(p);
+                    c.access(a, w);
+                }
+                black_box(c.stats());
+            });
+            let span = stream_span(kind);
+            let flat = bench(&format!("{name}/flat_scalar"), iters, || {
+                let mut c = Cache::new(cfg);
+                c.reserve_region(0, span);
+                for &p in &trace {
+                    let (a, w) = cmt_cache::unpack_access(p);
+                    c.access(a, w);
+                }
+                black_box(c.stats());
+            });
+            let batched = bench(&format!("{name}/flat_batched"), iters, || {
+                let mut c = Cache::new(cfg);
+                c.reserve_region(0, span);
+                for chunk in trace.chunks(4096) {
+                    c.access_batch(chunk);
+                }
+                black_box(c.stats());
+            });
+            let per = |ns: f64| ns / accesses as f64;
+            println!(
+                "  -> {} legacy, {} flat, {} batched per access ({:.2}x batched speedup)",
+                human_ns(per(legacy.min_ns)),
+                human_ns(per(flat.min_ns)),
+                human_ns(per(batched.min_ns)),
+                legacy.min_ns / batched.min_ns
+            );
+            cases.push(Case {
+                name,
+                legacy_ns: per(legacy.min_ns),
+                flat_ns: per(flat.min_ns),
+                batched_ns: per(batched.min_ns),
+            });
+        }
+    }
+    let geomean_speedup: f64 = {
+        let logs: f64 = cases
+            .iter()
+            .map(|c| (c.legacy_ns / c.batched_ns).ln())
+            .sum();
+        (logs / cases.len() as f64).exp()
+    };
+    println!("hot-loop geomean speedup (batched flat vs legacy scalar): {geomean_speedup:.2}x");
+
+    // ---- End-to-end corpus: sequential vs parallel Table 4. ---------
+    let corpus_n = if quick { 48 } else { 96 };
+    let saved_jobs = std::env::var("CMT_JOBS").ok();
+    std::env::set_var("CMT_JOBS", "1");
+    let t0 = Instant::now();
+    let (seq_text, _) = cmt_bench::tables::table4(Some(corpus_n));
+    let sequential_s = t0.elapsed().as_secs_f64();
+    // Restore the caller's CMT_JOBS (CI pins it to 2) for the parallel leg.
+    match &saved_jobs {
+        Some(v) => std::env::set_var("CMT_JOBS", v),
+        None => std::env::remove_var("CMT_JOBS"),
+    }
+    let jobs = cmt_bench::cmt_jobs();
+    let t1 = Instant::now();
+    let (par_text, _) = cmt_bench::tables::table4(Some(corpus_n));
+    let parallel_s = t1.elapsed().as_secs_f64();
+    if seq_text != par_text {
+        eprintln!("DETERMINISM MISMATCH: table4 output differs between CMT_JOBS=1 and {jobs}");
+        std::process::exit(1);
+    }
+    println!(
+        "corpus (table4 @ N={corpus_n}): {sequential_s:.2}s sequential, {parallel_s:.2}s on \
+         {jobs} jobs ({:.2}x), outputs byte-identical",
+        sequential_s / parallel_s.max(1e-9)
+    );
+
+    // ---- JSON baseline. ---------------------------------------------
+    // Cargo runs benches with the package as cwd; anchor the default at
+    // the workspace root so the committed baseline has one home.
+    let path = std::env::var("CMT_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache_sim.json").into()
+    });
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"cache_sim\",");
+    let _ = writeln!(j, "  \"accesses_per_iteration\": {accesses},");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"ns_per_access\": {{");
+    for (k, c) in cases.iter().enumerate() {
+        let comma = if k + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\"legacy_scalar\": {:.3}, \"flat_scalar\": {:.3}, \
+             \"flat_batched\": {:.3}, \"speedup_batched_vs_legacy\": {:.2}}}{comma}",
+            c.name,
+            c.legacy_ns,
+            c.flat_ns,
+            c.batched_ns,
+            c.legacy_ns / c.batched_ns
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"hot_loop_geomean_speedup\": {geomean_speedup:.2},");
+    let _ = writeln!(
+        j,
+        "  \"corpus_table4\": {{\"n\": {corpus_n}, \"sequential_seconds\": {sequential_s:.3}, \
+         \"parallel_seconds\": {parallel_s:.3}, \"jobs\": {jobs}, \"speedup\": {:.2}, \
+         \"byte_identical_output\": true}}",
+        sequential_s / parallel_s.max(1e-9)
+    );
+    let _ = writeln!(j, "}}");
+    match std::fs::write(&path, &j) {
+        Ok(()) => println!("baseline written: {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

@@ -10,11 +10,19 @@ fn main() {
 
     // Observability artifacts: the full remark stream for every suite
     // model — one `compound` run each, same decisions the table counts.
+    // Each worker collects into its own sink; absorbing them in suite
+    // order keeps the JSONL stream byte-identical for any CMT_JOBS.
     let model = CostModel::new(4);
-    let mut sink = CollectSink::new();
-    for m in cmt_suite::suite() {
+    let models = cmt_suite::suite();
+    let parts = cmt_bench::par_map(&models, |m| {
+        let mut local = CollectSink::new();
         let mut p = m.optimized.clone();
-        let _ = compound_observed(&mut p, &model, &Default::default(), &mut sink);
+        let _ = compound_observed(&mut p, &model, &Default::default(), &mut local);
+        local
+    });
+    let mut sink = CollectSink::new();
+    for part in parts {
+        sink.absorb(part);
     }
     cmt_bench::emit("table2_memory_order", &sink.remarks, &sink.metrics);
 }

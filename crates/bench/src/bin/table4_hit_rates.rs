@@ -12,16 +12,25 @@ fn main() {
     // Observability artifacts: per-array miss attribution of every
     // transformed suite model at a small, fixed size (the table above
     // keeps the paper sizes; the artifact is a diagnostic sample).
+    // Workers simulate models in parallel into private sinks; absorbing
+    // them in suite order keeps remarks and metrics byte-identical for
+    // any CMT_JOBS.
     let model = CostModel::new(4);
-    let mut sink = CollectSink::new();
-    for m in cmt_suite::suite() {
-        if m.spec.mix.total_nests() == 0 {
-            continue;
-        }
+    let models: Vec<_> = cmt_suite::suite()
+        .into_iter()
+        .filter(|m| m.spec.mix.total_nests() > 0)
+        .collect();
+    let parts = cmt_bench::par_map(&models, |m| {
+        let mut local = CollectSink::new();
         let mut p = m.optimized.clone();
-        let _ = compound_observed(&mut p, &model, &Default::default(), &mut sink);
+        let _ = compound_observed(&mut p, &model, &Default::default(), &mut local);
         let sim = cmt_bench::simulate_program_observed(&p, 64, 10_000);
-        sim.export_metrics(&mut sink.metrics, &format!("table4.{}", m.spec.name));
+        sim.export_metrics(&mut local.metrics, &format!("table4.{}", m.spec.name));
+        local
+    });
+    let mut sink = CollectSink::new();
+    for part in parts {
+        sink.absorb(part);
     }
     cmt_bench::emit("table4_hit_rates", &sink.remarks, &sink.metrics);
 }

@@ -21,6 +21,6 @@ pub mod timing;
 
 pub use artifact::{artifact_dir, emit, write_metrics_json, write_remarks_jsonl};
 pub use runner::{
-    simulate_program, simulate_program_observed, simulate_versions, ObservedSim, ProgramSim,
-    VersionPair,
+    cmt_jobs, par_map, simulate_program, simulate_program_observed, simulate_versions, ObservedSim,
+    ProgramSim, VersionPair,
 };

@@ -1,4 +1,5 @@
-//! Execution + cache-simulation plumbing shared by the table generators.
+//! Execution + cache-simulation plumbing shared by the table generators,
+//! plus the deterministic parallel corpus runner ([`par_map`]).
 
 use cmt_cache::{Cache, CacheConfig, CacheStats, ObservedCache};
 use cmt_interp::{Machine, MeteredSink, TraceSink};
@@ -7,6 +8,64 @@ use cmt_ir::program::Program;
 use cmt_locality::{compound::compound, model::CostModel};
 use cmt_obs::MetricsRegistry;
 use cmt_suite::BenchmarkModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for [`par_map`]: `$CMT_JOBS` when set to a positive
+/// integer, otherwise the machine's available parallelism. `CMT_JOBS=1`
+/// forces the fully sequential in-thread path.
+pub fn cmt_jobs() -> usize {
+    std::env::var("CMT_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on [`cmt_jobs`] scoped worker threads,
+/// returning results **in item order**.
+///
+/// Determinism guarantee: the output vector is indistinguishable from
+/// `items.iter().map(f).collect()` as long as `f` itself is a pure
+/// function of its item — workers pull items off a shared queue, but
+/// every result is written back to its item's slot, so ordering (and
+/// everything derived from it: rendered tables, remark streams, JSON
+/// artifacts) is byte-identical for any `CMT_JOBS` value. Simulations
+/// are independent per item (each builds its own `Machine` and caches),
+/// which is what makes the corpus embarrassingly parallel.
+///
+/// Uses only `std::thread::scope` — no thread-pool dependency. Panics in
+/// `f` propagate to the caller.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let jobs = cmt_jobs().min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
 
 /// Cache statistics for one program run under both paper caches.
 #[derive(Clone, Copy, Debug, Default)]

@@ -1,7 +1,13 @@
 //! Generators for every table and figure of the paper's evaluation.
+//!
+//! Every per-model / per-variant simulation loop runs through
+//! [`par_map`], the deterministic parallel corpus runner: independent
+//! kernels simulate on `CMT_JOBS` worker threads while the rendered
+//! tables stay byte-identical to a sequential run (results are collected
+//! by index; all formatting happens afterwards, in order).
 
 use crate::fmt::{bar, pct, render_table};
-use crate::runner::{simulate_program, simulate_versions};
+use crate::runner::{par_map, simulate_program, simulate_versions};
 use cmt_cache::CycleModel;
 use cmt_ir::program::Program;
 use cmt_locality::compound::compound;
@@ -51,10 +57,8 @@ pub fn fig2_matmul(n: i64) -> (String, Vec<RankRow>) {
     let model = CostModel::new(4);
     let base = kernels::matmul("IJK");
     let cost_table = cmt_locality::figures::cost_table(&base, base.nests()[0], &model);
-    let rows: Vec<RankRow> = kernels::matmul_orders()
-        .iter()
-        .map(|(name, p)| rank_program(name, p, n, &model))
-        .collect();
+    let orders = kernels::matmul_orders();
+    let rows: Vec<RankRow> = par_map(&orders, |(name, p)| rank_program(name, p, n, &model));
     let table = render_table(
         &[
             "order",
@@ -117,10 +121,8 @@ pub fn fig3_adi(n: i64) -> (String, Vec<RankRow>) {
     }
     let cost_table = render_table(&["version/loop", "LoopCost"], &cost_rows);
 
-    let rows = vec![
-        rank_program("scalarized", &scalarized, n, &model),
-        rank_program("fused+interchanged", &fused, n, &model),
-    ];
+    let versions = [("scalarized", &scalarized), ("fused+interchanged", &fused)];
+    let rows = par_map(&versions, |(name, p)| rank_program(name, p, n, &model));
     let table = render_table(
         &["version", "cache1 hit%", "cache2 hit%", "cycles"],
         &rows
@@ -149,10 +151,8 @@ pub fn fig7_cholesky(n: i64) -> (String, Vec<RankRow>) {
     let kij = kernels::cholesky_kij();
     let cost_table = cmt_locality::figures::cost_table(&kij, kij.nests()[0], &model);
 
-    let rows: Vec<RankRow> = kernels::cholesky_variants()
-        .iter()
-        .map(|(name, p)| rank_program(name, p, n, &model))
-        .collect();
+    let variants = kernels::cholesky_variants();
+    let rows: Vec<RankRow> = par_map(&variants, |(name, p)| rank_program(name, p, n, &model));
     let table = render_table(
         &["variant", "cache1 hit%", "cache2 hit%", "cycles"],
         &rows
@@ -183,11 +183,12 @@ pub fn table1_erlebacher(n: i64, stages: usize) -> (String, Vec<RankRow>) {
     let mut fused = distributed.clone();
     let report = compound(&mut fused, &model);
 
-    let rows = vec![
-        rank_program("Hand", &hand, n, &model),
-        rank_program("Distributed", &distributed, n, &model),
-        rank_program("Fused", &fused, n, &model),
+    let versions = [
+        ("Hand", &hand),
+        ("Distributed", &distributed),
+        ("Fused", &fused),
     ];
+    let rows = par_map(&versions, |(name, p)| rank_program(name, p, n, &model));
     let table = render_table(
         &["version", "cache1 hit%", "cache2 hit%", "cycles"],
         &rows
@@ -227,17 +228,17 @@ pub struct Table2Row {
 /// Table 2: memory-order statistics over the whole 35-model suite.
 pub fn table2() -> (String, Vec<Table2Row>) {
     let model = CostModel::new(4);
-    let mut rows = Vec::new();
-    for m in suite() {
+    let models = suite();
+    let rows: Vec<Table2Row> = par_map(&models, |m| {
         let mut p = m.optimized.clone();
         let report = compound(&mut p, &model);
-        rows.push(Table2Row {
+        Table2Row {
             name: m.spec.name,
             group: m.spec.group.label(),
             report,
             lines: m.spec.lines,
-        });
-    }
+        }
+    });
     let mut out_rows = Vec::new();
     let mut last_group = "";
     for r in &rows {
@@ -324,21 +325,21 @@ pub fn table3(n: i64) -> (String, Vec<Table3Row>) {
     ];
     let model = CostModel::new(4);
     let cyc = CycleModel::default();
-    let mut rows = Vec::new();
-    for m in suite() {
-        if !names.contains(&m.spec.name) {
-            continue;
-        }
-        let pair = simulate_versions(&m, &model, n);
+    let models: Vec<_> = suite()
+        .into_iter()
+        .filter(|m| names.contains(&m.spec.name))
+        .collect();
+    let mut rows = par_map(&models, |m| {
+        let pair = simulate_versions(m, &model, n);
         let original = cyc.cycles(&pair.whole_orig.cache1);
         let transformed = cyc.cycles(&pair.whole_final.cache1);
-        rows.push(Table3Row {
+        Table3Row {
             name: m.spec.name.to_string(),
             original,
             transformed,
             speedup: original as f64 / transformed.max(1) as f64,
-        });
-    }
+        }
+    });
     // The gmtry kernel row (dnasa7's headline 8.68× speedup in the paper).
     {
         let p = kernels::gmtry_rowwise();
@@ -391,14 +392,14 @@ pub struct Table4Row {
 /// model's configured size when given.
 pub fn table4(n_override: Option<i64>) -> (String, Vec<Table4Row>) {
     let model = CostModel::new(4);
-    let mut rows = Vec::new();
-    for m in suite() {
-        if m.spec.mix.total_nests() == 0 {
-            continue; // `buk` has no loops to transform or simulate.
-        }
+    let models: Vec<_> = suite()
+        .into_iter()
+        .filter(|m| m.spec.mix.total_nests() > 0) // `buk` has no loops to transform or simulate.
+        .collect();
+    let rows: Vec<Table4Row> = par_map(&models, |m| {
         let n = n_override.unwrap_or(m.spec.sim_n);
-        let pair = simulate_versions(&m, &model, n);
-        rows.push(Table4Row {
+        let pair = simulate_versions(m, &model, n);
+        Table4Row {
             name: m.spec.name.to_string(),
             opt: [
                 pair.opt_orig.cache1.hit_rate_excluding_cold(),
@@ -412,8 +413,8 @@ pub fn table4(n_override: Option<i64>) -> (String, Vec<Table4Row>) {
                 pair.whole_orig.cache2.hit_rate_excluding_cold(),
                 pair.whole_final.cache2.hit_rate_excluding_cold(),
             ],
-        });
-    }
+        }
+    });
     let table = render_table(
         &[
             "program",
@@ -468,21 +469,35 @@ pub fn table5() -> (String, Vec<Table5Row>) {
         LocalityStats::default(),
         LocalityStats::default(),
     ];
-    for m in suite() {
+    let models = suite();
+    let per_model: Vec<(&'static str, [LocalityStats; 3])> = par_map(&models, |m| {
         let original = m.optimized.clone();
         let mut fin = m.optimized.clone();
         let _ = compound(&mut fin, &model);
         let mut ideal = m.optimized.clone();
         let _ = force_memory_order(&mut ideal, &model);
-        let versions = [("original", &original), ("final", &fin), ("ideal", &ideal)];
-        for (k, (label, p)) in versions.iter().enumerate() {
-            let stats = locality_stats(p, &model);
-            all[k].merge(&stats);
-            if highlight.contains(&m.spec.name) {
+        (
+            m.spec.name,
+            [
+                locality_stats(&original, &model),
+                locality_stats(&fin, &model),
+                locality_stats(&ideal, &model),
+            ],
+        )
+    });
+    // Aggregate sequentially in suite order so float sums are stable.
+    for (name, stats3) in &per_model {
+        for (k, (label, stats)) in ["original", "final", "ideal"]
+            .iter()
+            .zip(stats3)
+            .enumerate()
+        {
+            all[k].merge(stats);
+            if highlight.contains(name) {
                 rows.push(Table5Row {
-                    name: m.spec.name.to_string(),
+                    name: name.to_string(),
                     version: label,
-                    stats,
+                    stats: stats.clone(),
                 });
             }
         }
@@ -622,14 +637,17 @@ pub fn ablation() -> (String, Vec<AblationRow>) {
     let models: Vec<BenchmarkModel> = suite();
     let mut rows = Vec::new();
     for (name, opts) in &variants {
+        let reports = par_map(&models, |m| {
+            let mut p = m.optimized.clone();
+            compound_with(&mut p, &model, opts)
+        });
+        // Fold sequentially in suite order for stable float sums.
         let mut ratio_sum = 0.0;
         let mut count = 0usize;
         let mut permuted = 0usize;
         let mut fused = 0usize;
         let mut distributed = 0usize;
-        for m in &models {
-            let mut p = m.optimized.clone();
-            let r = compound_with(&mut p, &model, opts);
+        for r in &reports {
             if r.nests_total > 0 {
                 ratio_sum += r.loopcost_ratio_final;
                 count += 1;

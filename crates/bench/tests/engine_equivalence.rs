@@ -1,0 +1,183 @@
+//! End-to-end equivalence of the batched flat engine against the
+//! seed-shaped scalar path, over the full cmt-suite corpus.
+//!
+//! Three properties are pinned here, beyond the per-crate unit tests:
+//!
+//! * whole-trace `CacheStats` from [`LegacyCache`] (the seed's
+//!   `Vec<Vec<_>>` + `HashSet` simulator, one scalar call per access)
+//!   and from the flat engine fed 4 K packed batches are **exactly
+//!   equal** for every suite model and paper cache geometry;
+//! * the observability layer (per-array attribution, interval
+//!   snapshots) reports identical results whether the trace arrives
+//!   scalar or batched;
+//! * rendered table output is byte-identical for any `CMT_JOBS`.
+
+use cmt_bench::par_map;
+use cmt_cache::{Cache, CacheConfig, LegacyCache, ObservedCache};
+use cmt_interp::{Machine, RecordingSink};
+use cmt_ir::ids::ArrayId;
+use cmt_ir::program::Program;
+use std::sync::Mutex;
+
+/// Serializes tests that read or write `CMT_JOBS`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `program` once, recording the full trace.
+fn record(program: &Program, n: i64) -> RecordingSink {
+    let mut m = Machine::new(program, &[n]).expect("allocation");
+    let mut rec = RecordingSink::default();
+    m.run(program, &mut rec).expect("execution");
+    rec
+}
+
+const GEOMETRIES: [fn() -> CacheConfig; 3] = [
+    CacheConfig::rs6000,
+    CacheConfig::i860,
+    CacheConfig::decstation,
+];
+
+#[test]
+fn corpus_stats_identical_legacy_vs_batched() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let models = cmt_suite::suite();
+    let failures: Vec<String> = par_map(&models, |m| {
+        let rec = record(&m.optimized, 24);
+        let mut out = Vec::new();
+        for cfg in GEOMETRIES.map(|c| c()) {
+            let mut legacy = LegacyCache::new(cfg);
+            for &(a, w) in &rec.trace {
+                legacy.access(a, w);
+            }
+            let mut batched = Cache::new(cfg);
+            rec.replay_batched(&mut batched);
+            if legacy.stats() != batched.stats() {
+                out.push(format!(
+                    "{}/{cfg}: legacy={:?} batched={:?}",
+                    m.spec.name,
+                    legacy.stats(),
+                    batched.stats()
+                ));
+            }
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "stats diverged:\n{failures:#?}");
+}
+
+#[test]
+fn observed_attribution_identical_scalar_vs_batched() {
+    let interval = 5_000u64;
+    let n = 24;
+    for m in cmt_suite::suite()
+        .iter()
+        .filter(|m| m.spec.mix.total_nests() > 0)
+        .take(4)
+    {
+        let p = &m.optimized;
+        // Batched path: the real pipeline (interpreter buffers 4 K
+        // packed accesses per sink call).
+        let obs = cmt_bench::simulate_program_observed(p, n, interval);
+
+        // Scalar reference: same trace, one access() call per element,
+        // into an identically configured ObservedCache.
+        let mut layout = Machine::new(p, &[n]).expect("allocation");
+        let rec = record(p, n);
+        for (which, cfg, batched) in [
+            ("cache1", CacheConfig::rs6000(), &obs.cache1),
+            ("cache2", CacheConfig::i860(), &obs.cache2),
+        ] {
+            let mut reference = ObservedCache::new(Cache::new(cfg), interval);
+            for (k, info) in p.arrays().iter().enumerate() {
+                let id = ArrayId(k as u32);
+                let start = layout.storage(id).address_of(0);
+                let bytes = layout.array_data(id).len() as u64 * 8;
+                reference.register_region(info.name(), start, bytes);
+            }
+            for &(a, w) in &rec.trace {
+                reference.access(a, w);
+            }
+            reference.flush_window();
+
+            let name = &m.spec.name;
+            assert_eq!(
+                reference.stats(),
+                batched.stats(),
+                "{name}/{which}: whole-trace stats"
+            );
+            let ref_arrays: Vec<_> = reference
+                .per_array()
+                .map(|(n, s)| (n.to_string(), *s))
+                .collect();
+            let bat_arrays: Vec<_> = batched
+                .per_array()
+                .map(|(n, s)| (n.to_string(), *s))
+                .collect();
+            assert_eq!(
+                ref_arrays, bat_arrays,
+                "{name}/{which}: per-array attribution"
+            );
+            assert_eq!(
+                reference.unattributed(),
+                batched.unattributed(),
+                "{name}/{which}: unattributed stats"
+            );
+            assert_eq!(
+                reference.snapshots(),
+                batched.snapshots(),
+                "{name}/{which}: interval snapshots"
+            );
+        }
+    }
+}
+
+#[test]
+fn reset_stats_keeps_cold_history_clear_forgets() {
+    // i860 geometry: 32 B lines, 128 sets, 2-way. Addresses 0, 4096 and
+    // 8192 all map to set 0, so two of them evict the first.
+    let evicters = [4096u64, 8192];
+
+    let mut c = Cache::new(CacheConfig::i860());
+    c.access(0, false); // cold miss
+    c.reset_stats();
+    c.access(0, false); // contents survive reset_stats: a hit
+    assert_eq!(c.stats().hits, 1, "reset_stats must keep cache contents");
+    for a in evicters {
+        c.access(a, false); // each a cold miss of its own line
+    }
+    let cold_before = c.stats().cold_misses;
+    assert!(!c.access(0, false), "line 0 must have been evicted");
+    assert_eq!(
+        c.stats().cold_misses,
+        cold_before,
+        "reset_stats must keep cold-line history: the re-touch of line 0 \
+         is a capacity miss, not a cold one"
+    );
+
+    let mut d = Cache::new(CacheConfig::i860());
+    d.access(0, false);
+    d.clear();
+    d.access(0, false); // clear forgets everything: cold again
+    assert_eq!(d.stats().accesses, 1, "clear must zero the stats");
+    assert_eq!(
+        d.stats().cold_misses,
+        1,
+        "clear must forget cold-line history"
+    );
+}
+
+#[test]
+fn table_output_byte_identical_for_any_job_count() {
+    let _env = ENV_LOCK.lock().unwrap();
+    std::env::set_var("CMT_JOBS", "1");
+    let (sequential, _) = cmt_bench::tables::table4(Some(24));
+    std::env::set_var("CMT_JOBS", "4");
+    let (parallel, _) = cmt_bench::tables::table4(Some(24));
+    std::env::remove_var("CMT_JOBS");
+    assert_eq!(
+        sequential, parallel,
+        "table4 output must not depend on CMT_JOBS"
+    );
+}

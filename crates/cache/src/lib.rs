@@ -29,7 +29,9 @@
 
 pub mod config;
 pub mod cycle;
+pub mod fast;
 pub mod hierarchy;
+pub mod legacy;
 pub mod observe;
 pub mod reuse;
 pub mod sim;
@@ -38,7 +40,9 @@ pub mod tlb;
 
 pub use config::CacheConfig;
 pub use cycle::CycleModel;
+pub use fast::{pack_access, unpack_access, ColdMap, WRITE_BIT};
 pub use hierarchy::{Hierarchy, HierarchyLatency};
+pub use legacy::LegacyCache;
 pub use observe::{ArrayRegion, IntervalSnapshot, ObservedCache};
 pub use reuse::ReuseDistance;
 pub use sim::{Cache, MultiCache};

@@ -8,6 +8,7 @@
 //! phase changes (e.g. the cold ramp versus the steady state) are visible
 //! in the exported metrics.
 
+use crate::fast::unpack_access;
 use crate::sim::Cache;
 use crate::stats::CacheStats;
 use cmt_obs::MetricsRegistry;
@@ -70,6 +71,9 @@ pub struct ObservedCache {
     interval: u64,
     window: IntervalSnapshot,
     snapshots: Vec<IntervalSnapshot>,
+    /// Memoized region slot of the previous attributed access. Traces
+    /// are bursty per array, so this usually skips the binary search.
+    last_slot: usize,
 }
 
 impl ObservedCache {
@@ -88,11 +92,15 @@ impl ObservedCache {
                 misses: 0,
             },
             snapshots: Vec::new(),
+            last_slot: usize::MAX,
         }
     }
 
     /// Registers an array's byte range for attribution. Regions must not
-    /// overlap; insertion keeps them sorted by start address.
+    /// overlap; insertion keeps them sorted by start address. The range
+    /// is also reserved in the wrapped cache's cold-line bitmap (see
+    /// [`Cache::reserve_region`]), so cold classification of arena
+    /// accesses is dense.
     pub fn register_region(&mut self, name: impl Into<String>, start: u64, len: u64) {
         let region = ArrayRegion {
             name: name.into(),
@@ -102,6 +110,8 @@ impl ObservedCache {
         let pos = self.regions.partition_point(|r| r.start < region.start);
         self.regions.insert(pos, region);
         self.per_array.insert(pos, CacheStats::default());
+        self.last_slot = usize::MAX;
+        self.cache.reserve_region(start, len);
     }
 
     /// Simulates one access, attributing it to the containing region.
@@ -111,7 +121,14 @@ impl ObservedCache {
         let hit = self.cache.access(addr, is_write);
         let cold = self.cache.stats().cold_misses > cold_before;
 
-        if let Some(slot) = self.region_index(addr) {
+        let slot =
+            if self.last_slot < self.regions.len() && self.regions[self.last_slot].contains(addr) {
+                Some(self.last_slot)
+            } else {
+                self.region_index(addr)
+            };
+        if let Some(slot) = slot {
+            self.last_slot = slot;
             let s = &mut self.per_array[slot];
             s.accesses += 1;
             if hit {
@@ -144,6 +161,16 @@ impl ObservedCache {
             }
         }
         hit
+    }
+
+    /// Simulates a packed batch (see [`crate::fast::pack_access`]) in
+    /// order, with per-access attribution and windowing identical to
+    /// calling [`ObservedCache::access`] per element.
+    pub fn access_batch(&mut self, batch: &[u64]) {
+        for &p in batch {
+            let (addr, w) = unpack_access(p);
+            self.access(addr, w);
+        }
     }
 
     fn region_index(&self, addr: u64) -> Option<usize> {

@@ -1,7 +1,7 @@
 //! The interpreter proper.
 
 use crate::machine::Machine;
-use crate::sink::TraceSink;
+use crate::sink::{pack_access, TraceSink, BATCH_LEN};
 use cmt_ir::expr::Expr;
 use cmt_ir::node::{Loop, Node};
 use cmt_ir::program::Program;
@@ -68,16 +68,22 @@ struct Exec<'m, 's> {
     sink: &'s mut dyn TraceSink,
     summary: ExecSummary,
     program: &'m Program,
+    /// Packed-access buffer; flushed through [`TraceSink::access_batch`]
+    /// when full, so the virtual dispatch to the sink is paid once per
+    /// [`BATCH_LEN`] accesses instead of once per access.
+    buf: Vec<u64>,
 }
 
 impl Machine {
     /// Executes `program` against this machine's arrays, emitting every
-    /// access to `sink`.
+    /// access to `sink` (batched — see [`TraceSink::access_batch`]).
     ///
     /// # Errors
     ///
     /// Returns [`ExecError`] on unbound symbols or out-of-bounds
-    /// subscripts; array contents up to the failure point are retained.
+    /// subscripts; array contents up to the failure point are retained,
+    /// and accesses performed before the failure are still flushed to
+    /// the sink.
     pub fn run(
         &mut self,
         program: &Program,
@@ -88,15 +94,36 @@ impl Machine {
             sink,
             summary: ExecSummary::default(),
             program,
+            buf: Vec::with_capacity(BATCH_LEN),
         };
+        let mut result = Ok(());
         for n in program.body() {
-            exec.node(n)?;
+            if let Err(e) = exec.node(n) {
+                result = Err(e);
+                break;
+            }
         }
-        Ok(exec.summary)
+        exec.flush();
+        result.map(|()| exec.summary)
     }
 }
 
 impl Exec<'_, '_> {
+    #[inline]
+    fn emit(&mut self, addr: u64, is_write: bool) {
+        self.buf.push(pack_access(addr, is_write));
+        if self.buf.len() == BATCH_LEN {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.sink.access_batch(&self.buf);
+            self.buf.clear();
+        }
+    }
+
     fn node(&mut self, n: &Node) -> Result<(), ExecError> {
         match n {
             Node::Stmt(s) => self.stmt(s),
@@ -138,7 +165,7 @@ impl Exec<'_, '_> {
         let value = self.eval(s.rhs())?;
         let (addr, idx) = self.locate(s.lhs())?;
         self.machine.storage_mut(s.lhs().array()).data[idx] = value;
-        self.sink.access(addr, true);
+        self.emit(addr, true);
         self.summary.stores += 1;
         self.summary.stmt_executions += 1;
         Ok(())
@@ -209,7 +236,7 @@ impl Exec<'_, '_> {
             Expr::Load(r) => {
                 let (addr, idx) = self.locate(r)?;
                 let v = self.machine.storage(r.array()).data[idx];
-                self.sink.access(addr, false);
+                self.emit(addr, false);
                 self.summary.loads += 1;
                 Ok(v)
             }

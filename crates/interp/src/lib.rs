@@ -41,5 +41,8 @@ pub mod verify;
 
 pub use exec::{ExecError, ExecSummary};
 pub use machine::Machine;
-pub use sink::{CacheSink, CountingSink, MeteredSink, NullSink, RecordingSink, TeeSink, TraceSink};
+pub use sink::{
+    pack_access, unpack_access, CacheSink, CountingSink, MeteredSink, NullSink, RecordingSink,
+    TeeSink, TraceSink, BATCH_LEN, WRITE_BIT,
+};
 pub use verify::{assert_equivalent, equivalent, EquivalenceReport};

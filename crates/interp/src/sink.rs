@@ -1,7 +1,21 @@
 //! Trace sinks: consumers of the interpreter's memory accesses.
+//!
+//! The interpreter no longer performs one virtual call per access: it
+//! fills a fixed buffer of packed accesses (address plus write bit — see
+//! [`pack_access`]) and flushes it through [`TraceSink::access_batch`],
+//! amortizing the `dyn` dispatch ~[`BATCH_LEN`]× and letting cache sinks
+//! run a tight monomorphic simulation loop per buffer. Sinks that only
+//! implement [`TraceSink::access`] still observe every access in order
+//! via the default batch implementation.
 
 use cmt_cache::{Cache, MultiCache, ObservedCache};
 use cmt_obs::MetricsRegistry;
+
+pub use cmt_cache::fast::{pack_access, unpack_access, WRITE_BIT};
+
+/// Number of packed accesses the interpreter buffers between flushes
+/// (32 KB per buffer — comfortably L1-resident).
+pub const BATCH_LEN: usize = 4096;
 
 /// Receives every memory access the interpreter performs, in execution
 /// order.
@@ -9,6 +23,17 @@ pub trait TraceSink {
     /// One element access at byte address `addr`; `is_write` is true for
     /// stores.
     fn access(&mut self, addr: u64, is_write: bool);
+
+    /// A buffer of packed accesses (see [`pack_access`]), in execution
+    /// order. The default unpacks and forwards to [`TraceSink::access`],
+    /// so implementing `access` alone is always correct; sinks on the
+    /// hot path override this with a batch-granular implementation.
+    fn access_batch(&mut self, batch: &[u64]) {
+        for &p in batch {
+            let (addr, w) = unpack_access(p);
+            self.access(addr, w);
+        }
+    }
 }
 
 /// Discards the trace (pure execution / verification runs).
@@ -17,6 +42,8 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn access(&mut self, _addr: u64, _is_write: bool) {}
+
+    fn access_batch(&mut self, _batch: &[u64]) {}
 }
 
 /// Counts loads and stores.
@@ -36,11 +63,21 @@ impl TraceSink for CountingSink {
             self.loads += 1;
         }
     }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        let stores = batch.iter().filter(|&&p| p & WRITE_BIT != 0).count() as u64;
+        self.stores += stores;
+        self.loads += batch.len() as u64 - stores;
+    }
 }
 
 impl TraceSink for Cache {
     fn access(&mut self, addr: u64, is_write: bool) {
         let _ = Cache::access(self, addr, is_write);
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        Cache::access_batch(self, batch);
     }
 }
 
@@ -48,11 +85,19 @@ impl TraceSink for MultiCache {
     fn access(&mut self, addr: u64, is_write: bool) {
         MultiCache::access(self, addr, is_write);
     }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        MultiCache::access_batch(self, batch);
+    }
 }
 
 impl TraceSink for ObservedCache {
     fn access(&mut self, addr: u64, is_write: bool) {
         let _ = ObservedCache::access(self, addr, is_write);
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        ObservedCache::access_batch(self, batch);
     }
 }
 
@@ -60,6 +105,11 @@ impl TraceSink for ObservedCache {
 /// exportable into a [`MetricsRegistry`]. This is how a bench run answers
 /// "how many accesses did the interpreter actually issue" without a
 /// second pass over the trace.
+///
+/// Generic over the inner sink — no boxing, no per-access virtual call —
+/// so metering composes with the batched path for free: a batch is
+/// counted with one pass over the write bits and handed to the inner
+/// sink whole.
 #[derive(Clone, Debug, Default)]
 pub struct MeteredSink<S> {
     /// The wrapped sink.
@@ -102,6 +152,13 @@ impl<S: TraceSink> TraceSink for MeteredSink<S> {
         }
         self.inner.access(addr, is_write);
     }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        let stores = batch.iter().filter(|&&p| p & WRITE_BIT != 0).count() as u64;
+        self.stores += stores;
+        self.loads += batch.len() as u64 - stores;
+        self.inner.access_batch(batch);
+    }
 }
 
 /// Borrows a cache (or any sink) mutably — convenient when the sink must
@@ -112,6 +169,10 @@ pub struct CacheSink<'a, S: TraceSink>(pub &'a mut S);
 impl<S: TraceSink> TraceSink for CacheSink<'_, S> {
     fn access(&mut self, addr: u64, is_write: bool) {
         self.0.access(addr, is_write);
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        self.0.access_batch(batch);
     }
 }
 
@@ -127,13 +188,31 @@ impl TraceSink for RecordingSink {
     fn access(&mut self, addr: u64, is_write: bool) {
         self.trace.push((addr, is_write));
     }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        self.trace.extend(batch.iter().map(|&p| unpack_access(p)));
+    }
 }
 
 impl RecordingSink {
-    /// Replays the recorded trace into another sink.
+    /// Replays the recorded trace into another sink, one scalar
+    /// [`TraceSink::access`] call per element — the reference path
+    /// equivalence tests compare the batched engine against.
     pub fn replay(&self, sink: &mut impl TraceSink) {
         for &(addr, w) in &self.trace {
             sink.access(addr, w);
+        }
+    }
+
+    /// Replays the recorded trace through [`TraceSink::access_batch`] in
+    /// [`BATCH_LEN`]-sized buffers — the same shape the interpreter
+    /// produces.
+    pub fn replay_batched(&self, sink: &mut impl TraceSink) {
+        let mut buf = Vec::with_capacity(BATCH_LEN.min(self.trace.len()));
+        for chunk in self.trace.chunks(BATCH_LEN) {
+            buf.clear();
+            buf.extend(chunk.iter().map(|&(a, w)| pack_access(a, w)));
+            sink.access_batch(&buf);
         }
     }
 }
@@ -146,6 +225,11 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn access(&mut self, addr: u64, is_write: bool) {
         self.0.access(addr, is_write);
         self.1.access(addr, is_write);
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        self.0.access_batch(batch);
+        self.1.access_batch(batch);
     }
 }
 
@@ -165,6 +249,21 @@ mod tests {
     }
 
     #[test]
+    fn counting_sink_batch_matches_scalar() {
+        let batch: Vec<u64> = (0..1000u64)
+            .map(|k| pack_access(k * 8, k % 3 == 0))
+            .collect();
+        let mut scalar = CountingSink::default();
+        for &p in &batch {
+            let (a, w) = unpack_access(p);
+            scalar.access(a, w);
+        }
+        let mut batched = CountingSink::default();
+        batched.access_batch(&batch);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
     fn recording_and_replay() {
         let mut rec = RecordingSink::default();
         rec.access(0, false);
@@ -176,12 +275,45 @@ mod tests {
     }
 
     #[test]
+    fn batched_replay_matches_scalar_replay() {
+        let mut rec = RecordingSink::default();
+        for k in 0..10_000u64 {
+            rec.access((k * 56) % (1 << 16), k % 4 == 0);
+        }
+        let mut a = Cache::new(CacheConfig::i860());
+        let mut b = Cache::new(CacheConfig::i860());
+        rec.replay(&mut a);
+        rec.replay_batched(&mut b);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn default_batch_preserves_order() {
+        // A sink that only implements `access` sees batch elements in
+        // execution order.
+        struct Orders(Vec<(u64, bool)>);
+        impl TraceSink for Orders {
+            fn access(&mut self, addr: u64, w: bool) {
+                self.0.push((addr, w));
+            }
+        }
+        let mut s = Orders(Vec::new());
+        s.access_batch(&[
+            pack_access(8, false),
+            pack_access(16, true),
+            pack_access(0, false),
+        ]);
+        assert_eq!(s.0, vec![(8, false), (16, true), (0, false)]);
+    }
+
+    #[test]
     fn tee_feeds_both() {
         let mut tee = TeeSink(CountingSink::default(), RecordingSink::default());
         tee.access(16, false);
         tee.access(24, true);
-        assert_eq!(tee.0.loads + tee.0.stores, 2);
-        assert_eq!(tee.1.trace.len(), 2);
+        tee.access_batch(&[pack_access(32, false)]);
+        assert_eq!(tee.0.loads + tee.0.stores, 3);
+        assert_eq!(tee.1.trace.len(), 3);
     }
 
     #[test]
@@ -189,7 +321,7 @@ mod tests {
         let mut m = MeteredSink::new(RecordingSink::default());
         m.access(0, false);
         m.access(8, true);
-        m.access(16, false);
+        m.access_batch(&[pack_access(16, false)]);
         assert_eq!(m.loads, 2);
         assert_eq!(m.stores, 1);
         assert_eq!(m.accesses(), 3);

@@ -68,6 +68,17 @@ impl CollectSink {
         Self::default()
     }
 
+    /// Folds another collector into this one: remarks are appended in
+    /// `other`'s emission order, metrics are merged. This is how the
+    /// parallel corpus runner keeps artifact streams deterministic —
+    /// each worker collects into its own sink and the caller absorbs
+    /// them in item order, so the combined stream is byte-identical to a
+    /// sequential run.
+    pub fn absorb(&mut self, other: CollectSink) {
+        self.remarks.extend(other.remarks);
+        self.metrics.merge(&other.metrics);
+    }
+
     /// Renders all collected remarks as JSONL (one object per line,
     /// trailing newline included when non-empty).
     pub fn remarks_jsonl(&self) -> String {
@@ -182,6 +193,22 @@ mod tests {
         let jsonl = s.remarks_jsonl();
         assert!(jsonl.ends_with('\n'));
         assert_eq!(jsonl.lines().count(), 1);
+    }
+
+    #[test]
+    fn absorb_preserves_order_and_merges_metrics() {
+        let mut total = CollectSink::new();
+        total.remark(Remark::new("permute", "n0", RemarkKind::Applied));
+        total.counter("c", 1);
+        let mut part = CollectSink::new();
+        part.remark(Remark::new("fuse", "n1", RemarkKind::Missed));
+        part.counter("c", 2);
+        part.record("h", 1.5);
+        total.absorb(part);
+        assert_eq!(total.remarks.len(), 2);
+        assert_eq!(total.remarks[1].pass, "fuse");
+        assert_eq!(total.metrics.counter_value("c"), 3);
+        assert_eq!(total.metrics.histogram("h").unwrap().count, 1);
     }
 
     #[test]

@@ -14,6 +14,16 @@ cargo test -q --release --workspace
 echo ">>> cargo fmt --check"
 cargo fmt --all --check
 
+echo ">>> smoke-perf (cache_sim equivalence + determinism gates)"
+# Quick-mode bench: fails on an engine-equivalence or CMT_JOBS
+# determinism mismatch (non-zero exit), never on timing. The JSON goes
+# to a temp dir so the committed BENCH_cache_sim.json stays untouched.
+PERF_DIR=$(mktemp -d)
+CMT_JOBS=2 CMT_BENCH_QUICK=1 CMT_BENCH_JSON="$PERF_DIR/cache_sim.json" \
+  cargo bench -q -p cmt-bench --bench cache_sim
+test -s "$PERF_DIR/cache_sim.json" || { echo "missing bench baseline JSON" >&2; exit 1; }
+rm -rf "$PERF_DIR"
+
 echo ">>> observability smoke (fig2_matmul artifacts)"
 SMOKE_DIR=$(mktemp -d)
 CMT_OBS_DIR="$SMOKE_DIR" cargo run --release -q -p cmt-bench --bin fig2_matmul 64 > /dev/null
