@@ -14,6 +14,8 @@ use cmt_ir::parse::parse_program;
 use cmt_ir::pretty::program_to_source;
 use cmt_locality::compound::{compound_with, CompoundOptions};
 use cmt_locality::model::CostModel;
+use cmt_obs::NullObs;
+use cmt_verify::{verify_compound, VerifyOptions};
 use std::process::ExitCode;
 
 struct Args {
@@ -107,7 +109,29 @@ fn main() -> ExitCode {
 
     let model = CostModel::new(args.cls);
     let mut optimized = original.clone();
-    let report = compound_with(&mut optimized, &model, &args.opts);
+    // With --verify, every applied step is differentially checked as it
+    // happens (array state, store/read sets, permutation legality), so
+    // a divergence is pinned to the pass that introduced it; the
+    // end-to-end equivalence run below stays as a second layer.
+    let report = if let Some(n) = args.verify {
+        let vopts = VerifyOptions {
+            param_values: vec![n],
+            check_legality: true,
+        };
+        let (report, verdict) =
+            verify_compound(&mut optimized, &model, &args.opts, &vopts, &mut NullObs);
+        if let Some(div) = verdict.divergences.first() {
+            eprintln!("memoria: STEP VERIFICATION FAILED: {div}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "memoria: {} transformation step(s) differentially verified at N = {n}",
+            verdict.steps_checked
+        );
+        report
+    } else {
+        compound_with(&mut optimized, &model, &args.opts)
+    };
 
     if let Some(n) = args.verify {
         match equivalent(&original, &optimized, &[n]) {

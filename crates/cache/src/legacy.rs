@@ -113,6 +113,19 @@ impl LegacyCache {
         self.seen.clear();
         self.tick = 0;
         self.stats = CacheStats::default();
+        debug_assert!(
+            self.is_cold_start(),
+            "LegacyCache::clear left residual state"
+        );
+    }
+
+    /// `true` when no lines are resident and no touch history remains —
+    /// same contract as [`crate::Cache::is_cold_start`].
+    pub fn is_cold_start(&self) -> bool {
+        self.tick == 0
+            && self.stats == CacheStats::default()
+            && self.seen.is_empty()
+            && self.sets.iter().all(Vec::is_empty)
     }
 
     /// Number of lines currently resident.

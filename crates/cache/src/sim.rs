@@ -284,6 +284,23 @@ impl Cache {
         self.tick = 0;
         self.cold.clear();
         self.stats = CacheStats::default();
+        debug_assert!(
+            self.is_cold_start(),
+            "Cache::clear left residual state: a later run would misclassify cold misses"
+        );
+    }
+
+    /// `true` when the cache holds no lines, no statistics, and no
+    /// cold-line history — the state a fresh differential or verifier
+    /// run must start from. Callers that recycle a cache across runs
+    /// should assert this after [`Cache::clear`]; a cache that has only
+    /// seen [`Cache::reset_stats`] still carries touch history and
+    /// reports `false`.
+    pub fn is_cold_start(&self) -> bool {
+        self.tick == 0
+            && self.stats == CacheStats::default()
+            && self.cold.is_empty()
+            && self.tags.iter().all(|&t| t == EMPTY)
     }
 
     /// Number of lines currently resident.
@@ -401,6 +418,32 @@ mod tests {
         c.clear();
         assert!(!c.access(0, false));
         assert_eq!(c.stats().cold_misses, 1, "history cleared too");
+    }
+
+    #[test]
+    fn cold_start_contract_covers_dense_and_sparse_history() {
+        let mut c = tiny();
+        assert!(c.is_cold_start());
+        // Dense history: addresses inside a registered region.
+        c.reserve_region(0, 4096);
+        c.access(0, false);
+        // Sparse history: an address far outside every region lands in
+        // the ColdMap overflow table — the bitmap a stale warm-start
+        // would silently reuse.
+        c.access(1 << 40, true);
+        assert!(!c.is_cold_start());
+        c.reset_stats();
+        assert!(
+            !c.is_cold_start(),
+            "reset_stats keeps contents and history, so this is NOT a cold start"
+        );
+        c.clear();
+        assert!(
+            c.is_cold_start(),
+            "clear must forget dense AND sparse history"
+        );
+        assert!(!c.access(1 << 40, false), "cold again after clear");
+        assert_eq!(c.stats().cold_misses, 1);
     }
 
     #[test]

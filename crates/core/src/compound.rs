@@ -10,6 +10,7 @@ use crate::distribute::distribute_nest;
 use crate::fuse::{fuse_adjacent_observed, fuse_all_inner};
 use crate::model::CostModel;
 use crate::permute::{permute_loop_in_place, permute_nest, PermuteFailure};
+use crate::provenance::{NullProvenance, ProvenanceSink, TransformStep};
 use crate::report::{
     ideal_cost, inner_loop_in_position, nest_in_memory_order, realized_cost, TransformReport,
 };
@@ -72,6 +73,22 @@ pub fn compound_observed(
     opts: &CompoundOptions,
     obs: &mut dyn ObsSink,
 ) -> TransformReport {
+    compound_traced(program, model, opts, obs, &mut NullProvenance)
+}
+
+/// [`compound_observed`] plus per-pass provenance: every step that
+/// rewrites the program (permutation, fusion-enabled permutation,
+/// distribution, cross-nest fusion) hands a before/after snapshot pair
+/// to `prov`. This is the hook the `cmt-verify` differential checker
+/// attaches to; with [`NullProvenance`] no snapshot is ever cloned and
+/// the function is exactly `compound_observed`.
+pub fn compound_traced(
+    program: &mut Program,
+    model: &CostModel,
+    opts: &CompoundOptions,
+    obs: &mut dyn ObsSink,
+    prov: &mut dyn ProvenanceSink,
+) -> TransformReport {
     const PASS: &str = "permute";
     let mut report = TransformReport::default();
     let mut ratio_final_sum = 0.0;
@@ -128,10 +145,24 @@ pub fn compound_observed(
         let mut span = 1usize;
         if !orig_mem {
             // Step 1: permutation.
+            let snap = prov.enabled().then(|| program.clone());
             let out = permute_nest(program, idx, model, opts.reversal);
             report.reversals += out.reversed.len();
             last_failure = out.failure;
             let mut achieved = out.memory_order;
+            if out.changed {
+                if let Some(before) = &snap {
+                    prov.step(
+                        &TransformStep {
+                            pass: PASS,
+                            nest_index: idx,
+                            reversed: &out.reversed,
+                        },
+                        before,
+                        program,
+                    );
+                }
+            }
             if obs.enabled() {
                 if achieved && out.changed {
                     let reason = if out.reversed.is_empty() {
@@ -162,8 +193,20 @@ pub fn compound_observed(
                         let (out2, rewritten) =
                             permute_loop_in_place(program, &fused, model, opts.reversal);
                         if out2.memory_order {
+                            let snap = prov.enabled().then(|| program.clone());
                             let new_root = rewritten.unwrap_or(fused);
                             program.body_mut()[idx] = Node::Loop(new_root);
+                            if let Some(before) = &snap {
+                                prov.step(
+                                    &TransformStep {
+                                        pass: "fuse-all",
+                                        nest_index: idx,
+                                        reversed: &out2.reversed,
+                                    },
+                                    before,
+                                    program,
+                                );
+                            }
                             report.reversals += out2.reversed.len();
                             report.fusion_enabled_permutation += 1;
                             achieved = true;
@@ -201,8 +244,20 @@ pub fn compound_observed(
 
             // Step 3: distribution.
             if !achieved && opts.distribution {
+                let snap = prov.enabled().then(|| program.clone());
                 match distribute_nest(program, idx, model, opts.reversal) {
                     Some(dist) => {
+                        if let Some(before) = &snap {
+                            prov.step(
+                                &TransformStep {
+                                    pass: "distribute",
+                                    nest_index: idx,
+                                    reversed: &[],
+                                },
+                                before,
+                                program,
+                            );
+                        }
                         report.distributions += 1;
                         report.nests_resulting += dist.resulting;
                         span = dist.top_level_span;
@@ -282,7 +337,21 @@ pub fn compound_observed(
 
     // Final pass: fuse adjacent nests for temporal locality.
     if opts.fusion {
+        let snap = prov.enabled().then(|| program.clone());
         let stats = fuse_adjacent_observed(program, model, obs);
+        if stats.fused > 0 {
+            if let Some(before) = &snap {
+                prov.step(
+                    &TransformStep {
+                        pass: "fuse",
+                        nest_index: 0,
+                        reversed: &[],
+                    },
+                    before,
+                    program,
+                );
+            }
+        }
         report.fusion_candidates = stats.candidates;
         report.nests_fused = stats.fused;
     }
@@ -477,6 +546,84 @@ mod tests {
         let report = compound_with(&mut p, &CostModel::new(4), &opts);
         assert_eq!(report.fusion_enabled_permutation, 0);
         assert_eq!(report.nests_fused, 0);
+    }
+
+    #[test]
+    fn provenance_captures_each_applied_step() {
+        use crate::provenance::CollectProvenance;
+        // Cholesky: distribution is the applied step.
+        let mut b = ProgramBuilder::new("chol");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("K", 1, n, |b| {
+            let k = b.var("K");
+            let akk = b.at(a, [k, k]);
+            let rhs = Expr::sqrt(Expr::load(b.at(a, [k, k])));
+            b.assign(akk, rhs);
+            b.loop_("I", Affine::var(k) + 1, n, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i, k]);
+                let rhs = Expr::load(b.at(a, [i, k])) / Expr::load(b.at(a, [k, k]));
+                b.assign(lhs, rhs);
+                b.loop_("J", Affine::var(k) + 1, i, |b| {
+                    let j = b.var("J");
+                    let lhs = b.at(a, [i, j]);
+                    let rhs = Expr::load(b.at(a, [i, j]))
+                        - Expr::load(b.at(a, [i, k])) * Expr::load(b.at(a, [j, k]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let mut p = b.finish();
+        let orig = p.clone();
+        let mut prov = CollectProvenance::default();
+        let _ = compound_traced(
+            &mut p,
+            &CostModel::new(4),
+            &CompoundOptions::default(),
+            &mut cmt_obs::NullObs,
+            &mut prov,
+        );
+        assert!(!prov.steps.is_empty());
+        assert_eq!(prov.steps[0].0, "distribute");
+        // The first snapshot pair brackets the rewrite: before is the
+        // original program, after differs.
+        assert_eq!(prov.steps[0].3, orig);
+        assert_ne!(prov.steps[0].4, prov.steps[0].3);
+        // Each step's after-state is the next step's before-state, and
+        // the last after-state is the final program.
+        for w in prov.steps.windows(2) {
+            assert_eq!(w[0].4, w[1].3);
+        }
+        assert_eq!(prov.steps.last().unwrap().4, p);
+    }
+
+    #[test]
+    fn null_provenance_changes_nothing() {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(c, [i, j]);
+                b.assign(lhs, Expr::load(b.at(a, [i, j])));
+            });
+        });
+        let p0 = b.finish();
+        let mut p1 = p0.clone();
+        let mut p2 = p0.clone();
+        let r1 = compound(&mut p1, &CostModel::new(4));
+        let r2 = compound_traced(
+            &mut p2,
+            &CostModel::new(4),
+            &CompoundOptions::default(),
+            &mut cmt_obs::NullObs,
+            &mut crate::provenance::NullProvenance,
+        );
+        assert_eq!(p1, p2);
+        assert_eq!(r1, r2);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`mod@compound`] — the driver combining all of the above (Figure 6);
 //! * [`exhaustive`] — the n!-evaluation baseline of prior work (§2),
 //!   kept for validation and compile-time comparison;
+//! * [`provenance`] — per-pass before/after snapshots of every applied
+//!   step, the hook the `cmt-verify` differential checker attaches to;
 //! * [`report`] — the statistics of the paper's Tables 2 and 5;
 //! * [`scalar`] — scalar replacement (the paper's step 3, extension);
 //! * [`skew`] — loop skewing (implemented-but-unused in the paper, §2);
@@ -46,11 +48,23 @@
 //!     });
 //! });
 //! let mut p = b.finish();
+//!
+//! // LoopCost: cache lines touched per candidate innermost loop. With a
+//! // 4-element line, J innermost streams both arrays (unit stride in
+//! // the column-major first subscript), so memory order is [I, J] — J
+//! // innermost, cheapest last.
+//! let model = CostModel::new(4);
+//! let costs = model.analyze(&p, p.nests()[0]);
+//! let ranking = costs.memory_order(); // most expensive loop outermost
+//! assert_eq!(ranking.len(), 2);
+//!
 //! let report = compound(&mut p, &CostModel::new(4));
 //! assert_eq!(report.nests_permuted, 1);
 //! let outer = p.nests()[0];
 //! assert_eq!(p.var_name(outer.var()), "J");
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod compound;
 pub mod cost;
@@ -61,6 +75,7 @@ pub mod fuse;
 pub mod model;
 pub mod pass;
 pub mod permute;
+pub mod provenance;
 pub mod report;
 pub mod scalar;
 pub mod skew;
@@ -68,7 +83,8 @@ pub mod tile;
 pub mod tiling;
 pub mod unroll;
 
-pub use compound::{compound, compound_observed, CompoundOptions};
+pub use compound::{compound, compound_observed, compound_traced, CompoundOptions};
 pub use cost::CostPoly;
 pub use model::{CostModel, LoopCostEntry, NestCosts, SelfReuse};
+pub use provenance::{CollectProvenance, NullProvenance, ProvenanceSink, TransformStep};
 pub use report::TransformReport;

@@ -1,0 +1,127 @@
+//! Per-pass provenance: before/after program snapshots of every applied
+//! transformation step.
+//!
+//! The compound driver rewrites the program in place, pass by pass. A
+//! [`ProvenanceSink`] observes each *applied* step with the full program
+//! state before and after the rewrite, which is exactly what a
+//! differential correctness checker needs: the `cmt-verify` crate
+//! implements this trait to execute both snapshots through the
+//! interpreter and compare final array state, store sets, and read sets
+//! after every individual step — not just end-to-end — so a divergence
+//! is pinned to the pass that introduced it.
+//!
+//! Like [`cmt_obs::ObsSink`], the trait is designed so a disabled sink
+//! costs one branch per step: producers must guard snapshot cloning
+//! behind [`ProvenanceSink::enabled`], and [`NullProvenance`] keeps the
+//! optimizer byte-identical to the un-instrumented build.
+
+use cmt_ir::ids::LoopId;
+use cmt_ir::program::Program;
+
+/// A record of one applied transformation step.
+#[derive(Clone, Debug)]
+pub struct TransformStep<'a> {
+    /// The pass that rewrote the program: `"permute"`, `"fuse-all"`,
+    /// `"distribute"`, or `"fuse"` (the final cross-nest fusion pass).
+    pub pass: &'static str,
+    /// Index of the rewritten top-level nest in the *before* snapshot's
+    /// body. The cross-nest fusion pass reports `0` and snapshots the
+    /// whole program.
+    pub nest_index: usize,
+    /// Loops that were reversed to legalize a permutation (empty for
+    /// passes other than `"permute"`/`"fuse-all"`).
+    pub reversed: &'a [LoopId],
+}
+
+/// Observer of applied transformation steps.
+///
+/// All methods have defaults so a sink can implement only what it needs;
+/// `enabled()` defaults to `false` and gates the (expensive) program
+/// snapshots the compound driver takes on the sink's behalf.
+pub trait ProvenanceSink {
+    /// Whether this sink wants steps at all. When `false`, the driver
+    /// skips snapshot cloning entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Delivers one applied step with program snapshots from immediately
+    /// before and immediately after the rewrite.
+    fn step(&mut self, step: &TransformStep<'_>, before: &Program, after: &Program) {
+        let _ = (step, before, after);
+    }
+}
+
+/// The do-nothing provenance sink: `enabled()` is `false`, so the
+/// compound driver never clones a snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullProvenance;
+
+impl ProvenanceSink for NullProvenance {}
+
+/// Collects every step's snapshots in memory — for tests and for
+/// offline analysis of a transformation trace.
+#[derive(Clone, Debug, Default)]
+pub struct CollectProvenance {
+    /// `(pass, nest_index, reversed, before, after)` per applied step,
+    /// in application order.
+    pub steps: Vec<(&'static str, usize, Vec<LoopId>, Program, Program)>,
+}
+
+impl ProvenanceSink for CollectProvenance {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn step(&mut self, step: &TransformStep<'_>, before: &Program, after: &Program) {
+        self.steps.push((
+            step.pass,
+            step.nest_index,
+            step.reversed.to_vec(),
+            before.clone(),
+            after.clone(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_accepts_steps() {
+        let mut s = NullProvenance;
+        assert!(!ProvenanceSink::enabled(&s));
+        let p = Program::new("t");
+        s.step(
+            &TransformStep {
+                pass: "permute",
+                nest_index: 0,
+                reversed: &[],
+            },
+            &p,
+            &p,
+        );
+    }
+
+    #[test]
+    fn collector_records_in_order() {
+        let mut s = CollectProvenance::default();
+        assert!(ProvenanceSink::enabled(&s));
+        let p = Program::new("t");
+        for pass in ["permute", "fuse"] {
+            s.step(
+                &TransformStep {
+                    pass,
+                    nest_index: 1,
+                    reversed: &[],
+                },
+                &p,
+                &p,
+            );
+        }
+        assert_eq!(s.steps.len(), 2);
+        assert_eq!(s.steps[0].0, "permute");
+        assert_eq!(s.steps[1].0, "fuse");
+    }
+}

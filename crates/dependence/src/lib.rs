@@ -36,6 +36,21 @@
 //! let g = analyze_nest(&p, p.nests()[0]);
 //! assert!(g.deps().iter().any(|d| d.vector.carried_level() == Some(0)));
 //! ```
+//!
+//! Direction vectors decide permutation legality directly: a
+//! permutation is legal iff every permuted vector stays
+//! lexicographically non-negative.
+//!
+//! ```
+//! use cmt_dependence::{DepElem, DepVector};
+//!
+//! // A(I,J) = A(I-1,J+1): dependence vector (1, -1).
+//! let v = DepVector::new(vec![DepElem::Dist(1), DepElem::Dist(-1)]);
+//! assert!(v.is_lex_nonnegative());                  // original order: legal
+//! assert!(!v.permuted(&[1, 0]).is_lex_nonnegative()); // interchange: illegal
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod dot;
 pub mod graph;

@@ -36,6 +36,8 @@
 //! assert_eq!(program.nests().len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod affine;
 pub mod array;
 pub mod build;

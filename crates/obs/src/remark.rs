@@ -16,6 +16,13 @@ pub enum RemarkKind {
     Missed,
     /// Neutral analysis information (`-Rpass-analysis`).
     Analysis,
+    /// A differential correctness check passed: the step's before/after
+    /// programs were executed and proven equivalent (emitted by the
+    /// `cmt-verify` crate).
+    Verified,
+    /// A differential correctness check FAILED: the transformed program
+    /// diverged from the original. Always a bug in a transformation.
+    Diverged,
 }
 
 impl RemarkKind {
@@ -25,6 +32,8 @@ impl RemarkKind {
             RemarkKind::Applied => "Applied",
             RemarkKind::Missed => "Missed",
             RemarkKind::Analysis => "Analysis",
+            RemarkKind::Verified => "Verified",
+            RemarkKind::Diverged => "Diverged",
         }
     }
 }
@@ -133,6 +142,15 @@ mod tests {
         assert!(j.contains("\"kind\":\"Missed\""));
         assert!(j.contains("\"loopcost_before\":1.5"));
         assert!(!j.contains("loopcost_after"));
+    }
+
+    #[test]
+    fn verifier_kinds_round_trip() {
+        assert_eq!(RemarkKind::Verified.as_str(), "Verified");
+        assert_eq!(RemarkKind::Diverged.as_str(), "Diverged");
+        let r = Remark::new("verify", "gen-7/nest0:I.J", RemarkKind::Diverged)
+            .reason("store set mismatch after permute");
+        assert!(r.to_json().contains("\"kind\":\"Diverged\""));
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Deterministic random loop-nest generator for fuzzing the whole
+//! transformation pipeline.
+//!
+//! Every program is a pure function of its `u64` seed (the generator is
+//! built on [`cmt_obs::SplitMix64`], so the mapping is identical on
+//! every platform). The generated shapes deliberately cover the cases
+//! the compound algorithm branches on:
+//!
+//! * 1–3 top-level nests, each 1–4 loops deep, so permutation, fusion,
+//!   distribution and cross-nest fusion all get exercised;
+//! * imperfect nests (statements between loop headers) with a
+//!   configurable probability;
+//! * symbolic bounds (`1..N`, `2..N-1`) clamped so every subscript with
+//!   a `±1` offset stays in bounds, plus a small probability of
+//!   constant-bound loops that run zero or exactly one iteration;
+//! * affine subscripts: one loop variable plus a small constant offset,
+//!   or a small constant, over arrays of rank 1–3.
+//!
+//! The committed corpus (`corpus/seeds.txt`) pins ≥200 of these
+//! programs; `cargo test -p cmt-verify` replays all of them through the
+//! verifier.
+
+use cmt_ir::affine::Affine;
+use cmt_ir::build::ProgramBuilder;
+use cmt_ir::expr::Expr;
+use cmt_ir::ids::{ArrayId, VarId};
+use cmt_ir::program::Program;
+use cmt_obs::SplitMix64;
+
+/// Per-dimension loop variable names, outermost first.
+const VAR_NAMES: [&str; 4] = ["I", "J", "K", "L"];
+/// Array names available to the generator.
+const ARRAY_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+
+/// One loop variable currently in scope while generating a body, with
+/// the constant slack its bounds guarantee against the array extent.
+#[derive(Clone, Copy)]
+struct BoundVar {
+    var: VarId,
+    /// `lower bound >= 2`, so a `-1` subscript offset stays `>= 1`.
+    can_minus: bool,
+    /// `upper bound <= N-1` (or a small constant), so a `+1` offset
+    /// stays `<= N`.
+    can_plus: bool,
+}
+
+/// Generates the deterministic random program for `seed`.
+///
+/// The result always declares exactly one symbolic parameter `N`; the
+/// verifier executes it at small concrete values (the default is
+/// `N ∈ {6, 9}`), and every generated subscript is in bounds for any
+/// `N >= 5`.
+pub fn generate(seed: u64) -> Program {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(format!("gen{seed}"));
+    let n = b.param("N");
+
+    let n_arrays = rng.gen_range_usize(2, 4);
+    let arrays: Vec<(ArrayId, usize)> = (0..n_arrays)
+        .map(|k| {
+            let rank = rng.gen_range_usize(1, 3);
+            let a = b.array(ARRAY_NAMES[k], vec![n.into(); rank]);
+            (a, rank)
+        })
+        .collect();
+
+    let n_nests = rng.gen_range_usize(1, 3);
+    for _ in 0..n_nests {
+        let depth = rng.gen_range_usize(1, 4);
+        open_loops(&mut b, &mut rng, n, &arrays, depth, &mut Vec::new());
+    }
+    b.finish()
+}
+
+/// Recursively opens `depth` more loops, emitting imperfect statements
+/// between headers and 1–3 statements in the innermost body.
+fn open_loops(
+    b: &mut ProgramBuilder,
+    rng: &mut SplitMix64,
+    n: cmt_ir::ids::ParamId,
+    arrays: &[(ArrayId, usize)],
+    depth: usize,
+    bound: &mut Vec<BoundVar>,
+) {
+    if depth == 0 {
+        let n_stmts = rng.gen_range_usize(1, 3);
+        for _ in 0..n_stmts {
+            statement(b, rng, arrays, bound);
+        }
+        return;
+    }
+    let name = VAR_NAMES[bound.len()];
+    // Mostly symbolic bounds; rarely a constant-bound loop that runs
+    // zero times or exactly once (both are legal and must round-trip
+    // through every pass unchanged in behaviour).
+    let (lo, hi, can_minus, can_plus) = if rng.gen_bool(0.08) {
+        let lo = rng.gen_range_i64(1, 4);
+        let hi = if rng.gen_bool(0.5) { lo - 1 } else { lo };
+        (Affine::constant(lo), Affine::constant(hi), lo >= 2, true)
+    } else {
+        let lo = rng.gen_range_i64(1, 2);
+        let tight = rng.gen_bool(0.5);
+        let hi = if tight {
+            Affine::param(n) - 1
+        } else {
+            Affine::param(n)
+        };
+        (Affine::constant(lo), hi, lo >= 2, tight)
+    };
+    b.loop_(name, lo, hi, |b| {
+        let var = b.var(name);
+        bound.push(BoundVar {
+            var,
+            can_minus,
+            can_plus,
+        });
+        if rng.gen_bool(0.3) {
+            // Imperfect nest: a statement above the next header, using
+            // only the variables bound so far.
+            statement(b, rng, arrays, bound);
+        }
+        open_loops(b, rng, n, arrays, depth - 1, bound);
+        bound.pop();
+    });
+}
+
+/// Emits one assignment `X(subs) = <rhs>` using only in-scope
+/// variables.
+fn statement(
+    b: &mut ProgramBuilder,
+    rng: &mut SplitMix64,
+    arrays: &[(ArrayId, usize)],
+    bound: &[BoundVar],
+) {
+    let (lhs_arr, lhs_rank) = *rng.choose(arrays);
+    let lhs = subscripts(b, rng, bound, lhs_rank, lhs_arr);
+    let mut rhs = Expr::Const(rng.gen_range_i64(1, 5) as f64);
+    for _ in 0..rng.gen_range_usize(0, 2) {
+        let (arr, rank) = *rng.choose(arrays);
+        let load = Expr::load(subscripts(b, rng, bound, rank, arr));
+        rhs = if rng.gen_bool(0.3) {
+            rhs * load
+        } else {
+            rhs + load
+        };
+    }
+    b.assign(lhs, rhs);
+}
+
+/// Builds a rank-`rank` array reference with in-bounds affine
+/// subscripts: a bound variable plus an offset its bounds allow, or a
+/// small constant.
+fn subscripts(
+    b: &mut ProgramBuilder,
+    rng: &mut SplitMix64,
+    bound: &[BoundVar],
+    rank: usize,
+    arr: ArrayId,
+) -> cmt_ir::stmt::ArrayRef {
+    let subs: Vec<Affine> = (0..rank)
+        .map(|_| {
+            if bound.is_empty() || rng.gen_bool(0.15) {
+                Affine::constant(rng.gen_range_i64(1, 2))
+            } else {
+                let v = *rng.choose(bound);
+                let mut offs = vec![0i64];
+                if v.can_minus {
+                    offs.push(-1);
+                }
+                if v.can_plus {
+                    offs.push(1);
+                }
+                Affine::var(v.var) + *rng.choose(&offs)
+            }
+        })
+        .collect();
+    b.at_vec(arr, subs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::pretty::program_to_source;
+
+    #[test]
+    fn same_seed_same_program() {
+        let a = program_to_source(&generate(42));
+        let b = program_to_source(&generate(42));
+        assert_eq!(a, b);
+        let c = program_to_source(&generate(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_programs_execute_in_bounds() {
+        for seed in 0..64 {
+            let p = generate(seed);
+            for n in [5i64, 6, 9] {
+                crate::differential::fingerprint(&p, &[n])
+                    .unwrap_or_else(|e| panic!("seed {seed} at N={n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_cover_the_interesting_cases() {
+        let mut saw_deep = false;
+        let mut saw_multi_nest = false;
+        let mut saw_imperfect = false;
+        for seed in 0..128 {
+            let p = generate(seed);
+            saw_multi_nest |= p.nests().len() >= 2;
+            for nest in p.nests() {
+                let node = cmt_ir::node::Node::Loop(nest.clone());
+                saw_deep |= node.depth() >= 3;
+                saw_imperfect |= cmt_ir::visit::all_loops(nest)
+                    .iter()
+                    .any(|l| l.body().len() >= 2 && l.body().iter().any(|c| c.as_loop().is_some()));
+            }
+        }
+        assert!(saw_deep, "no nest of depth >= 3 in 128 seeds");
+        assert!(saw_multi_nest, "no multi-nest program in 128 seeds");
+        assert!(saw_imperfect, "no imperfect nest in 128 seeds");
+    }
+}

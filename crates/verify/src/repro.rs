@@ -1,0 +1,159 @@
+//! Divergence reproducers: shrink a failing input to a minimal program
+//! and dump everything needed to replay the bug.
+//!
+//! When the corpus runner (or CI) hits a divergence, the raw generated
+//! program can be dozens of statements; almost all of them are noise.
+//! [`minimize`] greedily deletes top-level nests, then individual
+//! statements, re-running the verifying compound driver after each
+//! candidate deletion and keeping it only if the divergence still
+//! reproduces — a classic delta-debugging fixpoint. [`write_reproducer`]
+//! then writes a self-contained text artifact (seed, divergence, the
+//! minimized input, and the exact before/after IR of the offending
+//! step) under `results/`.
+
+use crate::differential::Divergence;
+use crate::driver::{verify_compound, VerifyOptions};
+use cmt_ir::pretty::program_to_source;
+use cmt_ir::program::Program;
+use cmt_locality::compound::CompoundOptions;
+use cmt_locality::model::CostModel;
+use cmt_obs::NullObs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Re-runs the verifying compound driver on (a clone of) `input` and
+/// returns the first divergence, if any still occurs.
+pub fn reproduces(input: &Program, vopts: &VerifyOptions) -> Option<Divergence> {
+    let mut p = input.clone();
+    let (_, v) = verify_compound(
+        &mut p,
+        &CostModel::new(4),
+        &CompoundOptions::default(),
+        vopts,
+        &mut NullObs,
+    );
+    v.divergences.into_iter().next()
+}
+
+/// Greedily shrinks `input` while [`reproduces`] still returns a
+/// divergence. Returns the minimized program and the divergence it
+/// produces.
+///
+/// Deletion candidates, coarsest first: whole top-level nodes, then any
+/// statement whose removal leaves its enclosing body non-empty. The
+/// pass repeats until no single deletion keeps the bug alive.
+pub fn minimize(input: &Program, vopts: &VerifyOptions) -> (Program, Divergence) {
+    let mut best = input.clone();
+    let mut div = reproduces(&best, vopts)
+        .expect("minimize called on an input that does not reproduce a divergence");
+    loop {
+        let mut shrunk = false;
+        for path in deletion_paths(&best) {
+            let mut candidate = best.clone();
+            delete_at(&mut candidate, &path);
+            if let Some(d) = reproduces(&candidate, vopts) {
+                best = candidate;
+                div = d;
+                shrunk = true;
+                break; // paths are stale after a deletion; re-enumerate
+            }
+        }
+        if !shrunk {
+            return (best, div);
+        }
+    }
+}
+
+/// Enumerates deletable node paths, coarsest first: `[i]` deletes
+/// top-level node `i`; `[i, j, ...]` walks loop bodies. A nested node is
+/// only a candidate when its parent body keeps at least one node.
+fn deletion_paths(p: &Program) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    if p.body().len() >= 2 {
+        out.extend((0..p.body().len()).map(|i| vec![i]));
+    }
+    fn walk(nodes: &[cmt_ir::node::Node], prefix: &[usize], out: &mut Vec<Vec<usize>>) {
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(l) = node.as_loop() {
+                let mut pfx = prefix.to_vec();
+                pfx.push(i);
+                if l.body().len() >= 2 {
+                    for j in 0..l.body().len() {
+                        let mut path = pfx.clone();
+                        path.push(j);
+                        out.push(path);
+                    }
+                }
+                walk(l.body(), &pfx, out);
+            }
+        }
+    }
+    walk(p.body(), &[], &mut out);
+    out
+}
+
+/// Deletes the node at `path` (as produced by [`deletion_paths`]).
+fn delete_at(p: &mut Program, path: &[usize]) {
+    let (&last, parents) = path.split_last().expect("empty deletion path");
+    let mut body = p.body_mut();
+    for &i in parents {
+        body = body[i]
+            .as_loop_mut()
+            .expect("deletion path walks through loops")
+            .body_mut();
+    }
+    body.remove(last);
+}
+
+/// Writes the reproducer artifact for `seed` to
+/// `dir/verify_repro_seed{seed}.txt` and returns its path.
+///
+/// The artifact holds everything needed to replay the failure offline:
+/// the seed, the divergence description, the (minimized) input program
+/// as re-parseable source, and the before/after IR of the diverging
+/// step.
+pub fn write_reproducer(
+    dir: &Path,
+    seed: u64,
+    input: &Program,
+    div: &Divergence,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("verify_repro_seed{seed}.txt"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "cmt-verify divergence reproducer")?;
+    writeln!(f, "seed: {seed}")?;
+    writeln!(f, "replay: cmt_verify::gen::generate({seed})")?;
+    writeln!(f, "divergence: {div}")?;
+    writeln!(f)?;
+    writeln!(f, "== input program (minimized) ==")?;
+    writeln!(f, "{}", program_to_source(input).trim_end())?;
+    writeln!(f)?;
+    writeln!(f, "== IR before {} step ==", div.pass)?;
+    writeln!(f, "{}", program_to_source(&div.before).trim_end())?;
+    writeln!(f)?;
+    writeln!(f, "== IR after {} step ==", div.pass)?;
+    writeln!(f, "{}", program_to_source(&div.after).trim_end())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn deletion_paths_and_delete_agree() {
+        let p = generate(7);
+        for path in deletion_paths(&p) {
+            let mut q = p.clone();
+            delete_at(&mut q, &path); // must not panic for any path
+        }
+    }
+
+    #[test]
+    fn clean_inputs_do_not_reproduce() {
+        let p = generate(11);
+        assert!(reproduces(&p, &VerifyOptions::default()).is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Edge cases the compound transformation must leave behaviourally
+//! intact, proven by the differential verifier: zero-trip loops,
+//! single-iteration loops, fusion across loop-independent dependences,
+//! and idempotence of the whole pipeline.
+
+use cmt_ir::affine::Affine;
+use cmt_ir::build::ProgramBuilder;
+use cmt_ir::expr::Expr;
+use cmt_ir::pretty::program_to_source;
+use cmt_ir::program::Program;
+use cmt_locality::{CompoundOptions, CostModel};
+use cmt_obs::NullObs;
+use cmt_verify::{fingerprint, verify_compound, VerifyOptions};
+
+fn run_verified(program: &mut Program) -> cmt_verify::VerifyReport {
+    let (_, v) = verify_compound(
+        program,
+        &CostModel::new(4),
+        &CompoundOptions::default(),
+        &VerifyOptions::default(),
+        &mut NullObs,
+    );
+    assert!(
+        v.is_clean(),
+        "divergences: {:?}",
+        v.divergences
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    v
+}
+
+/// A zero-trip nest (`DO I = 5, 4`) must survive the pipeline executing
+/// zero iterations — no transformation may conjure stores out of it.
+#[test]
+fn zero_trip_nest_stays_a_no_op() {
+    let mut b = ProgramBuilder::new("zerotrip");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    let c = b.matrix("C", n);
+    // Zero-trip: lower bound above upper bound, positive step.
+    b.loop_("I", 5, 4, |b| {
+        b.loop_("J", 1, n, |b| {
+            let (i, j) = (b.var("I"), b.var("J"));
+            let lhs = b.at(a, [i, j]);
+            b.assign(lhs, Expr::Const(7.0));
+        });
+    });
+    // A live column-order nest so the driver has something to permute.
+    b.loop_("I", 1, n, |b| {
+        b.loop_("J", 1, n, |b| {
+            let (i, j) = (b.var("I"), b.var("J"));
+            let lhs = b.at(c, [i, j]);
+            b.assign(lhs, Expr::load(b.at(a, [i, j])));
+        });
+    });
+    let mut p = b.finish();
+    let before = fingerprint(&p, &[6]).unwrap();
+    assert!(
+        !before.stores.is_empty() && before.stores.len() == before.reads.len(),
+        "only the copy nest runs; the zero-trip nest contributes nothing"
+    );
+    run_verified(&mut p);
+    let after = fingerprint(&p, &[6]).unwrap();
+    assert_eq!(before.arrays, after.arrays);
+    assert_eq!(before.stores, after.stores);
+}
+
+/// Single-iteration loops (`DO I = 3, 3`) are degenerate but legal:
+/// every direction vector entry over them is `=`, so any permutation is
+/// legal and the body must run exactly once.
+#[test]
+fn single_iteration_loops_run_exactly_once() {
+    let mut b = ProgramBuilder::new("once");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    b.loop_("I", 3, 3, |b| {
+        b.loop_("J", 1, n, |b| {
+            let (i, j) = (b.var("I"), b.var("J"));
+            let lhs = b.at(a, [i, j]);
+            let rhs =
+                Expr::load(b.at_vec(a, vec![Affine::var(i), Affine::var(j)])) + Expr::Const(1.0);
+            b.assign(lhs, rhs);
+        });
+    });
+    let mut p = b.finish();
+    let before = fingerprint(&p, &[6]).unwrap();
+    assert_eq!(before.stores.len(), 6, "one row of A, N=6 elements");
+    run_verified(&mut p);
+    let after = fingerprint(&p, &[6]).unwrap();
+    assert_eq!(before.arrays, after.arrays);
+}
+
+/// Two conformable nests linked by a loop-independent flow dependence
+/// (`B(I)` reads `A(I)` written at the same iteration) fuse legally;
+/// the verifier holds the fusion step to the same differential
+/// contract as any other.
+#[test]
+fn fusion_across_loop_independent_dependence_is_verified() {
+    let mut b = ProgramBuilder::new("fuseli");
+    let n = b.param("N");
+    let a = b.array("A", vec![n.into()]);
+    let c = b.array("B", vec![n.into()]);
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        let lhs = b.at(a, [i]);
+        b.assign(lhs, Expr::Const(2.0));
+    });
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        let lhs = b.at(c, [i]);
+        b.assign(lhs, Expr::load(b.at(a, [i])) + Expr::Const(1.0));
+    });
+    let mut p = b.finish();
+    let v = run_verified(&mut p);
+    assert_eq!(p.nests().len(), 1, "the two nests should have fused");
+    assert!(
+        v.steps_checked >= 1,
+        "the fusion rewrite must have passed through the verifier"
+    );
+}
+
+/// The compound algorithm is idempotent: a second run over its own
+/// output applies nothing (and therefore the verifier sees zero steps).
+#[test]
+fn compound_is_idempotent_on_its_own_output() {
+    // Use a shape that triggers several passes on the first run.
+    let mut p = cmt_verify::generate(9);
+    run_verified(&mut p);
+    let settled = program_to_source(&p);
+    let v2 = run_verified(&mut p);
+    assert_eq!(
+        v2.steps_checked, 0,
+        "second run must not apply (or re-verify) any step"
+    );
+    assert_eq!(
+        program_to_source(&p),
+        settled,
+        "second run must leave the program untouched"
+    );
+}

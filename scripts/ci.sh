@@ -14,6 +14,22 @@ cargo test -q --release --workspace
 echo ">>> cargo fmt --check"
 cargo fmt --all --check
 
+echo ">>> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo ">>> cargo test --doc"
+cargo test -q --doc --workspace
+
+echo ">>> verify-corpus smoke (32 seeds, step-level differential checks)"
+# Replays the first 32 committed fuzz seeds through the verifying
+# compound driver: every applied transformation step is executed
+# before/after and compared bit-exactly, and permutations are replayed
+# over the dependence vectors. Non-zero exit (plus a minimized
+# reproducer under the temp dir) on any divergence.
+VERIFY_DIR=$(mktemp -d)
+cargo run --release -q -p cmt-verify --bin verify_corpus -- --seeds 32 --out "$VERIFY_DIR"
+rm -rf "$VERIFY_DIR"
+
 echo ">>> smoke-perf (cache_sim equivalence + determinism gates)"
 # Quick-mode bench: fails on an engine-equivalence or CMT_JOBS
 # determinism mismatch (non-zero exit), never on timing. The JSON goes

@@ -3,7 +3,7 @@
 //! Re-exports the workspace crates so examples and integration tests can use
 //! one import root. See the individual crates for the real APIs:
 //! [`cmt_ir`], [`cmt_dependence`], [`cmt_locality`], [`cmt_cache`],
-//! [`cmt_interp`], [`cmt_suite`], [`cmt_obs`].
+//! [`cmt_interp`], [`cmt_suite`], [`cmt_obs`], [`cmt_verify`].
 pub use cmt_bench as bench;
 pub use cmt_cache as cache;
 pub use cmt_dependence as dependence;
@@ -12,3 +12,4 @@ pub use cmt_ir as ir;
 pub use cmt_locality as locality;
 pub use cmt_obs as obs;
 pub use cmt_suite as suite;
+pub use cmt_verify as verify;
