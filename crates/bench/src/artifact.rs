@@ -35,6 +35,35 @@ pub fn write_remarks_jsonl(name: &str, remarks: &[Remark]) -> io::Result<PathBuf
     Ok(path)
 }
 
+/// Whether `CMT_TRACE` asks for a Chrome Trace to be recorded this run.
+/// Any non-empty value other than `0` enables tracing.
+pub fn trace_enabled() -> bool {
+    std::env::var_os("CMT_TRACE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Writes a Chrome Trace Event document into
+/// `{artifact_dir}/{name}.trace.json`, creating the directory as needed.
+/// Open the file in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`. Returns the path written.
+pub fn write_trace_json(name: &str, json: &str) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.trace.json"));
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Writes a rendered markdown run report into
+/// `{artifact_dir}/{name}.report.md`, creating the directory as needed.
+/// Returns the path written.
+pub fn write_report_md(name: &str, text: &str) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.report.md"));
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
 /// Writes the registry snapshot into `{artifact_dir}/{name}.metrics.json`,
 /// creating the directory as needed. Returns the path written.
 pub fn write_metrics_json(name: &str, metrics: &MetricsRegistry) -> io::Result<PathBuf> {

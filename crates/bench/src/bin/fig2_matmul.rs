@@ -1,7 +1,7 @@
 //! Regenerates Figure 2: matrix-multiply loop-order ranking.
 
 use cmt_locality::pass::Pipeline;
-use cmt_obs::CollectSink;
+use cmt_obs::{CollectSink, TraceSession, Tracing};
 
 fn main() {
     let n: i64 = std::env::args()
@@ -18,13 +18,38 @@ fn main() {
 
     // Observability artifacts: remarks from optimizing the IJK kernel,
     // per-pass timings, and an attributed simulation of the result.
-    let mut sink = CollectSink::new();
+    // With CMT_TRACE set, the same run also records a Chrome Trace
+    // (pass and nest spans on the main track, the simulation with its
+    // miss-rate counter series on its own track).
     let mut p = cmt_suite::kernels::matmul("IJK");
-    let reports = Pipeline::paper_default(4).run_observed(&mut p, &mut sink);
-    for r in &reports {
-        println!("[pass] {}: {}", r.name, r.summary);
+    let sim_n = n.min(128);
+    let pipeline = Pipeline::paper_default(4);
+    let mut sink;
+    if cmt_bench::trace_enabled() {
+        let mut session = TraceSession::new();
+        let mut traced = Tracing::new(CollectSink::new(), session.main());
+        let reports = pipeline.run_observed(&mut p, &mut traced);
+        sink = traced.inner;
+        for r in &reports {
+            println!("[pass] {}: {}", r.name, r.summary);
+        }
+        let mut track = session.track("sim");
+        let sim = cmt_bench::simulate_program_observed_traced(&p, sim_n, 10_000, &mut track);
+        session.absorb(track);
+        sim.export_metrics(&mut sink.metrics, "fig2.matmul_opt");
+        session.validate().expect("trace invariants");
+        match cmt_bench::write_trace_json("fig2_matmul", &session.to_chrome_json()) {
+            Ok(path) => println!("[obs] trace:    {}", path.display()),
+            Err(e) => eprintln!("[obs] could not write trace: {e}"),
+        }
+    } else {
+        sink = CollectSink::new();
+        let reports = pipeline.run_observed(&mut p, &mut sink);
+        for r in &reports {
+            println!("[pass] {}: {}", r.name, r.summary);
+        }
+        let sim = cmt_bench::simulate_program_observed(&p, sim_n, 10_000);
+        sim.export_metrics(&mut sink.metrics, "fig2.matmul_opt");
     }
-    let sim = cmt_bench::simulate_program_observed(&p, n.min(128), 10_000);
-    sim.export_metrics(&mut sink.metrics, "fig2.matmul_opt");
     cmt_bench::emit("fig2_matmul", &sink.remarks, &sink.metrics);
 }

@@ -1,0 +1,86 @@
+//! `obs_diff` — compare two runs' observability artifacts.
+//!
+//! ```text
+//! obs_diff <baseline-dir> <current-dir> <name> [--threshold REL]
+//! ```
+//!
+//! Diffs `{name}.metrics.json` (counter deltas and histogram-statistic
+//! drift beyond `REL`, default 0.0) and `{name}.remarks.jsonl`
+//! (new/vanished remark lines, order-insensitive) between the two
+//! directories. Wall-clock (`*.ns`) histograms are excluded — only
+//! deterministic fields participate. Prints one line per finding and
+//! exits nonzero when anything differs, so CI can gate on a committed
+//! `results/baseline/`.
+
+use cmt_obs::{diff_metrics, diff_remarks};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs_diff <baseline-dir> <current-dir> <name> [--threshold REL]");
+    ExitCode::from(2)
+}
+
+fn read(dir: &Path, name: &str, suffix: &str) -> Result<String, String> {
+    let path = dir.join(format!("{name}.{suffix}"));
+    std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(t) => threshold = t,
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => positional.push(a),
+        }
+    }
+    let [baseline, current, name] = positional.as_slice() else {
+        return usage();
+    };
+    let (baseline, current) = (Path::new(baseline), Path::new(current));
+
+    let inputs = (|| -> Result<_, String> {
+        Ok((
+            read(baseline, name, "metrics.json")?,
+            read(current, name, "metrics.json")?,
+            read(baseline, name, "remarks.jsonl")?,
+            read(current, name, "remarks.jsonl")?,
+        ))
+    })();
+    let (bm, cm, br, cr) = match inputs {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = (|| -> Result<_, String> {
+        let mut f = diff_metrics(&bm, &cm, threshold)?;
+        f.extend(diff_remarks(&br, &cr)?);
+        Ok(f)
+    })();
+    match findings {
+        Ok(findings) if findings.is_empty() => {
+            println!("obs_diff: {name}: no differences (threshold {threshold})");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("obs_diff: {name}: {} difference(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("obs_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

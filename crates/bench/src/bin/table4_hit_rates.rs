@@ -2,7 +2,7 @@
 
 use cmt_locality::compound_observed;
 use cmt_locality::model::CostModel;
-use cmt_obs::CollectSink;
+use cmt_obs::{CollectSink, TraceSession, Tracing};
 
 fn main() {
     let n = std::env::args().nth(1).and_then(|s| s.parse().ok());
@@ -14,23 +14,43 @@ fn main() {
     // keeps the paper sizes; the artifact is a diagnostic sample).
     // Workers simulate models in parallel into private sinks; absorbing
     // them in suite order keeps remarks and metrics byte-identical for
-    // any CMT_JOBS.
+    // any CMT_JOBS. With CMT_TRACE set, each worker records onto its own
+    // trace track, so Perfetto shows how CMT_JOBS spreads the corpus.
     let model = CostModel::new(4);
     let models: Vec<_> = cmt_suite::suite()
         .into_iter()
         .filter(|m| m.spec.mix.total_nests() > 0)
         .collect();
-    let parts = cmt_bench::par_map(&models, |m| {
-        let mut local = CollectSink::new();
-        let mut p = m.optimized.clone();
-        let _ = compound_observed(&mut p, &model, &Default::default(), &mut local);
-        let sim = cmt_bench::simulate_program_observed(&p, 64, 10_000);
-        sim.export_metrics(&mut local.metrics, &format!("table4.{}", m.spec.name));
-        local
-    });
+    let mut trace_session = cmt_bench::trace_enabled().then(TraceSession::new);
+    let parts = match trace_session.as_mut() {
+        Some(session) => cmt_bench::par_map_traced(&models, session, |m, track| {
+            let mut traced = Tracing::new(CollectSink::new(), &mut *track);
+            let mut p = m.optimized.clone();
+            let _ = compound_observed(&mut p, &model, &Default::default(), &mut traced);
+            let mut local = traced.inner;
+            let sim = cmt_bench::simulate_program_observed_traced(&p, 64, 10_000, track);
+            sim.export_metrics(&mut local.metrics, &format!("table4.{}", m.spec.name));
+            local
+        }),
+        None => cmt_bench::par_map(&models, |m| {
+            let mut local = CollectSink::new();
+            let mut p = m.optimized.clone();
+            let _ = compound_observed(&mut p, &model, &Default::default(), &mut local);
+            let sim = cmt_bench::simulate_program_observed(&p, 64, 10_000);
+            sim.export_metrics(&mut local.metrics, &format!("table4.{}", m.spec.name));
+            local
+        }),
+    };
     let mut sink = CollectSink::new();
     for part in parts {
         sink.absorb(part);
+    }
+    if let Some(session) = trace_session {
+        session.validate().expect("trace invariants");
+        match cmt_bench::write_trace_json("table4_hit_rates", &session.to_chrome_json()) {
+            Ok(path) => println!("[obs] trace:    {}", path.display()),
+            Err(e) => eprintln!("[obs] could not write trace: {e}"),
+        }
     }
     cmt_bench::emit("table4_hit_rates", &sink.remarks, &sink.metrics);
 }

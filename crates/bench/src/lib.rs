@@ -15,12 +15,17 @@
 
 pub mod artifact;
 pub mod fmt;
+pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod timing;
 
-pub use artifact::{artifact_dir, emit, write_metrics_json, write_remarks_jsonl};
+pub use artifact::{
+    artifact_dir, emit, trace_enabled, write_metrics_json, write_remarks_jsonl, write_report_md,
+    write_trace_json,
+};
+pub use report::render_report;
 pub use runner::{
-    cmt_jobs, par_map, simulate_program, simulate_program_observed, simulate_versions, ObservedSim,
-    ProgramSim, VersionPair,
+    cmt_jobs, par_map, par_map_traced, simulate_program, simulate_program_observed,
+    simulate_program_observed_traced, simulate_versions, ObservedSim, ProgramSim, VersionPair,
 };

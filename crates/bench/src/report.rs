@@ -1,0 +1,217 @@
+//! Per-run markdown reports: one document joining a run's remarks
+//! JSONL, metrics JSON, and (optionally) trace JSON.
+//!
+//! The renderer consumes **only deterministic fields** — remark
+//! contents, counters, non-wall-clock histogram statistics, and the
+//! structural [`cmt_obs::TraceSummary`] of the trace (never timestamps
+//! or durations) — so the report for a fixed workload and `CMT_JOBS`
+//! value is byte-identical across runs and diffs cleanly in review. A
+//! test pins this.
+
+use cmt_obs::diff::WALL_CLOCK_SUFFIX;
+use cmt_obs::json::{parse, Value};
+use cmt_obs::validate_chrome_trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the markdown report for one run.
+///
+/// `remarks_jsonl` and `metrics_json` are the artifact file contents;
+/// `trace_json` is the Chrome Trace document when the run was traced.
+/// Fails on malformed artifacts (a malformed trace is a real bug — the
+/// validator runs as part of rendering).
+pub fn render_report(
+    name: &str,
+    remarks_jsonl: &str,
+    metrics_json: &str,
+    trace_json: Option<&str>,
+) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Run report: {name}\n");
+
+    // --- Remarks: counts per (pass, kind), then the misses in full. ---
+    let mut by_pass: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    let mut problems: Vec<(String, String, String)> = Vec::new();
+    let mut total = 0usize;
+    for (ln, line) in remarks_jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("remarks line {}: {e}", ln + 1))?;
+        let field = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+        let (pass, kind) = (field("pass"), field("kind"));
+        *by_pass
+            .entry(pass.clone())
+            .or_default()
+            .entry(kind.clone())
+            .or_insert(0) += 1;
+        total += 1;
+        if kind == "Missed" || kind == "Diverged" {
+            problems.push((pass, field("nest"), field("reason")));
+        }
+    }
+    let _ = writeln!(out, "## Remarks ({total})\n");
+    if by_pass.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        const KINDS: [&str; 5] = ["Applied", "Missed", "Analysis", "Verified", "Diverged"];
+        out.push_str("| pass | Applied | Missed | Analysis | Verified | Diverged |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for (pass, kinds) in &by_pass {
+            let _ = write!(out, "| {pass} |");
+            for k in KINDS {
+                let _ = write!(out, " {} |", kinds.get(k).copied().unwrap_or(0));
+            }
+            out.push('\n');
+        }
+    }
+    if !problems.is_empty() {
+        let _ = writeln!(out, "\n### Missed / diverged\n");
+        for (pass, nest, reason) in &problems {
+            let _ = writeln!(out, "- `{pass}` on `{nest}`: {reason}");
+        }
+    }
+
+    // --- Metrics: counters, then histograms with quantiles. ---
+    let metrics = parse(metrics_json).map_err(|e| format!("metrics: {e}"))?;
+    let counters = metrics
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or("metrics: missing counters object")?;
+    let _ = writeln!(out, "\n## Counters ({})\n", counters.len());
+    if !counters.is_empty() {
+        out.push_str("| counter | value |\n|---|---|\n");
+        for (k, v) in counters {
+            let _ = writeln!(out, "| {k} | {} |", v.as_u64().unwrap_or(0));
+        }
+    }
+    let hists = metrics
+        .get("histograms")
+        .and_then(Value::as_object)
+        .ok_or("metrics: missing histograms object")?;
+    let _ = writeln!(out, "\n## Histograms ({})\n", hists.len());
+    if !hists.is_empty() {
+        out.push_str("| histogram | count | min | max | mean | p50 | p95 | p99 |\n");
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        for (k, v) in hists {
+            let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
+            if k.ends_with(WALL_CLOCK_SUFFIX) {
+                // Wall-clock timings are nondeterministic; only the
+                // sample count is reproducible.
+                let _ = writeln!(out, "| {k} | {count} | — | — | — | — | — | — |");
+                continue;
+            }
+            let stat = |s: &str| {
+                v.get(s)
+                    .and_then(Value::as_f64)
+                    .map(|f| format!("{f:.4}"))
+                    .unwrap_or_else(|| "—".to_string())
+            };
+            let _ = writeln!(
+                out,
+                "| {k} | {count} | {} | {} | {} | {} | {} | {} |",
+                stat("min"),
+                stat("max"),
+                stat("mean"),
+                stat("p50"),
+                stat("p95"),
+                stat("p99"),
+            );
+        }
+        if hists.iter().any(|(k, _)| k.ends_with(WALL_CLOCK_SUFFIX)) {
+            out.push_str("\n`*.ns` histograms are wall-clock timings; values vary run-to-run and are elided.\n");
+        }
+    }
+
+    // --- Trace: structural summary only (no timestamps). ---
+    if let Some(trace) = trace_json {
+        let summary = validate_chrome_trace(trace).map_err(|e| format!("trace: {e}"))?;
+        let _ = writeln!(out, "\n## Trace\n");
+        let _ = writeln!(
+            out,
+            "{} tracks, {} events ({} spans, {} counter samples).\n",
+            summary.tracks, summary.events, summary.spans, summary.counter_samples
+        );
+        out.push_str("| event | count |\n|---|---|\n");
+        for (name, count) in &summary.by_name {
+            let _ = writeln!(out, "| {name} | {count} |");
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_obs::{CollectSink, ObsSink, Remark, RemarkKind, TraceSession};
+
+    fn sample_sink() -> CollectSink {
+        let mut sink = CollectSink::new();
+        sink.remark(Remark::new("permute", "mm/nest0:I.J.K", RemarkKind::Applied).reason("ok"));
+        sink.remark(Remark::new("fuse", "mm/nest1:I", RemarkKind::Missed).reason("not legal"));
+        sink.counter("sim.accesses", 500);
+        sink.record("cost.ratio", 4.0);
+        sink.record("pass.compound.ns", 12345.0);
+        sink
+    }
+
+    #[test]
+    fn report_sections_render() {
+        let sink = sample_sink();
+        let mut session = TraceSession::new();
+        session.main().begin("pass.compound", &[]);
+        session.main().end("pass.compound", &[]);
+        let report = render_report(
+            "unit",
+            &sink.remarks_jsonl(),
+            &sink.metrics.to_json(),
+            Some(&session.to_chrome_json()),
+        )
+        .unwrap();
+        assert!(report.contains("# Run report: unit"));
+        assert!(report.contains("| permute | 1 | 0 |"), "{report}");
+        assert!(report.contains("`fuse` on `mm/nest1:I`: not legal"));
+        assert!(report.contains("| sim.accesses | 500 |"));
+        assert!(report.contains("| cost.ratio | 1 | 4.0000 |"), "{report}");
+        assert!(report.contains("| pass.compound.ns | 1 | — |"), "{report}");
+        assert!(
+            report.contains("1 tracks, 2 events (1 spans, 0 counter samples)"),
+            "{report}"
+        );
+        assert!(report.contains("| pass.compound | 2 |"));
+    }
+
+    #[test]
+    fn report_is_deterministic_across_traced_runs() {
+        // Two runs of the same workload produce different wall-clock
+        // traces; the report must nevertheless be byte-identical
+        // because it reads only deterministic fields.
+        let render_once = || {
+            let sink = sample_sink();
+            let mut session = TraceSession::new();
+            session.main().begin("pass.compound", &[]);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            session.main().end("pass.compound", &[]);
+            let mut w = session.track("worker-0");
+            let t0 = w.start();
+            w.complete_since(t0, "simulate", &[]);
+            session.absorb(w);
+            render_report(
+                "det",
+                &sink.remarks_jsonl(),
+                &sink.metrics.to_json(),
+                Some(&session.to_chrome_json()),
+            )
+            .unwrap()
+        };
+        assert_eq!(render_once(), render_once());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(render_report("x", "not json\n", "{}", None).is_err());
+        assert!(render_report("x", "", "{", None).is_err());
+        assert!(render_report("x", "", "{\"counters\":{},\"histograms\":{}}", Some("[")).is_err());
+    }
+}

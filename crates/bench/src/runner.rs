@@ -2,11 +2,11 @@
 //! plus the deterministic parallel corpus runner ([`par_map`]).
 
 use cmt_cache::{Cache, CacheConfig, CacheStats, ObservedCache};
-use cmt_interp::{Machine, MeteredSink, TraceSink};
+use cmt_interp::{Machine, MeteredSink, TraceSink, TracedSink};
 use cmt_ir::ids::ArrayId;
 use cmt_ir::program::Program;
 use cmt_locality::{compound::compound, model::CostModel};
-use cmt_obs::MetricsRegistry;
+use cmt_obs::{MetricsRegistry, TraceArg, TraceSession, TraceTrack};
 use cmt_suite::BenchmarkModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -57,6 +57,79 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
             });
         }
     });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// [`par_map`] with self-profiling: each worker records onto its own
+/// [`TraceTrack`] (`worker-0` … `worker-{jobs-1}`), absorbed into
+/// `session` in worker order, so a Perfetto view of the run shows
+/// exactly how `CMT_JOBS` spreads the corpus. Every item is wrapped in
+/// a `par_map.item` complete-span carrying its index; `f` can record
+/// finer-grained events through the track it receives.
+///
+/// Results keep the [`par_map`] determinism guarantee (item-order
+/// output); only the trace's timestamps and item-to-worker assignment
+/// vary run to run.
+pub fn par_map_traced<T: Sync, R: Send>(
+    items: &[T],
+    session: &mut TraceSession,
+    f: impl Fn(&T, &mut TraceTrack) -> R + Sync,
+) -> Vec<R> {
+    let jobs = cmt_jobs().min(items.len().max(1));
+    let run_one = |i: usize, item: &T, track: &mut TraceTrack| {
+        let t0 = track.start();
+        let r = f(item, track);
+        track.complete_since(t0, "par_map.item", &[("index", TraceArg::U64(i as u64))]);
+        r
+    };
+    if jobs <= 1 {
+        let mut track = session.track("worker-0");
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item, &mut track))
+            .collect();
+        track.normalize();
+        session.absorb(track);
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let tracks: Vec<TraceTrack> = (0..jobs)
+        .map(|w| session.track(&format!("worker-{w}")))
+        .collect();
+    let done: Vec<TraceTrack> = std::thread::scope(|scope| {
+        let (next, slots, run_one) = (&next, &slots, &run_one);
+        let handles: Vec<_> = tracks
+            .into_iter()
+            .map(|mut track| {
+                scope.spawn(move || {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let r = run_one(i, item, &mut track);
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    }
+                    track
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for mut track in done {
+        track.normalize();
+        session.absorb(track);
+    }
     slots
         .into_iter()
         .map(|s| {
@@ -206,6 +279,77 @@ pub fn simulate_program_observed(program: &Program, n: i64, interval: u64) -> Ob
     let [mut c1, mut c2] = caches;
     c1.flush_window();
     c2.flush_window();
+    ObservedSim {
+        sim: ProgramSim {
+            cache1: c1.stats(),
+            cache2: c2.stats(),
+        },
+        cache1: c1,
+        cache2: c2,
+        loads,
+        stores,
+    }
+}
+
+/// [`simulate_program_observed`] plus self-profiling onto `track`: the
+/// whole run becomes one `simulate` complete-span (args: program name,
+/// accesses, both caches' miss counts), each interpreter flush becomes a
+/// `sim.batch` span, and the interval snapshots are replayed as
+/// `cache1.miss_rate` / `cache2.miss_rate` counter tracks interpolated
+/// along the span — so Perfetto shows the miss-rate phase structure
+/// against wall-clock time. The simulation results are identical to the
+/// untraced call.
+pub fn simulate_program_observed_traced(
+    program: &Program,
+    n: i64,
+    interval: u64,
+    track: &mut TraceTrack,
+) -> ObservedSim {
+    let mut caches = [
+        ObservedCache::new(Cache::new(CacheConfig::rs6000()), interval),
+        ObservedCache::new(Cache::new(CacheConfig::i860()), interval),
+    ];
+    let mut m = Machine::new(program, &[n]).expect("allocation");
+    for (k, info) in program.arrays().iter().enumerate() {
+        let id = ArrayId(k as u32);
+        let start = m.storage(id).address_of(0);
+        let bytes = m.array_data(id).len() as u64 * 8;
+        for c in &mut caches {
+            c.register_region(info.name(), start, bytes);
+        }
+    }
+    let t0 = track.start();
+    let mut sink = TracedSink::new(
+        MeteredSink::new(BothObserved {
+            caches: &mut caches,
+        }),
+        track,
+    );
+    m.run(program, &mut sink).expect("execution");
+    let (loads, stores) = (sink.inner.loads, sink.inner.stores);
+    let t1 = track.now_us();
+    let [mut c1, mut c2] = caches;
+    c1.flush_window();
+    c2.flush_window();
+    let span = (t1 - t0) as f64;
+    for (prefix, cache) in [("cache1", &c1), ("cache2", &c2)] {
+        for (frac, rate) in cache.miss_rate_series() {
+            let ts = t0 + (frac * span) as u64;
+            track.counter_at(ts, &format!("{prefix}.miss_rate"), rate);
+        }
+    }
+    track.complete_at(
+        t0,
+        t1 - t0,
+        "simulate",
+        &[
+            ("program", TraceArg::Str(program.name())),
+            ("accesses", TraceArg::U64(loads + stores)),
+            ("cache1_misses", TraceArg::U64(c1.stats().misses)),
+            ("cache2_misses", TraceArg::U64(c2.stats().misses)),
+        ],
+    );
+    track.normalize();
     ObservedSim {
         sim: ProgramSim {
             cache1: c1.stats(),

@@ -1,0 +1,168 @@
+//! End-to-end pins for the observability artifacts: a traced run of a
+//! paper table produces a valid Chrome Trace with one track per worker,
+//! `obs_diff` exits 0 on identical artifacts and nonzero on a perturbed
+//! counter, and `cmt-report` renders a deterministic report.
+//!
+//! These tests run the real binaries (via `CARGO_BIN_EXE_*`) so the
+//! `CMT_TRACE` / `CMT_JOBS` / `CMT_OBS_DIR` wiring is covered, each in
+//! its own artifact directory so they can run concurrently.
+
+use cmt_obs::validate_chrome_trace;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmt-obs-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn traced_table4_run_produces_valid_trace_with_worker_tracks() {
+    let dir = scratch("table4");
+    let out = Command::new(env!("CARGO_BIN_EXE_table4_hit_rates"))
+        .arg("24")
+        .env("CMT_TRACE", "1")
+        .env("CMT_JOBS", "4")
+        .env("CMT_OBS_DIR", &dir)
+        .output()
+        .expect("spawn table4_hit_rates");
+    assert!(
+        out.status.success(),
+        "table4 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = fs::read_to_string(dir.join("table4_hit_rates.trace.json")).expect("trace file");
+    let summary = validate_chrome_trace(&trace).expect("trace validates");
+    // Main track plus one per worker: CMT_JOBS=4 must be visible as at
+    // least 4 distinct tracks.
+    assert!(
+        summary.tracks >= 4,
+        "expected >= 4 tracks under CMT_JOBS=4, got {}",
+        summary.tracks
+    );
+    // Every suite model got a par_map item span and a simulation span
+    // with its batch sub-spans and miss-rate counter samples.
+    let items = summary.by_name.get("par_map.item").copied().unwrap_or(0);
+    assert!(items > 0, "no par_map.item spans: {:?}", summary.by_name);
+    assert_eq!(summary.by_name.get("simulate").copied().unwrap_or(0), items);
+    assert!(summary.by_name.contains_key("sim.batch"));
+    assert!(summary.by_name.contains_key("cache1.miss_rate"));
+    assert!(summary.counter_samples > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn traced_fig2_run_matches_untraced_artifacts() {
+    // Tracing must not change what the run computes: the deterministic
+    // artifacts (remarks, metrics) are byte-identical with and without
+    // CMT_TRACE, except for wall-clock histogram values, which we strip
+    // by comparing the obs_diff verdict instead of raw bytes.
+    let (plain, traced) = (scratch("fig2-plain"), scratch("fig2-traced"));
+    for (dir, trace) in [(&plain, "0"), (&traced, "1")] {
+        let out = Command::new(env!("CARGO_BIN_EXE_fig2_matmul"))
+            .arg("48")
+            .env("CMT_TRACE", trace)
+            .env("CMT_OBS_DIR", dir)
+            .output()
+            .expect("spawn fig2_matmul");
+        assert!(
+            out.status.success(),
+            "fig2 failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        fs::read_to_string(plain.join("fig2_matmul.remarks.jsonl")).unwrap(),
+        fs::read_to_string(traced.join("fig2_matmul.remarks.jsonl")).unwrap(),
+        "remarks must be identical with tracing on and off"
+    );
+    assert!(!plain.join("fig2_matmul.trace.json").exists());
+    let trace = fs::read_to_string(traced.join("fig2_matmul.trace.json")).expect("trace file");
+    let summary = validate_chrome_trace(&trace).expect("trace validates");
+    assert!(summary.by_name.contains_key("compound.nest"));
+    assert!(summary.by_name.contains_key("simulate"));
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_diff"))
+        .args([
+            plain.to_str().unwrap(),
+            traced.to_str().unwrap(),
+            "fig2_matmul",
+        ])
+        .output()
+        .expect("spawn obs_diff");
+    assert!(
+        out.status.success(),
+        "deterministic fields diverged under tracing:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = fs::remove_dir_all(&plain);
+    let _ = fs::remove_dir_all(&traced);
+}
+
+#[test]
+fn obs_diff_exit_codes_are_pinned() {
+    let dir = scratch("diff");
+    let (a, b) = (dir.join("a"), dir.join("b"));
+    fs::create_dir_all(&a).unwrap();
+    fs::create_dir_all(&b).unwrap();
+    let metrics = r#"{"counters":{"sim.accesses":500},"histograms":{}}"#;
+    let remarks = "{\"pass\":\"permute\",\"nest\":\"mm/nest0:I.J.K\",\"kind\":\"Applied\",\"reason\":\"ok\"}\n";
+    fs::write(a.join("unit.metrics.json"), metrics).unwrap();
+    fs::write(a.join("unit.remarks.jsonl"), remarks).unwrap();
+    fs::write(b.join("unit.metrics.json"), metrics).unwrap();
+    fs::write(b.join("unit.remarks.jsonl"), remarks).unwrap();
+
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_obs_diff"))
+            .args([a.to_str().unwrap(), b.to_str().unwrap(), "unit"])
+            .output()
+            .expect("spawn obs_diff")
+    };
+    // Identical artifacts: exit 0.
+    let out = run();
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+
+    // One perturbed counter: exit nonzero and the finding names it.
+    fs::write(b.join("unit.metrics.json"), metrics.replace("500", "501")).unwrap();
+    let out = run();
+    assert_eq!(out.status.code(), Some(1), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sim.accesses"), "{text}");
+    assert!(text.contains("500") && text.contains("501"), "{text}");
+
+    // Bad usage: exit 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_diff"))
+        .output()
+        .expect("spawn obs_diff");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cmt_report_renders_from_artifacts() {
+    let dir = scratch("report");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig2_matmul"))
+        .arg("48")
+        .env("CMT_TRACE", "1")
+        .env("CMT_OBS_DIR", &dir)
+        .output()
+        .expect("spawn fig2_matmul");
+    assert!(out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_cmt-report"))
+        .args(["fig2_matmul", "--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn cmt-report");
+    assert!(
+        out.status.success(),
+        "cmt-report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = fs::read_to_string(dir.join("fig2_matmul.report.md")).expect("report file");
+    assert!(report.contains("# Run report: fig2_matmul"));
+    assert!(report.contains("## Counters"));
+    assert!(report.contains("## Trace"));
+    assert!(report.contains("| simulate | 1 |"), "{report}");
+    let _ = fs::remove_dir_all(&dir);
+}

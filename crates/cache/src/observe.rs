@@ -230,6 +230,22 @@ impl ObservedCache {
         &self.snapshots
     }
 
+    /// The closed snapshots as a miss-rate series: `(position, rate)`
+    /// pairs where `position` is the window's end as a fraction of the
+    /// whole trace in `[0, 1]`. This is the shape trace counter tracks
+    /// want — callers map `position` onto the simulation span's
+    /// timeline. Empty when interval tracking is off or nothing closed.
+    pub fn miss_rate_series(&self) -> Vec<(f64, f64)> {
+        let total = self.stats().accesses;
+        if total == 0 {
+            return Vec::new();
+        }
+        self.snapshots
+            .iter()
+            .map(|s| (s.upto as f64 / total as f64, s.miss_rate()))
+            .collect()
+    }
+
     /// Exports everything into `registry` under `prefix`:
     ///
     /// * counters `{prefix}.{accesses,hits,misses,cold_misses}`;

@@ -17,7 +17,7 @@ use crate::report::{
 use cmt_ir::node::Node;
 use cmt_ir::program::Program;
 use cmt_ir::visit::{all_loops, is_perfect, nest_label};
-use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind};
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind, TraceArg};
 
 /// Switches for ablation studies; the defaults match the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,6 +127,16 @@ pub fn compound_traced(
         let orig_cost = realized_cost(program, &root_snapshot, model);
         let ideal = ideal_cost(program, &root_snapshot, model);
         let orig_eval = orig_cost.eval_uniform(EVAL_AT);
+        if obs.enabled() {
+            obs.trace_begin(
+                "compound.nest",
+                &[
+                    ("nest", TraceArg::Str(&label)),
+                    ("depth", TraceArg::U64(depth as u64)),
+                    ("cost_before", TraceArg::F64(orig_eval)),
+                ],
+            );
+        }
         if orig_mem {
             report.nests_orig_memory_order += 1;
             if obs.enabled() {
@@ -322,6 +332,22 @@ pub fn compound_traced(
         ratio_count += 1;
         if obs.enabled() {
             let final_eval = final_cost.eval_uniform(EVAL_AT);
+            let verdict = if final_mem {
+                if orig_mem {
+                    "already-memory-order"
+                } else {
+                    "memory-order"
+                }
+            } else {
+                "failed"
+            };
+            obs.trace_end(
+                "compound.nest",
+                &[
+                    ("cost_after", TraceArg::F64(final_eval)),
+                    ("verdict", TraceArg::Str(verdict)),
+                ],
+            );
             obs.remark(
                 Remark::new("loopcost", label, RemarkKind::Analysis)
                     .reason(format!(
@@ -338,7 +364,19 @@ pub fn compound_traced(
     // Final pass: fuse adjacent nests for temporal locality.
     if opts.fusion {
         let snap = prov.enabled().then(|| program.clone());
+        if obs.enabled() {
+            obs.trace_begin("compound.fuse-adjacent", &[]);
+        }
         let stats = fuse_adjacent_observed(program, model, obs);
+        if obs.enabled() {
+            obs.trace_end(
+                "compound.fuse-adjacent",
+                &[
+                    ("candidates", TraceArg::U64(stats.candidates as u64)),
+                    ("fused", TraceArg::U64(stats.fused as u64)),
+                ],
+            );
+        }
         if stats.fused > 0 {
             if let Some(before) = &snap {
                 prov.step(

@@ -41,7 +41,7 @@ use crate::model::CostModel;
 use crate::scalar::scalar_replace_observed;
 use cmt_ir::program::Program;
 use cmt_ir::validate::validate;
-use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind, SpanTimer};
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind, SpanTimer, TraceArg};
 
 /// Summary of one pass execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -115,6 +115,12 @@ impl Pipeline {
         let mut out = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             let before = program.clone();
+            if obs.enabled() {
+                obs.trace_begin(
+                    &format!("pass.{}", pass.name()),
+                    &[("program", TraceArg::Str(program.name()))],
+                );
+            }
             let timer = SpanTimer::start();
             let summary = pass.run_observed(program, obs);
             let nanos = timer.elapsed_ns();
@@ -126,6 +132,10 @@ impl Pipeline {
             );
             let changed = *program != before;
             if obs.enabled() {
+                obs.trace_end(
+                    &format!("pass.{}", pass.name()),
+                    &[("changed", TraceArg::U64(changed as u64))],
+                );
                 obs.span_ns(&format!("pass.{}.ns", pass.name()), nanos);
                 obs.counter(&format!("pass.{}.changed", pass.name()), changed as u64);
             }

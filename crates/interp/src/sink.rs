@@ -9,7 +9,7 @@
 //! via the default batch implementation.
 
 use cmt_cache::{Cache, MultiCache, ObservedCache};
-use cmt_obs::MetricsRegistry;
+use cmt_obs::{MetricsRegistry, TraceArg, TraceTrack};
 
 pub use cmt_cache::fast::{pack_access, unpack_access, WRITE_BIT};
 
@@ -158,6 +158,41 @@ impl<S: TraceSink> TraceSink for MeteredSink<S> {
         self.stores += stores;
         self.loads += batch.len() as u64 - stores;
         self.inner.access_batch(batch);
+    }
+}
+
+/// Wraps a sink and records one trace span per flushed batch onto a
+/// [`TraceTrack`], so a Perfetto view of a simulation shows where the
+/// access stream's time actually goes batch by batch. Scalar accesses
+/// forward untimed — per-access spans would dwarf the work they measure.
+#[derive(Debug)]
+pub struct TracedSink<'a, S> {
+    /// The wrapped sink.
+    pub inner: S,
+    /// The track receiving one `sim.batch` complete-span per batch.
+    pub track: &'a mut TraceTrack,
+}
+
+impl<'a, S: TraceSink> TracedSink<'a, S> {
+    /// Wraps `inner`, spanning onto `track`.
+    pub fn new(inner: S, track: &'a mut TraceTrack) -> Self {
+        TracedSink { inner, track }
+    }
+}
+
+impl<S: TraceSink> TraceSink for TracedSink<'_, S> {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.inner.access(addr, is_write);
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        let start = self.track.now_us();
+        self.inner.access_batch(batch);
+        self.track.complete_since(
+            start,
+            "sim.batch",
+            &[("len", TraceArg::U64(batch.len() as u64))],
+        );
     }
 }
 
@@ -330,6 +365,56 @@ mod tests {
         m.export_metrics(&mut reg, "interp");
         assert_eq!(reg.counter_value("interp.accesses"), 3);
         assert_eq!(reg.counter_value("interp.loads"), 2);
+    }
+
+    #[test]
+    fn metered_batch_path_matches_per_access_path() {
+        // The same packed trace through `access_batch` and through
+        // per-access calls must leave *exactly* equal meters and equal
+        // inner-cache metrics — the batched path is an optimization,
+        // never a semantic change.
+        let packed: Vec<u64> = (0..10_000u64)
+            .map(|k| pack_access((k * 72) % (1 << 14), k % 5 == 0))
+            .collect();
+        let mut per_access =
+            MeteredSink::new(ObservedCache::new(Cache::new(CacheConfig::i860()), 64));
+        per_access.inner.register_region("A", 0, 1 << 14);
+        for &p in &packed {
+            let (a, w) = unpack_access(p);
+            per_access.access(a, w);
+        }
+        let mut batched = MeteredSink::new(ObservedCache::new(Cache::new(CacheConfig::i860()), 64));
+        batched.inner.register_region("A", 0, 1 << 14);
+        for chunk in packed.chunks(BATCH_LEN) {
+            batched.access_batch(chunk);
+        }
+        assert_eq!(per_access.loads, batched.loads);
+        assert_eq!(per_access.stores, batched.stores);
+        assert_eq!(per_access.accesses(), batched.accesses());
+        let mut ra = MetricsRegistry::new();
+        let mut rb = MetricsRegistry::new();
+        per_access.export_metrics(&mut ra, "interp");
+        batched.export_metrics(&mut rb, "interp");
+        per_access.inner.flush_window();
+        batched.inner.flush_window();
+        per_access.inner.export_metrics(&mut ra, "cache");
+        batched.inner.export_metrics(&mut rb, "cache");
+        assert_eq!(ra.to_json(), rb.to_json(), "metrics must match exactly");
+    }
+
+    #[test]
+    fn traced_sink_spans_each_batch() {
+        use cmt_obs::TraceSession;
+        let mut session = TraceSession::new();
+        let mut track = session.track("sim");
+        let mut sink = TracedSink::new(CountingSink::default(), &mut track);
+        sink.access(0, false); // scalar path: no span
+        sink.access_batch(&[pack_access(8, false), pack_access(16, true)]);
+        sink.access_batch(&[pack_access(24, false)]);
+        assert_eq!(sink.inner.loads + sink.inner.stores, 4);
+        assert_eq!(track.len(), 2, "one complete-span per batch");
+        session.absorb(track);
+        session.validate().unwrap();
     }
 
     #[test]

@@ -16,8 +16,14 @@
 //! * [`metrics`] — a counter/histogram [`MetricsRegistry`] with
 //!   wall-clock span timing and a machine-readable JSON snapshot, so
 //!   every reproduction run leaves an artifact comparable across PRs;
-//! * [`json`] — the tiny hand-rolled JSON writer behind both export
-//!   formats (this crate has zero dependencies);
+//! * [`trace`] — the LLVM-`-ftime-trace`-style self-profiler: a
+//!   [`TraceSession`] of per-thread [`TraceTrack`]s recording span /
+//!   instant / counter events, exported as Chrome Trace Event JSON for
+//!   Perfetto or `chrome://tracing`;
+//! * [`diff`] — cross-run regression diffing of metrics snapshots and
+//!   remark streams (the engine behind the `obs_diff` binary);
+//! * [`json`] — the tiny hand-rolled JSON writer and parser behind the
+//!   export formats (this crate has zero dependencies);
 //! * [`rng`] — a small SplitMix64/xorshift PRNG used for deterministic
 //!   workload generation and property tests (replacing the external
 //!   `rand` dependency so the tier-1 build is fully offline).
@@ -42,13 +48,17 @@
 //! assert!(line.contains("\"kind\":\"Applied\""));
 //! ```
 
+pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod remark;
 pub mod rng;
 pub mod sink;
+pub mod trace;
 
+pub use diff::{diff_metrics, diff_remarks, DiffFinding};
 pub use metrics::{HistogramSummary, MetricsRegistry, SpanTimer};
 pub use remark::{Remark, RemarkKind};
 pub use rng::SplitMix64;
-pub use sink::{CollectSink, JsonlSink, NullObs, ObsSink};
+pub use sink::{CollectSink, JsonlSink, NullObs, ObsSink, Tracing};
+pub use trace::{validate_chrome_trace, TraceArg, TraceSession, TraceSummary, TraceTrack};

@@ -1,13 +1,42 @@
 //! Counters, histograms, and wall-clock span timing.
 //!
 //! A [`MetricsRegistry`] is a flat, name-addressed store: monotonic
-//! `u64` counters plus value histograms (count/sum/min/max). Pass
-//! runtimes, per-array miss counts, and interval miss-rate snapshots all
-//! land here and export as one JSON snapshot comparable across runs.
+//! `u64` counters plus value histograms (count/sum/min/max and fixed
+//! log2 buckets for p50/p95/p99 estimates). Pass runtimes, per-array
+//! miss counts, and interval miss-rate snapshots all land here and
+//! export as one JSON snapshot comparable across runs.
 
-use crate::json::{number, ObjectWriter};
+use crate::json::ObjectWriter;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Number of fixed log2 buckets per histogram (exponents
+/// `-32..=BUCKET_MAX_EXP`).
+const BUCKETS: usize = 64;
+/// Smallest binary exponent with its own bucket; values at or below
+/// `2^-32` (including zero and negatives) land in bucket 0.
+const BUCKET_MIN_EXP: i64 = -32;
+/// Largest binary exponent with its own bucket; values at or above
+/// `2^31` land in the last bucket.
+const BUCKET_MAX_EXP: i64 = 31;
+
+/// Bucket index for one observation: the IEEE-754 exponent (i.e.
+/// `floor(log2(v))` for positive normal `v`), clamped to the fixed
+/// range. Extracting exponent bits instead of calling `log2` keeps the
+/// bucketing bit-exact across platforms and libm versions.
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    (exp.clamp(BUCKET_MIN_EXP, BUCKET_MAX_EXP) - BUCKET_MIN_EXP) as usize
+}
+
+/// Exact `2^exp` for the in-range exponents used by the buckets,
+/// constructed from bits so no floating-point math is involved.
+fn pow2(exp: i64) -> f64 {
+    f64::from_bits(((exp + 1023) as u64) << 52)
+}
 
 /// Aggregate of the values recorded under one histogram name.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,6 +49,9 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest recorded value.
     pub max: f64,
+    /// Fixed log2 buckets (exponents −32..=31) backing the quantile
+    /// estimates; bucket 0 also absorbs zero/negative/tiny values.
+    pub buckets: [u64; BUCKETS],
 }
 
 impl HistogramSummary {
@@ -28,6 +60,7 @@ impl HistogramSummary {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
     }
 
     /// Arithmetic mean of the recorded values.
@@ -38,6 +71,27 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+
+    /// Quantile estimate from the log2 buckets: walks buckets until the
+    /// cumulative count reaches `q * count` and returns the bucket's
+    /// midpoint `1.5·2^e`, clamped to the exact recorded `[min, max]`.
+    /// Resolution is one binary order of magnitude — plenty to spot a
+    /// tail regression, with zero dependencies. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = 1.5 * pow2(i as i64 + BUCKET_MIN_EXP);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 impl Default for HistogramSummary {
@@ -47,6 +101,7 @@ impl Default for HistogramSummary {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
         }
     }
 }
@@ -114,13 +169,18 @@ impl MetricsRegistry {
             mine.sum += h.sum;
             mine.min = mine.min.min(h.min);
             mine.max = mine.max.max(h.max);
+            for (b, o) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                *b += o;
+            }
         }
     }
 
     /// Renders the whole registry as one stable JSON snapshot:
-    /// `{"counters":{…},"histograms":{name:{count,sum,min,max,mean}}}`.
+    /// `{"counters":{…},"histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}`.
     /// Keys are sorted, so two snapshots of the same run are
-    /// byte-identical and two runs diff cleanly.
+    /// byte-identical and two runs diff cleanly. Zero-count histograms
+    /// are skipped entirely, so every exported `min`/`max` is a real
+    /// number and downstream consumers never special-case `null`.
     pub fn to_json(&self) -> String {
         let mut counters = ObjectWriter::new();
         for (k, &v) in &self.counters {
@@ -128,26 +188,18 @@ impl MetricsRegistry {
         }
         let mut hists = ObjectWriter::new();
         for (k, h) in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
             let mut o = ObjectWriter::new();
             o.field_u64("count", h.count)
                 .field_f64("sum", h.sum)
-                .field_raw(
-                    "min",
-                    &if h.count == 0 {
-                        "null".into()
-                    } else {
-                        number(h.min)
-                    },
-                )
-                .field_raw(
-                    "max",
-                    &if h.count == 0 {
-                        "null".into()
-                    } else {
-                        number(h.max)
-                    },
-                )
-                .field_f64("mean", h.mean());
+                .field_f64("min", h.min)
+                .field_f64("max", h.max)
+                .field_f64("mean", h.mean())
+                .field_f64("p50", h.quantile(0.50))
+                .field_f64("p95", h.quantile(0.95))
+                .field_f64("p99", h.quantile(0.99));
             hists.field_raw(k, &o.finish());
         }
         let mut top = ObjectWriter::new();
@@ -276,8 +328,76 @@ mod tests {
         m.record("t", 3.0);
         let j = m.to_json();
         assert!(j.starts_with("{\"counters\":{\"a\":2,\"z\":1}"), "{j}");
-        assert!(j.contains("\"t\":{\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"mean\":3}"));
+        assert!(
+            j.contains(
+                "\"t\":{\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\"mean\":3,\
+                 \"p50\":3,\"p95\":3,\"p99\":3}"
+            ),
+            "{j}"
+        );
         assert_eq!(j, m.clone().to_json(), "snapshot must be deterministic");
+    }
+
+    #[test]
+    fn zero_count_histograms_are_skipped_in_snapshot() {
+        // A merge from a default (never-observed) summary leaves a
+        // zero-count entry; the snapshot must omit it so `min`/`max`
+        // are never `null`.
+        let mut src = MetricsRegistry::new();
+        src.histograms
+            .insert("empty".into(), HistogramSummary::default());
+        src.record("full", 2.0);
+        let mut m = MetricsRegistry::new();
+        m.merge(&src);
+        assert!(m.histogram("empty").is_some());
+        let j = m.to_json();
+        assert!(!j.contains("empty"), "{j}");
+        assert!(!j.contains("null"), "{j}");
+        assert!(j.contains("\"full\""), "{j}");
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut m = MetricsRegistry::new();
+        // 90 fast observations around 1.0, 10 slow ones around 1024.
+        for _ in 0..90 {
+            m.record("lat", 1.0);
+        }
+        for _ in 0..10 {
+            m.record("lat", 1024.0);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.quantile(0.50), 1.5, "median is the [1,2) bucket midpoint");
+        assert_eq!(h.quantile(0.95), 1024.0, "tail clamps to exact max");
+        assert_eq!(h.quantile(0.99), 1024.0);
+        // Mid-bucket estimate: values spread inside one bucket resolve
+        // to the bucket midpoint, clamped into the observed range.
+        let mut s = MetricsRegistry::new();
+        for v in [16.0, 20.0, 24.0, 28.0] {
+            s.record("b", v);
+        }
+        let q = s.histogram("b").unwrap().quantile(0.5);
+        assert_eq!(q, 24.0, "midpoint of [16,32) bucket is 1.5*16");
+        // Degenerate inputs stay in range.
+        let mut z = MetricsRegistry::new();
+        z.record("z", 0.0);
+        assert_eq!(z.histogram("z").unwrap().quantile(0.5), 0.0);
+        assert_eq!(HistogramSummary::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_folds_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.record("h", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.record("h", 512.0);
+        b.record("h", 600.0);
+        a.merge(&b);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+        // Median now sits in the 512-bucket.
+        assert!(h.quantile(0.5) >= 512.0, "{}", h.quantile(0.5));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::metrics::MetricsRegistry;
 use crate::remark::Remark;
+use crate::trace::{TraceArg, TraceTrack};
 use std::io;
 
 /// Receiver for observability events.
@@ -42,6 +43,90 @@ pub trait ObsSink {
     /// Default forwards to [`ObsSink::record`].
     fn span_ns(&mut self, name: &str, nanos: u64) {
         self.record(name, nanos as f64);
+    }
+
+    /// Opens a hierarchical trace span (see [`crate::trace`]). Sinks
+    /// without a trace track drop the event; every `trace_begin` an
+    /// instrumented component emits must be paired with a matching
+    /// [`ObsSink::trace_end`].
+    fn trace_begin(&mut self, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        let _ = (name, args);
+    }
+
+    /// Closes the innermost open trace span named `name`; `args` merge
+    /// with the begin event's args in trace viewers.
+    fn trace_end(&mut self, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        let _ = (name, args);
+    }
+
+    /// Records an instant trace event.
+    fn trace_instant(&mut self, name: &str) {
+        let _ = name;
+    }
+
+    /// Records one sample of the trace counter series `name`.
+    fn trace_counter(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// Adapter pairing any [`ObsSink`] with a [`TraceTrack`]: remarks and
+/// metrics forward to the inner sink, trace events land on the track.
+/// This is how a traced run reuses every existing instrumentation site —
+/// wrap the per-run `CollectSink` and hand the track back to the
+/// session afterwards.
+#[derive(Debug)]
+pub struct Tracing<'a, S> {
+    /// The sink receiving remarks and metrics.
+    pub inner: S,
+    /// The track receiving trace events.
+    pub track: &'a mut TraceTrack,
+}
+
+impl<'a, S: ObsSink> Tracing<'a, S> {
+    /// Pairs `inner` with `track`.
+    pub fn new(inner: S, track: &'a mut TraceTrack) -> Self {
+        Tracing { inner, track }
+    }
+}
+
+impl<S: ObsSink> ObsSink for Tracing<'_, S> {
+    /// Always enabled: even over a disabled inner sink, producers must
+    /// construct events so the trace sees them.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn remark(&mut self, remark: Remark) {
+        self.inner.remark(remark);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.inner.counter(name, delta);
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        self.inner.record(name, value);
+    }
+
+    fn span_ns(&mut self, name: &str, nanos: u64) {
+        self.inner.span_ns(name, nanos);
+    }
+
+    fn trace_begin(&mut self, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        self.track.begin(name, args);
+    }
+
+    fn trace_end(&mut self, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        self.track.end(name, args);
+    }
+
+    fn trace_instant(&mut self, name: &str) {
+        self.track.instant(name);
+    }
+
+    fn trace_counter(&mut self, name: &str, value: f64) {
+        self.track.counter(name, value);
     }
 }
 
@@ -178,6 +263,30 @@ mod tests {
         s.counter("c", 1);
         s.record("h", 1.0);
         s.span_ns("t", 5);
+        s.trace_begin("span", &[("k", TraceArg::U64(1))]);
+        s.trace_end("span", &[]);
+        s.trace_instant("i");
+        s.trace_counter("c", 1.0);
+    }
+
+    #[test]
+    fn tracing_adapter_splits_events() {
+        use crate::trace::TraceSession;
+        let mut session = TraceSession::new();
+        let mut track = session.track("w");
+        let mut sink = Tracing::new(CollectSink::new(), &mut track);
+        assert!(sink.enabled());
+        sink.trace_begin("work", &[("nest", TraceArg::Str("n0"))]);
+        sink.remark(Remark::new("permute", "n0", RemarkKind::Applied));
+        sink.counter("c", 1);
+        sink.trace_counter("rate", 0.5);
+        sink.trace_end("work", &[("out", TraceArg::F64(2.0))]);
+        let inner = sink.inner;
+        assert_eq!(inner.remarks.len(), 1);
+        assert_eq!(inner.metrics.counter_value("c"), 1);
+        assert_eq!(track.len(), 3); // B, C, E
+        session.absorb(track);
+        session.validate().unwrap();
     }
 
     #[test]

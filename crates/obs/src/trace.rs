@@ -1,0 +1,624 @@
+//! Hierarchical self-profiling traces with Chrome Trace Event export.
+//!
+//! Modeled on LLVM's `-ftime-trace`: a run opens a [`TraceSession`],
+//! engines record begin/end or complete span events (plus instants and
+//! counter samples) on per-thread [`TraceTrack`]s, and the session
+//! exports one **Chrome Trace Event JSON** document that loads directly
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Timestamps are wall-clock microseconds since the session epoch and
+//! are therefore *excluded* from the repository's byte-identical
+//! determinism guarantee; everything else about a trace (event names,
+//! nesting, track structure, counter values) is a pure function of the
+//! work performed. Consumers that must stay deterministic (`cmt-report`,
+//! `obs_diff`) read only those fields.
+//!
+//! # Example
+//!
+//! ```
+//! use cmt_obs::trace::{validate_chrome_trace, TraceArg, TraceSession};
+//!
+//! let mut session = TraceSession::new();
+//! session.main().begin("optimize", &[("nest", TraceArg::Str("mm/nest0"))]);
+//! session.main().instant("permuted");
+//! session.main().end("optimize", &[("loopcost_after", TraceArg::F64(0.5e6))]);
+//! session.main().counter("miss_rate", 0.25);
+//!
+//! let mut worker = session.track("worker-0");
+//! let t0 = worker.start();
+//! worker.complete_since(t0, "simulate", &[("n", TraceArg::U64(64))]);
+//! session.absorb(worker);
+//!
+//! let json = session.to_chrome_json();
+//! let summary = validate_chrome_trace(&json).expect("trace validates");
+//! assert_eq!(summary.tracks, 2);
+//! assert_eq!(summary.spans, 2);
+//! ```
+
+use crate::json::{self, number, ObjectWriter, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One argument value attached to a trace event at the recording site.
+///
+/// Borrowed so instrumentation sites can pass labels without allocating
+/// when tracing is disabled upstream.
+#[derive(Clone, Copy, Debug)]
+pub enum TraceArg<'a> {
+    /// A string argument (e.g. a nest label or a verdict).
+    Str(&'a str),
+    /// A float argument (e.g. a `LoopCost` value).
+    F64(f64),
+    /// An integer argument (e.g. an access count).
+    U64(u64),
+}
+
+/// Owned form of [`TraceArg`] stored in recorded events.
+#[derive(Clone, Debug, PartialEq)]
+enum ArgValue {
+    Str(String),
+    F64(f64),
+    U64(u64),
+}
+
+impl ArgValue {
+    fn render(&self) -> String {
+        match self {
+            ArgValue::Str(s) => json::string(s),
+            ArgValue::F64(v) => number(*v),
+            ArgValue::U64(v) => v.to_string(),
+        }
+    }
+}
+
+fn own_args(args: &[(&str, TraceArg<'_>)]) -> Vec<(String, ArgValue)> {
+    args.iter()
+        .map(|(k, v)| {
+            let v = match v {
+                TraceArg::Str(s) => ArgValue::Str((*s).to_string()),
+                TraceArg::F64(x) => ArgValue::F64(*x),
+                TraceArg::U64(x) => ArgValue::U64(*x),
+            };
+            ((*k).to_string(), v)
+        })
+        .collect()
+}
+
+/// Chrome Trace Event phases this layer emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// `"B"` — span begin.
+    Begin,
+    /// `"E"` — span end.
+    End,
+    /// `"X"` — complete span (start + duration in one event).
+    Complete,
+    /// `"i"` — instant event.
+    Instant,
+    /// `"C"` — counter sample.
+    Counter,
+}
+
+impl Phase {
+    fn as_str(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+struct TraceEvent {
+    name: String,
+    phase: Phase,
+    /// Microseconds since the session epoch.
+    ts_us: u64,
+    /// Duration in microseconds ([`Phase::Complete`] only).
+    dur_us: u64,
+    args: Vec<(String, ArgValue)>,
+}
+
+/// A single timeline (one Perfetto "thread") of a [`TraceSession`].
+///
+/// Tracks share the session's epoch (so their timestamps compose onto
+/// one global timeline) but are otherwise independent: a track is
+/// `Send`, so parallel workers can each record on their own track and
+/// the session absorbs them afterwards. Events on one track are
+/// recorded in time order by construction — `Instant` is monotonic.
+#[derive(Clone, Debug)]
+pub struct TraceTrack {
+    epoch: Instant,
+    tid: u64,
+    name: String,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceTrack {
+    /// Microseconds elapsed since the session epoch (saturating).
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Timestamp to later pass to [`TraceTrack::complete_since`].
+    pub fn start(&self) -> u64 {
+        self.now_us()
+    }
+
+    /// Opens a span. Every `begin` must be matched by an [`TraceTrack::end`]
+    /// with the same name, properly nested.
+    pub fn begin(&mut self, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        self.push(name, Phase::Begin, self.now_us(), 0, args);
+    }
+
+    /// Closes the innermost open span named `name`; `args` merge with
+    /// the begin event's args in trace viewers.
+    pub fn end(&mut self, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        self.push(name, Phase::End, self.now_us(), 0, args);
+    }
+
+    /// Records a complete span that started at `start_us` (from
+    /// [`TraceTrack::start`]) and ends now.
+    pub fn complete_since(&mut self, start_us: u64, name: &str, args: &[(&str, TraceArg<'_>)]) {
+        let now = self.now_us();
+        self.push(
+            name,
+            Phase::Complete,
+            start_us,
+            now.saturating_sub(start_us),
+            args,
+        );
+    }
+
+    /// Records a complete span with explicit start and duration — for
+    /// events whose timing was measured elsewhere (e.g. interpolated
+    /// positions along a simulation span).
+    pub fn complete_at(
+        &mut self,
+        start_us: u64,
+        dur_us: u64,
+        name: &str,
+        args: &[(&str, TraceArg<'_>)],
+    ) {
+        self.push(name, Phase::Complete, start_us, dur_us, args);
+    }
+
+    /// Records an instant event.
+    pub fn instant(&mut self, name: &str) {
+        self.push(name, Phase::Instant, self.now_us(), 0, &[]);
+    }
+
+    /// Records one sample of the counter series `name` at the current
+    /// time. Counter series render as their own value track in Perfetto.
+    pub fn counter(&mut self, name: &str, value: f64) {
+        self.counter_at(self.now_us(), name, value);
+    }
+
+    /// Records one counter sample at an explicit timestamp. `ts_us` must
+    /// not be earlier than the track's latest event (per-track
+    /// monotonicity is part of the validated contract).
+    pub fn counter_at(&mut self, ts_us: u64, name: &str, value: f64) {
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            phase: Phase::Counter,
+            ts_us,
+            dur_us: 0,
+            args: vec![("value".to_string(), ArgValue::F64(value))],
+        });
+    }
+
+    /// Restores per-track timestamp order after backdated events.
+    ///
+    /// [`TraceTrack::complete_at`] and [`TraceTrack::counter_at`] append
+    /// events whose timestamps lie in the past (e.g. counter samples
+    /// interpolated along a finished simulation span), which breaks the
+    /// append-order monotonicity the validator checks. A stable sort by
+    /// timestamp repairs it: real-time events are already monotone, so
+    /// their relative order — including `B`/`E` nesting, which ties on
+    /// equal timestamps — is preserved.
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| e.ts_us);
+    }
+
+    /// Number of events recorded on this track.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        phase: Phase,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, TraceArg<'_>)],
+    ) {
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            phase,
+            ts_us,
+            dur_us,
+            args: own_args(args),
+        });
+    }
+}
+
+/// A whole run's trace: the main track plus every absorbed worker track,
+/// exported as one Chrome Trace Event JSON document.
+#[derive(Clone, Debug)]
+pub struct TraceSession {
+    epoch: Instant,
+    tracks: Vec<TraceTrack>,
+    next_tid: u64,
+}
+
+impl Default for TraceSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSession {
+    /// Opens a session; the epoch (timestamp zero) is now. The main
+    /// track (`tid` 0, named `"main"`) exists from the start.
+    pub fn new() -> TraceSession {
+        let epoch = Instant::now();
+        TraceSession {
+            epoch,
+            tracks: vec![TraceTrack {
+                epoch,
+                tid: 0,
+                name: "main".to_string(),
+                events: Vec::new(),
+            }],
+            next_tid: 1,
+        }
+    }
+
+    /// The main track.
+    pub fn main(&mut self) -> &mut TraceTrack {
+        &mut self.tracks[0]
+    }
+
+    /// Creates a detached track sharing this session's epoch. The track
+    /// is `Send`; hand it to a worker thread and [`TraceSession::absorb`]
+    /// it when the worker is done.
+    pub fn track(&mut self, name: &str) -> TraceTrack {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        TraceTrack {
+            epoch: self.epoch,
+            tid,
+            name: name.to_string(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Takes ownership of a detached track's events.
+    pub fn absorb(&mut self, track: TraceTrack) {
+        self.tracks.push(track);
+    }
+
+    /// Number of tracks (main + absorbed + still-empty created ones are
+    /// not counted until absorbed).
+    pub fn tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Total events across all tracks.
+    pub fn events(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Checks the session's structural contract: per-track monotone
+    /// non-decreasing timestamps and balanced, properly nested
+    /// begin/end pairs with matching names.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.tracks {
+            let mut last = 0u64;
+            let mut stack: Vec<&str> = Vec::new();
+            for e in &t.events {
+                if e.ts_us < last {
+                    return Err(format!(
+                        "track {} ({}): timestamp {} after {} — not monotone",
+                        t.tid, t.name, e.ts_us, last
+                    ));
+                }
+                last = e.ts_us;
+                match e.phase {
+                    Phase::Begin => stack.push(&e.name),
+                    Phase::End => match stack.pop() {
+                        Some(open) if open == e.name => {}
+                        Some(open) => {
+                            return Err(format!(
+                                "track {} ({}): end '{}' closes open span '{}'",
+                                t.tid, t.name, e.name, open
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "track {} ({}): end '{}' with no open span",
+                                t.tid, t.name, e.name
+                            ));
+                        }
+                    },
+                    Phase::Complete | Phase::Instant | Phase::Counter => {}
+                }
+            }
+            if let Some(open) = stack.pop() {
+                return Err(format!(
+                    "track {} ({}): span '{}' never ended",
+                    t.tid, t.name, open
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the session as Chrome Trace Event JSON: one
+    /// `{"displayTimeUnit":"ms","traceEvents":[…]}` document with
+    /// process/thread metadata events followed by every track's events.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.events() + self.tracks.len() + 1);
+        let mut meta = ObjectWriter::new();
+        meta.field_str("ph", "M")
+            .field_str("name", "process_name")
+            .field_u64("pid", 1)
+            .field_u64("tid", 0)
+            .field_raw("args", &{
+                let mut a = ObjectWriter::new();
+                a.field_str("name", "cmt-locality");
+                a.finish()
+            });
+        events.push(meta.finish());
+        for t in &self.tracks {
+            let mut m = ObjectWriter::new();
+            m.field_str("ph", "M")
+                .field_str("name", "thread_name")
+                .field_u64("pid", 1)
+                .field_u64("tid", t.tid)
+                .field_raw("args", &{
+                    let mut a = ObjectWriter::new();
+                    a.field_str("name", &t.name);
+                    a.finish()
+                });
+            events.push(m.finish());
+        }
+        for t in &self.tracks {
+            for e in &t.events {
+                let mut o = ObjectWriter::new();
+                o.field_str("name", &e.name)
+                    .field_str("cat", "cmt")
+                    .field_str("ph", e.phase.as_str())
+                    .field_u64("pid", 1)
+                    .field_u64("tid", t.tid)
+                    .field_u64("ts", e.ts_us);
+                if e.phase == Phase::Complete {
+                    o.field_u64("dur", e.dur_us);
+                }
+                if e.phase == Phase::Instant {
+                    // Thread-scoped instant; "g" (global) would span all
+                    // tracks.
+                    o.field_str("s", "t");
+                }
+                if !e.args.is_empty() {
+                    let mut a = ObjectWriter::new();
+                    for (k, v) in &e.args {
+                        a.field_raw(k, &v.render());
+                    }
+                    o.field_raw("args", &a.finish());
+                }
+                events.push(o.finish());
+            }
+        }
+        let mut top = ObjectWriter::new();
+        top.field_str("displayTimeUnit", "ms")
+            .field_raw("traceEvents", &json::array(events));
+        top.finish()
+    }
+}
+
+/// Structural facts about a validated trace document. Everything here is
+/// deterministic for a fixed workload and `CMT_JOBS` value — durations
+/// and timestamps are deliberately absent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Distinct non-metadata tracks (tids that carry at least one
+    /// event).
+    pub tracks: usize,
+    /// Total non-metadata events.
+    pub events: usize,
+    /// Span events (`B`/`E` pairs count once; `X` counts once).
+    pub spans: usize,
+    /// Counter samples.
+    pub counter_samples: usize,
+    /// Event count per name, sorted by name.
+    pub by_name: BTreeMap<String, usize>,
+}
+
+/// Parses and validates a Chrome Trace Event JSON document produced by
+/// [`TraceSession::to_chrome_json`] (also accepts the bare
+/// `[…]`-array form): well-formed JSON, known phases, monotone
+/// non-decreasing timestamps per track, and balanced begin/end pairs.
+/// Returns the deterministic [`TraceSummary`] on success.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let events = match &doc {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_array())
+            .ok_or("no traceEvents array")?,
+        Value::Array(items) => items,
+        _ => return Err("top level is neither an object nor an array".to_string()),
+    };
+    let mut summary = TraceSummary::default();
+    // Per-tid: (last timestamp, open-span stack).
+    let mut per_track: BTreeMap<u64, (u64, Vec<String>)> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let obj = e
+            .as_object()
+            .ok_or_else(|| format!("event {i}: not an object"))?;
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let ph = get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue; // metadata
+        }
+        let name = get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let tid = get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let ts = get("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let (last, stack) = per_track.entry(tid).or_insert((0, Vec::new()));
+        if ts < *last {
+            return Err(format!(
+                "event {i} ('{name}', tid {tid}): ts {ts} < previous {last}"
+            ));
+        }
+        *last = ts;
+        summary.events += 1;
+        *summary.by_name.entry(name.to_string()).or_insert(0) += 1;
+        match ph {
+            "B" => {
+                stack.push(name.to_string());
+                summary.spans += 1;
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: 'E {name}' closes open span '{open}' (tid {tid})"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: 'E {name}' with no open span (tid {tid})"
+                    ));
+                }
+            },
+            "X" => {
+                if get("dur").and_then(Value::as_u64).is_none() {
+                    return Err(format!("event {i}: X without dur"));
+                }
+                summary.spans += 1;
+            }
+            "i" => {}
+            "C" => summary.counter_samples += 1,
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    for (tid, (_, stack)) in &per_track {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span '{open}' never ended"));
+        }
+    }
+    summary.tracks = per_track.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_round_trips_through_validator() {
+        let mut s = TraceSession::new();
+        s.main()
+            .begin("compound", &[("nest", TraceArg::Str("mm/nest0:I.J.K"))]);
+        s.main().instant("permuted");
+        s.main()
+            .end("compound", &[("loopcost_after", TraceArg::F64(5.0e5))]);
+        let mut w = s.track("worker-0");
+        let t0 = w.start();
+        w.complete_since(t0, "simulate", &[("accesses", TraceArg::U64(1000))]);
+        w.counter("cache1.miss_rate", 0.125);
+        s.absorb(w);
+        s.validate().unwrap();
+
+        let json = s.to_chrome_json();
+        let sum = validate_chrome_trace(&json).unwrap();
+        assert_eq!(sum.tracks, 2);
+        assert_eq!(sum.spans, 2); // one B/E pair + one X
+        assert_eq!(sum.counter_samples, 1);
+        assert_eq!(sum.by_name.get("compound"), Some(&2)); // B and E
+        assert_eq!(sum.by_name.get("simulate"), Some(&1));
+    }
+
+    #[test]
+    fn unbalanced_spans_are_rejected() {
+        let mut s = TraceSession::new();
+        s.main().begin("open", &[]);
+        assert!(s.validate().is_err());
+        let err = validate_chrome_trace(&s.to_chrome_json()).unwrap_err();
+        assert!(err.contains("never ended"), "{err}");
+
+        let mut s = TraceSession::new();
+        s.main().begin("a", &[]);
+        s.main().end("b", &[]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn non_monotone_counter_timestamps_are_rejected() {
+        let mut s = TraceSession::new();
+        s.main().counter_at(100, "x", 1.0);
+        s.main().counter_at(50, "x", 2.0);
+        assert!(s.validate().is_err());
+        assert!(validate_chrome_trace(&s.to_chrome_json()).is_err());
+    }
+
+    #[test]
+    fn export_shape_is_chrome_compatible() {
+        let mut s = TraceSession::new();
+        s.main().begin("work", &[("label", TraceArg::Str("a\"b"))]);
+        s.main().end("work", &[]);
+        let json = s.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"label\":\"a\\\"b\""));
+        // The bare array form also validates.
+        let inner = &json[json.find('[').unwrap()..json.rfind(']').unwrap() + 1];
+        validate_chrome_trace(inner).unwrap();
+    }
+
+    #[test]
+    fn detached_tracks_share_the_epoch_and_get_unique_tids() {
+        let mut s = TraceSession::new();
+        let a = s.track("w0");
+        let b = s.track("w1");
+        assert_ne!(a.tid, b.tid);
+        assert_eq!(s.tracks(), 1, "detached tracks not counted until absorbed");
+        s.absorb(a);
+        s.absorb(b);
+        assert_eq!(s.tracks(), 3);
+    }
+
+    #[test]
+    fn complete_at_supports_interpolated_samples() {
+        let mut s = TraceSession::new();
+        s.main()
+            .complete_at(10, 5, "batch", &[("len", TraceArg::U64(4096))]);
+        s.main().counter_at(20, "rate", 0.5);
+        s.validate().unwrap();
+        let sum = validate_chrome_trace(&s.to_chrome_json()).unwrap();
+        assert_eq!(sum.spans, 1);
+        assert_eq!(sum.counter_samples, 1);
+    }
+}

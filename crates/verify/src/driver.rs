@@ -17,7 +17,7 @@ use cmt_locality::compound::{compound_traced, CompoundOptions};
 use cmt_locality::model::CostModel;
 use cmt_locality::provenance::{ProvenanceSink, TransformStep};
 use cmt_locality::report::TransformReport;
-use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind};
+use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind, TraceArg, TraceSession, TraceTrack};
 
 /// Tuning knobs for the differential verifier.
 #[derive(Clone, Debug)]
@@ -84,6 +84,10 @@ pub struct DiffVerifier {
     pub report: VerifyReport,
     /// Buffered verdict remarks, flushed by the caller.
     pub remarks: Vec<Remark>,
+    /// Optional trace track: one `verify.step` complete-span per
+    /// checked step (args: pass, nest index, verdict). Hand it back to
+    /// the owning [`TraceSession`] after the run.
+    pub trace: Option<TraceTrack>,
 }
 
 impl DiffVerifier {
@@ -93,13 +97,49 @@ impl DiffVerifier {
             opts,
             report: VerifyReport::default(),
             remarks: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace track recording per-step spans.
+    pub fn with_trace(mut self, track: TraceTrack) -> DiffVerifier {
+        self.trace = Some(track);
+        self
     }
 
     /// Checks one step; public so tests can inject hand-built
     /// (including deliberately illegal) steps without a full compound
     /// run.
     pub fn check_step(
+        &mut self,
+        pass: &'static str,
+        nest_index: usize,
+        reversed: &[cmt_ir::ids::LoopId],
+        before: &Program,
+        after: &Program,
+    ) {
+        let span_start = self.trace.as_ref().map(|t| t.now_us());
+        let divergences_before = self.report.divergences.len();
+        self.check_step_inner(pass, nest_index, reversed, before, after);
+        if let (Some(start), Some(track)) = (span_start, self.trace.as_mut()) {
+            let verdict = if self.report.divergences.len() > divergences_before {
+                "diverged"
+            } else {
+                "verified"
+            };
+            track.complete_since(
+                start,
+                "verify.step",
+                &[
+                    ("pass", TraceArg::Str(pass)),
+                    ("nest", TraceArg::U64(nest_index as u64)),
+                    ("verdict", TraceArg::Str(verdict)),
+                ],
+            );
+        }
+    }
+
+    fn check_step_inner(
         &mut self,
         pass: &'static str,
         nest_index: usize,
@@ -215,7 +255,36 @@ pub fn verify_compound(
     vopts: &VerifyOptions,
     obs: &mut dyn ObsSink,
 ) -> (TransformReport, VerifyReport) {
-    let mut verifier = DiffVerifier::new(vopts.clone());
+    run_verified(program, model, copts, DiffVerifier::new(vopts.clone()), obs).0
+}
+
+/// [`verify_compound`] plus self-profiling: verifier step spans land on
+/// a dedicated `verify` track of `session` (absorbed before returning),
+/// and the optimizer's own spans flow through `obs` — pair it with a
+/// [`cmt_obs::Tracing`] adapter to capture both sides of the run.
+pub fn verify_compound_traced(
+    program: &mut Program,
+    model: &CostModel,
+    copts: &CompoundOptions,
+    vopts: &VerifyOptions,
+    obs: &mut dyn ObsSink,
+    session: &mut TraceSession,
+) -> (TransformReport, VerifyReport) {
+    let verifier = DiffVerifier::new(vopts.clone()).with_trace(session.track("verify"));
+    let (out, track) = run_verified(program, model, copts, verifier, obs);
+    if let Some(track) = track {
+        session.absorb(track);
+    }
+    out
+}
+
+fn run_verified(
+    program: &mut Program,
+    model: &CostModel,
+    copts: &CompoundOptions,
+    mut verifier: DiffVerifier,
+    obs: &mut dyn ObsSink,
+) -> ((TransformReport, VerifyReport), Option<TraceTrack>) {
     let report = compound_traced(program, model, copts, obs, &mut verifier);
     if obs.enabled() {
         obs.counter("verify.steps_checked", verifier.report.steps_checked as u64);
@@ -227,7 +296,7 @@ pub fn verify_compound(
             obs.remark(r);
         }
     }
-    (report, verifier.report)
+    ((report, verifier.report), verifier.trace.take())
 }
 
 /// Runs the compound transformation under the given [`VerifyMode`]:
@@ -345,6 +414,31 @@ mod tests {
             .count();
         assert_eq!(verified, vreport.steps_checked);
         assert!(!sink.remarks.iter().any(|r| r.kind == RemarkKind::Diverged));
+    }
+
+    #[test]
+    fn traced_verification_spans_each_step() {
+        let mut session = TraceSession::new();
+        let mut p = col_copy();
+        let mut sink = CollectSink::new();
+        let (_, vreport) = verify_compound_traced(
+            &mut p,
+            &CostModel::new(4),
+            &CompoundOptions::default(),
+            &VerifyOptions::default(),
+            &mut sink,
+            &mut session,
+        );
+        assert!(vreport.is_clean());
+        session.validate().unwrap();
+        let json = session.to_chrome_json();
+        assert!(json.contains("\"verified\""), "{json}");
+        let summary = cmt_obs::validate_chrome_trace(&json).unwrap();
+        assert_eq!(
+            summary.by_name.get("verify.step"),
+            Some(&vreport.steps_checked),
+            "one complete-span per checked step"
+        );
     }
 
     #[test]

@@ -40,14 +40,25 @@ CMT_JOBS=2 CMT_BENCH_QUICK=1 CMT_BENCH_JSON="$PERF_DIR/cache_sim.json" \
 test -s "$PERF_DIR/cache_sim.json" || { echo "missing bench baseline JSON" >&2; exit 1; }
 rm -rf "$PERF_DIR"
 
-echo ">>> observability smoke (fig2_matmul artifacts)"
-SMOKE_DIR=$(mktemp -d)
-CMT_OBS_DIR="$SMOKE_DIR" cargo run --release -q -p cmt-bench --bin fig2_matmul 64 > /dev/null
-for f in fig2_matmul.remarks.jsonl fig2_matmul.metrics.json; do
+echo ">>> observability smoke (fig2_matmul artifacts + trace + report + baseline diff)"
+# A traced run of fig2_matmul must produce all four artifacts, the
+# report must render from them, and the deterministic fields (counters,
+# non-wall-clock histograms, remarks) must match the committed
+# results/baseline/ exactly — a counter drift here is a behavior change
+# and fails the build. Trace/report land in results/ci so the workflow
+# can upload them as an inspectable artifact.
+SMOKE_DIR=results/ci
+rm -rf "$SMOKE_DIR"
+CMT_OBS_DIR="$SMOKE_DIR" CMT_TRACE=1 \
+  cargo run --release -q -p cmt-bench --bin fig2_matmul 64 > /dev/null
+for f in fig2_matmul.remarks.jsonl fig2_matmul.metrics.json fig2_matmul.trace.json; do
   test -s "$SMOKE_DIR/$f" || { echo "missing artifact: $f" >&2; exit 1; }
 done
 grep -q '"pass":"permute"' "$SMOKE_DIR/fig2_matmul.remarks.jsonl"
 grep -q '"counters"' "$SMOKE_DIR/fig2_matmul.metrics.json"
-rm -rf "$SMOKE_DIR"
+grep -q '"traceEvents"' "$SMOKE_DIR/fig2_matmul.trace.json"
+cargo run --release -q -p cmt-bench --bin cmt-report -- fig2_matmul --dir "$SMOKE_DIR"
+test -s "$SMOKE_DIR/fig2_matmul.report.md" || { echo "missing report" >&2; exit 1; }
+cargo run --release -q -p cmt-bench --bin obs_diff -- results/baseline "$SMOKE_DIR" fig2_matmul
 
 echo "CI OK"
