@@ -11,6 +11,53 @@ use std::fs;
 use std::io;
 use std::path::PathBuf;
 
+/// A typed artifact-I/O failure: which path failed, and how. Artifact
+/// writes hit user-controlled locations (`$CMT_OBS_DIR` may be missing,
+/// read-only, or a file), so every writer reports this instead of
+/// panicking; binaries print it and exit nonzero.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The artifact directory could not be created.
+    CreateDir {
+        /// Directory we tried to create.
+        dir: PathBuf,
+        /// Underlying I/O error.
+        source: io::Error,
+    },
+    /// An artifact file could not be written.
+    Write {
+        /// File we tried to write.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::CreateDir { dir, source } => write!(
+                f,
+                "could not create artifact directory {}: {source}",
+                dir.display()
+            ),
+            ArtifactError::Write { path, source } => {
+                write!(f, "could not write artifact {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::CreateDir { source, .. } | ArtifactError::Write { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
 /// The artifact directory: `$CMT_OBS_DIR`, or `results/` under the
 /// current working directory.
 pub fn artifact_dir() -> PathBuf {
@@ -19,20 +66,30 @@ pub fn artifact_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+fn write_artifact(suffix: &str, name: &str, content: &str) -> Result<PathBuf, ArtifactError> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).map_err(|source| ArtifactError::CreateDir {
+        dir: dir.clone(),
+        source,
+    })?;
+    let path = dir.join(format!("{name}.{suffix}"));
+    fs::write(&path, content).map_err(|source| ArtifactError::Write {
+        path: path.clone(),
+        source,
+    })?;
+    Ok(path)
+}
+
 /// Writes one remark per line as JSON into
 /// `{artifact_dir}/{name}.remarks.jsonl`, creating the directory as
 /// needed. Returns the path written.
-pub fn write_remarks_jsonl(name: &str, remarks: &[Remark]) -> io::Result<PathBuf> {
-    let dir = artifact_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.remarks.jsonl"));
+pub fn write_remarks_jsonl(name: &str, remarks: &[Remark]) -> Result<PathBuf, ArtifactError> {
     let mut out = String::new();
     for r in remarks {
         out.push_str(&r.to_json());
         out.push('\n');
     }
-    fs::write(&path, out)?;
-    Ok(path)
+    write_artifact("remarks.jsonl", name, &out)
 }
 
 /// Whether `CMT_TRACE` asks for a Chrome Trace to be recorded this run.
@@ -45,48 +102,38 @@ pub fn trace_enabled() -> bool {
 /// `{artifact_dir}/{name}.trace.json`, creating the directory as needed.
 /// Open the file in Perfetto (<https://ui.perfetto.dev>) or
 /// `chrome://tracing`. Returns the path written.
-pub fn write_trace_json(name: &str, json: &str) -> io::Result<PathBuf> {
-    let dir = artifact_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.trace.json"));
-    fs::write(&path, json)?;
-    Ok(path)
+pub fn write_trace_json(name: &str, json: &str) -> Result<PathBuf, ArtifactError> {
+    write_artifact("trace.json", name, json)
 }
 
 /// Writes a rendered markdown run report into
 /// `{artifact_dir}/{name}.report.md`, creating the directory as needed.
 /// Returns the path written.
-pub fn write_report_md(name: &str, text: &str) -> io::Result<PathBuf> {
-    let dir = artifact_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.report.md"));
-    fs::write(&path, text)?;
-    Ok(path)
+pub fn write_report_md(name: &str, text: &str) -> Result<PathBuf, ArtifactError> {
+    write_artifact("report.md", name, text)
 }
 
 /// Writes the registry snapshot into `{artifact_dir}/{name}.metrics.json`,
 /// creating the directory as needed. Returns the path written.
-pub fn write_metrics_json(name: &str, metrics: &MetricsRegistry) -> io::Result<PathBuf> {
-    let dir = artifact_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.metrics.json"));
-    fs::write(&path, metrics.to_json() + "\n")?;
-    Ok(path)
+pub fn write_metrics_json(name: &str, metrics: &MetricsRegistry) -> Result<PathBuf, ArtifactError> {
+    write_artifact("metrics.json", name, &(metrics.to_json() + "\n"))
 }
 
 /// Convenience: write both artifacts and report the paths on stdout in
-/// the same style the tables use. Errors are printed, not fatal —
-/// artifact emission must never fail a run that already computed its
-/// results.
-pub fn emit(name: &str, remarks: &[Remark], metrics: &MetricsRegistry) {
-    match write_remarks_jsonl(name, remarks) {
-        Ok(p) => println!("[obs] remarks:  {}", p.display()),
-        Err(e) => eprintln!("[obs] could not write remarks for {name}: {e}"),
-    }
-    match write_metrics_json(name, metrics) {
-        Ok(p) => println!("[obs] metrics:  {}", p.display()),
-        Err(e) => eprintln!("[obs] could not write metrics for {name}: {e}"),
-    }
+/// the same style the tables use. A failure (missing or read-only
+/// `$CMT_OBS_DIR`, full disk) is returned so the binary can print it
+/// and exit nonzero — CI must not treat a run with silently missing
+/// artifacts as green.
+pub fn emit(
+    name: &str,
+    remarks: &[Remark],
+    metrics: &MetricsRegistry,
+) -> Result<(), ArtifactError> {
+    let p = write_remarks_jsonl(name, remarks)?;
+    println!("[obs] remarks:  {}", p.display());
+    let p = write_metrics_json(name, metrics)?;
+    println!("[obs] metrics:  {}", p.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -111,6 +158,14 @@ mod tests {
         assert!(rtext.contains("\"pass\":\"permute\""));
         let mtext = std::fs::read_to_string(&mp).unwrap();
         assert!(mtext.contains("\"x\":3"));
+        // Error path: point CMT_OBS_DIR below a regular file so the
+        // directory cannot be created — the writer must report a typed
+        // error naming the path, not panic.
+        let blocker = dir.join("unit.remarks.jsonl");
+        std::env::set_var("CMT_OBS_DIR", blocker.join("nested"));
+        let err = write_remarks_jsonl("unit", &remarks).unwrap_err();
+        assert!(matches!(err, ArtifactError::CreateDir { .. }), "{err:?}");
+        assert!(err.to_string().contains("could not create"), "{err}");
         std::env::remove_var("CMT_OBS_DIR");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,227 @@
+//! `chaos_corpus` — supervised chaos sweep over the verify corpus.
+//!
+//! ```text
+//! chaos_corpus [--seeds K] [--fault-seed S] [--out DIR]
+//! ```
+//!
+//! Runs the first `K` seeds of the committed 256-seed verification
+//! corpus (default: all) through the supervised pipeline
+//! ([`cmt_resilience::supervise_default`]) under differential
+//! verification, on the hardened parallel runner. With `--fault-seed S`
+//! each item gets its own deterministic [`cmt_resilience::FaultPlan`]
+//! derived from `S` and the item seed — the same faults fire for the
+//! same `(S, seed)` pair at any `CMT_JOBS`. Without it the sweep is
+//! fault-free.
+//!
+//! Every degraded item is quarantined: its input program is
+//! delta-minimized (while the fresh supervised run still degrades) and
+//! written as a reproducer under `{DIR}/quarantine/`. A deterministic
+//! per-seed summary goes to stdout and `{DIR}/chaos_summary.txt`; `DIR`
+//! defaults to the artifact directory (`$CMT_OBS_DIR`, or `results/`).
+//!
+//! Exit codes: `0` the sweep completed gracefully (degraded items are
+//! expected under fault injection, not an error), `1` a worker panic
+//! escaped containment or an artifact could not be written, `2` usage
+//! error.
+
+use cmt_locality::model::CostModel;
+use cmt_obs::{CollectSink, NullObs};
+use cmt_resilience::{
+    silence_supervised_panics, supervise_default, FaultPlan, QuarantineRecord, StageFailure,
+};
+use cmt_verify::{corpus_seeds, generate, minimize_with, VerifyMode, VerifyOptions};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: chaos_corpus [--seeds K] [--fault-seed S] [--out DIR]");
+    ExitCode::from(2)
+}
+
+/// Everything the summary needs about one swept item, in seed order.
+struct ItemOutcome {
+    seed: u64,
+    plan: String,
+    committed: bool,
+    steps_committed: usize,
+    faults_fired: usize,
+    failures: Vec<StageFailure>,
+}
+
+impl ItemOutcome {
+    fn failure_text(&self) -> String {
+        self.failures
+            .iter()
+            .map(|f| format!("{}: {} (rolled back to {})", f.stage, f.reason, f.rollback))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+fn main() -> ExitCode {
+    silence_supervised_panics();
+    let mut take: Option<usize> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(k) => take = Some(k),
+                None => return usage(),
+            },
+            "--fault-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => fault_seed = Some(s),
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(d) => out = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let out = out.unwrap_or_else(cmt_bench::artifact_dir);
+
+    let mut seeds = corpus_seeds();
+    if let Some(k) = take {
+        seeds.truncate(k);
+    }
+    let model = CostModel::new(4);
+    let mode = VerifyMode::On(VerifyOptions::default());
+    let plan_for = |seed: u64| match fault_seed {
+        Some(s) => FaultPlan::seeded_for(s, seed),
+        None => FaultPlan::none(),
+    };
+
+    // The sweep itself: hardened runner + supervisor means neither an
+    // injected fault nor a genuine pipeline bug can kill the process.
+    let results = cmt_bench::try_par_map(&seeds, |&seed| {
+        let mut program = generate(seed);
+        let mut faults = plan_for(seed);
+        let mut sink = CollectSink::new();
+        let run = supervise_default(&mut program, &model, &mode, &mut faults, &mut sink);
+        ItemOutcome {
+            seed,
+            plan: faults.describe(),
+            committed: run.is_committed(),
+            steps_committed: run.steps_committed,
+            faults_fired: run.faults_fired,
+            failures: run.failures,
+        }
+    });
+
+    let mut escaped = 0usize;
+    let mut outcomes: Vec<ItemOutcome> = Vec::new();
+    for r in results {
+        match r {
+            Ok(o) => outcomes.push(o),
+            Err(e) => {
+                // The supervisor contains pipeline panics, so this only
+                // fires on a bug in the harness itself.
+                eprintln!("chaos_corpus: escaped containment: {e}");
+                escaped += 1;
+            }
+        }
+    }
+
+    // Quarantine degraded items: re-derive the failure on a minimized
+    // program and write a self-contained reproducer.
+    let mut quarantined: Vec<(u64, PathBuf)> = Vec::new();
+    for o in outcomes.iter().filter(|o| !o.failures.is_empty()) {
+        let input = generate(o.seed);
+        let still_degrades = |candidate: &cmt_ir::program::Program| {
+            let mut p = candidate.clone();
+            let mut faults = plan_for(o.seed);
+            supervise_default(&mut p, &model, &mode, &mut faults, &mut NullObs).degraded()
+        };
+        let minimized = minimize_with(&input, still_degrades);
+        let replay = match fault_seed {
+            Some(s) => format!("chaos_corpus --seeds {} --fault-seed {s}", seeds.len()),
+            None => format!("chaos_corpus --seeds {}", seeds.len()),
+        };
+        let rec = QuarantineRecord {
+            seed: o.seed,
+            fault_plan: o.plan.clone(),
+            failures: &o.failures,
+            program: &minimized,
+            note: format!("replay: {replay}"),
+        };
+        match cmt_resilience::write_quarantine(&out.join("quarantine"), &rec) {
+            Ok(path) => quarantined.push((o.seed, path)),
+            Err(e) => {
+                eprintln!(
+                    "chaos_corpus: could not write quarantine for seed {}: {e}",
+                    o.seed
+                );
+                escaped += 1;
+            }
+        }
+    }
+
+    // Deterministic, seed-ordered summary (stdout + artifact file).
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "chaos_corpus: {} seeds, fault-seed {}",
+        seeds.len(),
+        fault_seed.map_or("none".to_string(), |s| s.to_string()),
+    );
+    for o in &outcomes {
+        if o.failures.is_empty() {
+            let _ = writeln!(
+                summary,
+                "seed {}: {} ({} steps, {} faults fired)",
+                o.seed,
+                if o.committed {
+                    "committed"
+                } else {
+                    "unchanged"
+                },
+                o.steps_committed,
+                o.faults_fired,
+            );
+        } else {
+            let _ = writeln!(
+                summary,
+                "seed {}: degraded [{}] ({} steps, {} faults fired, plan {})",
+                o.seed,
+                o.failure_text(),
+                o.steps_committed,
+                o.faults_fired,
+                o.plan,
+            );
+        }
+    }
+    let degraded = outcomes.iter().filter(|o| !o.failures.is_empty()).count();
+    let fired: usize = outcomes.iter().map(|o| o.faults_fired).sum();
+    let _ = writeln!(
+        summary,
+        "total: {} swept, {} degraded, {} faults fired, {} quarantined",
+        outcomes.len(),
+        degraded,
+        fired,
+        quarantined.len(),
+    );
+    print!("{summary}");
+    for (seed, path) in &quarantined {
+        println!("[chaos] quarantine seed {}: {}", seed, path.display());
+    }
+    if let Err(e) = std::fs::create_dir_all(&out)
+        .and_then(|()| std::fs::write(out.join("chaos_summary.txt"), &summary))
+    {
+        eprintln!("chaos_corpus: could not write summary: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "[chaos] summary:  {}",
+        out.join("chaos_summary.txt").display()
+    );
+
+    if escaped > 0 {
+        eprintln!("chaos_corpus: {escaped} item(s) escaped containment");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

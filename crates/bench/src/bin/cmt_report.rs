@@ -9,6 +9,9 @@
 //! `{dir}/{name}.report.md`. `DIR` defaults to the artifact directory
 //! (`$CMT_OBS_DIR`, or `results/`). The report reads only deterministic
 //! fields, so it is byte-identical across runs of the same workload.
+//!
+//! Exit codes: `0` report written, `1` report could not be written,
+//! `2` usage error or missing/malformed input artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,14 +47,14 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cmt-report: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let metrics = match read("metrics.json") {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cmt-report: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     // The trace is optional — only written under CMT_TRACE.
@@ -68,8 +71,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // render_report rejects malformed remarks/metrics/trace
+            // JSON with a diagnostic instead of panicking mid-parse.
             eprintln!("cmt-report: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

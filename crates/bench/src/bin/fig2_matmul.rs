@@ -2,8 +2,9 @@
 
 use cmt_locality::pass::Pipeline;
 use cmt_obs::{CollectSink, TraceSession, Tracing};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let n: i64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -40,7 +41,10 @@ fn main() {
         session.validate().expect("trace invariants");
         match cmt_bench::write_trace_json("fig2_matmul", &session.to_chrome_json()) {
             Ok(path) => println!("[obs] trace:    {}", path.display()),
-            Err(e) => eprintln!("[obs] could not write trace: {e}"),
+            Err(e) => {
+                eprintln!("fig2_matmul: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     } else {
         sink = CollectSink::new();
@@ -51,5 +55,9 @@ fn main() {
         let sim = cmt_bench::simulate_program_observed(&p, sim_n, 10_000);
         sim.export_metrics(&mut sink.metrics, "fig2.matmul_opt");
     }
-    cmt_bench::emit("fig2_matmul", &sink.remarks, &sink.metrics);
+    if let Err(e) = cmt_bench::emit("fig2_matmul", &sink.remarks, &sink.metrics) {
+        eprintln!("fig2_matmul: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

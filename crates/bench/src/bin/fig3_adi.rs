@@ -2,8 +2,9 @@
 
 use cmt_locality::pass::Pipeline;
 use cmt_obs::CollectSink;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let n: i64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -25,5 +26,9 @@ fn main() {
     }
     let sim = cmt_bench::simulate_program_observed(&p, n.min(128), 10_000);
     sim.export_metrics(&mut sink.metrics, "fig3.adi_opt");
-    cmt_bench::emit("fig3_adi", &sink.remarks, &sink.metrics);
+    if let Err(e) = cmt_bench::emit("fig3_adi", &sink.remarks, &sink.metrics) {
+        eprintln!("fig3_adi: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -2,8 +2,9 @@
 
 use cmt_locality::pass::Pipeline;
 use cmt_obs::CollectSink;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let n: i64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -24,5 +25,9 @@ fn main() {
     }
     let sim = cmt_bench::simulate_program_observed(&p, n.min(160), 10_000);
     sim.export_metrics(&mut sink.metrics, "fig7.cholesky_opt");
-    cmt_bench::emit("fig7_cholesky", &sink.remarks, &sink.metrics);
+    if let Err(e) = cmt_bench::emit("fig7_cholesky", &sink.remarks, &sink.metrics) {
+        eprintln!("fig7_cholesky: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -8,9 +8,12 @@
 //! drift beyond `REL`, default 0.0) and `{name}.remarks.jsonl`
 //! (new/vanished remark lines, order-insensitive) between the two
 //! directories. Wall-clock (`*.ns`) histograms are excluded — only
-//! deterministic fields participate. Prints one line per finding and
-//! exits nonzero when anything differs, so CI can gate on a committed
-//! `results/baseline/`.
+//! deterministic fields participate. Prints one line per finding.
+//!
+//! Exit codes: `0` no differences, `1` differences found, `2` usage
+//! error or missing/malformed input artifacts — so CI gating on a
+//! committed `results/baseline/` can tell "drift" apart from "broken
+//! run".
 
 use cmt_obs::{diff_metrics, diff_remarks};
 use std::path::Path;
@@ -57,7 +60,7 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => {
             eprintln!("obs_diff: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
 
@@ -79,8 +82,9 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         Err(e) => {
+            // Malformed JSON/JSONL is a broken artifact, not a diff.
             eprintln!("obs_diff: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

@@ -3,8 +3,9 @@
 use cmt_locality::compound_observed;
 use cmt_locality::model::CostModel;
 use cmt_obs::CollectSink;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let (text, _) = cmt_bench::tables::table2();
     println!("{text}");
 
@@ -24,5 +25,9 @@ fn main() {
     for part in parts {
         sink.absorb(part);
     }
-    cmt_bench::emit("table2_memory_order", &sink.remarks, &sink.metrics);
+    if let Err(e) = cmt_bench::emit("table2_memory_order", &sink.remarks, &sink.metrics) {
+        eprintln!("table2_memory_order: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

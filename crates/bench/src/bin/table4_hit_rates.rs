@@ -3,8 +3,9 @@
 use cmt_locality::compound_observed;
 use cmt_locality::model::CostModel;
 use cmt_obs::{CollectSink, TraceSession, Tracing};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let n = std::env::args().nth(1).and_then(|s| s.parse().ok());
     let (text, _) = cmt_bench::tables::table4(n);
     println!("{text}");
@@ -49,8 +50,15 @@ fn main() {
         session.validate().expect("trace invariants");
         match cmt_bench::write_trace_json("table4_hit_rates", &session.to_chrome_json()) {
             Ok(path) => println!("[obs] trace:    {}", path.display()),
-            Err(e) => eprintln!("[obs] could not write trace: {e}"),
+            Err(e) => {
+                eprintln!("table4_hit_rates: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
-    cmt_bench::emit("table4_hit_rates", &sink.remarks, &sink.metrics);
+    if let Err(e) = cmt_bench::emit("table4_hit_rates", &sink.remarks, &sink.metrics) {
+        eprintln!("table4_hit_rates: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -22,10 +22,11 @@ pub mod timing;
 
 pub use artifact::{
     artifact_dir, emit, trace_enabled, write_metrics_json, write_remarks_jsonl, write_report_md,
-    write_trace_json,
+    write_trace_json, ArtifactError,
 };
 pub use report::render_report;
 pub use runner::{
     cmt_jobs, par_map, par_map_traced, simulate_program, simulate_program_observed,
-    simulate_program_observed_traced, simulate_versions, ObservedSim, ProgramSim, VersionPair,
+    simulate_program_observed_traced, simulate_versions, try_par_map, try_par_map_traced,
+    ObservedSim, ProgramSim, VersionPair, WorkerPanic,
 };

@@ -1,0 +1,139 @@
+//! Chaos suite: the supervised pipeline over the full 256-seed verify
+//! corpus under seeded fault injection.
+//!
+//! Pins the three resilience guarantees end to end:
+//! 1. no FaultPlan can abort the sweep — every item completes;
+//! 2. items whose plan never fired are byte-identical to a fault-free
+//!    run (supervision and fault plumbing are transparent);
+//! 3. items that degraded still hold a verified-legal program: the
+//!    rolled-back result computes the same array state as the original
+//!    (every committed step passed the differential verifier).
+
+use cmt_locality::model::CostModel;
+use cmt_obs::NullObs;
+use cmt_resilience::{silence_supervised_panics, supervise_default, FaultPlan};
+use cmt_verify::{corpus_seeds, fingerprint, generate, VerifyMode, VerifyOptions};
+
+const FAULT_SEED: u64 = 0xC0FFEE;
+
+/// Final array state of the common-prefix arrays must match: the
+/// transform may append scalar-replacement temporaries, never change
+/// the declared arrays' results.
+fn same_array_state(original: &cmt_ir::program::Program, result: &cmt_ir::program::Program) {
+    for &n in &[6i64, 9] {
+        let a = fingerprint(original, &[n]).expect("original executes");
+        let b = fingerprint(result, &[n]).expect("result executes");
+        let common = a.arrays.len().min(b.arrays.len());
+        assert_eq!(
+            &a.arrays[..common],
+            &b.arrays[..common],
+            "array state diverged at N={n} for {}",
+            original.name()
+        );
+    }
+}
+
+#[test]
+fn chaos_sweep_over_the_corpus_never_aborts_and_degrades_legally() {
+    silence_supervised_panics();
+    let model = CostModel::new(4);
+    let mode = VerifyMode::On(VerifyOptions::default());
+    let seeds = corpus_seeds();
+    assert!(seeds.len() >= 256, "corpus shrank to {}", seeds.len());
+
+    // Hardened runner + supervisor: a panic anywhere in here would fail
+    // the test, which is exactly the "no process abort" assertion.
+    let outcomes = cmt_bench::try_par_map(&seeds, |&seed| {
+        let original = generate(seed);
+        let mut faulted = original.clone();
+        let mut plan = FaultPlan::seeded_for(FAULT_SEED, seed);
+        let run = supervise_default(&mut faulted, &model, &mode, &mut plan, &mut NullObs);
+        (seed, original, faulted, run)
+    });
+
+    let mut fired = 0usize;
+    let mut degraded = 0usize;
+    for outcome in outcomes {
+        let (seed, original, faulted, run) = outcome.expect("no worker panic escapes");
+        if run.faults_fired == 0 {
+            // Guarantee 2: an unfired plan is invisible — same bytes as
+            // the fault-free supervised run.
+            let mut clean = original.clone();
+            let clean_run = supervise_default(
+                &mut clean,
+                &model,
+                &mode,
+                &mut FaultPlan::none(),
+                &mut NullObs,
+            );
+            assert_eq!(
+                faulted, clean,
+                "seed {seed}: unfired fault plan changed the result"
+            );
+            assert_eq!(run.failures.len(), clean_run.failures.len());
+        } else {
+            fired += 1;
+        }
+        if run.degraded() {
+            degraded += 1;
+        }
+        // Guarantee 3: whatever happened, the surviving program is
+        // semantically equal to the input on the declared arrays.
+        same_array_state(&original, &faulted);
+    }
+    // The seeded plans must actually exercise the machinery.
+    assert!(fired > 0, "no fault fired across the whole corpus");
+    assert!(degraded > 0, "no nest degraded across the whole corpus");
+}
+
+#[test]
+fn fault_free_supervision_is_transparent_on_corpus_samples() {
+    silence_supervised_panics();
+    let model = CostModel::new(4);
+    let mode = VerifyMode::On(VerifyOptions::default());
+    for &seed in corpus_seeds().iter().take(32) {
+        let mut expected = generate(seed);
+        cmt_locality::compound::compound(&mut expected, &model);
+        cmt_locality::scalar::scalar_replace(&mut expected);
+
+        let mut supervised = generate(seed);
+        let run = supervise_default(
+            &mut supervised,
+            &model,
+            &mode,
+            &mut FaultPlan::none(),
+            &mut NullObs,
+        );
+        assert!(run.is_committed(), "seed {seed}: {:?}", run.failures);
+        assert_eq!(
+            supervised, expected,
+            "seed {seed}: supervised result differs from the plain pipeline"
+        );
+    }
+}
+
+#[test]
+fn chaos_corpus_binary_is_byte_identical_for_any_cmt_jobs() {
+    let bin = env!("CARGO_BIN_EXE_chaos_corpus");
+    let out = std::env::temp_dir().join(format!("cmt_chaos_bin_{}", std::process::id()));
+    let run = |jobs: &str, sub: &str| {
+        let output = std::process::Command::new(bin)
+            .args(["--seeds", "24", "--fault-seed", "7"])
+            .arg("--out")
+            .arg(out.join(sub))
+            .env("CMT_JOBS", jobs)
+            .output()
+            .expect("chaos_corpus runs");
+        assert!(
+            output.status.success(),
+            "chaos_corpus failed under CMT_JOBS={jobs}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        // The summary artifact excludes the --out paths stdout prints.
+        std::fs::read_to_string(out.join(sub).join("chaos_summary.txt")).expect("summary written")
+    };
+    let summary1 = run("1", "j1");
+    let summary4 = run("4", "j4");
+    assert_eq!(summary1, summary4, "summary depends on CMT_JOBS");
+    let _ = std::fs::remove_dir_all(&out);
+}

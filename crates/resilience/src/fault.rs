@@ -1,0 +1,236 @@
+//! Deterministic fault injection for the supervised pipeline.
+//!
+//! A [`FaultPlan`] is a small, seed-derived script of faults to fire at
+//! named pipeline sites. The supervisor consults the plan at every
+//! transformation step and stage boundary; when a fault fires, the
+//! supervisor behaves exactly as if the underlying pass had misbehaved
+//! in the scripted way — panicked, produced structurally corrupt IR,
+//! burned through its fuel budget, or produced a semantically diverging
+//! rewrite. Because the plan is a pure function of its `u64` seed (built
+//! on the in-repo [`SplitMix64`]), every chaos run is replayable
+//! bit-for-bit on any platform.
+
+use cmt_obs::SplitMix64;
+use std::fmt;
+
+/// The pipeline sites a fault can be scripted against. These are the
+/// pass names the compound driver reports through its provenance hooks
+/// (`permute`, `fuse-all`, `distribute`, `fuse`) plus the supervised
+/// post-stages (`scalar-replace`, `tile`).
+pub const FAULT_SITES: [&str; 6] = [
+    "permute",
+    "fuse-all",
+    "distribute",
+    "fuse",
+    "scalar-replace",
+    "tile",
+];
+
+/// What a scripted fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The pass panics mid-rewrite.
+    Panic,
+    /// The pass produces structurally invalid IR (caught by the
+    /// pre/post structural validator).
+    CorruptIr,
+    /// The pass burns the remaining fuel budget in one step.
+    ExhaustBudget,
+    /// The pass produces a rewrite the differential verifier rejects.
+    ForceDivergence,
+}
+
+impl FaultKind {
+    /// All kinds, for seeded plan construction.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Panic,
+        FaultKind::CorruptIr,
+        FaultKind::ExhaustBudget,
+        FaultKind::ForceDivergence,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Panic => "panic",
+            FaultKind::CorruptIr => "corrupt-ir",
+            FaultKind::ExhaustBudget => "exhaust-budget",
+            FaultKind::ForceDivergence => "force-divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scripted fault: fire `kind` at the `skip`+1-th visit to `site`.
+#[derive(Clone, Debug)]
+pub struct Fault {
+    /// Site name (one of [`FAULT_SITES`]).
+    pub site: String,
+    /// What happens when the fault fires.
+    pub kind: FaultKind,
+    /// Visits to `site` to let pass before firing.
+    pub skip: u32,
+    fired: bool,
+}
+
+impl Fault {
+    /// A fault that fires on the first visit to `site`.
+    pub fn at(site: impl Into<String>, kind: FaultKind) -> Fault {
+        Fault {
+            site: site.into(),
+            kind,
+            skip: 0,
+            fired: false,
+        }
+    }
+
+    /// Same, but lets `skip` visits pass first.
+    pub fn after(site: impl Into<String>, kind: FaultKind, skip: u32) -> Fault {
+        Fault {
+            skip,
+            ..Fault::at(site, kind)
+        }
+    }
+}
+
+/// A deterministic script of faults for one supervised run.
+///
+/// The plan is *consumed* as it fires: each [`Fault`] fires at most
+/// once, so a fresh clone (or a re-seeded plan) is needed to replay the
+/// same chaos scenario.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults ever fire.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan holding exactly these faults.
+    pub fn of(faults: Vec<Fault>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
+    /// Derives a 1–3 fault plan from `seed`. Same seed ⇒ same plan, on
+    /// every platform.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.gen_range_usize(1, 3);
+        let faults = (0..n)
+            .map(|_| {
+                let site = *rng.choose(&FAULT_SITES);
+                let kind = *rng.choose(&FaultKind::ALL);
+                let skip = rng.gen_range_usize(0, 2) as u32;
+                Fault::after(site, kind, skip)
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Derives the per-item plan for item `item_seed` of a corpus run
+    /// scripted by `plan_seed`. The derivation mixes both seeds through
+    /// SplitMix64, so the plan for a given item is independent of worker
+    /// scheduling and of every other item — the property that keeps a
+    /// chaos sweep byte-identical for any `CMT_JOBS`.
+    pub fn seeded_for(plan_seed: u64, item_seed: u64) -> FaultPlan {
+        let mut mix = SplitMix64::seed_from_u64(plan_seed ^ item_seed.rotate_left(17));
+        FaultPlan::seeded(mix.next_u64())
+    }
+
+    /// `true` when the plan holds no faults at all (fired or not).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired(&self) -> usize {
+        self.faults.iter().filter(|f| f.fired).count()
+    }
+
+    /// The scripted faults (fired and pending).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Consults the plan at a visit to `site`: decrements the first
+    /// matching pending fault's skip count, and fires it (at most once)
+    /// when the count is spent.
+    pub fn fire(&mut self, site: &str) -> Option<FaultKind> {
+        let fault = self
+            .faults
+            .iter_mut()
+            .find(|f| !f.fired && f.site == site)?;
+        if fault.skip > 0 {
+            fault.skip -= 1;
+            return None;
+        }
+        fault.fired = true;
+        Some(fault.kind)
+    }
+
+    /// One-line human-readable description, for logs and artifacts.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return "no faults".to_string();
+        }
+        self.faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}@{}+{}{}",
+                    f.kind,
+                    f.site,
+                    f.skip,
+                    if f.fired { "!" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7).describe();
+        let b = FaultPlan::seeded(7).describe();
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(8).describe();
+        assert_ne!(a, c, "different seeds should (here) differ");
+    }
+
+    #[test]
+    fn fire_respects_skip_and_fires_once() {
+        let mut plan = FaultPlan::of(vec![Fault::after("permute", FaultKind::Panic, 2)]);
+        assert_eq!(plan.fire("permute"), None);
+        assert_eq!(plan.fire("fuse"), None, "site mismatch never fires");
+        assert_eq!(plan.fire("permute"), None);
+        assert_eq!(plan.fire("permute"), Some(FaultKind::Panic));
+        assert_eq!(plan.fire("permute"), None, "fires at most once");
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn per_item_plans_do_not_depend_on_order() {
+        let a1 = FaultPlan::seeded_for(99, 5).describe();
+        let a2 = FaultPlan::seeded_for(99, 5).describe();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn sites_cover_every_supervised_pass() {
+        for site in FAULT_SITES {
+            assert!(!site.is_empty());
+        }
+        assert!(FAULT_SITES.contains(&"permute"));
+        assert!(FAULT_SITES.contains(&"scalar-replace"));
+        assert!(FAULT_SITES.contains(&"tile"));
+    }
+}

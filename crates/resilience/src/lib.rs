@@ -1,0 +1,85 @@
+//! Supervised, fault-injectable optimization pipeline with transactional
+//! rollback and graceful degradation.
+//!
+//! The compound transformation algorithm is meant to run as a production
+//! compiler pass over *arbitrary* loop nests, so a single pathological
+//! nest must never abort a corpus run. This crate wraps the
+//! `cmt-locality` pipeline in a supervisor that makes every
+//! transformation step a transaction:
+//!
+//! * **[`supervise`]** runs compound → scalar-replace → (optional) tile
+//!   under `catch_unwind`, with deterministic step/fuel budgets
+//!   ([`Budget`]) and, under [`cmt_verify::VerifyMode::On`], the
+//!   differential verifier attached to every step. On panic, budget
+//!   exhaustion, structural-validation failure, or verifier divergence
+//!   the program **rolls back** to its last verified-good snapshot (or
+//!   the original, per [`Degradation`]) and the run continues, emitting
+//!   `resilience.*` counters and a `degraded:` remark.
+//! * **[`FaultPlan`]** deterministically injects panics, IR corruption,
+//!   budget exhaustion, and forced verifier divergence at the named
+//!   sites in [`FAULT_SITES`], seeded by the in-repo SplitMix64 — every
+//!   chaos scenario replays bit-for-bit from its seed.
+//! * **[`quarantine`]** writes self-contained reproducer artifacts for
+//!   corpus items that keep failing, built on the verify crate's
+//!   delta-debugging minimizer ([`cmt_verify::minimize_with`]).
+//!
+//! The hardened parallel corpus runner (worker-panic containment,
+//! bounded retry) lives in `cmt-bench`'s `runner` module; the chaos
+//! sweep over the 256-seed verify corpus lives in the `chaos_corpus`
+//! binary and `cmt-bench`'s integration tests. See `docs/ROBUSTNESS.md`
+//! for the full state machine and artifact formats.
+//!
+//! # Example
+//!
+//! A scripted panic in the permutation pass degrades the nest instead of
+//! killing the run:
+//!
+//! ```
+//! use cmt_ir::build::ProgramBuilder;
+//! use cmt_ir::expr::Expr;
+//! use cmt_locality::model::CostModel;
+//! use cmt_obs::NullObs;
+//! use cmt_resilience::{
+//!     silence_supervised_panics, supervise_default, Fault, FaultKind, FaultPlan,
+//! };
+//! use cmt_verify::VerifyMode;
+//!
+//! silence_supervised_panics();
+//! let mut b = ProgramBuilder::new("copy");
+//! let n = b.param("N");
+//! let a = b.matrix("A", n);
+//! let c = b.matrix("C", n);
+//! b.loop_("I", 1, n, |b| {
+//!     b.loop_("J", 1, n, |b| {
+//!         let (i, j) = (b.var("I"), b.var("J"));
+//!         let lhs = b.at(c, [i, j]);
+//!         b.assign(lhs, Expr::load(b.at(a, [i, j])));
+//!     });
+//! });
+//! let mut program = b.finish();
+//! let original = program.clone();
+//!
+//! let mut faults = FaultPlan::of(vec![Fault::at("permute", FaultKind::Panic)]);
+//! let run = supervise_default(
+//!     &mut program,
+//!     &CostModel::new(4),
+//!     &VerifyMode::Off,
+//!     &mut faults,
+//!     &mut NullObs,
+//! );
+//! assert!(run.degraded());          // the panic was contained…
+//! assert_eq!(program, original);    // …and the nest rolled back.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod quarantine;
+pub mod supervisor;
+
+pub use fault::{Fault, FaultKind, FaultPlan, FAULT_SITES};
+pub use quarantine::{write_quarantine, QuarantineRecord};
+pub use supervisor::{
+    corrupt_ir, silence_supervised_panics, supervise, supervise_default, Budget, Degradation,
+    FailureReason, PipelineSpec, StageFailure, SupervisePolicy, SupervisedRun,
+};

@@ -1,0 +1,98 @@
+//! Quarantine artifacts: self-contained reproducers for corpus items
+//! whose supervised pipeline run degraded.
+//!
+//! When the chaos runner (or a hardened corpus sweep) sees an item fail
+//! repeatedly, it writes one `quarantine_seed{seed}.txt` file under the
+//! run's `quarantine/` directory holding everything needed to replay
+//! the failure offline: the item seed, the fault plan that was active,
+//! every stage failure, and the (minimized) input program as
+//! re-parseable source. The minimization itself reuses the verify
+//! crate's delta-debugging core ([`cmt_verify::minimize_with`]) with a
+//! "supervised run still degrades" predicate supplied by the caller.
+
+use crate::supervisor::StageFailure;
+use cmt_ir::pretty::program_to_source;
+use cmt_ir::program::Program;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Everything recorded about one quarantined corpus item.
+#[derive(Clone, Debug)]
+pub struct QuarantineRecord<'a> {
+    /// Generator seed of the quarantined item.
+    pub seed: u64,
+    /// Human-readable description of the active fault plan
+    /// ([`crate::FaultPlan::describe`]), or how to re-derive it.
+    pub fault_plan: String,
+    /// Stage failures from the supervised run.
+    pub failures: &'a [StageFailure],
+    /// The (minimized) input program that still degrades.
+    pub program: &'a Program,
+    /// Free-form context line, e.g. the replay command.
+    pub note: String,
+}
+
+/// Writes the quarantine artifact to
+/// `dir/quarantine_seed{seed}.txt`, creating `dir` first, and returns
+/// the path. Content is fully deterministic for a deterministic record.
+pub fn write_quarantine(dir: &Path, rec: &QuarantineRecord<'_>) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("quarantine_seed{}.txt", rec.seed));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "cmt-resilience quarantine reproducer")?;
+    writeln!(f, "seed: {}", rec.seed)?;
+    writeln!(f, "fault plan: {}", rec.fault_plan)?;
+    if !rec.note.is_empty() {
+        writeln!(f, "note: {}", rec.note)?;
+    }
+    writeln!(f)?;
+    writeln!(f, "== stage failures ==")?;
+    if rec.failures.is_empty() {
+        writeln!(f, "(none recorded)")?;
+    }
+    for fail in rec.failures {
+        writeln!(
+            f,
+            "{}: {} (rolled back to {})",
+            fail.stage, fail.reason, fail.rollback
+        )?;
+    }
+    writeln!(f)?;
+    writeln!(f, "== input program (minimized) ==")?;
+    writeln!(f, "{}", program_to_source(rec.program).trim_end())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::FailureReason;
+    use cmt_verify::generate;
+
+    #[test]
+    fn artifact_is_written_and_self_describing() {
+        let dir = std::env::temp_dir().join(format!("cmt_quarantine_test_{}", std::process::id()));
+        let program = generate(42);
+        let failures = vec![StageFailure {
+            stage: "compound",
+            reason: FailureReason::Panic {
+                injected: true,
+                message: "injected panic at permute".to_string(),
+            },
+            rollback: "original",
+        }];
+        let rec = QuarantineRecord {
+            seed: 42,
+            fault_plan: "panic@permute+0!".to_string(),
+            failures: &failures,
+            program: &program,
+            note: "chaos_corpus --fault-seed 1".to_string(),
+        };
+        let path = write_quarantine(&dir, &rec).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("seed: 42"));
+        assert!(text.contains("injected panic at permute"));
+        assert!(text.contains("== input program (minimized) =="));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

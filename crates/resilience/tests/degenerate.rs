@@ -1,0 +1,174 @@
+//! Degenerate nests through the full supervised pipeline.
+//!
+//! The supervisor must treat pathological shapes — zero-trip loops,
+//! single-iteration loops, empty bodies, loop-free programs, and
+//! max-depth imperfect nests — as ordinary inputs: commit or degrade,
+//! never panic, never emit invalid IR, never change the declared
+//! arrays' final state. Every case runs under both [`VerifyMode`]s.
+
+use cmt_ir::affine::Affine;
+use cmt_ir::build::ProgramBuilder;
+use cmt_ir::expr::Expr;
+use cmt_ir::program::Program;
+use cmt_locality::model::CostModel;
+use cmt_obs::NullObs;
+use cmt_resilience::{silence_supervised_panics, supervise_default, Fault, FaultKind, FaultPlan};
+use cmt_verify::{fingerprint, VerifyMode, VerifyOptions};
+
+/// `DO I = 1, 0` — the body never executes.
+fn zero_trip() -> Program {
+    let mut b = ProgramBuilder::new("zero_trip");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    b.loop_("I", 1, 0, |b| {
+        b.loop_("J", 1, n, |b| {
+            let (i, j) = (b.var("I"), b.var("J"));
+            let lhs = b.at(a, [i, j]);
+            b.assign(lhs, Expr::Const(1.0));
+        });
+    });
+    b.finish()
+}
+
+/// `DO I = 3, 3` — exactly one iteration per level.
+fn single_iteration() -> Program {
+    let mut b = ProgramBuilder::new("single_iter");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    b.loop_("I", 3, 3, |b| {
+        b.loop_("J", 3, 3, |b| {
+            let (i, j) = (b.var("I"), b.var("J"));
+            let lhs = b.at(a, [i, j]);
+            let rhs = b.at(a, [j, i]);
+            b.assign(lhs, Expr::load(rhs) + Expr::Const(1.0));
+        });
+    });
+    b.finish()
+}
+
+/// A nest whose loops contain no statements at all.
+fn empty_body() -> Program {
+    let mut b = ProgramBuilder::new("empty_body");
+    let n = b.param("N");
+    let _ = b.matrix("A", n);
+    b.loop_("I", 1, n, |b| {
+        b.loop_("J", 1, n, |_| {});
+    });
+    b.finish()
+}
+
+/// No loops at all: a single top-level statement (a "0-dim nest").
+fn loop_free() -> Program {
+    let mut b = ProgramBuilder::new("loop_free");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    let lhs = b.at(a, [1, 2]);
+    b.assign(lhs, Expr::Const(7.0));
+    b.finish()
+}
+
+/// Maximum-depth (4-dim) imperfect nest: statements at intermediate
+/// levels keep the nest imperfect, exercising distribution paths.
+fn deep_imperfect() -> Program {
+    let mut b = ProgramBuilder::new("deep_imperfect");
+    let n = b.param("N");
+    let a = b.matrix("A", n);
+    let c = b.matrix("C", n);
+    b.loop_("I", 1, n, |b| {
+        let i = b.var("I");
+        let lhs = b.at(a, [Affine::from(i), Affine::constant(1)]);
+        b.assign(lhs, Expr::Const(0.0));
+        b.loop_("J", 1, n, |b| {
+            let (i, j) = (b.var("I"), b.var("J"));
+            let lhs = b.at(c, [j, i]);
+            b.assign(lhs, Expr::Const(2.0));
+            b.loop_("K", 1, n, |b| {
+                b.loop_("L", 1, n, |b| {
+                    let (i, j) = (b.var("I"), b.var("J"));
+                    let (k, l) = (b.var("K"), b.var("L"));
+                    let lhs = b.at(a, [l, k]);
+                    let rhs = b.at(c, [j, i]);
+                    b.assign(lhs, Expr::load(rhs) + Expr::Const(1.0));
+                });
+            });
+        });
+    });
+    b.finish()
+}
+
+fn all_cases() -> Vec<Program> {
+    vec![
+        zero_trip(),
+        single_iteration(),
+        empty_body(),
+        loop_free(),
+        deep_imperfect(),
+    ]
+}
+
+fn assert_same_declared_arrays(original: &Program, result: &Program) {
+    for &n in &[6i64, 9] {
+        let a = fingerprint(original, &[n]).expect("original executes");
+        let b = fingerprint(result, &[n]).expect("result executes");
+        let common = a.arrays.len().min(b.arrays.len());
+        assert_eq!(
+            &a.arrays[..common],
+            &b.arrays[..common],
+            "{}: declared arrays changed at N={n}",
+            original.name()
+        );
+    }
+}
+
+#[test]
+fn degenerate_nests_survive_supervision_under_every_verify_mode() {
+    silence_supervised_panics();
+    let model = CostModel::new(4);
+    for mode in [VerifyMode::Off, VerifyMode::On(VerifyOptions::default())] {
+        for original in all_cases() {
+            let mut p = original.clone();
+            let run =
+                supervise_default(&mut p, &model, &mode, &mut FaultPlan::none(), &mut NullObs);
+            assert!(
+                run.is_committed(),
+                "{} under {mode:?} degraded: {:?}",
+                original.name(),
+                run.failures
+            );
+            cmt_ir::validate::validate(&p).unwrap_or_else(|e| {
+                panic!("{}: invalid IR after supervision: {e}", original.name())
+            });
+            assert_same_declared_arrays(&original, &p);
+        }
+    }
+}
+
+#[test]
+fn faults_on_degenerate_nests_roll_back_cleanly() {
+    silence_supervised_panics();
+    let model = CostModel::new(4);
+    let mode = VerifyMode::On(VerifyOptions::default());
+    for original in all_cases() {
+        for kind in FaultKind::ALL {
+            // Panic at every site: whichever pass actually runs on this
+            // shape must degrade transactionally, the rest stay silent.
+            let faults: Vec<Fault> = cmt_resilience::FAULT_SITES
+                .iter()
+                .map(|s| Fault::at(*s, kind))
+                .collect();
+            let mut plan = FaultPlan::of(faults);
+            let mut p = original.clone();
+            let run = supervise_default(&mut p, &model, &mode, &mut plan, &mut NullObs);
+            cmt_ir::validate::validate(&p)
+                .unwrap_or_else(|e| panic!("{}: invalid IR after faults: {e}", original.name()));
+            assert_same_declared_arrays(&original, &p);
+            if run.faults_fired > 0 {
+                assert!(
+                    run.degraded(),
+                    "{} with {kind:?}: a fired fault must surface as degradation",
+                    original.name()
+                );
+            }
+        }
+    }
+}

@@ -77,4 +77,4 @@ pub use driver::{
 };
 pub use gen::generate;
 pub use legality::check_permutation;
-pub use repro::{minimize, reproduces, write_reproducer};
+pub use repro::{minimize, minimize_with, reproduces, write_reproducer};

@@ -43,23 +43,37 @@ pub fn reproduces(input: &Program, vopts: &VerifyOptions) -> Option<Divergence> 
 /// statement whose removal leaves its enclosing body non-empty. The
 /// pass repeats until no single deletion keeps the bug alive.
 pub fn minimize(input: &Program, vopts: &VerifyOptions) -> (Program, Divergence) {
-    let mut best = input.clone();
-    let mut div = reproduces(&best, vopts)
+    let div0 = reproduces(input, vopts)
         .expect("minimize called on an input that does not reproduce a divergence");
+    let best = minimize_with(input, |candidate| reproduces(candidate, vopts).is_some());
+    let div = reproduces(&best, vopts).unwrap_or(div0);
+    (best, div)
+}
+
+/// Delta-debugging core with a caller-supplied failure predicate:
+/// greedily deletes nodes while `still_fails` keeps returning `true`
+/// for the candidate. This generalizes [`minimize`] to any reproducible
+/// failure — the resilience layer uses it to shrink programs whose
+/// *supervised* pipeline run degrades (panics, budget exhaustion,
+/// injected faults), not just verifier divergences.
+///
+/// `still_fails` must be deterministic for the fixpoint to terminate
+/// meaningfully; it is called once per candidate deletion.
+pub fn minimize_with(input: &Program, still_fails: impl Fn(&Program) -> bool) -> Program {
+    let mut best = input.clone();
     loop {
         let mut shrunk = false;
         for path in deletion_paths(&best) {
             let mut candidate = best.clone();
             delete_at(&mut candidate, &path);
-            if let Some(d) = reproduces(&candidate, vopts) {
+            if still_fails(&candidate) {
                 best = candidate;
-                div = d;
                 shrunk = true;
                 break; // paths are stale after a deletion; re-enumerate
             }
         }
         if !shrunk {
-            return (best, div);
+            return best;
         }
     }
 }

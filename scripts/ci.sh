@@ -61,4 +61,24 @@ cargo run --release -q -p cmt-bench --bin cmt-report -- fig2_matmul --dir "$SMOK
 test -s "$SMOKE_DIR/fig2_matmul.report.md" || { echo "missing report" >&2; exit 1; }
 cargo run --release -q -p cmt-bench --bin obs_diff -- results/baseline "$SMOKE_DIR" fig2_matmul
 
+echo ">>> clippy unwrap gate (bench + resilience failure paths stay panic-free)"
+cargo clippy -q --no-deps -p cmt-bench -p cmt-resilience -- -D clippy::unwrap_used
+
+echo ">>> chaos smoke (32 seeds, seeded fault plans, supervised rollback)"
+# Sweeps the first 32 verify-corpus seeds through the supervised
+# pipeline with per-item fault plans derived from a fixed seed: panics,
+# IR corruption, budget exhaustion, and forced divergences must all be
+# contained (clean exit), degraded items must land as minimized
+# quarantine reproducers under results/ci so the workflow uploads them.
+CMT_JOBS=4 cargo run --release -q -p cmt-bench --bin chaos_corpus -- \
+  --seeds 32 --fault-seed 7 --out "$SMOKE_DIR"
+test -s "$SMOKE_DIR/chaos_summary.txt" || { echo "missing chaos summary" >&2; exit 1; }
+grep -q '^total: 32 swept' "$SMOKE_DIR/chaos_summary.txt"
+# Fault seed 7 deterministically degrades at least one item; its
+# reproducer must exist.
+if grep -q ' degraded \[' "$SMOKE_DIR/chaos_summary.txt"; then
+  ls "$SMOKE_DIR"/quarantine/quarantine_seed*.txt > /dev/null \
+    || { echo "degraded items but no quarantine artifacts" >&2; exit 1; }
+fi
+
 echo "CI OK"

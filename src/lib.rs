@@ -3,7 +3,8 @@
 //! Re-exports the workspace crates so examples and integration tests can use
 //! one import root. See the individual crates for the real APIs:
 //! [`cmt_ir`], [`cmt_dependence`], [`cmt_locality`], [`cmt_cache`],
-//! [`cmt_interp`], [`cmt_suite`], [`cmt_obs`], [`cmt_verify`].
+//! [`cmt_interp`], [`cmt_suite`], [`cmt_obs`], [`cmt_verify`],
+//! [`cmt_resilience`].
 pub use cmt_bench as bench;
 pub use cmt_cache as cache;
 pub use cmt_dependence as dependence;
@@ -11,5 +12,6 @@ pub use cmt_interp as interp;
 pub use cmt_ir as ir;
 pub use cmt_locality as locality;
 pub use cmt_obs as obs;
+pub use cmt_resilience as resilience;
 pub use cmt_suite as suite;
 pub use cmt_verify as verify;
