@@ -106,6 +106,14 @@ pub fn write_trace_json(name: &str, json: &str) -> Result<PathBuf, ArtifactError
     write_artifact("trace.json", name, json)
 }
 
+/// Writes a ranked hotspot profile (see `cmt_profile::HotspotProfile`)
+/// into `{artifact_dir}/{name}.profile.json`, creating the directory as
+/// needed. The document is timing-free, so it is byte-identical across
+/// runs and `CMT_JOBS` settings. Returns the path written.
+pub fn write_profile_json(name: &str, json: &str) -> Result<PathBuf, ArtifactError> {
+    write_artifact("profile.json", name, json)
+}
+
 /// Writes a rendered markdown run report into
 /// `{artifact_dir}/{name}.report.md`, creating the directory as needed.
 /// Returns the path written.

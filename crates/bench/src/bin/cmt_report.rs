@@ -57,10 +57,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // The trace is optional — only written under CMT_TRACE.
+    // The trace (only written under CMT_TRACE) and hotspot profile
+    // (only written by profiling sweeps) are optional.
     let trace = read("trace.json").ok();
+    let profile = read("profile.json").ok();
 
-    match cmt_bench::render_report(&name, &remarks, &metrics, trace.as_deref()) {
+    match cmt_bench::render_report(
+        &name,
+        &remarks,
+        &metrics,
+        trace.as_deref(),
+        profile.as_deref(),
+    ) {
         Ok(report) => {
             let path = dir.join(format!("{name}.report.md"));
             if let Err(e) = std::fs::write(&path, &report) {

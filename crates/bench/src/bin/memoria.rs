@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! memoria INPUT.f [-o OUTPUT.f] [--cls ELEMS] [--stats] [--no-fusion]
-//!         [--no-distribution] [--verify N]
+//!         [--no-distribution] [--verify N] [--profile N]
 //! ```
 //!
 //! Reads a Fortran-like program (see `cmt_ir::parse` for the grammar),
 //! runs the compound transformation, and writes the optimized program.
+//! `--profile N` first ranks the input's nests by sampled cache
+//! simulation at parameter `N` (see `cmt_profile`), printing the
+//! hotspot table on stderr — cheap guidance on where the misses are
+//! before any transformation runs.
 
 use cmt_interp::equivalent;
 use cmt_ir::parse::parse_program;
@@ -25,6 +29,7 @@ struct Args {
     stats: bool,
     opts: CompoundOptions,
     verify: Option<i64>,
+    profile: Option<i64>,
     emit_deps: Option<String>,
 }
 
@@ -32,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: memoria INPUT.f [-o OUTPUT.f] [--cls ELEMS] [--stats] \
          [--no-fusion] [--no-distribution] [--no-reversal] [--verify N] \
-         [--emit-deps FILE.dot]"
+         [--profile N] [--emit-deps FILE.dot]"
     );
     std::process::exit(2)
 }
@@ -45,6 +50,7 @@ fn parse_args() -> Args {
         stats: false,
         opts: CompoundOptions::default(),
         verify: None,
+        profile: None,
         emit_deps: None,
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +70,13 @@ fn parse_args() -> Args {
             "--emit-deps" => args.emit_deps = Some(it.next().unwrap_or_else(|| usage())),
             "--verify" => {
                 args.verify = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--profile" => {
+                args.profile = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
@@ -105,6 +118,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("memoria: dependence graph written to {path}");
+    }
+
+    if let Some(n) = args.profile {
+        let opts = cmt_profile::ProfileOptions::default();
+        match cmt_profile::profile_program(&original, n, &opts, &mut NullObs) {
+            Ok(profile) => {
+                let ranked =
+                    cmt_profile::rank_hotspots(&[profile], &opts.policy.describe(), "i860", n);
+                eprintln!("memoria: sampled hotspot ranking at N = {n}:");
+                for e in &ranked.entries {
+                    eprintln!(
+                        "memoria:   #{} {} — est {} misses (rate {:.4})",
+                        e.rank, e.nest, e.est_misses, e.est_miss_rate
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("memoria: profiling failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     let model = CostModel::new(args.cls);

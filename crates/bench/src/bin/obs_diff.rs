@@ -7,8 +7,12 @@
 //! Diffs `{name}.metrics.json` (counter deltas and histogram-statistic
 //! drift beyond `REL`, default 0.0) and `{name}.remarks.jsonl`
 //! (new/vanished remark lines, order-insensitive) between the two
-//! directories. Wall-clock (`*.ns`) histograms are excluded — only
-//! deterministic fields participate. Prints one line per finding.
+//! directories. When either side has a `{name}.profile.json` hotspot
+//! profile, it participates too: rank moves always count, miss/
+//! attribution drift beyond `REL` counts, and a profile present on only
+//! one side is itself a finding. Wall-clock (`*.ns`) histograms are
+//! excluded — only deterministic fields participate. Prints one line
+//! per finding.
 //!
 //! Exit codes: `0` no differences, `1` differences found, `2` usage
 //! error or missing/malformed input artifacts — so CI gating on a
@@ -16,6 +20,7 @@
 //! run".
 
 use cmt_obs::{diff_metrics, diff_remarks};
+use cmt_profile::{diff_profiles, HotspotProfile};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -64,9 +69,31 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = (|| -> Result<_, String> {
-        let mut f = diff_metrics(&bm, &cm, threshold)?;
-        f.extend(diff_remarks(&br, &cr)?);
+    // The hotspot profile is an optional artifact: only profiling
+    // sweeps write one, so "absent on both sides" is not a finding.
+    let bp = read(baseline, name, "profile.json").ok();
+    let cp = read(current, name, "profile.json").ok();
+
+    let findings = (|| -> Result<Vec<String>, String> {
+        let mut f: Vec<String> = diff_metrics(&bm, &cm, threshold)?
+            .into_iter()
+            .map(|d| d.to_string())
+            .collect();
+        f.extend(diff_remarks(&br, &cr)?.into_iter().map(|d| d.to_string()));
+        match (&bp, &cp) {
+            (None, None) => {}
+            (Some(_), None) => f.push("profile.json removed (baseline only)".to_string()),
+            (None, Some(_)) => f.push("profile.json added (current only)".to_string()),
+            (Some(b), Some(c)) => {
+                let b = HotspotProfile::parse(b).map_err(|e| format!("baseline profile: {e}"))?;
+                let c = HotspotProfile::parse(c).map_err(|e| format!("current profile: {e}"))?;
+                f.extend(
+                    diff_profiles(&b, &c, threshold)
+                        .into_iter()
+                        .map(|d| format!("profile: {d}")),
+                );
+            }
+        }
         Ok(f)
     })();
     match findings {

@@ -2,7 +2,7 @@
 
 use cmt_locality::compound_observed;
 use cmt_locality::model::CostModel;
-use cmt_obs::CollectSink;
+use cmt_obs::{CollectSink, TraceSession, Tracing};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -13,17 +13,38 @@ fn main() -> ExitCode {
     // model — one `compound` run each, same decisions the table counts.
     // Each worker collects into its own sink; absorbing them in suite
     // order keeps the JSONL stream byte-identical for any CMT_JOBS.
+    // With CMT_TRACE set, each worker additionally records its
+    // `compound` spans onto its own trace track.
     let model = CostModel::new(4);
     let models = cmt_suite::suite();
-    let parts = cmt_bench::par_map(&models, |m| {
-        let mut local = CollectSink::new();
-        let mut p = m.optimized.clone();
-        let _ = compound_observed(&mut p, &model, &Default::default(), &mut local);
-        local
-    });
+    let mut session = cmt_bench::trace_enabled().then(TraceSession::new);
+    let parts = match session.as_mut() {
+        Some(session) => cmt_bench::par_map_traced(&models, session, |m, track| {
+            let mut traced = Tracing::new(CollectSink::new(), track);
+            let mut p = m.optimized.clone();
+            let _ = compound_observed(&mut p, &model, &Default::default(), &mut traced);
+            traced.inner
+        }),
+        None => cmt_bench::par_map(&models, |m| {
+            let mut local = CollectSink::new();
+            let mut p = m.optimized.clone();
+            let _ = compound_observed(&mut p, &model, &Default::default(), &mut local);
+            local
+        }),
+    };
     let mut sink = CollectSink::new();
     for part in parts {
         sink.absorb(part);
+    }
+    if let Some(session) = &session {
+        session.validate().expect("trace invariants");
+        match cmt_bench::write_trace_json("table2_memory_order", &session.to_chrome_json()) {
+            Ok(path) => println!("[obs] trace:    {}", path.display()),
+            Err(e) => {
+                eprintln!("table2_memory_order: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if let Err(e) = cmt_bench::emit("table2_memory_order", &sink.remarks, &sink.metrics) {
         eprintln!("table2_memory_order: {e}");

@@ -15,15 +15,17 @@
 
 pub mod artifact;
 pub mod fmt;
+pub mod profiling;
 pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod timing;
 
 pub use artifact::{
-    artifact_dir, emit, trace_enabled, write_metrics_json, write_remarks_jsonl, write_report_md,
-    write_trace_json, ArtifactError,
+    artifact_dir, emit, trace_enabled, write_metrics_json, write_profile_json, write_remarks_jsonl,
+    write_report_md, write_trace_json, ArtifactError,
 };
+pub use profiling::{profile_sweep, sweep_corpus, AgreementReport, SweepConfig, SweepResult};
 pub use report::render_report;
 pub use runner::{
     cmt_jobs, par_map, par_map_traced, simulate_program, simulate_program_observed,

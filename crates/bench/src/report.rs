@@ -11,20 +11,23 @@
 use cmt_obs::diff::WALL_CLOCK_SUFFIX;
 use cmt_obs::json::{parse, Value};
 use cmt_obs::validate_chrome_trace;
+use cmt_profile::HotspotProfile;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Renders the markdown report for one run.
 ///
 /// `remarks_jsonl` and `metrics_json` are the artifact file contents;
-/// `trace_json` is the Chrome Trace document when the run was traced.
-/// Fails on malformed artifacts (a malformed trace is a real bug — the
-/// validator runs as part of rendering).
+/// `trace_json` is the Chrome Trace document when the run was traced;
+/// `profile_json` is the ranked hotspot profile when the run was a
+/// profiling sweep. Fails on malformed artifacts (a malformed trace or
+/// profile is a real bug — the validators run as part of rendering).
 pub fn render_report(
     name: &str,
     remarks_jsonl: &str,
     metrics_json: &str,
     trace_json: Option<&str>,
+    profile_json: Option<&str>,
 ) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "# Run report: {name}\n");
@@ -123,6 +126,48 @@ pub fn render_report(
         }
     }
 
+    // --- Hotspot profile: ranking head plus escalation stamps. ---
+    if let Some(profile) = profile_json {
+        let profile = HotspotProfile::parse(profile).map_err(|e| format!("profile: {e}"))?;
+        let _ = writeln!(out, "\n## Hotspots ({} nests)\n", profile.entries.len());
+        let _ = writeln!(
+            out,
+            "Policy `{}` on `{}` at n={}; top {} of the ranking:\n",
+            profile.policy,
+            profile.cache,
+            profile.n,
+            profile.entries.len().min(10)
+        );
+        if !profile.entries.is_empty() {
+            out.push_str(
+                "| rank | nest | est misses | miss rate | escalated | full misses | top array |\n",
+            );
+            out.push_str("|---|---|---|---|---|---|---|\n");
+            for e in profile.entries.iter().take(10) {
+                let full = e
+                    .full_misses
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "—".to_string());
+                let top_array = e
+                    .arrays
+                    .first()
+                    .map(|(name, _, share)| format!("{name} ({:.0}%)", share * 100.0))
+                    .unwrap_or_else(|| "—".to_string());
+                let _ = writeln!(
+                    out,
+                    "| {} | `{}` | {} | {:.4} | {} | {} | {} |",
+                    e.rank,
+                    e.nest,
+                    e.est_misses,
+                    e.est_miss_rate,
+                    if e.escalated { "yes" } else { "no" },
+                    full,
+                    top_array,
+                );
+            }
+        }
+    }
+
     // --- Trace: structural summary only (no timestamps). ---
     if let Some(trace) = trace_json {
         let summary = validate_chrome_trace(trace).map_err(|e| format!("trace: {e}"))?;
@@ -167,6 +212,7 @@ mod tests {
             &sink.remarks_jsonl(),
             &sink.metrics.to_json(),
             Some(&session.to_chrome_json()),
+            None,
         )
         .unwrap();
         assert!(report.contains("# Run report: unit"));
@@ -202,6 +248,7 @@ mod tests {
                 &sink.remarks_jsonl(),
                 &sink.metrics.to_json(),
                 Some(&session.to_chrome_json()),
+                None,
             )
             .unwrap()
         };
@@ -210,8 +257,44 @@ mod tests {
 
     #[test]
     fn malformed_inputs_error() {
-        assert!(render_report("x", "not json\n", "{}", None).is_err());
-        assert!(render_report("x", "", "{", None).is_err());
-        assert!(render_report("x", "", "{\"counters\":{},\"histograms\":{}}", Some("[")).is_err());
+        assert!(render_report("x", "not json\n", "{}", None, None).is_err());
+        assert!(render_report("x", "", "{", None, None).is_err());
+        let ok_metrics = "{\"counters\":{},\"histograms\":{}}";
+        assert!(render_report("x", "", ok_metrics, Some("["), None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, Some("{")).is_err());
+    }
+
+    #[test]
+    fn profile_section_renders_ranking() {
+        use cmt_ir::build::ProgramBuilder;
+        use cmt_ir::expr::Expr;
+        use cmt_profile::{profile_program, rank_hotspots, ProfileOptions};
+
+        let mut b = ProgramBuilder::new("copy");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(c, [i, j]);
+                b.assign(lhs, Expr::load(b.at(a, [j, i])));
+            });
+        });
+        let program = b.finish();
+        let opts = ProfileOptions::default();
+        let profile = profile_program(&program, 48, &opts, &mut cmt_obs::NullObs).unwrap();
+        let ranked = rank_hotspots(&[profile], "p", "c", 48);
+        let report = render_report(
+            "prof",
+            "",
+            "{\"counters\":{},\"histograms\":{}}",
+            None,
+            Some(&ranked.to_json()),
+        )
+        .unwrap();
+        assert!(report.contains("## Hotspots (1 nests)"), "{report}");
+        assert!(report.contains("`copy/nest0:I.J`"), "{report}");
+        assert!(report.contains("| rank | nest |"), "{report}");
     }
 }

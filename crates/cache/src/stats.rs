@@ -47,6 +47,40 @@ impl CacheStats {
     pub fn warm_misses(&self) -> u64 {
         self.misses.saturating_sub(self.cold_misses)
     }
+
+    /// Scales counters observed on a *sample* of a trace up to an
+    /// estimate for the full trace of `total_accesses` accesses,
+    /// assuming the sampled accesses are representative (the selective
+    /// profiler's windowed sampling — see `cmt-profile`).
+    ///
+    /// Pure integer arithmetic (128-bit intermediate, round-to-nearest),
+    /// so the estimate is deterministic and platform-independent.
+    /// Invariants are repaired after rounding: `misses <= accesses`,
+    /// `cold_misses <= misses`, `hits = accesses - misses`. With zero
+    /// sampled accesses there is nothing to extrapolate from; the
+    /// estimate is all-hits, which keeps empty profiles valid.
+    pub fn scaled_to(&self, total_accesses: u64) -> CacheStats {
+        if self.accesses == 0 {
+            return CacheStats {
+                accesses: total_accesses,
+                hits: total_accesses,
+                misses: 0,
+                cold_misses: 0,
+            };
+        }
+        let scale = |v: u64| -> u64 {
+            let num = v as u128 * total_accesses as u128 + self.accesses as u128 / 2;
+            (num / self.accesses as u128) as u64
+        };
+        let misses = scale(self.misses).min(total_accesses);
+        let cold_misses = scale(self.cold_misses).min(misses);
+        CacheStats {
+            accesses: total_accesses,
+            hits: total_accesses - misses,
+            misses,
+            cold_misses,
+        }
+    }
 }
 
 impl AddAssign for CacheStats {
@@ -108,6 +142,49 @@ mod tests {
         };
         assert_eq!(s.warm_misses(), 0);
         assert_eq!(s.hit_rate_excluding_cold(), 1.0);
+    }
+
+    #[test]
+    fn scaling_extrapolates_and_keeps_invariants() {
+        let sampled = CacheStats {
+            accesses: 100,
+            hits: 75,
+            misses: 25,
+            cold_misses: 10,
+        };
+        let est = sampled.scaled_to(1600);
+        assert_eq!(est.accesses, 1600);
+        assert_eq!(est.misses, 400);
+        assert_eq!(est.cold_misses, 160);
+        assert_eq!(est.hits + est.misses, est.accesses);
+        // Identity when the "sample" was the whole trace.
+        assert_eq!(sampled.scaled_to(100), sampled);
+        // Downscaling rounds to nearest.
+        assert_eq!(sampled.scaled_to(10).misses, 3);
+    }
+
+    #[test]
+    fn scaling_from_an_empty_sample_is_all_hits() {
+        let est = CacheStats::default().scaled_to(500);
+        assert_eq!(est.accesses, 500);
+        assert_eq!(est.hits, 500);
+        assert_eq!(est.misses, 0);
+    }
+
+    #[test]
+    fn scaling_never_exceeds_totals() {
+        // A 1-access sample that missed extrapolates to "every access
+        // misses", not beyond.
+        let s = CacheStats {
+            accesses: 1,
+            hits: 0,
+            misses: 1,
+            cold_misses: 1,
+        };
+        let est = s.scaled_to(7);
+        assert_eq!(est.misses, 7);
+        assert_eq!(est.cold_misses, 7);
+        assert_eq!(est.hits, 0);
     }
 
     #[test]

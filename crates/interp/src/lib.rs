@@ -43,6 +43,6 @@ pub use exec::{ExecError, ExecSummary};
 pub use machine::Machine;
 pub use sink::{
     pack_access, unpack_access, CacheSink, CountingSink, MeteredSink, NullSink, RecordingSink,
-    TeeSink, TraceSink, TracedSink, BATCH_LEN, WRITE_BIT,
+    SampledSink, TeeSink, TraceSink, TracedSink, BATCH_LEN, WRITE_BIT,
 };
 pub use verify::{assert_equivalent, equivalent, EquivalenceReport};

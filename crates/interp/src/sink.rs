@@ -196,6 +196,148 @@ impl<S: TraceSink> TraceSink for TracedSink<'_, S> {
     }
 }
 
+/// Forwards only a deterministic subset of the access stream to the
+/// inner sink: the stream is cut into fixed-length *windows* of
+/// `window_len` consecutive accesses, and a window is simulated iff its
+/// index falls on a seeded residue class modulo `stride` (or it is
+/// window 0 — every stream contributes at least one measured window, so
+/// short nests are never estimated from zero observations).
+///
+/// Windows are positions in the *logical* access stream, not interpreter
+/// batches: a batch spanning a window boundary is split, so the sampled
+/// subset depends only on `(window_len, stride, phase)` and the stream
+/// itself — never on how the producer chunks its flushes. The phase is
+/// derived from a caller-provided seed via [`cmt_obs::SplitMix64`],
+/// which keeps sampled results byte-identical across `CMT_JOBS` values
+/// and across runs.
+///
+/// The sink meters the whole stream (loads/stores seen) alongside the
+/// forwarded subset, so callers can scale observed statistics back to
+/// full-trace estimates (see `CacheStats::scaled_to` in `cmt-cache`).
+#[derive(Clone, Debug)]
+pub struct SampledSink<S> {
+    /// The wrapped sink; sees only the sampled windows.
+    pub inner: S,
+    window_len: u64,
+    stride: u64,
+    phase: u64,
+    position: u64,
+    /// Loads seen (forwarded or not).
+    pub loads_seen: u64,
+    /// Stores seen (forwarded or not).
+    pub stores_seen: u64,
+    /// Accesses forwarded to the inner sink.
+    pub sampled: u64,
+}
+
+impl<S: TraceSink> SampledSink<S> {
+    /// Samples every `stride`-th window of `window_len` accesses, with
+    /// the residue class drawn from `seed`. `stride = 1` (or a zero
+    /// `stride`/`window_len`, which are clamped to 1) forwards the whole
+    /// stream.
+    pub fn every_kth(inner: S, window_len: u64, stride: u64, seed: u64) -> Self {
+        let stride = stride.max(1);
+        let phase = cmt_obs::SplitMix64::seed_from_u64(seed).next_u64() % stride;
+        SampledSink {
+            inner,
+            window_len: window_len.max(1),
+            stride,
+            phase,
+            position: 0,
+            loads_seen: 0,
+            stores_seen: 0,
+            sampled: 0,
+        }
+    }
+
+    /// A pass-through sampler: every access is forwarded, but the stream
+    /// is still metered — the degenerate `stride = 1` case.
+    pub fn full(inner: S) -> Self {
+        SampledSink::every_kth(inner, BATCH_LEN as u64, 1, 0)
+    }
+
+    fn is_sampled(&self, window: u64) -> bool {
+        window == 0 || window % self.stride == self.phase
+    }
+
+    /// Total accesses seen (forwarded or not).
+    pub fn accesses_seen(&self) -> u64 {
+        self.loads_seen + self.stores_seen
+    }
+
+    /// Windows the stream has started so far.
+    pub fn windows_total(&self) -> u64 {
+        self.position.div_ceil(self.window_len)
+    }
+
+    /// How many of [`SampledSink::windows_total`] were forwarded.
+    pub fn windows_sampled(&self) -> u64 {
+        let total = self.windows_total();
+        if total == 0 {
+            return 0;
+        }
+        if self.stride == 1 {
+            return total;
+        }
+        // Count of w in [0, total) with w % stride == phase, plus
+        // window 0 when it is not already on the phase class.
+        let on_class = if self.phase >= total {
+            0
+        } else {
+            (total - 1 - self.phase) / self.stride + 1
+        };
+        on_class + u64::from(self.phase != 0)
+    }
+
+    /// Fraction of the stream forwarded, in `[0, 1]`; `1.0` for an empty
+    /// stream (nothing was skipped).
+    pub fn sampled_fraction(&self) -> f64 {
+        let seen = self.accesses_seen();
+        if seen == 0 {
+            1.0
+        } else {
+            self.sampled as f64 / seen as f64
+        }
+    }
+
+    /// Consumes the sampler, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for SampledSink<S> {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        if is_write {
+            self.stores_seen += 1;
+        } else {
+            self.loads_seen += 1;
+        }
+        if self.is_sampled(self.position / self.window_len) {
+            self.inner.access(addr, is_write);
+            self.sampled += 1;
+        }
+        self.position += 1;
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        let stores = batch.iter().filter(|&&p| p & WRITE_BIT != 0).count() as u64;
+        self.stores_seen += stores;
+        self.loads_seen += batch.len() as u64 - stores;
+        let mut off = 0usize;
+        while off < batch.len() {
+            let in_window = (self.window_len - self.position % self.window_len) as usize;
+            let take = in_window.min(batch.len() - off);
+            if self.is_sampled(self.position / self.window_len) {
+                self.inner.access_batch(&batch[off..off + take]);
+                self.sampled += take as u64;
+            }
+            self.position += take as u64;
+            off += take;
+        }
+    }
+}
+
 /// Borrows a cache (or any sink) mutably — convenient when the sink must
 /// outlive the run.
 #[derive(Debug)]
@@ -415,6 +557,106 @@ mod tests {
         assert_eq!(track.len(), 2, "one complete-span per batch");
         session.absorb(track);
         session.validate().unwrap();
+    }
+
+    #[test]
+    fn sampled_sink_is_chunking_invariant() {
+        // The sampled subset must depend only on stream position, never
+        // on how the producer batches — scalar calls, BATCH_LEN chunks,
+        // and ragged chunks all forward the identical subsequence.
+        let packed: Vec<u64> = (0..10_000u64)
+            .map(|k| pack_access(k * 8, k % 7 == 0))
+            .collect();
+        let run = |chunks: &[usize]| -> Vec<(u64, bool)> {
+            let mut s = SampledSink::every_kth(RecordingSink::default(), 256, 4, 42);
+            let mut off = 0;
+            for &c in chunks.iter().cycle() {
+                if off >= packed.len() {
+                    break;
+                }
+                let end = (off + c).min(packed.len());
+                if c == 1 {
+                    let (a, w) = unpack_access(packed[off]);
+                    s.access(a, w);
+                } else {
+                    s.access_batch(&packed[off..end]);
+                }
+                off = end;
+            }
+            assert_eq!(s.accesses_seen(), packed.len() as u64);
+            s.into_inner().trace
+        };
+        let scalar = run(&[1]);
+        let batched = run(&[BATCH_LEN]);
+        let ragged = run(&[3, 700, 13, 255, 1024]);
+        assert!(!scalar.is_empty());
+        assert!(scalar.len() < packed.len(), "something must be skipped");
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar, ragged);
+    }
+
+    #[test]
+    fn sampled_sink_full_forwards_everything() {
+        let mut s = SampledSink::full(CountingSink::default());
+        let packed: Vec<u64> = (0..5000u64).map(|k| pack_access(k * 8, false)).collect();
+        s.access_batch(&packed);
+        assert_eq!(s.sampled, 5000);
+        assert_eq!(s.accesses_seen(), 5000);
+        assert_eq!(s.inner.loads, 5000);
+        assert_eq!(s.windows_sampled(), s.windows_total());
+        assert_eq!(s.sampled_fraction(), 1.0);
+    }
+
+    #[test]
+    fn sampled_sink_always_samples_window_zero() {
+        // Whatever phase the seed draws, a short stream (inside window 0)
+        // is observed in full — tiny nests are measured exactly.
+        for seed in 0..32u64 {
+            let mut s = SampledSink::every_kth(CountingSink::default(), 256, 16, seed);
+            for k in 0..100u64 {
+                s.access(k * 8, false);
+            }
+            assert_eq!(s.sampled, 100, "seed {seed}");
+            assert_eq!(s.windows_sampled(), 1);
+        }
+    }
+
+    #[test]
+    fn sampled_window_count_matches_brute_force() {
+        for seed in [0u64, 1, 7, 99] {
+            for total_accesses in [0u64, 1, 255, 256, 257, 10_000] {
+                let mut s = SampledSink::every_kth(CountingSink::default(), 256, 16, seed);
+                let mut expect = 0u64;
+                let mut last_window = u64::MAX;
+                for k in 0..total_accesses {
+                    let w = k / 256;
+                    if w != last_window && s.is_sampled(w) {
+                        expect += 1;
+                        last_window = w;
+                    }
+                    s.access(k * 8, false);
+                }
+                assert_eq!(
+                    s.windows_sampled(),
+                    expect,
+                    "seed {seed} len {total_accesses}"
+                );
+                assert_eq!(s.windows_total(), total_accesses.div_ceil(256));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_seed_is_deterministic_and_varies() {
+        let phase_of = |seed: u64| {
+            let s = SampledSink::every_kth(NullSink, 256, 16, seed);
+            (0..16u64)
+                .find(|&w| w != 0 && s.is_sampled(w))
+                .unwrap_or(16)
+        };
+        assert_eq!(phase_of(42), phase_of(42));
+        let distinct: std::collections::HashSet<u64> = (0..64).map(phase_of).collect();
+        assert!(distinct.len() > 4, "seeds should spread over residues");
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Diffing two hotspot profiles — the `profile.json` arm of `obs_diff`.
+//!
+//! Rank changes are structural and always reported; numeric drift
+//! (miss estimates, per-array attribution shares) is gated by the
+//! caller's relative threshold, mirroring `cmt_obs::diff::diff_metrics`.
+
+use crate::hotspot::HotspotProfile;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One difference between a baseline and a current hotspot profile.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfileDiffFinding {
+    /// The sampling policy or cache geometry changed — numeric drift
+    /// below this finding is expected, not a regression.
+    PolicyChanged {
+        /// Baseline policy/cache stamp.
+        baseline: String,
+        /// Current policy/cache stamp.
+        current: String,
+    },
+    /// A nest present only in the current profile.
+    NestAdded {
+        /// Nest label.
+        nest: String,
+    },
+    /// A nest present only in the baseline.
+    NestRemoved {
+        /// Nest label.
+        nest: String,
+    },
+    /// A nest moved in the ranking.
+    RankChanged {
+        /// Nest label.
+        nest: String,
+        /// Baseline rank.
+        before: usize,
+        /// Current rank.
+        after: usize,
+    },
+    /// A nest's estimated misses drifted beyond the threshold.
+    MissesDrifted {
+        /// Nest label.
+        nest: String,
+        /// Baseline estimate.
+        before: u64,
+        /// Current estimate.
+        after: u64,
+        /// Relative change `|after-before| / max(before, 1)`.
+        rel: f64,
+    },
+    /// An array's share of a nest's misses moved beyond the threshold.
+    AttributionDrifted {
+        /// Nest label.
+        nest: String,
+        /// Array name.
+        array: String,
+        /// Baseline share.
+        before: f64,
+        /// Current share.
+        after: f64,
+    },
+}
+
+impl fmt::Display for ProfileDiffFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileDiffFinding::PolicyChanged { baseline, current } => {
+                write!(f, "profile policy changed: {baseline} -> {current}")
+            }
+            ProfileDiffFinding::NestAdded { nest } => write!(f, "nest added: {nest}"),
+            ProfileDiffFinding::NestRemoved { nest } => write!(f, "nest removed: {nest}"),
+            ProfileDiffFinding::RankChanged {
+                nest,
+                before,
+                after,
+            } => write!(f, "rank changed: {nest}: #{before} -> #{after}"),
+            ProfileDiffFinding::MissesDrifted {
+                nest,
+                before,
+                after,
+                rel,
+            } => write!(
+                f,
+                "est misses drifted: {nest}: {before} -> {after} ({:+.1}%)",
+                rel * 100.0 * if after >= before { 1.0 } else { -1.0 }
+            ),
+            ProfileDiffFinding::AttributionDrifted {
+                nest,
+                array,
+                before,
+                after,
+            } => write!(
+                f,
+                "attribution drifted: {nest} array {array}: share {before:.3} -> {after:.3}"
+            ),
+        }
+    }
+}
+
+/// Compares `current` against `baseline`.
+///
+/// * policy/cache stamp mismatch → one [`ProfileDiffFinding::PolicyChanged`];
+/// * nests only on one side → added/removed findings;
+/// * rank moves → always findings (ranking is the artifact's contract);
+/// * per-nest miss estimates with relative change > `threshold`, and
+///   per-array shares with absolute change > `threshold` → drift
+///   findings.
+///
+/// Findings come back in a deterministic order (header, then nests by
+/// label).
+pub fn diff_profiles(
+    baseline: &HotspotProfile,
+    current: &HotspotProfile,
+    threshold: f64,
+) -> Vec<ProfileDiffFinding> {
+    let mut findings = Vec::new();
+    let stamp = |p: &HotspotProfile| format!("{} @ {} (n={})", p.policy, p.cache, p.n);
+    if stamp(baseline) != stamp(current) {
+        findings.push(ProfileDiffFinding::PolicyChanged {
+            baseline: stamp(baseline),
+            current: stamp(current),
+        });
+    }
+
+    let index = |p: &HotspotProfile| -> BTreeMap<String, usize> {
+        p.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (format!("{}\u{1f}{}", e.program, e.nest), i))
+            .collect()
+    };
+    let bi = index(baseline);
+    let ci = index(current);
+
+    for (key, &b_at) in &bi {
+        let b = &baseline.entries[b_at];
+        match ci.get(key) {
+            None => findings.push(ProfileDiffFinding::NestRemoved {
+                nest: b.nest.clone(),
+            }),
+            Some(&c_at) => {
+                let c = &current.entries[c_at];
+                if b.rank != c.rank {
+                    findings.push(ProfileDiffFinding::RankChanged {
+                        nest: b.nest.clone(),
+                        before: b.rank,
+                        after: c.rank,
+                    });
+                }
+                let rel = b.est_misses.abs_diff(c.est_misses) as f64 / (b.est_misses.max(1)) as f64;
+                if rel > threshold {
+                    findings.push(ProfileDiffFinding::MissesDrifted {
+                        nest: b.nest.clone(),
+                        before: b.est_misses,
+                        after: c.est_misses,
+                        rel,
+                    });
+                }
+                let c_share: BTreeMap<&str, f64> = c
+                    .arrays
+                    .iter()
+                    .map(|(name, _, share)| (name.as_str(), *share))
+                    .collect();
+                for (name, _, b_share) in &b.arrays {
+                    let after = c_share.get(name.as_str()).copied().unwrap_or(0.0);
+                    if (b_share - after).abs() > threshold {
+                        findings.push(ProfileDiffFinding::AttributionDrifted {
+                            nest: b.nest.clone(),
+                            array: name.clone(),
+                            before: *b_share,
+                            after,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (key, &c_at) in &ci {
+        if !bi.contains_key(key) {
+            findings.push(ProfileDiffFinding::NestAdded {
+                nest: current.entries[c_at].nest.clone(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotspot::HotspotEntry;
+
+    fn entry(rank: usize, nest: &str, misses: u64, shares: &[(&str, f64)]) -> HotspotEntry {
+        HotspotEntry {
+            rank,
+            program: "p".to_string(),
+            nest: nest.to_string(),
+            accesses: misses * 10,
+            sampled_accesses: misses,
+            windows: 1,
+            windows_sampled: 1,
+            est_misses: misses,
+            est_miss_rate: 0.1,
+            exact: false,
+            escalated: false,
+            full_misses: None,
+            arrays: shares
+                .iter()
+                .map(|(n, s)| (n.to_string(), (misses as f64 * s) as u64, *s))
+                .collect(),
+        }
+    }
+
+    fn profile(entries: Vec<HotspotEntry>) -> HotspotProfile {
+        HotspotProfile {
+            policy: "every-kth(k=16,window=256,seed=0x1)".to_string(),
+            cache: "c".to_string(),
+            n: 64,
+            entries,
+        }
+    }
+
+    #[test]
+    fn identical_profiles_diff_clean() {
+        let p = profile(vec![entry(1, "p/nest0:I", 100, &[("A", 1.0)])]);
+        assert!(diff_profiles(&p, &p, 0.05).is_empty());
+    }
+
+    #[test]
+    fn rank_swaps_are_always_reported() {
+        let a = profile(vec![
+            entry(1, "p/nest0:I", 100, &[]),
+            entry(2, "p/nest1:J", 90, &[]),
+        ]);
+        let b = profile(vec![
+            entry(1, "p/nest1:J", 95, &[]),
+            entry(2, "p/nest0:I", 94, &[]),
+        ]);
+        // Generous threshold: miss drift is under it, rank moves remain.
+        let findings = diff_profiles(&a, &b, 0.5);
+        let ranks: Vec<&ProfileDiffFinding> = findings
+            .iter()
+            .filter(|f| matches!(f, ProfileDiffFinding::RankChanged { .. }))
+            .collect();
+        assert_eq!(ranks.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn threshold_gates_numeric_drift() {
+        let a = profile(vec![entry(1, "p/nest0:I", 100, &[("A", 0.6), ("B", 0.4)])]);
+        let b = profile(vec![entry(1, "p/nest0:I", 104, &[("A", 0.7), ("B", 0.3)])]);
+        assert!(diff_profiles(&a, &b, 0.2).is_empty());
+        let tight = diff_profiles(&a, &b, 0.01);
+        assert!(tight
+            .iter()
+            .any(|f| matches!(f, ProfileDiffFinding::MissesDrifted { rel, .. } if *rel < 0.05)));
+        assert_eq!(
+            tight
+                .iter()
+                .filter(|f| matches!(f, ProfileDiffFinding::AttributionDrifted { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn added_removed_and_policy_changes_surface() {
+        let a = profile(vec![entry(1, "p/nest0:I", 100, &[])]);
+        let mut b = profile(vec![entry(1, "p/nest1:J", 100, &[])]);
+        b.policy = "full".to_string();
+        let findings = diff_profiles(&a, &b, 0.05);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ProfileDiffFinding::PolicyChanged { .. })));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ProfileDiffFinding::NestRemoved { .. })));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ProfileDiffFinding::NestAdded { .. })));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let f = ProfileDiffFinding::RankChanged {
+            nest: "p/nest0:I".to_string(),
+            before: 3,
+            after: 1,
+        };
+        assert_eq!(f.to_string(), "rank changed: p/nest0:I: #3 -> #1");
+    }
+}

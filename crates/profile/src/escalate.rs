@@ -1,0 +1,328 @@
+//! Profile-directed escalation: cheap sampled ranking first, full
+//! simulation only for the worst offenders, supervised optimization
+//! only for programs that own a confirmed hotspot.
+//!
+//! Every decision — escalate or skip — is recorded as a
+//! `profile.escalate` remark, so a run report explains why each nest
+//! was or wasn't handed to the optimizer.
+
+use crate::hotspot::HotspotProfile;
+use crate::profiler::{profile_nest, ProfileOptions};
+use crate::SamplePolicy;
+use cmt_cache::CacheConfig;
+use cmt_ir::program::Program;
+use cmt_locality::model::CostModel;
+use cmt_obs::{ObsSink, Remark, RemarkKind};
+use cmt_resilience::{supervise_default, FaultPlan};
+use cmt_verify::{VerifyMode, VerifyOptions};
+
+/// Escalation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EscalationConfig {
+    /// How many top-ranked nests to escalate to full simulation.
+    pub top_k: usize,
+    /// Parameter value used for the confirming full simulation (should
+    /// match the value the profile was taken at).
+    pub n: i64,
+    /// Cache geometry (should match the profile's).
+    pub cache: CacheConfig,
+    /// Whether confirmed offenders' programs are handed to the
+    /// supervised optimization pipeline.
+    pub optimize: bool,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        EscalationConfig {
+            top_k: 5,
+            n: 64,
+            cache: CacheConfig::i860(),
+            optimize: true,
+        }
+    }
+}
+
+/// What happened to one escalated nest.
+#[derive(Clone, Debug)]
+pub struct EscalationOutcome {
+    /// Owning program.
+    pub program: String,
+    /// Nest label.
+    pub nest: String,
+    /// Rank in the sampled profile.
+    pub rank: usize,
+    /// Sampled miss estimate that triggered the escalation.
+    pub est_misses: u64,
+    /// Misses confirmed by full simulation of the nest.
+    pub full_misses: u64,
+    /// Whether the owning program went through the supervised pipeline.
+    pub optimized: bool,
+    /// Whether that pipeline committed every stage.
+    pub committed: bool,
+    /// Transformation steps the pipeline committed.
+    pub steps_committed: usize,
+}
+
+/// Escalates the top-K entries of `hotspots` (already rank-ordered):
+/// re-simulates each flagged nest in full to confirm the sampled
+/// estimate (stamping `escalated` / `full_misses` into the profile),
+/// then — when `cfg.optimize` — runs each flagged program once through
+/// the supervised `cmt-resilience` pipeline under differential
+/// verification. Non-flagged nests get a `profile.escalate` Missed
+/// remark naming the cutoff.
+///
+/// `programs` must contain every program named in the profile; entries
+/// whose program is missing are skipped with a remark rather than an
+/// error, so a partial corpus still escalates what it can.
+pub fn escalate(
+    programs: &[Program],
+    hotspots: &mut HotspotProfile,
+    cfg: &EscalationConfig,
+    obs: &mut dyn ObsSink,
+) -> Vec<EscalationOutcome> {
+    let find = |name: &str| programs.iter().find(|p| p.name() == name);
+    let full_opts = ProfileOptions {
+        policy: SamplePolicy::Full,
+        cache: cfg.cache,
+    };
+    let mut outcomes: Vec<EscalationOutcome> = Vec::new();
+
+    for at in 0..hotspots.entries.len() {
+        let (rank, program_name, nest, est_misses, nest_index) = {
+            let e = &hotspots.entries[at];
+            // Ranked profiles may carry nests from several programs; the
+            // body index is recoverable from the label ("{p}/nest{i}:…").
+            (
+                e.rank,
+                e.program.clone(),
+                e.nest.clone(),
+                e.est_misses,
+                nest_index_of(&e.nest),
+            )
+        };
+        if rank > cfg.top_k {
+            if obs.enabled() {
+                obs.counter("profile.skipped", 1);
+                obs.remark(
+                    Remark::new("profile.escalate", nest, RemarkKind::Missed)
+                        .reason(format!(
+                            "rank {rank} below top-{} cutoff (est {est_misses} misses): \
+                             not escalated, not optimized",
+                            cfg.top_k
+                        ))
+                        .cost_before(est_misses as f64),
+                );
+            }
+            continue;
+        }
+        let Some(program) = find(&program_name) else {
+            if obs.enabled() {
+                obs.remark(
+                    Remark::new("profile.escalate", nest, RemarkKind::Missed).reason(format!(
+                        "rank {rank}: program {program_name:?} not in corpus; skipped"
+                    )),
+                );
+            }
+            continue;
+        };
+        let Some(idx) = nest_index_of_checked(nest_index, program) else {
+            continue;
+        };
+        match profile_nest(program, idx, cfg.n, &full_opts, obs) {
+            Ok(full) => {
+                let full_misses = full.est.misses;
+                let e = &mut hotspots.entries[at];
+                e.escalated = true;
+                e.full_misses = Some(full_misses);
+                if obs.enabled() {
+                    obs.counter("profile.escalated", 1);
+                    obs.remark(
+                        Remark::new("profile.escalate", e.nest.clone(), RemarkKind::Applied)
+                            .reason(format!(
+                                "rank {rank} within top-{}: sampled est {est_misses} misses, \
+                                 full simulation confirms {full_misses}; handing program to \
+                                 supervised optimizer",
+                                cfg.top_k
+                            ))
+                            .costs(est_misses as f64, full_misses as f64),
+                    );
+                }
+                outcomes.push(EscalationOutcome {
+                    program: program_name,
+                    nest: e.nest.clone(),
+                    rank,
+                    est_misses,
+                    full_misses,
+                    optimized: false,
+                    committed: false,
+                    steps_committed: 0,
+                });
+            }
+            Err(e) => {
+                if obs.enabled() {
+                    obs.remark(
+                        Remark::new("profile.escalate", nest, RemarkKind::Missed)
+                            .reason(format!("rank {rank}: full-simulation confirm failed: {e}")),
+                    );
+                }
+            }
+        }
+    }
+
+    if cfg.optimize {
+        // One supervised run per flagged program, in rank order.
+        let mut seen: Vec<String> = Vec::new();
+        for i in 0..outcomes.len() {
+            let name = outcomes[i].program.clone();
+            if seen.contains(&name) {
+                continue;
+            }
+            seen.push(name.clone());
+            let Some(program) = find(&name) else { continue };
+            let cls = (cfg.cache.line() / 8).max(1) as u32;
+            let model = CostModel::new(cls);
+            let mode = VerifyMode::On(VerifyOptions::default());
+            let mut faults = FaultPlan::none();
+            let mut work = program.clone();
+            let run = supervise_default(&mut work, &model, &mode, &mut faults, obs);
+            if obs.enabled() {
+                obs.counter("profile.optimized", 1);
+                let nest = outcomes[i].nest.clone();
+                obs.remark(
+                    Remark::new("profile.escalate", nest, RemarkKind::Analysis)
+                        .reason(format!("supervised optimization: {}", run.summary())),
+                );
+            }
+            for o in outcomes.iter_mut().filter(|o| o.program == name) {
+                o.optimized = true;
+                o.committed = run.is_committed();
+                o.steps_committed = run.steps_committed;
+            }
+        }
+    }
+    outcomes
+}
+
+/// Parses the body index out of a `"{program}/nest{idx}:…"` label.
+fn nest_index_of(label: &str) -> Option<usize> {
+    let rest = label.rsplit("/nest").next()?;
+    rest.split(':').next()?.parse().ok()
+}
+
+fn nest_index_of_checked(idx: Option<usize>, program: &Program) -> Option<usize> {
+    idx.filter(|&i| i < program.body().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile_program;
+    use crate::{rank_hotspots, ProfileOptions};
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+    use cmt_obs::CollectSink;
+
+    fn transposed_copy(name: &str) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(c, [i, j]);
+                b.assign(lhs, Expr::load(b.at(a, [j, i])));
+            });
+        });
+        b.finish()
+    }
+
+    fn row_touch(name: &str) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i, i]);
+            b.assign(lhs, Expr::Const(1.0));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn only_flagged_programs_reach_the_optimizer() {
+        cmt_resilience::silence_supervised_panics();
+        let programs = vec![transposed_copy("hot"), row_touch("cold")];
+        let mut sink = CollectSink::new();
+        let opts = ProfileOptions::default();
+        let profiles: Vec<_> = programs
+            .iter()
+            .map(|p| profile_program(p, 48, &opts, &mut sink).unwrap())
+            .collect();
+        let mut hotspots = rank_hotspots(&profiles, &opts.policy.describe(), "i860", 48);
+        assert_eq!(hotspots.entries[0].program, "hot");
+
+        let cfg = EscalationConfig {
+            top_k: 1,
+            n: 48,
+            ..Default::default()
+        };
+        let outcomes = escalate(&programs, &mut hotspots, &cfg, &mut sink);
+
+        // Exactly the top-1 nest escalated and optimized.
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].program, "hot");
+        assert!(outcomes[0].optimized);
+        assert!(hotspots.entries[0].escalated);
+        assert!(hotspots.entries[0].full_misses.is_some());
+        assert!(!hotspots.entries[1].escalated);
+
+        // The supervised pipeline ran exactly once (counter from
+        // cmt-resilience), and both decisions carry remarks.
+        assert_eq!(sink.metrics.counter_value("resilience.supervised"), 1);
+        assert_eq!(sink.metrics.counter_value("profile.escalated"), 1);
+        assert_eq!(sink.metrics.counter_value("profile.skipped"), 1);
+        let applied: Vec<_> = sink
+            .remarks
+            .iter()
+            .filter(|r| r.pass == "profile.escalate" && r.kind == RemarkKind::Applied)
+            .collect();
+        assert_eq!(applied.len(), 1);
+        assert!(applied[0].reason.contains("full simulation confirms"));
+        let missed: Vec<_> = sink
+            .remarks
+            .iter()
+            .filter(|r| r.pass == "profile.escalate" && r.kind == RemarkKind::Missed)
+            .collect();
+        assert_eq!(missed.len(), 1);
+        assert!(missed[0].reason.contains("below top-1 cutoff"));
+    }
+
+    #[test]
+    fn full_confirm_matches_sampled_totals() {
+        let programs = vec![transposed_copy("hot")];
+        let mut sink = CollectSink::new();
+        let opts = ProfileOptions::default();
+        let profiles = vec![profile_program(&programs[0], 64, &opts, &mut sink).unwrap()];
+        let mut hotspots = rank_hotspots(&profiles, "p", "c", 64);
+        let cfg = EscalationConfig {
+            top_k: 1,
+            n: 64,
+            optimize: false,
+            ..Default::default()
+        };
+        let outcomes = escalate(&programs, &mut hotspots, &cfg, &mut sink);
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].optimized);
+        let est = outcomes[0].est_misses as f64;
+        let full = outcomes[0].full_misses as f64;
+        assert!((est - full).abs() / full < 0.25, "est {est} vs full {full}");
+    }
+
+    #[test]
+    fn nest_index_parses_labels() {
+        assert_eq!(nest_index_of("mm/nest0:I.J.K"), Some(0));
+        assert_eq!(nest_index_of("gen17/nest2:stmt"), Some(2));
+        assert_eq!(nest_index_of("weird"), None);
+    }
+}

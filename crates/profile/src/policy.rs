@@ -1,0 +1,131 @@
+//! Sampling policies: how much of a nest's access stream the profiler
+//! actually simulates.
+
+use cmt_obs::SplitMix64;
+
+/// Default window length for [`SamplePolicy::EveryKth`], in accesses.
+///
+/// Small enough that corpus-sized programs (a few hundred thousand
+/// accesses at the profiling `N`) still span hundreds of windows, large
+/// enough that each sampled window warms the cache past its own cold
+/// start.
+pub const DEFAULT_WINDOW: u64 = 256;
+
+/// Default sampling stride: simulate one window in sixteen.
+pub const DEFAULT_STRIDE: u64 = 16;
+
+/// Default sampling seed (arbitrary but fixed; change it and every
+/// committed `profile.json` changes).
+pub const DEFAULT_SEED: u64 = 0x1994_05ca;
+
+/// How the profiler subsamples one nest's access stream.
+///
+/// Both selective policies are deterministic functions of the policy
+/// itself plus the nest's index — never of thread count or timing — so
+/// profiles are byte-identical for any `CMT_JOBS`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplePolicy {
+    /// Simulate the whole stream (the ground-truth baseline).
+    Full,
+    /// Execute the nest in full but simulate only every `stride`-th
+    /// window of `window` consecutive accesses (plus window 0), the
+    /// residue class drawn per nest from `seed`. Interpretation cost is
+    /// unchanged; cache-simulation cost drops to roughly `1/stride`.
+    EveryKth {
+        /// Sampling stride `k`: one window in `k` is simulated.
+        stride: u64,
+        /// Window length in accesses.
+        window: u64,
+        /// Base seed; each nest derives its own phase from it.
+        seed: u64,
+    },
+    /// Truncate the nest's outermost loop to its first `n` iterations
+    /// and simulate that prefix in full, scaling estimates by the trip
+    /// ratio. Cuts *interpretation* cost as well as simulation cost, at
+    /// the price of bias on nests whose per-iteration work varies (e.g.
+    /// triangular loops).
+    FirstN {
+        /// Outer-loop iterations to keep.
+        n: u64,
+    },
+}
+
+impl Default for SamplePolicy {
+    fn default() -> Self {
+        SamplePolicy::EveryKth {
+            stride: DEFAULT_STRIDE,
+            window: DEFAULT_WINDOW,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl SamplePolicy {
+    /// The per-nest sampling seed: the base seed mixed with the nest's
+    /// body index, so sibling nests land on different residue classes
+    /// while the mapping stays a pure function of `(policy, nest_idx)`.
+    pub fn nest_seed(&self, nest_idx: usize) -> u64 {
+        let base = match self {
+            SamplePolicy::EveryKth { seed, .. } => *seed,
+            _ => 0,
+        };
+        // One SplitMix64 step keys the mix; the sink runs the result
+        // through SplitMix64 again to pick the phase.
+        SplitMix64::seed_from_u64(base ^ (nest_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .next_u64()
+    }
+
+    /// Compact human/machine-readable description, recorded in
+    /// `profile.json` so a diff across policy changes is visible as a
+    /// policy change, not silent drift.
+    pub fn describe(&self) -> String {
+        match self {
+            SamplePolicy::Full => "full".to_string(),
+            SamplePolicy::EveryKth {
+                stride,
+                window,
+                seed,
+            } => {
+                format!("every-kth(k={stride},window={window},seed={seed:#x})")
+            }
+            SamplePolicy::FirstN { n } => format!("first-n(n={n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_the_documented_one() {
+        match SamplePolicy::default() {
+            SamplePolicy::EveryKth {
+                stride,
+                window,
+                seed,
+            } => {
+                assert_eq!(stride, DEFAULT_STRIDE);
+                assert_eq!(window, DEFAULT_WINDOW);
+                assert_eq!(seed, DEFAULT_SEED);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nest_seeds_are_deterministic_and_distinct() {
+        let p = SamplePolicy::default();
+        assert_eq!(p.nest_seed(0), p.nest_seed(0));
+        assert_ne!(p.nest_seed(0), p.nest_seed(1));
+    }
+
+    #[test]
+    fn descriptions_are_stable() {
+        assert_eq!(SamplePolicy::Full.describe(), "full");
+        assert_eq!(SamplePolicy::FirstN { n: 4 }.describe(), "first-n(n=4)");
+        assert!(SamplePolicy::default()
+            .describe()
+            .starts_with("every-kth(k=16,"));
+    }
+}

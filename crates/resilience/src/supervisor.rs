@@ -240,6 +240,20 @@ impl SupervisedRun {
     pub fn degraded(&self) -> bool {
         !self.failures.is_empty()
     }
+
+    /// One-line human summary — what remark reasons and escalation
+    /// drivers print about this run.
+    pub fn summary(&self) -> String {
+        let health = if self.is_committed() {
+            "committed clean".to_string()
+        } else {
+            format!("degraded ({} stage(s) rolled back)", self.failures.len())
+        };
+        format!(
+            "{health}: {} step(s) committed, tiled={}, fuel {} spent",
+            self.steps_committed, self.tiled, self.fuel_spent
+        )
+    }
 }
 
 /// Panic payload the supervisor throws to unwind out of a doomed stage.

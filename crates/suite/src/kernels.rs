@@ -290,6 +290,28 @@ pub fn gmtry_rowwise() -> Program {
     b.finish()
 }
 
+/// Every figure kernel, one entry per distinct program, keyed by the
+/// program's own name. This is the profiling subsystem's ground-truth
+/// workload: a sampled hotspot ranking over these kernels is compared
+/// against full simulation in tests and CI (`cmt-profile --check`).
+///
+/// The list is deterministic (fixed order, fixed names) and every
+/// program is valid for any `N >= 5`, like the generated verify corpus.
+pub fn paper_kernels() -> Vec<Program> {
+    let mut kernels: Vec<Program> = matmul_orders().into_iter().map(|(_, p)| p).collect();
+    kernels.extend([
+        cholesky_kij(),
+        cholesky_kji(),
+        cholesky_kij_distributed(),
+        adi_scalarized(),
+        adi_fused_interchanged(),
+        erlebacher_distributed(4),
+        erlebacher_hand(4),
+        gmtry_rowwise(),
+    ]);
+    kernels
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +371,17 @@ mod tests {
     #[test]
     fn erlebacher_versions_compute_identically() {
         cmt_interp::assert_equivalent(&erlebacher_distributed(4), &erlebacher_hand(4), &[8]);
+    }
+
+    #[test]
+    fn paper_kernels_have_unique_names_and_validate() {
+        let kernels = paper_kernels();
+        assert!(kernels.len() >= 12);
+        let names: std::collections::HashSet<&str> = kernels.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), kernels.len(), "kernel names must be unique");
+        for p in &kernels {
+            validate(p).unwrap_or_else(|e| panic!("{}: {e:?}", p.name()));
+        }
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //!
 //! Without arguments, every file in `tests/corpus/` is processed. Pass
 //! `--jsonl` to print the machine-readable stream instead of the
-//! human-readable one.
+//! human-readable one, and `--profile N` to first rank each program's
+//! nests by sampled cache simulation at parameter `N` — the
+//! `profile.hotspot` remarks then appear alongside the pass remarks.
 
 use cmt_locality_repro::ir::parse::parse_program;
 use cmt_locality_repro::locality::pass::Pipeline;
 use cmt_locality_repro::obs::CollectSink;
+use cmt_locality_repro::profile::{profile_program, rank_hotspots, ProfileOptions};
 use std::path::PathBuf;
 
 fn corpus_files() -> Vec<PathBuf> {
@@ -32,10 +35,17 @@ fn corpus_files() -> Vec<PathBuf> {
 
 fn main() {
     let mut jsonl = false;
+    let mut profile_n: Option<i64> = None;
     let mut files: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--jsonl" {
             jsonl = true;
+        } else if arg == "--profile" {
+            profile_n = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--profile needs a parameter value N");
+                std::process::exit(2)
+            }));
         } else {
             files.push(PathBuf::from(arg));
         }
@@ -65,6 +75,19 @@ fn main() {
         };
 
         let mut sink = CollectSink::new();
+        // Sampled hotspot ranking first, so the `profile.hotspot`
+        // remarks lead the stream: what the misses are, then what the
+        // pipeline did about them.
+        if let Some(n) = profile_n {
+            let opts = ProfileOptions::default();
+            match profile_program(&program, n, &opts, &mut sink) {
+                Ok(profile) => {
+                    rank_hotspots(&[profile], &opts.policy.describe(), "i860", n)
+                        .emit_remarks(&mut sink);
+                }
+                Err(e) => eprintln!("profiling {}: {e}", path.display()),
+            }
+        }
         let reports = Pipeline::paper_default(4).run_observed(&mut program, &mut sink);
 
         if jsonl {

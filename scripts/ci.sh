@@ -61,6 +61,28 @@ cargo run --release -q -p cmt-bench --bin cmt-report -- fig2_matmul --dir "$SMOK
 test -s "$SMOKE_DIR/fig2_matmul.report.md" || { echo "missing report" >&2; exit 1; }
 cargo run --release -q -p cmt-bench --bin obs_diff -- results/baseline "$SMOKE_DIR" fig2_matmul
 
+echo ">>> profiling smoke (sampled sweep, escalation, agreement + cost gates)"
+# Sampled cache-simulation profiling over the first 32 verify-corpus
+# seeds plus the paper kernels (n=64, every-16th-window policy), with
+# top-5 escalation: full-simulation confirm per flagged nest, then one
+# supervised optimization run per flagged program. --check re-profiles
+# everything under full simulation and asserts the sampled top-5
+# ranking matches ground truth exactly; --max-cost asserts the sampled
+# pass simulated ≤ 10% of the corpus accesses. Both gates are
+# deterministic (corpus, seeds, and sampling phases are fixed) — they
+# fail on accuracy or sampled work volume, never on timing. The
+# wall-clock in BENCH_profile.json is informational only; the JSON
+# goes to the smoke dir so the committed BENCH_profile.json stays
+# untouched. profile.json/report land in results/ci for upload.
+CMT_JOBS=4 CMT_OBS_DIR="$SMOKE_DIR" cargo run --release -q -p cmt-bench --bin cmt-profile -- \
+  --seeds 32 --check --min-agreement 1.0 --max-cost 0.10 \
+  --bench-json "$SMOKE_DIR/BENCH_profile.json"
+test -s "$SMOKE_DIR/profile_corpus.profile.json" || { echo "missing profile artifact" >&2; exit 1; }
+grep -q '"profile.escalated":5' "$SMOKE_DIR/profile_corpus.metrics.json" \
+  || { echo "expected 5 escalated nests" >&2; exit 1; }
+cargo run --release -q -p cmt-bench --bin cmt-report -- profile_corpus --dir "$SMOKE_DIR"
+test -s "$SMOKE_DIR/profile_corpus.report.md" || { echo "missing profile report" >&2; exit 1; }
+
 echo ">>> clippy unwrap gate (bench + resilience failure paths stay panic-free)"
 cargo clippy -q --no-deps -p cmt-bench -p cmt-resilience -- -D clippy::unwrap_used
 

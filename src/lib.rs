@@ -12,6 +12,7 @@ pub use cmt_interp as interp;
 pub use cmt_ir as ir;
 pub use cmt_locality as locality;
 pub use cmt_obs as obs;
+pub use cmt_profile as profile;
 pub use cmt_resilience as resilience;
 pub use cmt_suite as suite;
 pub use cmt_verify as verify;
