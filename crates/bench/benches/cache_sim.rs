@@ -1,4 +1,4 @@
-//! Throughput of the cache-simulation engine, three ways per stream:
+//! Throughput of the cache-simulation engine, four ways per stream:
 //!
 //! * `legacy_scalar` — the seed `Vec<Vec<u64>>` + `HashSet` simulator
 //!   ([`LegacyCache`]), one call per access: the baseline the flat
@@ -6,20 +6,33 @@
 //! * `flat_scalar` — the flat tag/stamp engine ([`Cache`]), still one
 //!   call per access;
 //! * `flat_batched` — the flat engine fed 4 K-entry packed buffers via
-//!   `access_batch`, the shape the interpreter produces.
+//!   `access_batch`, the shape the interpreter produces;
+//! * `sharded` — the set-sharded engine ([`ShardedCache`]) on the same
+//!   buffers: MRU-ordered move-to-front way groups, an adaptive SIMD
+//!   run-collapse front end, and (with more than one shard) per-shard
+//!   sub-traces fanned out on the worker pool.
+//!
+//! `flat_batched` and `sharded` are timed **interleaved** (A, B, A, B …
+//! taking each side's minimum) because their ratio is the headline
+//! number and consecutive one-sided runs pick up scheduler drift on
+//! small hosts.
 //!
 //! Plus an end-to-end corpus comparison: Table 4 over the full suite,
-//! sequential (`CMT_JOBS=1`) vs parallel, asserting byte-identical
-//! output. All cases run an **equivalence check first** — identical
-//! `CacheStats` across the three engines — and the process exits
-//! non-zero on mismatch, so CI can gate on correctness without gating
-//! on timing.
+//! sequential (`CMT_JOBS=1`, one shard) vs parallel (restored
+//! `CMT_JOBS`, [`default_shard_count`] shards), asserting byte-identical
+//! output — so the determinism leg also covers shard-count variation.
+//! All cases run an **equivalence check first** — identical `CacheStats`
+//! across all engines and shard counts — and the process exits non-zero
+//! on mismatch, so CI can gate on correctness without gating on timing.
 //!
 //! Environment:
 //!
 //! * `CMT_BENCH_QUICK=1` — smaller streams and fewer iterations (CI);
 //! * `CMT_BENCH_JSON=PATH` — where to write the JSON baseline
-//!   (default `BENCH_cache_sim.json` in the working directory).
+//!   (default `BENCH_cache_sim.json` in the working directory);
+//! * `CMT_BENCH_GATE=PATH` — compare this run's geomean speedups
+//!   against a committed baseline JSON and exit non-zero when either
+//!   falls below `CMT_BENCH_GATE_FRAC` (default 0.7) of it.
 //!
 //! Reproduce the committed baseline with:
 //!
@@ -28,7 +41,7 @@
 //! ```
 
 use cmt_bench::timing::{bench, human_ns};
-use cmt_cache::{pack_access, Cache, CacheConfig, LegacyCache};
+use cmt_cache::{default_shard_count, pack_access, Cache, CacheConfig, LegacyCache, ShardedCache};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -68,15 +81,22 @@ fn stream(kind: &str, accesses: u64) -> Vec<u64> {
     out
 }
 
-/// Feeds `trace` to all three engines; returns (legacy, flat-scalar,
-/// flat-batched) stats for the equivalence gate. The batched engine gets
-/// the stream span registered (the scalar one deliberately does not), so
-/// the gate also proves region registration never changes the counts.
-fn run_all_engines(cfg: CacheConfig, kind: &str, trace: &[u64]) -> [cmt_cache::CacheStats; 3] {
+/// Feeds `trace` to every engine; returns (legacy, flat-scalar,
+/// flat-batched, sharded×1, sharded×4) stats for the equivalence gate.
+/// The batched engines get the stream span registered (the scalar one
+/// deliberately does not), so the gate also proves region registration
+/// never changes the counts — and the two shard counts prove the
+/// partition pass doesn't either.
+fn run_all_engines(cfg: CacheConfig, kind: &str, trace: &[u64]) -> [cmt_cache::CacheStats; 5] {
     let mut legacy = LegacyCache::new(cfg);
     let mut scalar = Cache::new(cfg);
     let mut batched = Cache::new(cfg);
     batched.reserve_region(0, stream_span(kind));
+    let mut sharded1 = ShardedCache::with_shards(cfg, 1);
+    let mut sharded4 = ShardedCache::with_shards(cfg, 4);
+    for c in [&mut sharded1, &mut sharded4] {
+        c.reserve_region(0, stream_span(kind));
+    }
     for &p in trace {
         let (a, w) = cmt_cache::unpack_access(p);
         legacy.access(a, w);
@@ -84,8 +104,33 @@ fn run_all_engines(cfg: CacheConfig, kind: &str, trace: &[u64]) -> [cmt_cache::C
     }
     for chunk in trace.chunks(4096) {
         batched.access_batch(chunk);
+        sharded1.access_batch(chunk);
+        sharded4.access_batch(chunk);
     }
-    [legacy.stats(), scalar.stats(), batched.stats()]
+    [
+        legacy.stats(),
+        scalar.stats(),
+        batched.stats(),
+        sharded1.stats(),
+        sharded4.stats(),
+    ]
+}
+
+/// Times two closures interleaved (A, B, A, B, …), returning each
+/// side's minimum total nanoseconds. Consecutive one-sided runs soak up
+/// host-scheduler and frequency drift asymmetrically; interleaving
+/// hits both sides with the same conditions each round.
+fn bench_interleaved(iters: u32, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::MAX, f64::MAX);
+    for _ in 0..iters {
+        let t = Instant::now();
+        a();
+        best_a = best_a.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        b();
+        best_b = best_b.min(t.elapsed().as_nanos() as f64);
+    }
+    (best_a, best_b)
 }
 
 struct Case {
@@ -93,6 +138,7 @@ struct Case {
     legacy_ns: f64,
     flat_ns: f64,
     batched_ns: f64,
+    sharded_ns: f64,
 }
 
 fn main() {
@@ -113,10 +159,11 @@ fn main() {
             CacheConfig::i860(),
             CacheConfig::decstation(),
         ] {
-            let [l, s, b] = run_all_engines(cfg, kind, &trace);
-            if l != s || l != b {
+            let [l, s, b, s1, s4] = run_all_engines(cfg, kind, &trace);
+            if l != s || l != b || l != s1 || l != s4 {
                 eprintln!(
-                    "EQUIVALENCE MISMATCH {kind}/{cfg}: legacy={l:?} flat={s:?} batched={b:?}"
+                    "EQUIVALENCE MISMATCH {kind}/{cfg}: legacy={l:?} flat={s:?} batched={b:?} \
+                     sharded1={s1:?} sharded4={s4:?}"
                 );
                 mismatches += 1;
             }
@@ -126,9 +173,13 @@ fn main() {
         eprintln!("{mismatches} engine equivalence mismatches — failing");
         std::process::exit(1);
     }
-    println!("engine equivalence: OK (legacy == flat == batched on all streams/geometries)");
+    println!(
+        "engine equivalence: OK (legacy == flat == batched == sharded x{{1,4}} on all \
+         streams/geometries)"
+    );
 
-    // ---- Hot-loop timing: three engines per stream/config. ----------
+    // ---- Hot-loop timing: four engines per stream/config. -----------
+    let shard_count = default_shard_count(&CacheConfig::rs6000());
     let mut cases = Vec::new();
     for (label, cfg) in [
         ("rs6000", CacheConfig::rs6000()),
@@ -156,38 +207,57 @@ fn main() {
                 }
                 black_box(c.stats());
             });
-            let batched = bench(&format!("{name}/flat_batched"), iters, || {
-                let mut c = Cache::new(cfg);
-                c.reserve_region(0, span);
-                for chunk in trace.chunks(4096) {
-                    c.access_batch(chunk);
-                }
-                black_box(c.stats());
-            });
+            let shards = default_shard_count(&cfg);
+            let (batched_ns, sharded_ns) = bench_interleaved(
+                iters.max(8),
+                || {
+                    let mut c = Cache::new(cfg);
+                    c.reserve_region(0, span);
+                    for chunk in trace.chunks(4096) {
+                        c.access_batch(chunk);
+                    }
+                    black_box(c.stats());
+                },
+                || {
+                    let mut c = ShardedCache::with_shards(cfg, shards);
+                    c.reserve_region(0, span);
+                    for chunk in trace.chunks(4096) {
+                        c.access_batch(chunk);
+                    }
+                    black_box(c.stats());
+                },
+            );
             let per = |ns: f64| ns / accesses as f64;
             println!(
-                "  -> {} legacy, {} flat, {} batched per access ({:.2}x batched speedup)",
+                "  -> {} legacy, {} flat, {} batched, {} sharded per access \
+                 ({:.2}x sharded vs batched)",
                 human_ns(per(legacy.min_ns)),
                 human_ns(per(flat.min_ns)),
-                human_ns(per(batched.min_ns)),
-                legacy.min_ns / batched.min_ns
+                human_ns(per(batched_ns)),
+                human_ns(per(sharded_ns)),
+                batched_ns / sharded_ns
             );
             cases.push(Case {
                 name,
                 legacy_ns: per(legacy.min_ns),
                 flat_ns: per(flat.min_ns),
-                batched_ns: per(batched.min_ns),
+                batched_ns: per(batched_ns),
+                sharded_ns: per(sharded_ns),
             });
         }
     }
-    let geomean_speedup: f64 = {
-        let logs: f64 = cases
-            .iter()
-            .map(|c| (c.legacy_ns / c.batched_ns).ln())
-            .sum();
+    let geomean = |f: &dyn Fn(&Case) -> f64| -> f64 {
+        let logs: f64 = cases.iter().map(|c| f(c).ln()).sum();
         (logs / cases.len() as f64).exp()
     };
+    let geomean_speedup = geomean(&|c| c.legacy_ns / c.batched_ns);
+    let sharded_geomean = geomean(&|c| c.batched_ns / c.sharded_ns);
+    let sharded_vs_legacy = geomean(&|c| c.legacy_ns / c.sharded_ns);
     println!("hot-loop geomean speedup (batched flat vs legacy scalar): {geomean_speedup:.2}x");
+    println!(
+        "hot-loop geomean speedup (sharded x{shard_count} vs batched flat): \
+         {sharded_geomean:.2}x ({sharded_vs_legacy:.2}x vs legacy scalar)"
+    );
 
     // ---- End-to-end corpus: sequential vs parallel Table 4. ---------
     let corpus_n = if quick { 48 } else { 96 };
@@ -232,16 +302,28 @@ fn main() {
         let _ = writeln!(
             j,
             "    \"{}\": {{\"legacy_scalar\": {:.3}, \"flat_scalar\": {:.3}, \
-             \"flat_batched\": {:.3}, \"speedup_batched_vs_legacy\": {:.2}}}{comma}",
+             \"flat_batched\": {:.3}, \"sharded\": {:.3}, \
+             \"speedup_batched_vs_legacy\": {:.2}, \"speedup_sharded_vs_batched\": {:.2}}}{comma}",
             c.name,
             c.legacy_ns,
             c.flat_ns,
             c.batched_ns,
-            c.legacy_ns / c.batched_ns
+            c.sharded_ns,
+            c.legacy_ns / c.batched_ns,
+            c.batched_ns / c.sharded_ns
         );
     }
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"hot_loop_geomean_speedup\": {geomean_speedup:.2},");
+    let _ = writeln!(j, "  \"shard_count\": {shard_count},");
+    let _ = writeln!(
+        j,
+        "  \"sharded_vs_flat_batched_geomean\": {sharded_geomean:.2},"
+    );
+    let _ = writeln!(
+        j,
+        "  \"sharded_vs_legacy_geomean\": {sharded_vs_legacy:.2},"
+    );
     let _ = writeln!(
         j,
         "  \"corpus_table4\": {{\"n\": {corpus_n}, \"sequential_seconds\": {sequential_s:.3}, \
@@ -254,4 +336,56 @@ fn main() {
         Ok(()) => println!("baseline written: {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+
+    // ---- Regression gate vs a committed baseline. -------------------
+    // Gates on *ratios* (geomean speedups), not absolute nanoseconds, so
+    // quick-mode CI runs compare meaningfully against a full-mode
+    // committed baseline on different hardware.
+    if let Ok(gate_path) = std::env::var("CMT_BENCH_GATE") {
+        let frac: f64 = std::env::var("CMT_BENCH_GATE_FRAC")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.7);
+        let baseline = std::fs::read_to_string(&gate_path)
+            .unwrap_or_else(|e| panic!("CMT_BENCH_GATE: cannot read {gate_path}: {e}"));
+        let mut failures = 0;
+        for (key, measured) in [
+            ("hot_loop_geomean_speedup", geomean_speedup),
+            ("sharded_vs_flat_batched_geomean", sharded_geomean),
+        ] {
+            let Some(committed) = json_number(&baseline, key) else {
+                println!("gate: baseline has no \"{key}\" — skipping that check");
+                continue;
+            };
+            let floor = committed * frac;
+            if measured < floor {
+                eprintln!(
+                    "PERF REGRESSION {key}: measured {measured:.2}x < {floor:.2}x \
+                     (= {frac} x committed {committed:.2}x)"
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "gate: {key} {measured:.2}x >= {floor:.2}x ({frac} x committed \
+                     {committed:.2}x) — OK"
+                );
+            }
+        }
+        if failures > 0 {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON document — enough to read
+/// the handful of geomean fields this bench itself writes, without a
+/// JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

@@ -4,6 +4,11 @@ use cmt_locality::pass::Pipeline;
 use cmt_obs::{CollectSink, TraceSession, Tracing};
 use std::process::ExitCode;
 
+/// Pinned shard count for the artifact-producing sharded run, so the
+/// committed baseline `shard.*` counters don't depend on the host's
+/// core count.
+const SHARDS: usize = 4;
+
 fn main() -> ExitCode {
     let n: i64 = std::env::args()
         .nth(1)
@@ -38,6 +43,21 @@ fn main() -> ExitCode {
         let sim = cmt_bench::simulate_program_observed_traced(&p, sim_n, 10_000, &mut track);
         session.absorb(track);
         sim.export_metrics(&mut sink.metrics, "fig2.matmul_opt");
+        // Same run on the set-sharded engine: per-shard slices become
+        // `sim.shard` spans and `shard.*` counters. The shard count is
+        // pinned (not CMT_SHARDS/CMT_JOBS) so the committed baseline
+        // metrics stay host-independent.
+        let mut shard_track = session.track("sim.sharded");
+        let sharded = cmt_bench::simulate_program_sharded_traced(
+            &p,
+            sim_n,
+            SHARDS,
+            &mut sink.metrics,
+            "fig2.matmul_opt",
+            Some(&mut shard_track),
+        );
+        session.absorb(shard_track);
+        assert_eq!(sharded.cache2, sim.sim.cache2, "engines must agree");
         session.validate().expect("trace invariants");
         match cmt_bench::write_trace_json("fig2_matmul", &session.to_chrome_json()) {
             Ok(path) => println!("[obs] trace:    {}", path.display()),
@@ -54,6 +74,15 @@ fn main() -> ExitCode {
         }
         let sim = cmt_bench::simulate_program_observed(&p, sim_n, 10_000);
         sim.export_metrics(&mut sink.metrics, "fig2.matmul_opt");
+        let sharded = cmt_bench::simulate_program_sharded_traced(
+            &p,
+            sim_n,
+            SHARDS,
+            &mut sink.metrics,
+            "fig2.matmul_opt",
+            None,
+        );
+        assert_eq!(sharded.cache2, sim.sim.cache2, "engines must agree");
     }
     if let Err(e) = cmt_bench::emit("fig2_matmul", &sink.remarks, &sink.metrics) {
         eprintln!("fig2_matmul: {e}");

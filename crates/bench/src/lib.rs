@@ -29,6 +29,6 @@ pub use profiling::{profile_sweep, sweep_corpus, AgreementReport, SweepConfig, S
 pub use report::render_report;
 pub use runner::{
     cmt_jobs, par_map, par_map_traced, simulate_program, simulate_program_observed,
-    simulate_program_observed_traced, simulate_versions, try_par_map, try_par_map_traced,
-    ObservedSim, ProgramSim, VersionPair, WorkerPanic,
+    simulate_program_observed_traced, simulate_program_sharded_traced, simulate_versions,
+    try_par_map, try_par_map_traced, ObservedSim, ProgramSim, VersionPair, WorkerPanic,
 };

@@ -1,309 +1,21 @@
 //! Execution + cache-simulation plumbing shared by the table generators,
 //! plus the deterministic parallel corpus runner ([`par_map`]).
 
-use cmt_cache::{Cache, CacheConfig, CacheStats, ObservedCache};
+use cmt_cache::{Cache, CacheConfig, CacheStats, ObservedCache, ShardedCache};
 use cmt_interp::{Machine, MeteredSink, TraceSink, TracedSink};
 use cmt_ir::ids::ArrayId;
 use cmt_ir::program::Program;
 use cmt_locality::{compound::compound, model::CostModel};
-use cmt_obs::{MetricsRegistry, TraceArg, TraceSession, TraceTrack};
+use cmt_obs::{MetricsRegistry, TraceArg, TraceTrack};
 use cmt_suite::BenchmarkModel;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-/// Worker count for [`par_map`]: `$CMT_JOBS` when set to a positive
-/// integer, otherwise the machine's available parallelism. `CMT_JOBS=1`
-/// forces the fully sequential in-thread path.
-pub fn cmt_jobs() -> usize {
-    std::env::var("CMT_JOBS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&j| j >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// A contained worker failure from [`try_par_map`]: the item's closure
-/// panicked on its first run *and* on its bounded retry on a fresh
-/// worker.
-#[derive(Clone, Debug)]
-pub struct WorkerPanic {
-    /// Index of the item whose closure panicked.
-    pub index: usize,
-    /// Attempts made (always 2: initial run + one retry).
-    pub attempts: u32,
-    /// Panic payload of the last attempt, when it was a string.
-    pub message: String,
-}
-
-impl std::fmt::Display for WorkerPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "worker panicked on item {} ({} attempts): {}",
-            self.index, self.attempts, self.message
-        )
-    }
-}
-
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-fn run_caught<T, R>(f: &(impl Fn(&T) -> R + Sync), item: &T) -> Result<R, String> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
-        .map_err(|p| panic_text(p.as_ref()))
-}
-
-/// [`par_map`] with worker-panic containment: a panic in `f` is caught
-/// on the worker (which keeps draining the queue), the failed item is
-/// retried **once** on a fresh worker thread, and a second failure
-/// surfaces as `Err(WorkerPanic)` in that item's slot — every other
-/// item still completes and keeps its byte-identical, item-ordered
-/// result.
-pub fn try_par_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<Result<R, WorkerPanic>> {
-    let jobs = cmt_jobs().min(items.len().max(1));
-    let slots: Vec<Mutex<Option<Result<R, String>>>> =
-        items.iter().map(|_| Mutex::new(None)).collect();
-    if jobs <= 1 {
-        for (i, item) in items.iter().enumerate() {
-            *slots[i].lock().expect("result slot poisoned") = Some(run_caught(&f, item));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else { break };
-                    let r = run_caught(&f, item);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
-                });
-            }
-        });
-    }
-    // Bounded retry: failed items run once more, each on a fresh worker
-    // thread (a panicking closure may have been unlucky rather than
-    // deterministic — and a fresh thread guarantees clean worker state).
-    let failed: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| {
-            matches!(
-                s.lock().expect("result slot poisoned").as_ref(),
-                Some(Err(_)) | None
-            )
-        })
-        .map(|(i, _)| i)
-        .collect();
-    if !failed.is_empty() {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs.min(failed.len()) {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = failed.get(k) else { break };
-                    let r = run_caught(&f, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
-                });
-            }
-        });
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            match s
-                .into_inner()
-                .expect("result slot poisoned")
-                .unwrap_or_else(|| Err("worker never filled the slot".to_string()))
-            {
-                Ok(r) => Ok(r),
-                Err(message) => Err(WorkerPanic {
-                    index: i,
-                    attempts: 2,
-                    message,
-                }),
-            }
-        })
-        .collect()
-}
-
-/// Maps `f` over `items` on [`cmt_jobs`] scoped worker threads,
-/// returning results **in item order**.
-///
-/// Determinism guarantee: the output vector is indistinguishable from
-/// `items.iter().map(f).collect()` as long as `f` itself is a pure
-/// function of its item — workers pull items off a shared queue, but
-/// every result is written back to its item's slot, so ordering (and
-/// everything derived from it: rendered tables, remark streams, JSON
-/// artifacts) is byte-identical for any `CMT_JOBS` value. Simulations
-/// are independent per item (each builds its own `Machine` and caches),
-/// which is what makes the corpus embarrassingly parallel.
-///
-/// Uses only `std::thread::scope` — no thread-pool dependency. Built on
-/// [`try_par_map`], so a panic in `f` no longer kills sibling workers:
-/// the item is retried once on a fresh worker, and only a repeat
-/// failure panics the caller — deterministically, on the first failed
-/// item in **item order** (not completion order).
-pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    try_par_map(items, f)
-        .into_iter()
-        .map(|r| match r {
-            Ok(v) => v,
-            Err(e) => panic!("par_map: {e}"),
-        })
-        .collect()
-}
-
-/// [`par_map`] with self-profiling: each worker records onto its own
-/// [`TraceTrack`] (`worker-0` … `worker-{jobs-1}`), absorbed into
-/// `session` in worker order, so a Perfetto view of the run shows
-/// exactly how `CMT_JOBS` spreads the corpus. Every item is wrapped in
-/// a `par_map.item` complete-span carrying its index; `f` can record
-/// finer-grained events through the track it receives.
-///
-/// Results keep the [`par_map`] determinism guarantee (item-order
-/// output); only the trace's timestamps and item-to-worker assignment
-/// vary run to run.
-///
-/// Panic containment matches [`par_map`]: a panicking item is retried
-/// once on a fresh `worker-retry` thread/track, and only a repeat
-/// failure panics the caller (first failed item in item order).
-pub fn par_map_traced<T: Sync, R: Send>(
-    items: &[T],
-    session: &mut TraceSession,
-    f: impl Fn(&T, &mut TraceTrack) -> R + Sync,
-) -> Vec<R> {
-    try_par_map_traced(items, session, f)
-        .into_iter()
-        .map(|r| match r {
-            Ok(v) => v,
-            Err(e) => panic!("par_map_traced: {e}"),
-        })
-        .collect()
-}
-
-/// [`par_map_traced`] with worker-panic containment — the traced
-/// counterpart of [`try_par_map`]. Worker threads survive a panicking
-/// item (the panic is caught, the worker keeps draining the queue, and
-/// its trace track stays intact); failed items are retried once on a
-/// fresh `worker-retry` thread with its own track; a second failure
-/// surfaces as `Err(WorkerPanic)` in the item's slot.
-pub fn try_par_map_traced<T: Sync, R: Send>(
-    items: &[T],
-    session: &mut TraceSession,
-    f: impl Fn(&T, &mut TraceTrack) -> R + Sync,
-) -> Vec<Result<R, WorkerPanic>> {
-    let jobs = cmt_jobs().min(items.len().max(1));
-    let run_one = |i: usize, item: &T, track: &mut TraceTrack| -> Result<R, String> {
-        let t0 = track.start();
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item, track)))
-            .map_err(|p| panic_text(p.as_ref()));
-        track.complete_since(t0, "par_map.item", &[("index", TraceArg::U64(i as u64))]);
-        r
-    };
-    let slots: Vec<Mutex<Option<Result<R, String>>>> =
-        items.iter().map(|_| Mutex::new(None)).collect();
-    if jobs <= 1 {
-        let mut track = session.track("worker-0");
-        for (i, item) in items.iter().enumerate() {
-            *slots[i].lock().expect("result slot poisoned") = Some(run_one(i, item, &mut track));
-        }
-        track.normalize();
-        session.absorb(track);
-    } else {
-        let next = AtomicUsize::new(0);
-        let tracks: Vec<TraceTrack> = (0..jobs)
-            .map(|w| session.track(&format!("worker-{w}")))
-            .collect();
-        let done: Vec<TraceTrack> = std::thread::scope(|scope| {
-            let (next, slots, run_one) = (&next, &slots, &run_one);
-            let handles: Vec<_> = tracks
-                .into_iter()
-                .map(|mut track| {
-                    scope.spawn(move || {
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            let r = run_one(i, item, &mut track);
-                            *slots[i].lock().expect("result slot poisoned") = Some(r);
-                        }
-                        track
-                    })
-                })
-                .collect();
-            // Workers contain every panic in `f`, so joins cannot fail;
-            // if one somehow does, its track is lost but the run (and
-            // the other workers' tracks) survive.
-            handles.into_iter().filter_map(|h| h.join().ok()).collect()
-        });
-        for mut track in done {
-            track.normalize();
-            session.absorb(track);
-        }
-    }
-    // Bounded retry on a fresh worker thread with its own track.
-    let failed: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| {
-            matches!(
-                s.lock().expect("result slot poisoned").as_ref(),
-                Some(Err(_)) | None
-            )
-        })
-        .map(|(i, _)| i)
-        .collect();
-    if !failed.is_empty() {
-        let mut retry_track = session.track("worker-retry");
-        let retry_done: TraceTrack = std::thread::scope(|scope| {
-            let (slots, run_one) = (&slots, &run_one);
-            let handle = scope.spawn(move || {
-                for &i in &failed {
-                    let r = run_one(i, &items[i], &mut retry_track);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
-                }
-                retry_track
-            });
-            handle.join().ok()
-        })
-        .unwrap_or_else(|| session.track("worker-retry-lost"));
-        let mut retry_done = retry_done;
-        retry_done.normalize();
-        session.absorb(retry_done);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            match s
-                .into_inner()
-                .expect("result slot poisoned")
-                .unwrap_or_else(|| Err("worker never filled the slot".to_string()))
-            {
-                Ok(r) => Ok(r),
-                Err(message) => Err(WorkerPanic {
-                    index: i,
-                    attempts: 2,
-                    message,
-                }),
-            }
-        })
-        .collect()
-}
+// The deterministic worker pool moved down to `cmt-obs` so the
+// set-sharded cache engine can fan shards out on it; re-exported here
+// so existing `cmt_bench::{par_map, cmt_jobs, …}` callers are
+// unaffected.
+pub use cmt_obs::pool::{
+    cmt_jobs, par_map, par_map_traced, try_par_map, try_par_map_traced, WorkerPanic,
+};
 
 /// Cache statistics for one program run under both paper caches.
 #[derive(Clone, Copy, Debug, Default)]
@@ -329,9 +41,16 @@ pub struct VersionPair {
 
 /// Sink adapter shifting all addresses by a constant, so two separately
 /// allocated programs occupy disjoint address ranges in a shared cache.
+///
+/// Batch-granular: a packed access is `addr | write_bit`, addresses stay
+/// below 2^41 and the offset is at most `1 << 40`, so adding the offset
+/// to the packed word never carries into the write bit and a whole
+/// buffer is offset with one add per element before hitting the
+/// simulation cores.
 struct OffsetInto<'a> {
     offset: u64,
-    caches: &'a mut [Cache; 2],
+    caches: &'a mut [ShardedCache; 2],
+    buf: Vec<u64>,
 }
 
 impl TraceSink for OffsetInto<'_> {
@@ -339,6 +58,37 @@ impl TraceSink for OffsetInto<'_> {
         self.caches[0].access(addr + self.offset, is_write);
         self.caches[1].access(addr + self.offset, is_write);
     }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        if self.offset == 0 {
+            self.caches[0].access_batch(batch);
+            self.caches[1].access_batch(batch);
+        } else {
+            self.buf.clear();
+            self.buf.extend(batch.iter().map(|&p| p + self.offset));
+            self.caches[0].access_batch(&self.buf);
+            self.caches[1].access_batch(&self.buf);
+        }
+    }
+}
+
+/// The two paper caches as set-sharded engines (honoring `CMT_SHARDS` /
+/// `CMT_JOBS` via [`cmt_cache::default_shard_count`]), with every array
+/// of `m` reserved for dense cold tracking at `offset`.
+fn paper_caches(program: &Program, m: &Machine, offset: u64) -> [ShardedCache; 2] {
+    let mut caches = [
+        ShardedCache::new(CacheConfig::rs6000()),
+        ShardedCache::new(CacheConfig::i860()),
+    ];
+    for (k, _) in program.arrays().iter().enumerate() {
+        let id = ArrayId(k as u32);
+        let start = m.storage(id).address_of(0);
+        let bytes = m.array_data(id).len() as u64 * 8;
+        for c in &mut caches {
+            c.reserve_region(start + offset, bytes);
+        }
+    }
+    caches
 }
 
 /// Simulates one program at parameter `n`, returning both caches' stats.
@@ -348,19 +98,18 @@ impl TraceSink for OffsetInto<'_> {
 /// Panics if execution fails (suite programs are in-bounds by
 /// construction).
 pub fn simulate_program(program: &Program, n: i64) -> ProgramSim {
-    let mut caches = [
-        Cache::new(CacheConfig::rs6000()),
-        Cache::new(CacheConfig::i860()),
-    ];
     let mut m = Machine::new(program, &[n]).expect("allocation");
+    let mut caches = paper_caches(program, &m, 0);
     let mut sink = OffsetInto {
         offset: 0,
         caches: &mut caches,
+        buf: Vec::new(),
     };
     m.run(program, &mut sink).expect("execution");
+    let [mut c1, mut c2] = caches;
     ProgramSim {
-        cache1: caches[0].stats(),
-        cache2: caches[1].stats(),
+        cache1: c1.stats(),
+        cache2: c2.stats(),
     }
 }
 
@@ -409,6 +158,91 @@ impl TraceSink for BothObserved<'_> {
         self.caches[0].access(addr, is_write);
         self.caches[1].access(addr, is_write);
     }
+}
+
+/// [`simulate_program`] on the set-sharded engine, with observability:
+/// deterministic `{prefix}.cache{1,2}.shard.*` counters (shard count,
+/// flushes, partitioned accesses, per-shard accesses/misses — see
+/// [`ShardedCache::export_metrics`]) land in `registry`, and, when a
+/// `track` is given, every per-shard simulation slice is replayed as a
+/// `sim.shard` complete-span so Perfetto shows how the partitioned
+/// flushes spread work across shards.
+///
+/// `shards` pins the shard count explicitly: artifact-producing callers
+/// must not inherit it from `CMT_SHARDS`/`CMT_JOBS`, or committed
+/// baselines would depend on the host. Statistics are identical to
+/// [`simulate_program`] for every shard count, and identical whether or
+/// not tracing is enabled (the flush log only adds timing).
+///
+/// # Panics
+///
+/// Panics if execution fails (suite programs are in-bounds by
+/// construction).
+pub fn simulate_program_sharded_traced(
+    program: &Program,
+    n: i64,
+    shards: usize,
+    registry: &mut MetricsRegistry,
+    prefix: &str,
+    mut track: Option<&mut TraceTrack>,
+) -> ProgramSim {
+    let mut m = Machine::new(program, &[n]).expect("allocation");
+    let mut caches = [
+        ShardedCache::with_shards(CacheConfig::rs6000(), shards),
+        ShardedCache::with_shards(CacheConfig::i860(), shards),
+    ];
+    for (k, _) in program.arrays().iter().enumerate() {
+        let id = ArrayId(k as u32);
+        let start = m.storage(id).address_of(0);
+        let bytes = m.array_data(id).len() as u64 * 8;
+        for c in &mut caches {
+            c.reserve_region(start, bytes);
+        }
+    }
+    if track.is_some() {
+        for c in &mut caches {
+            c.enable_flush_log();
+        }
+    }
+    let t0 = track.as_deref_mut().map(|t| t.start());
+    let mut sink = OffsetInto {
+        offset: 0,
+        caches: &mut caches,
+        buf: Vec::new(),
+    };
+    m.run(program, &mut sink).expect("execution");
+    let [mut c1, mut c2] = caches;
+    let sim = ProgramSim {
+        cache1: c1.stats(),
+        cache2: c2.stats(),
+    };
+    c1.export_metrics(registry, &format!("{prefix}.cache1"));
+    c2.export_metrics(registry, &format!("{prefix}.cache2"));
+    if let (Some(track), Some(t0)) = (track, t0) {
+        // Shards run concurrently inside a flush; the replay lays their
+        // slices end to end from the run's start, which preserves each
+        // slice's duration and per-cache ordering without pretending to
+        // know the pool's real interleaving.
+        for (which, cache) in [("cache1", &mut c1), ("cache2", &mut c2)] {
+            let mut ts = t0;
+            for span in cache.take_flush_log() {
+                let dur = span.nanos / 1_000;
+                track.complete_at(
+                    ts,
+                    dur,
+                    "sim.shard",
+                    &[
+                        ("cache", TraceArg::Str(which)),
+                        ("shard", TraceArg::U64(u64::from(span.shard))),
+                        ("accesses", TraceArg::U64(span.accesses)),
+                    ],
+                );
+                ts += dur.max(1);
+            }
+        }
+        track.normalize();
+    }
+    sim
 }
 
 /// [`simulate_program`] with observability: every array's address range
@@ -536,16 +370,14 @@ pub fn simulate_versions(model: &BenchmarkModel, cost_model: &CostModel, n: i64)
     let _ = compound(&mut transformed, cost_model);
 
     let run_whole = |opt: &Program| -> (ProgramSim, ProgramSim) {
-        let mut caches = [
-            Cache::new(CacheConfig::rs6000()),
-            Cache::new(CacheConfig::i860()),
-        ];
         // Optimized procedures first…
         let mut m = Machine::new(opt, &[n]).expect("allocation");
+        let mut caches = paper_caches(opt, &m, 0);
         {
             let mut sink = OffsetInto {
                 offset: 0,
                 caches: &mut caches,
+                buf: Vec::new(),
             };
             m.run(opt, &mut sink).expect("execution");
         }
@@ -555,10 +387,19 @@ pub fn simulate_versions(model: &BenchmarkModel, cost_model: &CostModel, n: i64)
         };
         // …then the background, offset far away in the address space.
         let mut mr = Machine::new(&model.rest, &[n]).expect("allocation");
+        for (k, _) in model.rest.arrays().iter().enumerate() {
+            let id = ArrayId(k as u32);
+            let start = mr.storage(id).address_of(0);
+            let bytes = mr.array_data(id).len() as u64 * 8;
+            for c in &mut caches {
+                c.reserve_region(start + (1 << 40), bytes);
+            }
+        }
         {
             let mut sink = OffsetInto {
                 offset: 1 << 40,
                 caches: &mut caches,
+                buf: Vec::new(),
             };
             mr.run(&model.rest, &mut sink).expect("execution");
         }
@@ -632,77 +473,38 @@ mod tests {
     }
 
     #[test]
-    fn try_par_map_contains_a_persistent_panic() {
-        let items: Vec<usize> = (0..20).collect();
-        let out = try_par_map(&items, |&i| {
-            if i == 13 {
-                panic!("boom on {i}");
-            }
-            i * 2
-        });
-        for (i, r) in out.iter().enumerate() {
-            if i == 13 {
-                let e = r.as_ref().expect_err("item 13 must fail");
-                assert_eq!(e.index, 13);
-                assert_eq!(e.attempts, 2);
-                assert!(e.message.contains("boom on 13"), "{}", e.message);
-            } else {
-                assert_eq!(*r.as_ref().expect("other items succeed"), i * 2);
-            }
-        }
-    }
+    fn sharded_traced_sim_matches_plain_and_exports_shard_metrics() {
+        let p = cmt_suite::kernels::matmul("IJK");
+        let plain = simulate_program(&p, 24);
 
-    #[test]
-    fn try_par_map_retries_a_flaky_item_once() {
-        use std::sync::atomic::AtomicU32;
-        let attempts = AtomicU32::new(0);
-        let items: Vec<usize> = (0..8).collect();
-        let out = try_par_map(&items, |&i| {
-            if i == 5 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
-                panic!("flaky");
-            }
-            i + 100
-        });
-        // The first attempt panicked; the bounded retry succeeded.
-        assert_eq!(attempts.load(Ordering::SeqCst), 2);
-        let vals: Vec<usize> = out
-            .into_iter()
-            .map(|r| r.expect("retry recovers"))
-            .collect();
-        assert_eq!(vals, (100..108).collect::<Vec<_>>());
-    }
+        // Untraced: stats agree with the plain engine, counters land.
+        let mut reg = MetricsRegistry::new();
+        let quiet = simulate_program_sharded_traced(&p, 24, 4, &mut reg, "sim.mm", None);
+        assert_eq!(plain.cache1, quiet.cache1);
+        assert_eq!(plain.cache2, quiet.cache2);
+        assert_eq!(reg.counter_value("sim.mm.cache1.shard.count"), 4);
+        assert_eq!(reg.counter_value("sim.mm.cache2.shard.count"), 4);
+        let per_shard: u64 = (0..4)
+            .map(|k| reg.counter_value(&format!("sim.mm.cache2.shard.{k}.accesses")))
+            .sum();
+        assert_eq!(per_shard, plain.cache2.accesses);
 
-    #[test]
-    fn try_par_map_results_stay_in_item_order() {
-        let items: Vec<u64> = (0..64).collect();
-        let out = try_par_map(&items, |&i| i * i);
-        let vals: Vec<u64> = out.into_iter().map(|r| r.expect("no faults")).collect();
-        assert_eq!(vals, items.iter().map(|&i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn par_map_traced_contains_and_retries_panics() {
-        let mut session = TraceSession::new();
-        let items: Vec<usize> = (0..16).collect();
-        let out = try_par_map_traced(&items, &mut session, |&i, track| {
-            track.instant("visit");
-            if i == 3 {
-                panic!("traced boom");
-            }
-            i
-        });
-        for (i, r) in out.iter().enumerate() {
-            if i == 3 {
-                assert!(r.is_err());
-            } else {
-                assert_eq!(*r.as_ref().expect("ok"), i);
-            }
-        }
-        // The surviving workers' tracks (and the retry track) were
-        // absorbed and still form a valid trace.
-        session.validate().expect("trace stays well-formed");
+        // Traced: identical stats and counters, plus sim.shard spans.
+        let mut session = cmt_obs::TraceSession::new();
+        let mut track = session.track("sim.sharded");
+        let mut reg2 = MetricsRegistry::new();
+        let traced =
+            simulate_program_sharded_traced(&p, 24, 4, &mut reg2, "sim.mm", Some(&mut track));
+        session.absorb(track);
+        assert_eq!(quiet.cache2, traced.cache2, "tracing must not change stats");
+        assert_eq!(
+            reg.to_json(),
+            reg2.to_json(),
+            "counters must not depend on tracing"
+        );
+        session.validate().expect("trace invariants");
         let json = session.to_chrome_json();
-        assert!(json.contains("worker-retry"), "retry track is recorded");
+        assert!(json.contains("sim.shard"), "expected sim.shard spans");
     }
 
     #[test]

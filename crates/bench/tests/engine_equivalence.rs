@@ -13,7 +13,7 @@
 //! * rendered table output is byte-identical for any `CMT_JOBS`.
 
 use cmt_bench::par_map;
-use cmt_cache::{Cache, CacheConfig, LegacyCache, ObservedCache};
+use cmt_cache::{Cache, CacheConfig, LegacyCache, ObservedCache, ShardedCache};
 use cmt_interp::{Machine, RecordingSink};
 use cmt_ir::ids::ArrayId;
 use cmt_ir::program::Program;
@@ -56,6 +56,49 @@ fn corpus_stats_identical_legacy_vs_batched() {
                     m.spec.name,
                     legacy.stats(),
                     batched.stats()
+                ));
+            }
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "stats diverged:\n{failures:#?}");
+}
+
+#[test]
+fn verify_corpus_stats_identical_sharded_vs_legacy_and_unsharded() {
+    let _env = ENV_LOCK.lock().unwrap();
+    // The full committed verify corpus in release (the scale CI runs
+    // at); a prefix in debug so plain `cargo test -q` stays quick.
+    let take = if cfg!(debug_assertions) {
+        24
+    } else {
+        usize::MAX
+    };
+    let seeds: Vec<u64> = cmt_verify::corpus_seeds().into_iter().take(take).collect();
+    let failures: Vec<String> = par_map(&seeds, |&seed| {
+        let program = cmt_verify::generate(seed);
+        let rec = record(&program, 16);
+        let mut out = Vec::new();
+        for (g, cfg) in GEOMETRIES.iter().enumerate() {
+            let cfg = cfg();
+            let mut legacy = LegacyCache::new(cfg);
+            for &(a, w) in &rec.trace {
+                legacy.access(a, w);
+            }
+            let mut flat = Cache::new(cfg);
+            rec.replay_batched(&mut flat);
+            // Rotate the shard count per (seed, geometry) so 1, 2 and
+            // 8 shards all get corpus-wide coverage.
+            let shards = [1usize, 2, 8][(seed as usize).wrapping_add(g) % 3];
+            let mut sharded = ShardedCache::with_shards(cfg, shards);
+            rec.replay_batched(&mut sharded);
+            let (l, f, s) = (legacy.stats(), flat.stats(), sharded.stats());
+            if l != f || f != s {
+                out.push(format!(
+                    "seed {seed}/{cfg}: legacy={l:?} flat={f:?} sharded({shards})={s:?}"
                 ));
             }
         }
@@ -169,15 +212,26 @@ fn reset_stats_keeps_cold_history_clear_forgets() {
 }
 
 #[test]
-fn table_output_byte_identical_for_any_job_count() {
+fn table_output_byte_identical_for_any_jobs_and_shard_count() {
     let _env = ENV_LOCK.lock().unwrap();
-    std::env::set_var("CMT_JOBS", "1");
-    let (sequential, _) = cmt_bench::tables::table4(Some(24));
-    std::env::set_var("CMT_JOBS", "4");
-    let (parallel, _) = cmt_bench::tables::table4(Some(24));
+    // Worker count and shard count are pure throughput knobs: rendered
+    // table artifacts must be byte-identical across the whole matrix.
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4"] {
+        for shards in ["1", "2", "8"] {
+            std::env::set_var("CMT_JOBS", jobs);
+            std::env::set_var("CMT_SHARDS", shards);
+            let (text, _) = cmt_bench::tables::table4(Some(24));
+            outputs.push((jobs, shards, text));
+        }
+    }
     std::env::remove_var("CMT_JOBS");
-    assert_eq!(
-        sequential, parallel,
-        "table4 output must not depend on CMT_JOBS"
-    );
+    std::env::remove_var("CMT_SHARDS");
+    let (j0, s0, base) = &outputs[0];
+    for (j, s, text) in &outputs[1..] {
+        assert_eq!(
+            text, base,
+            "table4 differs between CMT_JOBS={j0}/CMT_SHARDS={s0} and CMT_JOBS={j}/CMT_SHARDS={s}"
+        );
+    }
 }

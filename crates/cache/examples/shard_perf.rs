@@ -1,0 +1,102 @@
+//! Quick A/B timing of the sharded core against the flat batched
+//! engine, on the same streams the cache_sim bench uses. Handy while
+//! tuning; the committed numbers come from `cargo bench -p cmt-bench
+//! --bench cache_sim`.
+
+use cmt_cache::{pack_access, Cache, CacheConfig, ShardedCache};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn stream(kind: &str, accesses: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(accesses as usize);
+    let mut x = 0x243F6A8885A308D3u64;
+    for k in 0..accesses {
+        let addr = match kind {
+            "sequential" => k * 8 % (1 << 22),
+            "strided_4k" => k * 4096 % (1 << 26),
+            "lcg_random" => {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x % (1 << 24)
+            }
+            _ => unreachable!(),
+        };
+        out.push(pack_access(addr, k % 4 == 0));
+    }
+    out
+}
+
+fn span(kind: &str) -> u64 {
+    match kind {
+        "sequential" => 1 << 22,
+        "strided_4k" => 1 << 26,
+        _ => 1 << 24,
+    }
+}
+
+/// Times the two closures interleaved (A, B, A, B, ...) so host-steal
+/// and frequency drift on this shared box hit both sides equally;
+/// returns each side's minimum.
+fn time2<F: FnMut(), G: FnMut()>(iters: u32, mut a: F, mut b: G) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::MAX, f64::MAX);
+    for _ in 0..iters {
+        let t = Instant::now();
+        a();
+        best_a = best_a.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        b();
+        best_b = best_b.min(t.elapsed().as_nanos() as f64);
+    }
+    (best_a, best_b)
+}
+
+fn main() {
+    let accesses = 1_000_000u64;
+    let iters: u32 = std::env::var("ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut ratios = Vec::new();
+    for (label, cfg) in [
+        ("rs6000", CacheConfig::rs6000()),
+        ("i860", CacheConfig::i860()),
+        ("decstation", CacheConfig::decstation()),
+    ] {
+        for kind in ["sequential", "strided_4k", "lcg_random"] {
+            let trace = stream(kind, accesses);
+            let (flat, sharded) = time2(
+                iters,
+                || {
+                    let mut c = Cache::new(cfg);
+                    c.reserve_region(0, span(kind));
+                    for chunk in trace.chunks(4096) {
+                        c.access_batch(chunk);
+                    }
+                    black_box(c.stats());
+                },
+                || {
+                    let mut c = ShardedCache::with_shards(cfg, shards);
+                    c.reserve_region(0, span(kind));
+                    for chunk in trace.chunks(4096) {
+                        c.access_batch(chunk);
+                    }
+                    black_box(c.stats());
+                },
+            );
+            let per = accesses as f64;
+            let r = flat / sharded;
+            ratios.push(r);
+            println!(
+                "{kind:>12}/{label:<10} flat_batched {:6.3} ns/a   sharded({shards}) {:6.3} ns/a   {:.2}x",
+                flat / per,
+                sharded / per,
+                r
+            );
+        }
+    }
+    let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("geomean sharded vs flat_batched: {geo:.2}x");
+}

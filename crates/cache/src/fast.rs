@@ -64,6 +64,13 @@ impl ColdRegion {
         was_cold
     }
 
+    /// Marks `line` touched without reporting whether it was new.
+    #[inline]
+    fn mark(&mut self, line: u64) {
+        let off = (line - self.start) as usize;
+        self.bits[off / 64] |= 1u64 << (off % 64);
+    }
+
     #[inline]
     fn contains(&self, line: u64) -> bool {
         (self.start..self.end).contains(&line)
@@ -134,6 +141,55 @@ impl ColdMap {
             }
         }
         self.insert_slow(line)
+    }
+
+    /// Marks `line` touched, discarding the first-touch answer — the
+    /// hot-path variant of [`ColdMap::insert`] for callers that only
+    /// need aggregate counts via [`ColdMap::len`] afterwards (first
+    /// touches are always misses, so "distinct lines ever missed" ==
+    /// "distinct lines ever touched" == the cold-miss count). Skipping
+    /// the was-cold read-and-branch keeps a simulation loop's miss path
+    /// branch-free.
+    #[inline]
+    pub fn mark(&mut self, line: u64) {
+        if let Some(r) = self.regions.get_mut(self.last) {
+            if r.contains(line) {
+                r.mark(line);
+                return;
+            }
+        }
+        let _ = self.insert_slow(line);
+    }
+
+    /// ORs a whole 64-line bitmap word in one store: `bits` holds touch
+    /// flags for lines `w * 64 ..= w * 64 + 63`. Streaming kernels that
+    /// sweep lines in order would otherwise issue a read-modify-write
+    /// per line against the *same* word, serializing on store-to-load
+    /// forwarding; batching collapses a run of marks into one OR.
+    ///
+    /// The fast path needs the memoized region to cover the whole word
+    /// with a 64-aligned start (region bit offsets are region-relative);
+    /// otherwise each set bit goes through the scalar path.
+    #[inline]
+    pub fn mark_word(&mut self, w: u64, bits: u64) {
+        if let Some(r) = self.regions.get_mut(self.last) {
+            let base = w << 6;
+            if r.start & 63 == 0 && base >= r.start && base + 64 <= r.end {
+                r.bits[((base - r.start) >> 6) as usize] |= bits;
+                return;
+            }
+        }
+        self.mark_word_slow(w, bits);
+    }
+
+    #[cold]
+    fn mark_word_slow(&mut self, w: u64, bits: u64) {
+        let mut b = bits;
+        while b != 0 {
+            let i = b.trailing_zeros() as u64;
+            self.mark((w << 6) | i);
+            b &= b - 1;
+        }
     }
 
     #[cold]

@@ -34,6 +34,7 @@ pub mod hierarchy;
 pub mod legacy;
 pub mod observe;
 pub mod reuse;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod tlb;
@@ -45,6 +46,7 @@ pub use hierarchy::{Hierarchy, HierarchyLatency};
 pub use legacy::LegacyCache;
 pub use observe::{ArrayRegion, IntervalSnapshot, ObservedCache};
 pub use reuse::ReuseDistance;
+pub use shard::{default_shard_count, ShardSpan, ShardedCache};
 pub use sim::{Cache, MultiCache};
 pub use stats::CacheStats;
 pub use tlb::Tlb;

@@ -40,6 +40,10 @@ pub struct IntervalSnapshot {
     pub accesses: u64,
     /// Misses inside this window.
     pub misses: u64,
+    /// First-touch misses inside this window. Window 0's count is the
+    /// empty-cache transient the selective profiler's cold-start bias
+    /// correction subtracts out (see `cmt-profile`).
+    pub cold_misses: u64,
 }
 
 impl IntervalSnapshot {
@@ -90,6 +94,7 @@ impl ObservedCache {
                 upto: 0,
                 accesses: 0,
                 misses: 0,
+                cold_misses: 0,
             },
             snapshots: Vec::new(),
             last_slot: usize::MAX,
@@ -155,6 +160,9 @@ impl ObservedCache {
             self.window.accesses += 1;
             if !hit {
                 self.window.misses += 1;
+                if cold {
+                    self.window.cold_misses += 1;
+                }
             }
             if self.window.accesses == self.interval {
                 self.roll_window();
@@ -191,6 +199,7 @@ impl ObservedCache {
             upto: 0,
             accesses: 0,
             misses: 0,
+            cold_misses: 0,
         };
     }
 
@@ -321,6 +330,8 @@ mod tests {
         assert_eq!(snaps[2].accesses, 2);
         assert_eq!(snaps[2].upto, 10);
         assert!(snaps.iter().all(|s| (s.miss_rate() - 1.0).abs() < 1e-12));
+        // Every miss here is a first touch, so the cold split is total.
+        assert!(snaps.iter().all(|s| s.cold_misses == s.misses));
     }
 
     #[test]

@@ -159,23 +159,25 @@ impl Cache {
     /// Direct-mapped batch loop: like the scalar fast path, it never
     /// touches the stamp array (a 1-way set has no LRU order), so each
     /// access is one compare plus a conditional tag store.
+    ///
+    /// Unlike [`Cache::batch_run`] there is deliberately *no* same-line
+    /// shortcut here: a repeated line is already a one-compare tag hit
+    /// (`tags[set] == line`), so a shortcut would be a second, redundant
+    /// compare per access. It used to have one, which made this path
+    /// *slower* than the scalar loop on strided streams over
+    /// direct-mapped geometries (no adjacent repeats — every access
+    /// paid both compares); see `docs/PERFORMANCE.md`.
     fn batch_dm(&mut self, batch: &[u64]) {
         debug_assert_eq!(self.assoc, 1);
         let shift = self.line_shift;
         let mask = self.set_mask;
         let mut stats = self.stats;
-        let mut last_line = EMPTY;
         for &p in batch {
             let line = (p & !WRITE_BIT) >> shift;
             stats.accesses += 1;
-            if line == last_line {
-                stats.hits += 1;
-                continue;
-            }
             let set = (line & mask) as usize;
             if self.tags[set] == line {
                 stats.hits += 1;
-                last_line = line;
                 continue;
             }
             stats.misses += 1;
@@ -183,7 +185,6 @@ impl Cache {
                 stats.cold_misses += 1;
             }
             self.tags[set] = line;
-            last_line = line;
         }
         self.tick += batch.len() as u64;
         self.stats = stats;

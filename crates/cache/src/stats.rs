@@ -81,6 +81,54 @@ impl CacheStats {
             cold_misses,
         }
     }
+
+    /// Field-wise saturating difference — splitting a prefix (e.g. an
+    /// opening sampling window) off cumulative counters. Saturating so
+    /// that hand-assembled or rounded inputs cannot wrap.
+    pub fn saturating_sub(&self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(rhs.accesses),
+            hits: self.hits.saturating_sub(rhs.hits),
+            misses: self.misses.saturating_sub(rhs.misses),
+            cold_misses: self.cold_misses.saturating_sub(rhs.cold_misses),
+        }
+    }
+
+    /// Like [`CacheStats::scaled_to`], but holds **cold (compulsory)
+    /// misses constant** instead of scaling them: a line's first touch
+    /// happens exactly once however long the trace runs, so the sampled
+    /// stream — which starts on an empty cache and therefore front-loads
+    /// every compulsory miss it will ever see — already contains
+    /// (approximately) the full trace's cold-miss count. Only the warm
+    /// (capacity + conflict) misses extrapolate with the access ratio.
+    ///
+    /// This matters for *short* streams, where the window-0 cold
+    /// transient is a large fraction of the sample and naive scaling
+    /// multiplies it into a systematic over-estimate (the selective
+    /// profiler's short-nest bias — see `cmt_profile::profile_nest`).
+    /// As the sampled fraction grows the two estimators converge.
+    pub fn scaled_to_cold_adjusted(&self, total_accesses: u64) -> CacheStats {
+        if self.accesses == 0 {
+            return CacheStats {
+                accesses: total_accesses,
+                hits: total_accesses,
+                misses: 0,
+                cold_misses: 0,
+            };
+        }
+        let scale = |v: u64| -> u64 {
+            let num = v as u128 * total_accesses as u128 + self.accesses as u128 / 2;
+            (num / self.accesses as u128) as u64
+        };
+        let cold_misses = self.cold_misses.min(total_accesses);
+        let misses = (cold_misses + scale(self.warm_misses())).min(total_accesses);
+        CacheStats {
+            accesses: total_accesses,
+            hits: total_accesses - misses,
+            misses,
+            cold_misses: cold_misses.min(misses),
+        }
+    }
 }
 
 impl AddAssign for CacheStats {
@@ -128,6 +176,29 @@ mod tests {
         let s = CacheStats::default();
         assert_eq!(s.hit_rate(), 1.0);
         assert_eq!(s.hit_rate_excluding_cold(), 1.0);
+    }
+
+    #[test]
+    fn cold_adjusted_scaling_holds_compulsory_misses_constant() {
+        let sampled = CacheStats {
+            accesses: 100,
+            hits: 75,
+            misses: 25,
+            cold_misses: 10,
+        };
+        // Naive scaling multiplies the cold transient 16x; the adjusted
+        // estimator scales only the 15 warm misses.
+        let naive = sampled.scaled_to(1600);
+        let adj = sampled.scaled_to_cold_adjusted(1600);
+        assert_eq!(naive.misses, 400);
+        assert_eq!(adj.cold_misses, 10);
+        assert_eq!(adj.misses, 10 + 15 * 16);
+        assert_eq!(adj.hits + adj.misses, adj.accesses);
+        // Identity when the sample was the whole trace.
+        assert_eq!(sampled.scaled_to_cold_adjusted(100), sampled);
+        // Empty sample: all hits, like scaled_to.
+        let empty = CacheStats::default();
+        assert_eq!(empty.scaled_to_cold_adjusted(50).hits, 50);
     }
 
     #[test]

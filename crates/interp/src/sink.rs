@@ -8,7 +8,7 @@
 //! implement [`TraceSink::access`] still observe every access in order
 //! via the default batch implementation.
 
-use cmt_cache::{Cache, MultiCache, ObservedCache};
+use cmt_cache::{Cache, MultiCache, ObservedCache, ShardedCache};
 use cmt_obs::{MetricsRegistry, TraceArg, TraceTrack};
 
 pub use cmt_cache::fast::{pack_access, unpack_access, WRITE_BIT};
@@ -88,6 +88,16 @@ impl TraceSink for MultiCache {
 
     fn access_batch(&mut self, batch: &[u64]) {
         MultiCache::access_batch(self, batch);
+    }
+}
+
+impl TraceSink for ShardedCache {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        ShardedCache::access(self, addr, is_write);
+    }
+
+    fn access_batch(&mut self, batch: &[u64]) {
+        ShardedCache::access_batch(self, batch);
     }
 }
 

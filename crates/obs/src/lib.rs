@@ -51,6 +51,7 @@
 pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod pool;
 pub mod remark;
 pub mod rng;
 pub mod sink;
@@ -58,6 +59,7 @@ pub mod trace;
 
 pub use diff::{diff_metrics, diff_remarks, DiffFinding};
 pub use metrics::{HistogramSummary, MetricsRegistry, SpanTimer};
+pub use pool::{cmt_jobs, par_map, par_map_traced, try_par_map, try_par_map_traced, WorkerPanic};
 pub use remark::{Remark, RemarkKind};
 pub use rng::SplitMix64;
 pub use sink::{CollectSink, JsonlSink, NullObs, ObsSink, Tracing};

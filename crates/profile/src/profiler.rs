@@ -21,6 +21,14 @@ use cmt_ir::program::Program;
 use cmt_ir::visit::nest_label;
 use cmt_obs::{ObsSink, TraceArg};
 
+/// Nests spanning fewer sampling windows than this get the cold-start
+/// bias correction (window 0 split off and counted once, only the
+/// steady-state remainder extrapolated — see [`profile_nest`]): with so
+/// few windows the empty-cache transient in window 0 is a material
+/// fraction of the sample, and naive scaling multiplies it into an
+/// over-estimate on reuse-heavy nests.
+pub const SHORT_NEST_WINDOWS: u64 = 64;
+
 /// Profiling knobs: the sampling policy and the cache geometry the
 /// estimates are for.
 #[derive(Clone, Copy, Debug)]
@@ -277,15 +285,6 @@ pub fn profile_nest(
     };
     let (single, clamp) = isolate_nest(program, idx, n, &opts.policy)?;
 
-    let mut m = Machine::new(&single, &[n]).map_err(|e| err(e.to_string()))?;
-    let mut cache = ObservedCache::new(Cache::new(opts.cache), 0);
-    for (k, info) in single.arrays().iter().enumerate() {
-        let id = ArrayId(k as u32);
-        let start = m.storage(id).address_of(0);
-        let bytes = m.array_data(id).len() as u64 * 8;
-        cache.register_region(info.name(), start, bytes);
-    }
-
     let (window, stride, seed) = match opts.policy {
         SamplePolicy::EveryKth {
             stride,
@@ -294,6 +293,18 @@ pub fn profile_nest(
         } => (window, stride, opts.policy.nest_seed(idx)),
         _ => (BATCH_LEN as u64, 1, 0),
     };
+
+    let mut m = Machine::new(&single, &[n]).map_err(|e| err(e.to_string()))?;
+    // Snapshot interval == sampling window, so the first closed snapshot
+    // is exactly window 0 of the sampled stream (the sampler always
+    // forwards window 0) — the cold-start correction below splits on it.
+    let mut cache = ObservedCache::new(Cache::new(opts.cache), window);
+    for (k, info) in single.arrays().iter().enumerate() {
+        let id = ArrayId(k as u32);
+        let start = m.storage(id).address_of(0);
+        let bytes = m.array_data(id).len() as u64 * 8;
+        cache.register_region(info.name(), start, bytes);
+    }
     let mut sink = SampledSink::every_kth(cache, window, stride, seed);
 
     if obs.enabled() {
@@ -325,16 +336,59 @@ pub fn profile_nest(
         Some((full_trip, kept_trip)) => scale_u64(seen, full_trip, kept_trip),
         None => seen,
     };
-    let est = observed.scaled_to(total);
     let exact = sampled == total;
+    // Cold-start bias correction for short nests: the sampled stream
+    // starts on an empty cache, so window 0 is polluted by the
+    // empty-cache transient. Under SHORT_NEST_WINDOWS windows that
+    // transient is a material fraction of the sample, and scaling it
+    // with the access ratio over-estimates misses on reuse-heavy nests.
+    // The correction splits window 0 off and extrapolates only from the
+    // steady-state remainder: `est = w0 + rest.scaled_to(total - w0)`.
+    // On single-sweep nests (cold misses spread uniformly) window 0
+    // looks like every other window, so the split converges to plain
+    // scaling — the correction only bites when window 0 really is a
+    // transient. When the sample *is* just window 0 there is no
+    // steady state to extrapolate from; compulsory misses are held
+    // constant instead (they happen once however long the trace runs).
+    // Truncated (`FirstN`) streams are a contiguous prefix, not a
+    // window sample — unseen iterations first-touch new lines, so cold
+    // misses scale with the trip ratio and plain scaling stands.
+    // Long nests also keep the plain estimator (the transient is noise
+    // there, and estimates stay comparable with prior runs).
+    let short_nest = !exact && clamp.is_none() && windows < SHORT_NEST_WINDOWS;
+    let est = if short_nest {
+        let w0 = cache
+            .snapshots()
+            .first()
+            .map(|s| CacheStats {
+                accesses: s.accesses,
+                hits: s.accesses - s.misses,
+                misses: s.misses,
+                cold_misses: s.cold_misses,
+            })
+            .unwrap_or(observed);
+        let rest = observed.saturating_sub(w0);
+        if rest.accesses > 0 {
+            let mut e = rest.scaled_to(total - w0.accesses);
+            e += w0;
+            e
+        } else {
+            observed.scaled_to_cold_adjusted(total)
+        }
+    } else {
+        observed.scaled_to(total)
+    };
 
     let mut arrays: Vec<ArrayAttribution> = cache
         .per_array()
         .filter(|(_, s)| s.accesses > 0)
         .map(|(name, s)| {
-            // Per-array estimate: scale this array's observed misses by
-            // the same sampled→total ratio as the nest overall.
-            let est_misses = scale_u64(s.misses, total, observed.accesses);
+            // Per-array estimate: distribute the nest-level estimate in
+            // proportion to each array's observed misses, so per-array
+            // numbers inherit the cold-start correction and sum to the
+            // nest total. Without the correction this reduces to
+            // scaling by the sampled→total access ratio.
+            let est_misses = scale_u64(s.misses, est.misses, observed.misses);
             ArrayAttribution {
                 name: name.to_string(),
                 sampled: *s,

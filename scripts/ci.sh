@@ -30,12 +30,21 @@ VERIFY_DIR=$(mktemp -d)
 cargo run --release -q -p cmt-verify --bin verify_corpus -- --seeds 32 --out "$VERIFY_DIR"
 rm -rf "$VERIFY_DIR"
 
-echo ">>> smoke-perf (cache_sim equivalence + determinism gates)"
-# Quick-mode bench: fails on an engine-equivalence or CMT_JOBS
-# determinism mismatch (non-zero exit), never on timing. The JSON goes
-# to a temp dir so the committed BENCH_cache_sim.json stays untouched.
+echo ">>> smoke-perf (cache_sim equivalence + determinism + regression gates)"
+# Quick-mode bench over all four engines (legacy, flat scalar, flat
+# batched, set-sharded): fails on an engine-equivalence or CMT_JOBS
+# determinism mismatch, and on a geomean-speedup regression below 70%
+# of the committed BENCH_cache_sim.json (CMT_BENCH_GATE_FRAC default —
+# loose enough that quick-mode noise on a shared runner passes, tight
+# enough that an engine pessimization fails). The JSON goes to a temp
+# dir so the committed baseline stays untouched. CMT_SHARDS=1 pins the
+# *timed* sharded arm to the direct single-shard path the committed
+# baseline was measured on (quick-mode streams are far too short to
+# amortize per-flush thread dispatch); stats equivalence inside the
+# bench still covers multi-shard configurations.
 PERF_DIR=$(mktemp -d)
-CMT_JOBS=2 CMT_BENCH_QUICK=1 CMT_BENCH_JSON="$PERF_DIR/cache_sim.json" \
+CMT_JOBS=2 CMT_SHARDS=1 CMT_BENCH_QUICK=1 CMT_BENCH_JSON="$PERF_DIR/cache_sim.json" \
+  CMT_BENCH_GATE="$PWD/BENCH_cache_sim.json" \
   cargo bench -q -p cmt-bench --bench cache_sim
 test -s "$PERF_DIR/cache_sim.json" || { echo "missing bench baseline JSON" >&2; exit 1; }
 rm -rf "$PERF_DIR"
