@@ -1,0 +1,608 @@
+//! Reuse-distance histograms with fractional bins.
+//!
+//! The analytic engine predicts, for each reference group, how many
+//! accesses reuse a cache line at which *reuse distance* (the number of
+//! distinct lines touched since the previous access to the same line).
+//! Under LRU, an access hits in a cache of `C` lines iff its distance is
+//! `< C`, so one histogram answers every capacity at once. Distances and
+//! counts are `f64`: the analysis works with average trip counts and
+//! fractional spatial-reuse ratios, and only the final fold rounds.
+
+/// One level of the line stream generating a reuse: how many fresh
+/// lines it opens per iteration of the level above, and how far apart
+/// (in lines) consecutive fresh lines land in the address space. The
+/// spacing is what decides, per geometry, how many cache *sets* the
+/// stream spreads over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamLevel {
+    /// Fresh lines one full execution of this level opens.
+    pub fresh: f64,
+    /// Address-space spacing of consecutive fresh lines, in lines
+    /// (`1` for a contiguous walk).
+    pub line_stride: u64,
+}
+
+/// One *sibling* group's stream between a bin's reuses: how many lines
+/// it interposes and how they spread over sets. Lets the geometry fold
+/// distinguish foreign pressure concentrated in a few sets from pressure
+/// spread uniformly (see [`StreamBin::cliff_survivors`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForeignStream {
+    /// Lines this sibling stream touches between the reuses.
+    pub lines: f64,
+    /// The sibling stream's per-level structure, outer → inner.
+    pub inner: Vec<StreamLevel>,
+}
+
+/// Set-mapping metadata for one histogram bin: the re-touched working
+/// set's own size, plus the per-level structure of the stream that
+/// generated it. Config-independent — the geometry fold turns the
+/// strides into a distinct-set estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamBin {
+    /// Reuse distance of the bin this describes (same value as the
+    /// matching entry of [`ReuseHistogram::bins`]).
+    pub distance: f64,
+    /// Reuses covered (same count as the matching bin).
+    pub count: f64,
+    /// Distinct lines of *this group's own* stream between the reuses —
+    /// the working set that must survive in cache.
+    pub own_lines: f64,
+    /// Stream structure below the reuse level, outer → inner.
+    pub inner: Vec<StreamLevel>,
+    /// Known structure of the sibling streams that make up the foreign
+    /// part of `distance` (may be empty: the fold then assumes the
+    /// foreign lines spread uniformly over the sets).
+    pub foreign: Vec<ForeignStream>,
+}
+
+/// Estimated distinct cache sets a stream with per-level structure
+/// `inner` spreads over in a cache of `sets` sets: per level, a stride
+/// of `s` lines cycles through `sets / gcd(s, sets)` distinct sets, so
+/// the level contributes `min(fresh, that period)`; levels multiply (an
+/// upper bound — aliasing *between* levels only shrinks it further,
+/// which errs toward predicting hits).
+pub fn sets_spanned(inner: &[StreamLevel], sets: u64) -> f64 {
+    let sets = sets.max(1);
+    let mut touched = 1.0f64;
+    for lv in inner {
+        let period = (sets / gcd(lv.line_stride.max(1), sets)) as f64;
+        touched *= lv.fresh.max(1.0).min(period.max(1.0));
+    }
+    touched.min(sets as f64)
+}
+
+impl StreamBin {
+    /// Estimated distinct cache sets the stream's `own_lines` spread
+    /// over in a cache of `sets` sets (see [`sets_spanned`]).
+    pub fn sets_touched(&self, sets: u64) -> f64 {
+        sets_spanned(&self.inner, sets)
+    }
+
+    /// Whether the re-touched working set self-interferes in a cache of
+    /// `sets` sets with associativity `assoc`: the stream's lines land
+    /// in too few sets to all survive, so the reuses miss even though
+    /// the capacity would hold them.
+    pub fn conflicts(&self, sets: u64, assoc: u32) -> bool {
+        self.own_lines > f64::from(assoc.max(1)) * self.sets_touched(sets)
+    }
+
+    /// The fraction of this bin's reuses that *survive* in a cache of
+    /// `sets × assoc` lines even though the scalar reuse distance says
+    /// they should all miss — the symmetric correction to
+    /// [`StreamBin::conflicts`]. A fully-associative LRU cache has a
+    /// cliff at capacity: a cyclic working set one line over thrashes
+    /// completely. A set-mapped cache does not — eviction is by set, so
+    /// the stream survives whenever its per-set occupancy plus the
+    /// (assumed uniformly spread) foreign intervening lines still fit
+    /// the ways:
+    ///
+    /// ```text
+    /// overflow  = own/sets_touched + foreign/sets − assoc
+    /// survivors = 1 − clamp(overflow / (own/sets_touched), 0, 1)
+    /// ```
+    ///
+    /// Zero when the stream self-conflicts, when `own + foreign`
+    /// genuinely exceeds the geometry, or when the distance is within
+    /// capacity (nothing to rescue).
+    ///
+    /// When `foreign` records sibling streams whose own set span is
+    /// *narrow* (less than half the sets), the uniform assumption is
+    /// refined: a stream of `L` lines crammed into `f` sets pressures
+    /// only the fraction `f / sets` of the reused working set — but
+    /// pressures it at `L / f` lines per set. The kill probability is
+    /// evaluated per concentrated sibling on top of the uniform residual,
+    /// which reduces to the formula above when no sibling is narrow.
+    pub fn cliff_survivors(&self, sets: u64, assoc: u32) -> f64 {
+        let assoc_f = f64::from(assoc.max(1));
+        let sets_f = sets.max(1) as f64;
+        if self.distance <= sets_f * assoc_f || self.conflicts(sets, assoc) {
+            return 0.0;
+        }
+        let own_per_set = self.own_lines.max(1.0) / self.sets_touched(sets).max(1.0);
+        let mut uniform = (self.distance - self.own_lines).max(0.0);
+        // Siblings with a known narrow set span leave the uniform pool
+        // and are charged only against the sets they actually cover.
+        let mut concentrated: Vec<(f64, f64)> = Vec::new();
+        for f in &self.foreign {
+            let lines = f.lines.min(uniform);
+            if lines <= 0.0 {
+                continue;
+            }
+            let span = sets_spanned(&f.inner, sets);
+            if span < 0.5 * sets_f {
+                concentrated.push((lines, span.max(1.0)));
+                uniform -= lines;
+            }
+        }
+        let base_per_set = own_per_set + uniform / sets_f;
+        let base_kill = ((base_per_set - assoc_f).max(0.0) / own_per_set).min(1.0);
+        let mut kill = base_kill;
+        for (lines, span) in concentrated {
+            let frac = (span / sets_f).min(1.0);
+            let per_set = base_per_set + lines / span;
+            let k = ((per_set - assoc_f).max(0.0) / own_per_set).min(1.0);
+            kill += frac * (k - base_kill).max(0.0);
+        }
+        1.0 - kill.min(1.0)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+/// A reuse-distance histogram (distances measured in cache lines).
+///
+/// Invariant: `cold + Σ bins ≤ accesses`. The remainder are *immediate*
+/// reuses — accesses at near-zero distance (same line, same or adjacent
+/// iteration) that hit in any cache — which are not materialized as bins.
+///
+/// ```
+/// use cmt_analytic::ReuseHistogram;
+///
+/// let mut h = ReuseHistogram::empty();
+/// h.accesses = 100.0;
+/// h.cold = 10.0;
+/// h.push(4.0, 50.0); // 50 reuses at distance 4
+/// h.push(512.0, 20.0); // 20 reuses at distance 512
+/// // A 256-line cache captures the distance-4 reuses but not the
+/// // distance-512 ones; cold misses always miss.
+/// assert_eq!(h.misses_at(256.0), 30.0);
+/// // A large enough cache leaves only the cold misses.
+/// assert_eq!(h.misses_at(1024.0), 10.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReuseHistogram {
+    /// `(distance, accesses)` pairs, ascending by distance after
+    /// [`ReuseHistogram::normalize`].
+    pub bins: Vec<(f64, f64)>,
+    /// Set-mapping metadata for the bins whose stream structure is
+    /// known (a subset of `bins`; see [`StreamBin`]). Consumed by
+    /// [`ReuseHistogram::misses_in`] for the self-interference
+    /// correction; [`ReuseHistogram::normalize`] leaves it untouched.
+    pub streams: Vec<StreamBin>,
+    /// First-touch accesses (reuse distance ∞ — they miss at any size).
+    pub cold: f64,
+    /// Total accesses, including the immediate hits not listed in `bins`.
+    pub accesses: f64,
+}
+
+impl ReuseHistogram {
+    /// An empty histogram: no accesses, no bins.
+    pub fn empty() -> ReuseHistogram {
+        ReuseHistogram::default()
+    }
+
+    /// Records `count` reuses at `distance` lines. Zero or negative
+    /// counts are dropped.
+    pub fn push(&mut self, distance: f64, count: f64) {
+        if count > 0.0 {
+            self.bins.push((distance, count));
+        }
+    }
+
+    /// Sorts bins by ascending distance and merges equal distances.
+    pub fn normalize(&mut self) {
+        self.bins
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(self.bins.len());
+        for &(d, c) in &self.bins {
+            match merged.last_mut() {
+                Some((pd, pc)) if *pd == d => *pc += c,
+                _ => merged.push((d, c)),
+            }
+        }
+        self.bins = merged;
+    }
+
+    /// Total reuses recorded in bins (excludes cold and immediate hits).
+    pub fn reuses(&self) -> f64 {
+        self.bins.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Predicted misses for a fully-associative LRU cache of
+    /// `capacity_lines` lines: cold misses plus every reuse at distance
+    /// `> capacity_lines`. (Distances here count the lines one
+    /// intervening iteration block touches *including* the reused line
+    /// itself, so a reuse survives exactly when the cache holds that
+    /// whole footprint.)
+    pub fn misses_at(&self, capacity_lines: f64) -> f64 {
+        self.cold
+            + self
+                .bins
+                .iter()
+                .filter(|&&(d, _)| d > capacity_lines)
+                .map(|&(_, c)| c)
+                .sum::<f64>()
+    }
+
+    /// Predicted misses for a set-associative LRU cache of `sets` sets
+    /// with `assoc` ways (capacity `sets × assoc` lines): the
+    /// fully-associative misses of [`ReuseHistogram::misses_at`],
+    /// corrected in both directions by the [`StreamBin`] set-mapping
+    /// metadata —
+    ///
+    /// * **plus** every capacity-hit reuse whose re-touched working set
+    ///   self-interferes: its lines land in too few sets to survive
+    ///   (see [`StreamBin::conflicts`]);
+    /// * **minus** the capacity-miss reuses that survive the LRU cliff:
+    ///   the stream's lines spread cleanly over the sets and the foreign
+    ///   intervening lines leave enough ways free (see
+    ///   [`StreamBin::cliff_survivors`]).
+    ///
+    /// Bins without stream metadata keep the fully-associative answer.
+    pub fn misses_in(&self, sets: u64, assoc: u32) -> f64 {
+        let capacity_lines = (sets * u64::from(assoc.max(1))) as f64;
+        let conflict_extra: f64 = self
+            .streams
+            .iter()
+            .filter(|s| s.distance <= capacity_lines && s.conflicts(sets, assoc))
+            .map(|s| s.count)
+            .sum();
+        let rescued: f64 = self
+            .streams
+            .iter()
+            .map(|s| s.count * s.cliff_survivors(sets, assoc))
+            .sum();
+        (self.misses_at(capacity_lines) + conflict_extra - rescued).max(self.cold)
+    }
+
+    /// Accumulates `other` into `self` (bin-wise; callers re-normalize).
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        self.cold += other.cold;
+        self.accesses += other.accesses;
+        self.bins.extend_from_slice(&other.bins);
+        self.streams.extend_from_slice(&other.streams);
+    }
+}
+
+/// A pair of same-array reference groups whose line walks interleave
+/// under a shared carrying loop — the setup for *cross-group* set
+/// conflicts on a direct-mapped cache. Two walks whose element strides
+/// land on the same set lattice ping-pong in the shared sets on every
+/// re-execution, converting capacity hits into conflict misses that no
+/// per-group histogram can see.
+///
+/// The struct is config-independent: it records the exact element-level
+/// walk structure of both streams plus sampled relative base offsets;
+/// [`CrossStream::extra_misses`] folds a concrete geometry by
+/// enumerating both lattices modulo the set period and counting sets
+/// where distinct lines of the two walks collide.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossStream {
+    /// Name of the array both groups reference (the extra misses are
+    /// attributed to it).
+    pub array: String,
+    /// Reuse distance (lines) of the interleaved walks' re-touch bins:
+    /// when it exceeds capacity the walks already miss and no correction
+    /// applies.
+    pub distance: f64,
+    /// Number of times the interleaved walks re-execute (each
+    /// re-execution pays the collision misses once per colliding set).
+    pub rewalks: f64,
+    /// Upper bound on the extra misses (the reuses available to
+    /// convert).
+    pub cap: f64,
+    /// First walk: `(fresh iterations, element stride)` per level,
+    /// outer → inner.
+    pub a: Vec<(u32, i64)>,
+    /// Second walk, same encoding.
+    pub b: Vec<(u32, i64)>,
+    /// Sampled base offsets of walk `b` relative to walk `a`, in
+    /// elements (the offset varies with outer-loop bindings; collisions
+    /// are averaged over the samples).
+    pub offsets: Vec<i64>,
+}
+
+/// Enumerates the element offsets a walk touches: the sum over levels of
+/// `k · stride` for every iteration tuple. Returns an empty vector when
+/// the walk is too large to enumerate (no correction — conservative).
+fn walk_points(levels: &[(u32, i64)]) -> Vec<i64> {
+    let mut pts = vec![0i64];
+    for &(fresh, step) in levels {
+        let mut next = Vec::with_capacity(pts.len() * fresh.max(1) as usize);
+        for &p in &pts {
+            for k in 0..i64::from(fresh.max(1)) {
+                next.push(p.saturating_add(k.saturating_mul(step)));
+            }
+        }
+        pts = next;
+        if pts.len() > 8192 {
+            return Vec::new();
+        }
+    }
+    pts
+}
+
+impl CrossStream {
+    /// Extra conflict misses this pair contributes in a cache of `sets`
+    /// sets, associativity `assoc`, and `cls` elements per line.
+    ///
+    /// Direct-mapped only (`assoc == 1`): with two or more ways a
+    /// depth-2 collision is absorbed by LRU within the set. Zero when
+    /// the walks' reuse distance already exceeds capacity (they miss
+    /// regardless), or when either walk was too large to enumerate.
+    ///
+    /// Per sampled offset, both walks' points map to `(set, line)`
+    /// pairs; a set holding `x` distinct lines of one walk and `y` of
+    /// the other — minus the lines they genuinely share — sustains
+    /// `min(x, y) − shared` ping-pong pairs, each worth two misses per
+    /// re-execution.
+    pub fn extra_misses(&self, sets: u64, assoc: u32, cls: u32) -> f64 {
+        if assoc != 1 || self.offsets.is_empty() {
+            return 0.0;
+        }
+        let sets_f = sets.max(1) as f64;
+        if self.distance > sets_f * f64::from(assoc) {
+            return 0.0;
+        }
+        let cls_i = i64::from(cls.max(1));
+        let span = (sets.max(1) as i64).saturating_mul(cls_i);
+        let a_pts = walk_points(&self.a);
+        let b_pts = walk_points(&self.b);
+        if a_pts.is_empty() || b_pts.is_empty() {
+            return 0.0;
+        }
+        use std::collections::{HashMap, HashSet};
+        let mut total = 0.0f64;
+        for &c in &self.offsets {
+            let mut by_set: HashMap<i64, (HashSet<i64>, HashSet<i64>)> = HashMap::new();
+            for &p in &a_pts {
+                let e = by_set.entry(p.rem_euclid(span) / cls_i).or_default();
+                e.0.insert(p.div_euclid(cls_i));
+            }
+            for &p in &b_pts {
+                let q = p.saturating_add(c);
+                let e = by_set.entry(q.rem_euclid(span) / cls_i).or_default();
+                e.1.insert(q.div_euclid(cls_i));
+            }
+            let mut collisions = 0usize;
+            for (la, lb) in by_set.values() {
+                let shared = la.intersection(lb).count();
+                collisions += la.len().min(lb.len()).saturating_sub(shared);
+            }
+            total += collisions as f64;
+        }
+        let avg = total / self.offsets.len() as f64;
+        (2.0 * avg * self.rewalks).min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_misses() {
+        let h = ReuseHistogram::empty();
+        assert_eq!(h.misses_at(1.0), 0.0);
+        assert_eq!(h.reuses(), 0.0);
+        assert!(h.bins.is_empty());
+    }
+
+    #[test]
+    fn normalize_sorts_and_merges() {
+        let mut h = ReuseHistogram::empty();
+        h.push(8.0, 1.0);
+        h.push(2.0, 3.0);
+        h.push(8.0, 2.0);
+        h.push(2.0, -1.0); // dropped
+        h.normalize();
+        assert_eq!(h.bins, vec![(2.0, 3.0), (8.0, 3.0)]);
+    }
+
+    #[test]
+    fn misses_at_is_monotone_in_capacity() {
+        let mut h = ReuseHistogram::empty();
+        h.accesses = 10.0;
+        h.cold = 1.0;
+        h.push(4.0, 4.0);
+        h.push(100.0, 5.0);
+        let caps = [1.0, 4.0, 5.0, 100.0, 101.0];
+        let misses: Vec<f64> = caps.iter().map(|&c| h.misses_at(c)).collect();
+        assert_eq!(misses, vec![10.0, 6.0, 6.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn cliff_survivors_rescues_self_fitting_stream() {
+        // A 4096-line stream spread bijectively over 4096 direct-mapped
+        // sets, reused at distance 4098 (2 foreign lines between): the
+        // fully-associative model thrashes, the set-mapped cache keeps
+        // essentially everything.
+        let s = StreamBin {
+            distance: 4098.0,
+            count: 1000.0,
+            own_lines: 4096.0,
+            inner: vec![
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 1,
+                },
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 32,
+                },
+            ],
+            foreign: Vec::new(),
+        };
+        let surv = s.cliff_survivors(4096, 1);
+        assert!(surv > 0.999, "survivors {surv}");
+        // With the same stream crammed into an 8× smaller cache the
+        // stream self-conflicts — no rescue.
+        assert_eq!(s.cliff_survivors(512, 1), 0.0);
+        // Within capacity there is nothing to rescue.
+        assert_eq!(s.cliff_survivors(8192, 1), 0.0);
+    }
+
+    #[test]
+    fn cliff_survivors_keeps_foreign_dominated_bins_missing() {
+        // Distance dominated by foreign lines (own working set is a
+        // sliver): the fully-associative answer stands.
+        let s = StreamBin {
+            distance: 8192.0,
+            count: 100.0,
+            own_lines: 64.0,
+            inner: vec![StreamLevel {
+                fresh: 64.0,
+                line_stride: 1,
+            }],
+            foreign: Vec::new(),
+        };
+        assert_eq!(s.cliff_survivors(4096, 1), 0.0);
+    }
+
+    #[test]
+    fn cliff_survivors_discounts_concentrated_foreign_pressure() {
+        // Own stream: 4096 lines spread over all 4096 sets, one per set.
+        // Foreign: 4096 lines — uniformly spread they fill every set and
+        // kill the rescue; crammed into 128 sets they only kill the
+        // 128/4096 fraction of the reused sets they actually pressure.
+        let uniform = StreamBin {
+            distance: 8200.0,
+            count: 1000.0,
+            own_lines: 4096.0,
+            inner: vec![
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 32,
+                },
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 1,
+                },
+            ],
+            foreign: Vec::new(),
+        };
+        assert_eq!(uniform.cliff_survivors(4096, 1), 0.0);
+        let mut concentrated = uniform.clone();
+        concentrated.foreign = vec![ForeignStream {
+            lines: 4096.0,
+            inner: vec![
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 2048,
+                },
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 32,
+                },
+            ],
+        }];
+        // 2048-stride level spans 2 sets, 32-stride level spans 64:
+        // the foreign stream covers 128 of 4096 sets.
+        let surv = concentrated.cliff_survivors(4096, 1);
+        assert!(
+            surv > 0.9 && surv < 1.0,
+            "concentrated foreign should mostly rescue: {surv}"
+        );
+    }
+
+    #[test]
+    fn cross_stream_counts_lattice_collisions() {
+        // Walk a: 63 iterations at 4161-element stride; walk b: 63 at
+        // 65. On a 4096-set × 2-element geometry (span 8192 elements)
+        // 4161 ≡ 65 + 4096 (mod 8192): the walks share the 65-element
+        // lattice and collide in ~half the positions, whichever parity
+        // the offset takes.
+        let cs = CrossStream {
+            array: "B".into(),
+            distance: 126.0,
+            rewalks: 100.0,
+            cap: 1e9,
+            a: vec![(63, 4161)],
+            b: vec![(63, 65)],
+            offsets: vec![-4161, 4096 - 4161],
+        };
+        let extra = cs.extra_misses(4096, 1, 2);
+        // ~31 collisions × 2 misses × 100 rewalks.
+        assert!(
+            (5000.0..8000.0).contains(&extra),
+            "lattice collisions expected: {extra}"
+        );
+        // Two-way associative absorbs depth-2 collisions.
+        assert_eq!(cs.extra_misses(2048, 2, 2), 0.0);
+        // Distance beyond capacity: the walks already miss.
+        let far = CrossStream {
+            distance: 1e9,
+            ..cs.clone()
+        };
+        assert_eq!(far.extra_misses(4096, 1, 2), 0.0);
+        // Disjoint lattices produce no collisions.
+        let disjoint = CrossStream {
+            a: vec![(63, 8192)],
+            ..cs
+        };
+        assert_eq!(disjoint.extra_misses(4096, 1, 2), 0.0);
+    }
+
+    #[test]
+    fn misses_in_subtracts_cliff_survivors() {
+        let mut h = ReuseHistogram::empty();
+        h.accesses = 2000.0;
+        h.cold = 10.0;
+        h.push(4098.0, 1000.0);
+        h.streams.push(StreamBin {
+            distance: 4098.0,
+            count: 1000.0,
+            own_lines: 4096.0,
+            inner: vec![
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 1,
+                },
+                StreamLevel {
+                    fresh: 64.0,
+                    line_stride: 32,
+                },
+            ],
+            foreign: Vec::new(),
+        });
+        // Fully associative: everything misses.
+        assert_eq!(h.misses_at(4096.0), 1010.0);
+        // Direct-mapped with a bijective spread: the cliff bin hits.
+        let m = h.misses_in(4096, 1);
+        assert!(m < 15.0, "misses_in {m}");
+        assert!(m >= h.cold);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ReuseHistogram::empty();
+        a.accesses = 5.0;
+        a.cold = 1.0;
+        a.push(4.0, 2.0);
+        let mut b = ReuseHistogram::empty();
+        b.accesses = 7.0;
+        b.cold = 2.0;
+        b.push(4.0, 3.0);
+        a.merge(&b);
+        a.normalize();
+        assert_eq!(a.accesses, 12.0);
+        assert_eq!(a.cold, 3.0);
+        assert_eq!(a.bins, vec![(4.0, 5.0)]);
+    }
+}

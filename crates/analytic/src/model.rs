@@ -1,0 +1,316 @@
+//! Geometry fold: turning config-independent reuse-distance histograms
+//! into predicted [`CacheStats`] for a concrete cache.
+//!
+//! A [`ReuseHistogram`](crate::ReuseHistogram) knows, for every access,
+//! the LRU stack distance of its previous touch of the same line. Under
+//! LRU an access hits in a fully-associative cache of `C` lines iff its
+//! distance is `< C`, so folding a geometry is a single pass over the
+//! bins: misses = cold + Σ bins at distance ≥ `size/line`, plus a
+//! *self-interference* correction — a capacity-hit reuse still misses
+//! when its stream's line stride maps the working set into fewer than
+//! `working-set / assoc` cache sets (see
+//! [`StreamBin`](crate::histogram::StreamBin)). Cross-array conflict
+//! misses remain the model's documented blind spot (see
+//! `docs/ANALYTIC_MODEL.md`).
+
+use crate::reuse::{nest_reuse, NestReuse};
+use cmt_cache::{CacheConfig, CacheStats};
+use cmt_ir::program::Program;
+use cmt_obs::{ObsSink, Remark, RemarkKind, TraceArg};
+
+/// Folds cache geometries over reuse-distance histograms.
+///
+/// ```
+/// use cmt_analytic::{nest_reuse, MissModel};
+/// use cmt_cache::CacheConfig;
+/// use cmt_ir::build::ProgramBuilder;
+/// use cmt_ir::expr::Expr;
+///
+/// // A column-major streaming copy: misses are the cold footprint.
+/// let mut b = ProgramBuilder::new("copy");
+/// let n = b.param("N");
+/// let a = b.matrix("A", n);
+/// let c = b.matrix("C", n);
+/// b.loop_("J", 1, n, |b| {
+///     b.loop_("I", 1, n, |b| {
+///         let (i, j) = (b.var("I"), b.var("J"));
+///         let lhs = b.at(c, [i, j]);
+///         b.assign(lhs, Expr::load(b.at(a, [i, j])));
+///     });
+/// });
+/// let p = b.finish();
+///
+/// let model = MissModel::new(CacheConfig::i860());
+/// let reuse = nest_reuse(&p, 0, 64, model.config().cls_elements());
+/// let pred = model.fold(&reuse);
+/// assert_eq!(pred.stats.accesses, 2 * 64 * 64);
+/// // Streaming at unit stride: ~1 miss per line (64²/4 per array).
+/// assert_eq!(pred.stats.misses, 2 * 64 * 64 / 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MissModel {
+    config: CacheConfig,
+}
+
+/// Predicted stats for one array inside a nest.
+#[derive(Clone, Debug)]
+pub struct ArrayPrediction {
+    /// Array name.
+    pub array: String,
+    /// Predicted counters (rounded to whole accesses).
+    pub stats: CacheStats,
+}
+
+/// Predicted stats for one top-level nest, produced by
+/// [`MissModel::fold`].
+#[derive(Clone, Debug)]
+pub struct NestPrediction {
+    /// `program/nestN:…` label, same scheme as the profiler's.
+    pub label: String,
+    /// Whether the underlying reuse analysis enumerated iteration
+    /// counts exactly (see [`NestReuse::exact`]).
+    pub exact: bool,
+    /// Per-array predictions, in first-appearance order.
+    pub arrays: Vec<ArrayPrediction>,
+    /// Whole-nest counters (the sum of the per-array counters, so the
+    /// two views are always consistent).
+    pub stats: CacheStats,
+}
+
+impl NestPrediction {
+    /// Predicted miss rate over all accesses (0 for an empty nest).
+    pub fn miss_rate(&self) -> f64 {
+        if self.stats.accesses == 0 {
+            0.0
+        } else {
+            self.stats.misses as f64 / self.stats.accesses as f64
+        }
+    }
+}
+
+impl MissModel {
+    /// A miss model for `config`.
+    pub fn new(config: CacheConfig) -> MissModel {
+        MissModel { config }
+    }
+
+    /// The geometry this model folds.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Cache capacity in lines — the distance threshold of the fold.
+    pub fn capacity_lines(&self) -> f64 {
+        (self.config.size() / self.config.line()) as f64
+    }
+
+    /// Number of cache sets (`size / line / assoc`) — the denominator
+    /// of the self-interference correction.
+    pub fn sets(&self) -> u64 {
+        (self.config.size() / self.config.line() / u64::from(self.config.assoc().max(1))).max(1)
+    }
+
+    /// Folds this geometry over a nest's reuse analysis, producing
+    /// per-array and whole-nest [`CacheStats`]-compatible counters.
+    pub fn fold(&self, reuse: &NestReuse) -> NestPrediction {
+        let (sets, assoc) = (self.sets(), self.config.assoc());
+        // Merge group histograms by array, keeping first-appearance
+        // order for deterministic output.
+        let mut arrays: Vec<(String, f64, f64, f64)> = Vec::new();
+        for g in &reuse.groups {
+            let misses = g.histogram.misses_in(sets, assoc);
+            let cold = g.histogram.cold;
+            match arrays.iter_mut().find(|(name, ..)| *name == g.array) {
+                Some((_, acc, ms, cd)) => {
+                    *acc += g.accesses;
+                    *ms += misses;
+                    *cd += cold;
+                }
+                None => arrays.push((g.array.clone(), g.accesses, misses, cold)),
+            }
+        }
+        // Nest-level cross-group conflicts (direct-mapped only): two
+        // same-array walks on the same set lattice ping-pong misses that
+        // no per-group histogram records.
+        for cs in &reuse.cross {
+            let extra = cs.extra_misses(sets, assoc, reuse.cls);
+            if extra > 0.0 {
+                if let Some((_, _, ms, _)) = arrays.iter_mut().find(|(name, ..)| *name == cs.array)
+                {
+                    *ms += extra;
+                }
+            }
+        }
+        let arrays: Vec<ArrayPrediction> = arrays
+            .into_iter()
+            .map(|(array, acc, ms, cd)| {
+                let accesses = acc.round().max(0.0) as u64;
+                let misses = (ms.round().max(0.0) as u64).min(accesses);
+                let cold_misses = (cd.round().max(0.0) as u64).min(misses);
+                ArrayPrediction {
+                    array,
+                    stats: CacheStats {
+                        accesses,
+                        hits: accesses - misses,
+                        misses,
+                        cold_misses,
+                    },
+                }
+            })
+            .collect();
+        let mut stats = CacheStats::default();
+        for a in &arrays {
+            stats += a.stats;
+        }
+        NestPrediction {
+            label: reuse.label.clone(),
+            exact: reuse.exact,
+            arrays,
+            stats,
+        }
+    }
+}
+
+/// Predicts every top-level body node of `program` at parameter binding
+/// `n` under `model`'s geometry, emitting `analytic.*` remarks, counters,
+/// and trace spans into `obs`.
+///
+/// With a disabled sink this is a pure computation; the predictions are
+/// identical either way.
+pub fn predict_program(
+    program: &Program,
+    n: i64,
+    model: &MissModel,
+    obs: &mut dyn ObsSink,
+) -> Vec<NestPrediction> {
+    let cls = model.config().cls_elements();
+    let mut out = Vec::with_capacity(program.body().len());
+    let mut inexact = 0u64;
+    for idx in 0..program.body().len() {
+        let reuse = nest_reuse(program, idx, n, cls);
+        if obs.enabled() {
+            obs.trace_begin(
+                "analytic.nest",
+                &[
+                    ("nest", TraceArg::Str(&reuse.label)),
+                    ("accesses", TraceArg::F64(reuse.accesses)),
+                ],
+            );
+        }
+        let pred = model.fold(&reuse);
+        if !pred.exact {
+            inexact += 1;
+        }
+        if obs.enabled() {
+            obs.trace_end(
+                "analytic.nest",
+                &[
+                    ("misses", TraceArg::U64(pred.stats.misses)),
+                    (
+                        "exact",
+                        TraceArg::Str(if pred.exact { "yes" } else { "no" }),
+                    ),
+                ],
+            );
+            let mut reason = format!(
+                "predicted {} misses / {} accesses ({:.2}% miss rate) at {}",
+                pred.stats.misses,
+                pred.stats.accesses,
+                100.0 * pred.miss_rate(),
+                model.config(),
+            );
+            if !pred.exact {
+                reason.push_str(" [midpoint-approximated trip counts]");
+            }
+            obs.remark(
+                Remark::new("analytic", pred.label.clone(), RemarkKind::Analysis).reason(reason),
+            );
+        }
+        out.push(pred);
+    }
+    if obs.enabled() {
+        obs.counter("analytic.nests", out.len() as u64);
+        obs.counter("analytic.nests_inexact", inexact);
+        obs.counter(
+            "analytic.predicted_misses",
+            out.iter().map(|p| p.stats.misses).sum(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_ir::build::ProgramBuilder;
+    use cmt_ir::expr::Expr;
+    use cmt_obs::{CollectSink, NullObs};
+
+    fn matmul() -> Program {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn fold_is_consistent_per_array_vs_nest() {
+        let p = matmul();
+        let model = MissModel::new(CacheConfig::i860());
+        let preds = predict_program(&p, 64, &model, &mut NullObs);
+        assert_eq!(preds.len(), 1);
+        let pred = &preds[0];
+        let sum: u64 = pred.arrays.iter().map(|a| a.stats.misses).sum();
+        assert_eq!(pred.stats.misses, sum);
+        let acc: u64 = pred.arrays.iter().map(|a| a.stats.accesses).sum();
+        assert_eq!(pred.stats.accesses, acc);
+        assert_eq!(pred.stats.hits + pred.stats.misses, pred.stats.accesses);
+    }
+
+    #[test]
+    fn bigger_caches_never_miss_more() {
+        let p = matmul();
+        let configs = [
+            CacheConfig::i860(),
+            CacheConfig::decstation(),
+            CacheConfig::rs6000(),
+        ];
+        // Sort by capacity in lines; misses must be non-increasing when
+        // line size is equal, and cold misses shrink with line size.
+        let mut by_cap: Vec<(f64, u64)> = configs
+            .iter()
+            .map(|c| {
+                let m = MissModel::new(*c);
+                let r = nest_reuse(&p, 0, 64, c.cls_elements());
+                (m.capacity_lines(), m.fold(&r).stats.misses)
+            })
+            .collect();
+        by_cap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert!(by_cap[0].1 > 0);
+    }
+
+    #[test]
+    fn remarks_and_counters_flow_through_obs() {
+        let p = matmul();
+        let model = MissModel::new(CacheConfig::i860());
+        let mut sink = CollectSink::new();
+        let preds = predict_program(&p, 64, &model, &mut sink);
+        assert_eq!(preds.len(), 1);
+        let jsonl = sink.remarks_jsonl();
+        assert!(jsonl.contains("\"analytic\""), "{jsonl}");
+        assert!(jsonl.contains("predicted"), "{jsonl}");
+    }
+}

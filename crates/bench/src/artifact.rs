@@ -114,6 +114,15 @@ pub fn write_profile_json(name: &str, json: &str) -> Result<PathBuf, ArtifactErr
     write_artifact("profile.json", name, json)
 }
 
+/// Writes an analytic accuracy report (see
+/// `cmt_bench::analytic::AnalyticReport`) into
+/// `{artifact_dir}/{name}.analytic.json`, creating the directory as
+/// needed. The document is timing-free, so it is byte-identical across
+/// runs and `CMT_JOBS` settings. Returns the path written.
+pub fn write_analytic_json(name: &str, json: &str) -> Result<PathBuf, ArtifactError> {
+    write_artifact("analytic.json", name, json)
+}
+
 /// Writes a rendered markdown run report into
 /// `{artifact_dir}/{name}.report.md`, creating the directory as needed.
 /// Returns the path written.

@@ -5,8 +5,8 @@
 //! ```
 //!
 //! Joins `{dir}/{name}.remarks.jsonl`, `{dir}/{name}.metrics.json`, and
-//! (when present) `{dir}/{name}.trace.json` into
-//! `{dir}/{name}.report.md`. `DIR` defaults to the artifact directory
+//! (when present) `{dir}/{name}.trace.json`, `{dir}/{name}.profile.json`,
+//! and `{dir}/{name}.analytic.json` into `{dir}/{name}.report.md`. `DIR` defaults to the artifact directory
 //! (`$CMT_OBS_DIR`, or `results/`). The report reads only deterministic
 //! fields, so it is byte-identical across runs of the same workload.
 //!
@@ -57,10 +57,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // The trace (only written under CMT_TRACE) and hotspot profile
-    // (only written by profiling sweeps) are optional.
+    // The trace (only written under CMT_TRACE), hotspot profile (only
+    // written by profiling sweeps), and analytic accuracy report (only
+    // written by `cmt-analytic`) are optional.
     let trace = read("trace.json").ok();
     let profile = read("profile.json").ok();
+    let analytic = read("analytic.json").ok();
 
     match cmt_bench::render_report(
         &name,
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
         &metrics,
         trace.as_deref(),
         profile.as_deref(),
+        analytic.as_deref(),
     ) {
         Ok(report) => {
             let path = dir.join(format!("{name}.report.md"));

@@ -13,6 +13,7 @@
 //! cargo run --release -p cmt-bench --bin table4_hit_rates
 //! ```
 
+pub mod analytic;
 pub mod artifact;
 pub mod fmt;
 pub mod profiling;
@@ -21,9 +22,13 @@ pub mod runner;
 pub mod tables;
 pub mod timing;
 
+pub use analytic::{
+    analytic_corpus, analytic_geometries, analytic_sweep, rank_predictions, top_k_agreement_tied,
+    AnalyticReport, AnalyticSweepConfig, GeometryAgreement, TIE_TOLERANCE,
+};
 pub use artifact::{
-    artifact_dir, emit, trace_enabled, write_metrics_json, write_profile_json, write_remarks_jsonl,
-    write_report_md, write_trace_json, ArtifactError,
+    artifact_dir, emit, trace_enabled, write_analytic_json, write_metrics_json, write_profile_json,
+    write_remarks_jsonl, write_report_md, write_trace_json, ArtifactError,
 };
 pub use profiling::{profile_sweep, sweep_corpus, AgreementReport, SweepConfig, SweepResult};
 pub use report::render_report;

@@ -8,6 +8,7 @@
 //! value is byte-identical across runs and diffs cleanly in review. A
 //! test pins this.
 
+use crate::analytic::AnalyticReport;
 use cmt_obs::diff::WALL_CLOCK_SUFFIX;
 use cmt_obs::json::{parse, Value};
 use cmt_obs::validate_chrome_trace;
@@ -20,14 +21,17 @@ use std::fmt::Write as _;
 /// `remarks_jsonl` and `metrics_json` are the artifact file contents;
 /// `trace_json` is the Chrome Trace document when the run was traced;
 /// `profile_json` is the ranked hotspot profile when the run was a
-/// profiling sweep. Fails on malformed artifacts (a malformed trace or
-/// profile is a real bug — the validators run as part of rendering).
+/// profiling sweep; `analytic_json` is the analytic-vs-simulated
+/// accuracy report when the run was an analytic sweep. Fails on
+/// malformed artifacts (a malformed trace or profile is a real bug —
+/// the validators run as part of rendering).
 pub fn render_report(
     name: &str,
     remarks_jsonl: &str,
     metrics_json: &str,
     trace_json: Option<&str>,
     profile_json: Option<&str>,
+    analytic_json: Option<&str>,
 ) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "# Run report: {name}\n");
@@ -168,6 +172,45 @@ pub fn render_report(
         }
     }
 
+    // --- Analytic model: per-geometry accuracy vs the simulator. ---
+    if let Some(analytic) = analytic_json {
+        let report = AnalyticReport::parse(analytic).map_err(|e| format!("analytic: {e}"))?;
+        let _ = writeln!(out, "\n## Analytic vs simulated\n");
+        let _ = writeln!(
+            out,
+            "{} programs ({} seeds{}), {} nests at n={}, top-{} ranking:\n",
+            report.programs,
+            report.seeds,
+            if report.programs > report.seeds {
+                " + paper kernels"
+            } else {
+                ""
+            },
+            report.nests,
+            report.n,
+            report.top_k,
+        );
+        out.push_str(
+            "| geometry | pred misses | sim misses | mean rel err | top-k (tied) | top-k (strict) | tau | worst nest |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        for g in &report.geometries {
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} | {:.4} | {:.3} | {:.3} | {:.3} | `{}` ({:.2}) |",
+                g.cache,
+                g.predicted_misses,
+                g.simulated_misses,
+                g.mean_rel_error,
+                g.top_k_agreement,
+                g.top_k_agreement_strict,
+                g.kendall_tau,
+                g.worst_nest,
+                g.worst_rel_error,
+            );
+        }
+    }
+
     // --- Trace: structural summary only (no timestamps). ---
     if let Some(trace) = trace_json {
         let summary = validate_chrome_trace(trace).map_err(|e| format!("trace: {e}"))?;
@@ -213,6 +256,7 @@ mod tests {
             &sink.metrics.to_json(),
             Some(&session.to_chrome_json()),
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("# Run report: unit"));
@@ -249,6 +293,7 @@ mod tests {
                 &sink.metrics.to_json(),
                 Some(&session.to_chrome_json()),
                 None,
+                None,
             )
             .unwrap()
         };
@@ -257,11 +302,12 @@ mod tests {
 
     #[test]
     fn malformed_inputs_error() {
-        assert!(render_report("x", "not json\n", "{}", None, None).is_err());
-        assert!(render_report("x", "", "{", None, None).is_err());
+        assert!(render_report("x", "not json\n", "{}", None, None, None).is_err());
+        assert!(render_report("x", "", "{", None, None, None).is_err());
         let ok_metrics = "{\"counters\":{},\"histograms\":{}}";
-        assert!(render_report("x", "", ok_metrics, Some("["), None).is_err());
-        assert!(render_report("x", "", ok_metrics, None, Some("{")).is_err());
+        assert!(render_report("x", "", ok_metrics, Some("["), None, None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, Some("{"), None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, None, Some("{")).is_err());
     }
 
     #[test]
@@ -291,10 +337,39 @@ mod tests {
             "{\"counters\":{},\"histograms\":{}}",
             None,
             Some(&ranked.to_json()),
+            None,
         )
         .unwrap();
         assert!(report.contains("## Hotspots (1 nests)"), "{report}");
         assert!(report.contains("`copy/nest0:I.J`"), "{report}");
         assert!(report.contains("| rank | nest |"), "{report}");
+    }
+
+    #[test]
+    fn analytic_section_renders_per_geometry_accuracy() {
+        use crate::analytic::{analytic_corpus, analytic_sweep, AnalyticSweepConfig};
+
+        let cfg = AnalyticSweepConfig {
+            seeds: 2,
+            kernels: false,
+            n: 32,
+            ..AnalyticSweepConfig::default()
+        };
+        let programs = analytic_corpus(&cfg);
+        let mut sink = cmt_obs::CollectSink::new();
+        let analytic = analytic_sweep(&programs, &cfg, &mut sink, None).unwrap();
+        let report = render_report(
+            "an",
+            "",
+            "{\"counters\":{},\"histograms\":{}}",
+            None,
+            None,
+            Some(&analytic.to_json()),
+        )
+        .unwrap();
+        assert!(report.contains("## Analytic vs simulated"), "{report}");
+        assert!(report.contains("| geometry | pred misses |"), "{report}");
+        // One table row per geometry.
+        assert_eq!(report.matches("-way/").count(), 3, "{report}");
     }
 }

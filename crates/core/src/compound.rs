@@ -6,10 +6,10 @@
 //! (then re-fuse the pieces for temporal locality). Finally, fuse
 //! profitable adjacent nests.
 
-use crate::distribute::distribute_nest;
+use crate::distribute::distribute_nest_with;
 use crate::fuse::{fuse_adjacent_observed, fuse_all_inner};
-use crate::model::CostModel;
-use crate::permute::{permute_loop_in_place, permute_nest, PermuteFailure};
+use crate::model::{CostModel, RankOracle};
+use crate::permute::{permute_loop_in_place_with, permute_nest_with, PermuteFailure};
 use crate::provenance::{NullProvenance, ProvenanceSink, TransformStep};
 use crate::report::{
     ideal_cost, inner_loop_in_position, nest_in_memory_order, realized_cost, TransformReport,
@@ -89,6 +89,26 @@ pub fn compound_traced(
     obs: &mut dyn ObsSink,
     prov: &mut dyn ProvenanceSink,
 ) -> TransformReport {
+    compound_oracle(program, model, opts, obs, prov, model)
+}
+
+/// [`compound_traced`] with an explicit [`RankOracle`] choosing the loop
+/// order every permutation step aims for. `compound_traced` delegates here
+/// with `oracle = model`, so the default pipeline is byte-identical by
+/// construction.
+///
+/// The `model` is still used for the Table-2 statistics
+/// (`nest_in_memory_order`, cost ratios): those measure attainment of the
+/// *paper's* memory order, while the oracle only decides which permutation
+/// the driver tries to reach. With `oracle = model` the two coincide.
+pub fn compound_oracle(
+    program: &mut Program,
+    model: &CostModel,
+    opts: &CompoundOptions,
+    obs: &mut dyn ObsSink,
+    prov: &mut dyn ProvenanceSink,
+    oracle: &dyn RankOracle,
+) -> TransformReport {
     const PASS: &str = "permute";
     let mut report = TransformReport::default();
     let mut ratio_final_sum = 0.0;
@@ -156,7 +176,7 @@ pub fn compound_traced(
         if !orig_mem {
             // Step 1: permutation.
             let snap = prov.enabled().then(|| program.clone());
-            let out = permute_nest(program, idx, model, opts.reversal);
+            let out = permute_nest_with(program, idx, opts.reversal, oracle);
             report.reversals += out.reversed.len();
             last_failure = out.failure;
             let mut achieved = out.memory_order;
@@ -201,7 +221,7 @@ pub fn compound_traced(
                 match fuse_all_inner(program, &current) {
                     Some(fused) => {
                         let (out2, rewritten) =
-                            permute_loop_in_place(program, &fused, model, opts.reversal);
+                            permute_loop_in_place_with(program, &fused, opts.reversal, oracle);
                         if out2.memory_order {
                             let snap = prov.enabled().then(|| program.clone());
                             let new_root = rewritten.unwrap_or(fused);
@@ -255,7 +275,7 @@ pub fn compound_traced(
             // Step 3: distribution.
             if !achieved && opts.distribution {
                 let snap = prov.enabled().then(|| program.clone());
-                match distribute_nest(program, idx, model, opts.reversal) {
+                match distribute_nest_with(program, idx, opts.reversal, oracle) {
                     Some(dist) => {
                         if let Some(before) = &snap {
                             prov.step(

@@ -7,8 +7,8 @@
 //! the smallest amount of distribution for which some resulting nest can
 //! be permuted into memory order.
 
-use crate::model::CostModel;
-use crate::permute::permute_loop_in_place;
+use crate::model::{CostModel, RankOracle};
+use crate::permute::permute_loop_in_place_with;
 use cmt_dependence::analyze_nest;
 use cmt_dependence::scc::partitions_at_level;
 use cmt_ir::ids::{LoopId, StmtId};
@@ -43,6 +43,17 @@ pub fn distribute_nest(
     nest_idx: usize,
     model: &CostModel,
     allow_reversal: bool,
+) -> Option<DistributeOutcome> {
+    distribute_nest_with(program, nest_idx, allow_reversal, model)
+}
+
+/// [`distribute_nest`] with an explicit [`RankOracle`] choosing the loop
+/// order the enabled permutations aim for.
+pub fn distribute_nest_with(
+    program: &mut Program,
+    nest_idx: usize,
+    allow_reversal: bool,
+    oracle: &dyn RankOracle,
 ) -> Option<DistributeOutcome> {
     let root = program.body()[nest_idx].as_loop()?.clone();
     let depth = Node::Loop(root.clone()).depth();
@@ -121,7 +132,7 @@ pub fn distribute_nest(
                     .expect("copy placed above")
                     .clone();
                 let (outcome, rewritten) =
-                    permute_loop_in_place(&work, &copy, model, allow_reversal);
+                    permute_loop_in_place_with(&work, &copy, allow_reversal, oracle);
                 if outcome.changed && outcome.inner_in_position {
                     if let Some(new_loop) = rewritten {
                         let Node::Loop(holder) = &mut work.body_mut()[holder_idx] else {

@@ -83,8 +83,10 @@ pub mod tile;
 pub mod tiling;
 pub mod unroll;
 
-pub use compound::{compound, compound_observed, compound_traced, CompoundOptions};
+pub use compound::{
+    compound, compound_observed, compound_oracle, compound_traced, CompoundOptions,
+};
 pub use cost::CostPoly;
-pub use model::{CostModel, LoopCostEntry, NestCosts, SelfReuse};
+pub use model::{CostModel, LoopCostEntry, NestCosts, RankOracle, SelfReuse};
 pub use provenance::{CollectProvenance, NullProvenance, ProvenanceSink, TransformStep};
 pub use report::TransformReport;

@@ -116,6 +116,33 @@ impl CostModel {
     }
 }
 
+/// A pluggable loop-ranking strategy for the permutation driver.
+///
+/// The permutation passes ([`crate::permute::permute_nest`], `compound`) only need
+/// one judgement from the cost model: *in what order should the loops of
+/// this nest be nested* (outermost first, best-innermost last)? Abstracting
+/// that judgement behind a trait lets alternative models — e.g. the
+/// analytical reuse-distance engine in `cmt-analytic` — drive the same
+/// legality-checked transformation machinery without `cmt-core` depending
+/// on them.
+///
+/// [`CostModel`] implements this trait with the paper's `LoopCost` ranking,
+/// so the default pipeline is unchanged.
+pub trait RankOracle {
+    /// Desired nesting order for the loops of `root`: most expensive
+    /// (should-be-outermost) first, cheapest (should-be-innermost) last.
+    ///
+    /// Must return exactly the loops of the nest rooted at `root`; ties
+    /// keep their original relative order so results are deterministic.
+    fn rank(&self, program: &Program, root: &Loop) -> Vec<LoopId>;
+}
+
+impl RankOracle for CostModel {
+    fn rank(&self, program: &Program, root: &Loop) -> Vec<LoopId> {
+        self.memory_order(program, root)
+    }
+}
+
 /// The per-nest analysis produced by [`CostModel::analyze`].
 #[derive(Clone, Debug)]
 pub struct NestCosts {

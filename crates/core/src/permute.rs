@@ -11,7 +11,7 @@
 //! triangular nests of §4.5.1 (bound exchange à la Cholesky's
 //! `DO I=K+1,N / DO J=K+1,I` → `DO J=K+1,N / DO I=J,N`).
 
-use crate::model::CostModel;
+use crate::model::{CostModel, RankOracle};
 use cmt_dependence::{analyze_nest, DepVector, Direction};
 use cmt_ir::affine::Affine;
 use cmt_ir::ids::LoopId;
@@ -79,13 +79,26 @@ pub fn permute_nest(
     model: &CostModel,
     allow_reversal: bool,
 ) -> PermuteOutcome {
+    permute_nest_with(program, nest_idx, allow_reversal, model)
+}
+
+/// [`permute_nest`] with an explicit [`RankOracle`] choosing the desired
+/// loop order. `permute_nest` delegates here with the `CostModel` as the
+/// oracle, so the default pipeline is unchanged; alternative oracles
+/// (e.g. `cmt-analytic`'s predicted-miss ranking) reuse the same legality
+/// machinery.
+pub fn permute_nest_with(
+    program: &mut Program,
+    nest_idx: usize,
+    allow_reversal: bool,
+    oracle: &dyn RankOracle,
+) -> PermuteOutcome {
     let root = program.body()[nest_idx]
         .as_loop()
         .expect("permute_nest requires a loop node")
         .clone();
     if !is_perfect(&root) {
-        let costs = model.analyze(program, &root);
-        let order = costs.memory_order();
+        let order = oracle.rank(program, &root);
         let chain_ids: Vec<LoopId> = perfect_chain(&root).iter().map(|l| l.id()).collect();
         let in_order = is_prefix_consistent(&chain_ids, &order);
         return PermuteOutcome {
@@ -99,7 +112,7 @@ pub fn permute_nest(
         };
     }
 
-    let outcome = permute_loop_in_place(program, &root, model, allow_reversal);
+    let outcome = permute_loop_in_place_with(program, &root, allow_reversal, oracle);
     if let Some(new_root) = outcome.1 {
         program.body_mut()[nest_idx] = Node::Loop(new_root);
     }
@@ -119,8 +132,18 @@ pub fn permute_loop_in_place(
     model: &CostModel,
     allow_reversal: bool,
 ) -> (PermuteOutcome, Option<Loop>) {
-    let costs = model.analyze(program, root);
-    let ranking = costs.memory_order();
+    permute_loop_in_place_with(program, root, allow_reversal, model)
+}
+
+/// [`permute_loop_in_place`] with an explicit [`RankOracle`] choosing the
+/// desired loop order.
+pub fn permute_loop_in_place_with(
+    program: &Program,
+    root: &Loop,
+    allow_reversal: bool,
+    oracle: &dyn RankOracle,
+) -> (PermuteOutcome, Option<Loop>) {
+    let ranking = oracle.rank(program, root);
     let chain: Vec<LoopId> = perfect_chain(root).iter().map(|l| l.id()).collect();
     let depth = chain.len();
 

@@ -12,7 +12,12 @@
 //! human-readable one, and `--profile N` to first rank each program's
 //! nests by sampled cache simulation at parameter `N` — the
 //! `profile.hotspot` remarks then appear alongside the pass remarks.
+//! `--analytic N` instead (or additionally) predicts each nest's miss
+//! count symbolically with the analytic engine — no simulation — and
+//! interleaves the `analytic` remarks into the same stream.
 
+use cmt_locality_repro::analytic::{predict_program, MissModel};
+use cmt_locality_repro::cache::CacheConfig;
 use cmt_locality_repro::ir::parse::parse_program;
 use cmt_locality_repro::locality::pass::Pipeline;
 use cmt_locality_repro::obs::CollectSink;
@@ -36,6 +41,7 @@ fn corpus_files() -> Vec<PathBuf> {
 fn main() {
     let mut jsonl = false;
     let mut profile_n: Option<i64> = None;
+    let mut analytic_n: Option<i64> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +50,11 @@ fn main() {
         } else if arg == "--profile" {
             profile_n = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                 eprintln!("--profile needs a parameter value N");
+                std::process::exit(2)
+            }));
+        } else if arg == "--analytic" {
+            analytic_n = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--analytic needs a parameter value N");
                 std::process::exit(2)
             }));
         } else {
@@ -87,6 +98,13 @@ fn main() {
                 }
                 Err(e) => eprintln!("profiling {}: {e}", path.display()),
             }
+        }
+        // Analytic predictions: same `analytic` remarks as `cmt-analytic`,
+        // but from the IR alone — compare them against the simulated
+        // `profile.hotspot` stream above to see the model's accuracy.
+        if let Some(n) = analytic_n {
+            let model = MissModel::new(CacheConfig::i860());
+            let _ = predict_program(&program, n, &model, &mut sink);
         }
         let reports = Pipeline::paper_default(4).run_observed(&mut program, &mut sink);
 

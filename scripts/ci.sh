@@ -92,6 +92,24 @@ grep -q '"profile.escalated":5' "$SMOKE_DIR/profile_corpus.metrics.json" \
 cargo run --release -q -p cmt-bench --bin cmt-report -- profile_corpus --dir "$SMOKE_DIR"
 test -s "$SMOKE_DIR/profile_corpus.report.md" || { echo "missing profile report" >&2; exit 1; }
 
+echo ">>> smoke-analytic (analytic model vs simulator, committed BENCH gate)"
+# First gate the committed full-corpus accuracy report (256 seeds +
+# paper kernels): it must parse and satisfy the same thresholds the
+# live run is held to. Then a live differential sweep over the first
+# 32 verify-corpus seeds plus the paper kernels: predict every nest
+# symbolically on all three geometries, simulate the same corpus in
+# full, and fail on tie-aware top-5 hotspot-ranking agreement < 0.9 or
+# mean per-nest relative miss error > 0.25 on any geometry. Both gates
+# are deterministic. Artifacts land in results/ci for upload; the
+# report's "Analytic vs simulated" section renders from them.
+cargo run --release -q -p cmt-bench --bin cmt-analytic -- --check BENCH_analytic.json
+CMT_JOBS=4 CMT_OBS_DIR="$SMOKE_DIR" cargo run --release -q -p cmt-bench --bin cmt-analytic -- \
+  --seeds 32 --min-agreement 0.9 --max-error 0.25 --name analytic_corpus
+test -s "$SMOKE_DIR/analytic_corpus.analytic.json" || { echo "missing analytic artifact" >&2; exit 1; }
+cargo run --release -q -p cmt-bench --bin cmt-report -- analytic_corpus --dir "$SMOKE_DIR"
+grep -q '## Analytic vs simulated' "$SMOKE_DIR/analytic_corpus.report.md" \
+  || { echo "report missing analytic section" >&2; exit 1; }
+
 echo ">>> clippy unwrap gate (bench + resilience failure paths stay panic-free)"
 cargo clippy -q --no-deps -p cmt-bench -p cmt-resilience -- -D clippy::unwrap_used
 

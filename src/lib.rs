@@ -3,8 +3,9 @@
 //! Re-exports the workspace crates so examples and integration tests can use
 //! one import root. See the individual crates for the real APIs:
 //! [`cmt_ir`], [`cmt_dependence`], [`cmt_locality`], [`cmt_cache`],
-//! [`cmt_interp`], [`cmt_suite`], [`cmt_obs`], [`cmt_verify`],
-//! [`cmt_resilience`].
+//! [`cmt_analytic`], [`cmt_interp`], [`cmt_suite`], [`cmt_obs`],
+//! [`cmt_verify`], [`cmt_resilience`].
+pub use cmt_analytic as analytic;
 pub use cmt_bench as bench;
 pub use cmt_cache as cache;
 pub use cmt_dependence as dependence;
