@@ -71,15 +71,17 @@ impl AnalyticCost {
     }
 }
 
-impl RankOracle for AnalyticCost {
-    fn rank(&self, program: &Program, root: &Loop) -> Vec<LoopId> {
+impl AnalyticCost {
+    /// Predicted misses per candidate innermost loop, summed down a
+    /// capacity ladder (cap, cap/8, …, 1): the full capacity captures
+    /// which working sets fit, the small rungs keep streaming quality
+    /// visible when every candidate's working set fits the top rung (a
+    /// fully-associative model then correctly — but unhelpfully — calls
+    /// the orders equal). This is both the ranking key and the
+    /// per-candidate cost reported in decision-provenance records.
+    fn ladder_scores(&self, program: &Program, root: &Loop) -> Vec<(LoopId, f64)> {
         let cls = self.config.cls_elements();
         let cap = (self.config.size() / self.config.line()) as f64;
-        // Sum predicted misses down a capacity ladder (cap, cap/8, …, 1):
-        // the full capacity captures which working sets fit, the small
-        // rungs keep streaming quality visible when every candidate's
-        // working set fits the top rung (a fully-associative model then
-        // correctly — but unhelpfully — calls the orders equal).
         let mut total: Vec<(LoopId, f64)> = Vec::new();
         let mut rung = cap;
         loop {
@@ -100,10 +102,25 @@ impl RankOracle for AnalyticCost {
             }
             rung /= 8.0;
         }
+        total
+    }
+}
+
+impl RankOracle for AnalyticCost {
+    fn rank(&self, program: &Program, root: &Loop) -> Vec<LoopId> {
+        let mut total = self.ladder_scores(program, root);
         // Most misses-if-innermost goes outermost; stable sort keeps
         // ties in original nesting order, like the paper's ranking.
         total.sort_by(|a, b| b.1.total_cmp(&a.1));
         total.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn scores(&self, program: &Program, root: &Loop) -> Vec<(LoopId, f64)> {
+        self.ladder_scores(program, root)
     }
 }
 

@@ -256,8 +256,19 @@ impl ReuseHistogram {
     ///
     /// Bins without stream metadata keep the fully-associative answer.
     pub fn misses_in(&self, sets: u64, assoc: u32) -> f64 {
+        let p = self.misses_in_parts(sets, assoc);
+        (p.baseline + p.conflict - p.rescued).max(self.cold)
+    }
+
+    /// The signed decomposition behind [`ReuseHistogram::misses_in`]:
+    /// the fully-associative baseline, the set-conflict
+    /// self-interference surcharge, the LRU-cliff rescue discount, and
+    /// the cold-floor clamp residual. The parts sum exactly (same
+    /// operation order) to the `misses_in` answer:
+    /// `baseline + conflict − rescued + clamped`.
+    pub fn misses_in_parts(&self, sets: u64, assoc: u32) -> MissParts {
         let capacity_lines = (sets * u64::from(assoc.max(1))) as f64;
-        let conflict_extra: f64 = self
+        let conflict: f64 = self
             .streams
             .iter()
             .filter(|s| s.distance <= capacity_lines && s.conflicts(sets, assoc))
@@ -268,7 +279,14 @@ impl ReuseHistogram {
             .iter()
             .map(|s| s.count * s.cliff_survivors(sets, assoc))
             .sum();
-        (self.misses_at(capacity_lines) + conflict_extra - rescued).max(self.cold)
+        let baseline = self.misses_at(capacity_lines);
+        let raw = baseline + conflict - rescued;
+        MissParts {
+            baseline,
+            conflict,
+            rescued,
+            clamped: raw.max(self.cold) - raw,
+        }
     }
 
     /// Accumulates `other` into `self` (bin-wise; callers re-normalize).
@@ -278,6 +296,24 @@ impl ReuseHistogram {
         self.bins.extend_from_slice(&other.bins);
         self.streams.extend_from_slice(&other.streams);
     }
+}
+
+/// Per-correction decomposition of one histogram's set-associative miss
+/// prediction (see [`ReuseHistogram::misses_in_parts`]). All four terms
+/// are non-negative; `rescued` enters the total with a minus sign.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MissParts {
+    /// Fully-associative LRU misses at capacity (cold included).
+    pub baseline: f64,
+    /// Set-conflict self-interference surcharge: capacity-hit reuses
+    /// whose stream maps into too few sets.
+    pub conflict: f64,
+    /// LRU-cliff rescue discount: capacity-miss reuses that survive
+    /// because eviction is per set.
+    pub rescued: f64,
+    /// Cold-floor clamp residual — zero unless the corrections drove
+    /// the raw total below the cold-miss floor.
+    pub clamped: f64,
 }
 
 /// A pair of same-array reference groups whose line walks interleave

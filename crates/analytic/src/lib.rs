@@ -66,7 +66,7 @@ pub mod reuse;
 
 pub use cost::AnalyticCost;
 pub use histogram::{
-    sets_spanned, CrossStream, ForeignStream, ReuseHistogram, StreamBin, StreamLevel,
+    sets_spanned, CrossStream, ForeignStream, MissParts, ReuseHistogram, StreamBin, StreamLevel,
 };
-pub use model::{predict_program, ArrayPrediction, MissModel, NestPrediction};
+pub use model::{predict_program, ArrayPrediction, MissModel, NestAttribution, NestPrediction};
 pub use reuse::{candidate_misses, nest_reuse, GroupReuse, LevelReuse, NestReuse};

@@ -88,6 +88,60 @@ impl NestPrediction {
     }
 }
 
+/// Signed per-correction contributions to one nest's predicted misses
+/// under one geometry, produced by [`MissModel::fold_attributed`].
+///
+/// The terms sum to the folded prediction:
+///
+/// ```text
+/// predicted = baseline + self_interference − cliff_rescue
+///           + cross + rounding
+/// ```
+///
+/// so the analytic-vs-simulated error `predicted − simulated` decomposes
+/// as `(baseline − simulated)` — the capacity-model residual — plus each
+/// correction term. When the analytic engine diverges from simulation,
+/// the largest term names the correction to blame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NestAttribution {
+    /// `program/nestN:…` label, same scheme as the prediction's.
+    pub label: String,
+    /// Fully-associative LRU misses at capacity (cold included).
+    pub baseline: f64,
+    /// Set-conflict self-interference surcharge (added).
+    pub self_interference: f64,
+    /// LRU-cliff rescue discount (stored positive, subtracted).
+    pub cliff_rescue: f64,
+    /// Cross-group direct-mapped collision surcharge (added).
+    pub cross: f64,
+    /// Everything the continuous terms cannot express: per-group
+    /// cold-floor clamps, per-array integer rounding, and the
+    /// misses ≤ accesses cap.
+    pub rounding: f64,
+    /// The folded whole-nest prediction the terms reconstruct.
+    pub predicted: u64,
+}
+
+impl NestAttribution {
+    /// The signed terms in presentation order, paired with stable names
+    /// (used by `cmt-explain` and the report renderer).
+    pub fn terms(&self) -> [(&'static str, f64); 5] {
+        [
+            ("baseline", self.baseline),
+            ("self_interference", self.self_interference),
+            ("cliff_rescue", -self.cliff_rescue),
+            ("cross", self.cross),
+            ("rounding", self.rounding),
+        ]
+    }
+
+    /// Sum of the signed terms — equal (up to float associativity) to
+    /// `predicted`.
+    pub fn total(&self) -> f64 {
+        self.terms().iter().map(|(_, v)| v).sum()
+    }
+}
+
 impl MissModel {
     /// A miss model for `config`.
     pub fn new(config: CacheConfig) -> MissModel {
@@ -113,12 +167,34 @@ impl MissModel {
     /// Folds this geometry over a nest's reuse analysis, producing
     /// per-array and whole-nest [`CacheStats`]-compatible counters.
     pub fn fold(&self, reuse: &NestReuse) -> NestPrediction {
+        self.fold_attributed(reuse).0
+    }
+
+    /// [`MissModel::fold`] plus the per-correction [`NestAttribution`]:
+    /// the same prediction (identical arithmetic), with each conflict
+    /// correction's signed contribution broken out so analytic-vs-
+    /// simulated divergence can be blamed on a specific term.
+    pub fn fold_attributed(&self, reuse: &NestReuse) -> (NestPrediction, NestAttribution) {
         let (sets, assoc) = (self.sets(), self.config.assoc());
+        let mut attr = NestAttribution {
+            label: reuse.label.clone(),
+            baseline: 0.0,
+            self_interference: 0.0,
+            cliff_rescue: 0.0,
+            cross: 0.0,
+            rounding: 0.0,
+            predicted: 0,
+        };
         // Merge group histograms by array, keeping first-appearance
         // order for deterministic output.
         let mut arrays: Vec<(String, f64, f64, f64)> = Vec::new();
         for g in &reuse.groups {
-            let misses = g.histogram.misses_in(sets, assoc);
+            let parts = g.histogram.misses_in_parts(sets, assoc);
+            let misses = (parts.baseline + parts.conflict - parts.rescued).max(g.histogram.cold);
+            attr.baseline += parts.baseline;
+            attr.self_interference += parts.conflict;
+            attr.cliff_rescue += parts.rescued;
+            attr.rounding += parts.clamped;
             let cold = g.histogram.cold;
             match arrays.iter_mut().find(|(name, ..)| *name == g.array) {
                 Some((_, acc, ms, cd)) => {
@@ -138,9 +214,11 @@ impl MissModel {
                 if let Some((_, _, ms, _)) = arrays.iter_mut().find(|(name, ..)| *name == cs.array)
                 {
                     *ms += extra;
+                    attr.cross += extra;
                 }
             }
         }
+        let unrounded: f64 = arrays.iter().map(|(_, _, ms, _)| ms).sum();
         let arrays: Vec<ArrayPrediction> = arrays
             .into_iter()
             .map(|(array, acc, ms, cd)| {
@@ -162,12 +240,17 @@ impl MissModel {
         for a in &arrays {
             stats += a.stats;
         }
-        NestPrediction {
-            label: reuse.label.clone(),
-            exact: reuse.exact,
-            arrays,
-            stats,
-        }
+        attr.predicted = stats.misses;
+        attr.rounding += stats.misses as f64 - unrounded;
+        (
+            NestPrediction {
+                label: reuse.label.clone(),
+                exact: reuse.exact,
+                arrays,
+                stats,
+            },
+            attr,
+        )
     }
 }
 
@@ -300,6 +383,46 @@ mod tests {
             .collect();
         by_cap.sort_by(|a, b| a.0.total_cmp(&b.0));
         assert!(by_cap[0].1 > 0);
+    }
+
+    #[test]
+    fn attribution_terms_sum_to_prediction_on_all_geometries() {
+        let p = matmul();
+        for config in [
+            CacheConfig::rs6000(),
+            CacheConfig::i860(),
+            CacheConfig::decstation(),
+        ] {
+            let model = MissModel::new(config);
+            let reuse = nest_reuse(&p, 0, 64, config.cls_elements());
+            let (pred, attr) = model.fold_attributed(&reuse);
+            assert_eq!(attr.predicted, pred.stats.misses, "{config}");
+            let total = attr.total();
+            let scale = (attr.predicted as f64).max(1.0);
+            assert!(
+                (total - attr.predicted as f64).abs() <= 1e-6 * scale,
+                "{config}: terms sum {total} vs predicted {}",
+                attr.predicted
+            );
+            assert!(attr.baseline >= 0.0 && attr.self_interference >= 0.0);
+            assert!(attr.cliff_rescue >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fold_attributed_matches_plain_fold_exactly() {
+        let p = matmul();
+        for config in [
+            CacheConfig::rs6000(),
+            CacheConfig::i860(),
+            CacheConfig::decstation(),
+        ] {
+            let model = MissModel::new(config);
+            let reuse = nest_reuse(&p, 0, 64, config.cls_elements());
+            let plain = model.fold(&reuse);
+            let (pred, _) = model.fold_attributed(&reuse);
+            assert_eq!(plain.stats, pred.stats, "{config}");
+        }
     }
 
     #[test]

@@ -123,6 +123,14 @@ pub fn write_analytic_json(name: &str, json: &str) -> Result<PathBuf, ArtifactEr
     write_artifact("analytic.json", name, json)
 }
 
+/// Writes a decision-provenance document (see
+/// [`crate::explain::ExplainDocument`]) into
+/// `{artifact_dir}/{name}.explain.json`, creating the directory as
+/// needed. Returns the path written.
+pub fn write_explain_json(name: &str, json: &str) -> Result<PathBuf, ArtifactError> {
+    write_artifact("explain.json", name, json)
+}
+
 /// Writes a rendered markdown run report into
 /// `{artifact_dir}/{name}.report.md`, creating the directory as needed.
 /// Returns the path written.

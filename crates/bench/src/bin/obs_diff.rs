@@ -10,15 +10,19 @@
 //! directories. When either side has a `{name}.profile.json` hotspot
 //! profile, it participates too: rank moves always count, miss/
 //! attribution drift beyond `REL` counts, and a profile present on only
-//! one side is itself a finding. Wall-clock (`*.ns`) histograms are
-//! excluded — only deterministic fields participate. Prints one line
-//! per finding.
+//! one side is itself a finding. Likewise a `{name}.explain.json`
+//! decision-provenance document: decision flips (different desired
+//! order or outcome for the same nest×action) always count, win-margin
+//! drift beyond `REL` counts, and a one-sided document is a finding.
+//! Wall-clock (`*.ns`) histograms are excluded — only deterministic
+//! fields participate. Prints one line per finding.
 //!
 //! Exit codes: `0` no differences, `1` differences found, `2` usage
 //! error or missing/malformed input artifacts — so CI gating on a
 //! committed `results/baseline/` can tell "drift" apart from "broken
 //! run".
 
+use cmt_bench::{diff_explain, ExplainDocument};
 use cmt_obs::{diff_metrics, diff_remarks};
 use cmt_profile::{diff_profiles, HotspotProfile};
 use std::path::Path;
@@ -73,6 +77,10 @@ fn main() -> ExitCode {
     // sweeps write one, so "absent on both sides" is not a finding.
     let bp = read(baseline, name, "profile.json").ok();
     let cp = read(current, name, "profile.json").ok();
+    // Same contract for decision provenance: only `cmt-explain` runs
+    // write one.
+    let be = read(baseline, name, "explain.json").ok();
+    let ce = read(current, name, "explain.json").ok();
 
     let findings = (|| -> Result<Vec<String>, String> {
         let mut f: Vec<String> = diff_metrics(&bm, &cm, threshold)?
@@ -91,6 +99,20 @@ fn main() -> ExitCode {
                     diff_profiles(&b, &c, threshold)
                         .into_iter()
                         .map(|d| format!("profile: {d}")),
+                );
+            }
+        }
+        match (&be, &ce) {
+            (None, None) => {}
+            (Some(_), None) => f.push("explain.json removed (baseline only)".to_string()),
+            (None, Some(_)) => f.push("explain.json added (current only)".to_string()),
+            (Some(b), Some(c)) => {
+                let b = ExplainDocument::parse(b).map_err(|e| format!("baseline explain: {e}"))?;
+                let c = ExplainDocument::parse(c).map_err(|e| format!("current explain: {e}"))?;
+                f.extend(
+                    diff_explain(&b, &c, threshold)
+                        .into_iter()
+                        .map(|d| format!("explain: {d}")),
                 );
             }
         }

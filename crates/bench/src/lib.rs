@@ -15,6 +15,7 @@
 
 pub mod analytic;
 pub mod artifact;
+pub mod explain;
 pub mod fmt;
 pub mod profiling;
 pub mod report;
@@ -27,13 +28,18 @@ pub use analytic::{
     AnalyticReport, AnalyticSweepConfig, GeometryAgreement, TIE_TOLERANCE,
 };
 pub use artifact::{
-    artifact_dir, emit, trace_enabled, write_analytic_json, write_metrics_json, write_profile_json,
-    write_remarks_jsonl, write_report_md, write_trace_json, ArtifactError,
+    artifact_dir, emit, trace_enabled, write_analytic_json, write_explain_json, write_metrics_json,
+    write_profile_json, write_remarks_jsonl, write_report_md, write_trace_json, ArtifactError,
+};
+pub use explain::{
+    diff_explain, explain_corpus, explain_sweep, render_decision_tree, DecisionJoin,
+    ExplainDocument, ExplainReport, ExplainSweepConfig, GeometryAttribution, NestDivergence,
 };
 pub use profiling::{profile_sweep, sweep_corpus, AgreementReport, SweepConfig, SweepResult};
 pub use report::render_report;
 pub use runner::{
-    cmt_jobs, par_map, par_map_traced, simulate_program, simulate_program_observed,
-    simulate_program_observed_traced, simulate_program_sharded_traced, simulate_versions,
-    try_par_map, try_par_map_traced, ObservedSim, ProgramSim, VersionPair, WorkerPanic,
+    cmt_jobs, emit_observed_compound, par_map, par_map_traced, simulate_program,
+    simulate_program_observed, simulate_program_observed_traced, simulate_program_sharded_traced,
+    simulate_versions, try_par_map, try_par_map_traced, ObservedSim, ProgramSim, VersionPair,
+    WorkerPanic,
 };

@@ -9,6 +9,7 @@
 //! test pins this.
 
 use crate::analytic::AnalyticReport;
+use crate::explain::ExplainDocument;
 use cmt_obs::diff::WALL_CLOCK_SUFFIX;
 use cmt_obs::json::{parse, Value};
 use cmt_obs::validate_chrome_trace;
@@ -22,9 +23,10 @@ use std::fmt::Write as _;
 /// `trace_json` is the Chrome Trace document when the run was traced;
 /// `profile_json` is the ranked hotspot profile when the run was a
 /// profiling sweep; `analytic_json` is the analytic-vs-simulated
-/// accuracy report when the run was an analytic sweep. Fails on
-/// malformed artifacts (a malformed trace or profile is a real bug —
-/// the validators run as part of rendering).
+/// accuracy report when the run was an analytic sweep; `explain_json`
+/// is the decision-provenance document when the run was an explain
+/// sweep. Fails on malformed artifacts (a malformed trace or profile
+/// is a real bug — the validators run as part of rendering).
 pub fn render_report(
     name: &str,
     remarks_jsonl: &str,
@@ -32,6 +34,7 @@ pub fn render_report(
     trace_json: Option<&str>,
     profile_json: Option<&str>,
     analytic_json: Option<&str>,
+    explain_json: Option<&str>,
 ) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "# Run report: {name}\n");
@@ -211,6 +214,51 @@ pub fn render_report(
         }
     }
 
+    // --- Decisions: provenance summary plus the flagged rows. ---
+    if let Some(explain) = explain_json {
+        let doc = ExplainDocument::parse(explain).map_err(|e| format!("explain: {e}"))?;
+        let joined = doc
+            .decisions
+            .iter()
+            .filter(|d| d.analytic_desired.is_some())
+            .count();
+        let disagreements: Vec<_> = doc.decisions.iter().filter(|d| d.disagree).collect();
+        let near_ties = doc.decisions.iter().filter(|d| d.near_tie).count();
+        let blocked = doc.decisions.iter().filter(|d| !d.legal).count();
+        let _ = writeln!(out, "\n## Decisions ({})\n", doc.decisions.len());
+        let _ = writeln!(
+            out,
+            "{} programs ({} seeds) at n={}: {} joined across both oracles, \
+             {} disagreements, {} near-ties (margin < {:.0}%), {} blocked by dependences.\n",
+            doc.programs,
+            doc.seeds,
+            doc.n,
+            joined,
+            disagreements.len(),
+            near_ties,
+            100.0 * doc.margin_tie,
+            blocked,
+        );
+        if !disagreements.is_empty() {
+            out.push_str("| nest | action | loopcost wants | analytic wants | outcome |\n");
+            out.push_str("|---|---|---|---|---|\n");
+            for d in disagreements.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {} | {} | {} | {} |",
+                    d.nest,
+                    d.action,
+                    d.loopcost_desired,
+                    d.analytic_desired.as_deref().unwrap_or("—"),
+                    d.outcome,
+                );
+            }
+            if disagreements.len() > 10 {
+                let _ = writeln!(out, "\n({} more elided)", disagreements.len() - 10);
+            }
+        }
+    }
+
     // --- Trace: structural summary only (no timestamps). ---
     if let Some(trace) = trace_json {
         let summary = validate_chrome_trace(trace).map_err(|e| format!("trace: {e}"))?;
@@ -257,6 +305,7 @@ mod tests {
             Some(&session.to_chrome_json()),
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("# Run report: unit"));
@@ -294,6 +343,7 @@ mod tests {
                 Some(&session.to_chrome_json()),
                 None,
                 None,
+                None,
             )
             .unwrap()
         };
@@ -302,12 +352,13 @@ mod tests {
 
     #[test]
     fn malformed_inputs_error() {
-        assert!(render_report("x", "not json\n", "{}", None, None, None).is_err());
-        assert!(render_report("x", "", "{", None, None, None).is_err());
+        assert!(render_report("x", "not json\n", "{}", None, None, None, None).is_err());
+        assert!(render_report("x", "", "{", None, None, None, None).is_err());
         let ok_metrics = "{\"counters\":{},\"histograms\":{}}";
-        assert!(render_report("x", "", ok_metrics, Some("["), None, None).is_err());
-        assert!(render_report("x", "", ok_metrics, None, Some("{"), None).is_err());
-        assert!(render_report("x", "", ok_metrics, None, None, Some("{")).is_err());
+        assert!(render_report("x", "", ok_metrics, Some("["), None, None, None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, Some("{"), None, None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, None, Some("{"), None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, None, None, Some("{")).is_err());
     }
 
     #[test]
@@ -338,6 +389,7 @@ mod tests {
             None,
             Some(&ranked.to_json()),
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("## Hotspots (1 nests)"), "{report}");
@@ -365,11 +417,39 @@ mod tests {
             None,
             None,
             Some(&analytic.to_json()),
+            None,
         )
         .unwrap();
         assert!(report.contains("## Analytic vs simulated"), "{report}");
         assert!(report.contains("| geometry | pred misses |"), "{report}");
         // One table row per geometry.
         assert_eq!(report.matches("-way/").count(), 3, "{report}");
+    }
+
+    #[test]
+    fn decisions_section_renders_provenance() {
+        use crate::explain::{explain_corpus, explain_sweep, ExplainSweepConfig};
+
+        let cfg = ExplainSweepConfig {
+            seeds: 2,
+            kernels: false,
+            n: 24,
+            margin_tie: 0.05,
+        };
+        let programs = explain_corpus(&cfg);
+        let mut sink = cmt_obs::CollectSink::new();
+        let (doc, _) = explain_sweep(&programs, &cfg, &mut sink, None).unwrap();
+        let report = render_report(
+            "ex",
+            "",
+            "{\"counters\":{},\"histograms\":{}}",
+            None,
+            None,
+            None,
+            Some(&doc.to_json()),
+        )
+        .unwrap();
+        assert!(report.contains("## Decisions ("), "{report}");
+        assert!(report.contains("joined across both oracles"), "{report}");
     }
 }

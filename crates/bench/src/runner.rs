@@ -420,6 +420,56 @@ pub fn simulate_versions(model: &BenchmarkModel, cost_model: &CostModel, n: i64)
     }
 }
 
+/// Shared observability companion of the table/figure binaries: runs
+/// the observed compound driver over `programs` (one clone each) and
+/// writes the `{name}.remarks.jsonl` / `{name}.metrics.json` artifacts,
+/// plus a validated Chrome Trace under `CMT_TRACE`. Workers collect
+/// into per-item sinks absorbed in item order, so every artifact is
+/// byte-identical for any `CMT_JOBS`.
+///
+/// # Errors
+///
+/// Fails when a trace violates its structural invariants or an
+/// artifact cannot be written.
+pub fn emit_observed_compound(
+    name: &str,
+    programs: &[Program],
+    opts: &cmt_locality::CompoundOptions,
+) -> Result<(), String> {
+    use cmt_locality::compound_observed;
+    use cmt_obs::{CollectSink, TraceSession, Tracing};
+
+    let model = CostModel::new(4);
+    let mut session = crate::trace_enabled().then(TraceSession::new);
+    let parts = match session.as_mut() {
+        Some(session) => par_map_traced(programs, session, |p, track| {
+            let mut traced = Tracing::new(CollectSink::new(), track);
+            let mut q = p.clone();
+            let _ = compound_observed(&mut q, &model, opts, &mut traced);
+            traced.inner
+        }),
+        None => par_map(programs, |p| {
+            let mut local = CollectSink::new();
+            let mut q = p.clone();
+            let _ = compound_observed(&mut q, &model, opts, &mut local);
+            local
+        }),
+    };
+    let mut sink = CollectSink::new();
+    for part in parts {
+        sink.absorb(part);
+    }
+    if let Some(session) = &session {
+        session
+            .validate()
+            .map_err(|e| format!("trace invariants: {e}"))?;
+        let path =
+            crate::write_trace_json(name, &session.to_chrome_json()).map_err(|e| e.to_string())?;
+        println!("[obs] trace:    {}", path.display());
+    }
+    crate::emit(name, &sink.remarks, &sink.metrics).map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

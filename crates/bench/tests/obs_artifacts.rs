@@ -166,3 +166,148 @@ fn cmt_report_renders_from_artifacts() {
     assert!(report.contains("| simulate | 1 |"), "{report}");
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn every_table_bin_emits_artifacts_and_valid_trace() {
+    // The previously untraced table/figure bins now share the
+    // `emit_observed_compound` companion: each must write remarks,
+    // metrics, and (under CMT_TRACE) a structurally valid Chrome Trace
+    // with compound spans.
+    let bins: [(&str, &str, &[&str]); 5] = [
+        (
+            "table1_erlebacher",
+            env!("CARGO_BIN_EXE_table1_erlebacher"),
+            &["24"],
+        ),
+        (
+            "table3_performance",
+            env!("CARGO_BIN_EXE_table3_performance"),
+            &["24"],
+        ),
+        (
+            "table5_access_properties",
+            env!("CARGO_BIN_EXE_table5_access_properties"),
+            &[],
+        ),
+        (
+            "fig8_9_histograms",
+            env!("CARGO_BIN_EXE_fig8_9_histograms"),
+            &[],
+        ),
+        ("ablation_table", env!("CARGO_BIN_EXE_ablation_table"), &[]),
+    ];
+    for (name, exe, args) in bins {
+        let dir = scratch(name);
+        let out = Command::new(exe)
+            .args(args)
+            .env("CMT_TRACE", "1")
+            .env("CMT_JOBS", "2")
+            .env("CMT_OBS_DIR", &dir)
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "{name} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(dir.join(format!("{name}.remarks.jsonl")).exists(), "{name}");
+        assert!(dir.join(format!("{name}.metrics.json")).exists(), "{name}");
+        let trace = fs::read_to_string(dir.join(format!("{name}.trace.json"))).expect("trace file");
+        let summary = validate_chrome_trace(&trace).expect("trace validates");
+        assert!(
+            summary.by_name.contains_key("compound.nest") || summary.spans > 0,
+            "{name}: no spans in trace: {:?}",
+            summary.by_name
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn explain_json_is_deterministic_across_jobs_shards_and_reruns() {
+    // The explain document must be byte-identical for any CMT_JOBS /
+    // CMT_SHARDS combination and across repeated runs.
+    let configs = [("1", "1"), ("4", "8"), ("4", "8")];
+    let mut docs = Vec::new();
+    for (i, (jobs, shards)) in configs.iter().enumerate() {
+        let dir = scratch(&format!("explain-det-{i}"));
+        let out = Command::new(env!("CARGO_BIN_EXE_cmt-explain"))
+            .args(["--seeds", "2", "--no-kernels", "--n", "16", "--name", "det"])
+            .env("CMT_JOBS", jobs)
+            .env("CMT_SHARDS", shards)
+            .env("CMT_OBS_DIR", &dir)
+            .output()
+            .expect("spawn cmt-explain");
+        assert!(
+            out.status.success(),
+            "cmt-explain failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        docs.push(fs::read_to_string(dir.join("det.explain.json")).expect("explain doc"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        docs[0], docs[1],
+        "explain.json depends on CMT_JOBS/CMT_SHARDS"
+    );
+    assert_eq!(docs[1], docs[2], "explain.json differs across reruns");
+}
+
+#[test]
+fn obs_diff_flags_explain_decision_flips() {
+    // The explain.json arm: identical docs exit 0, a flipped decision
+    // exits 1 with an "explain:" finding, absent-on-both-sides is
+    // skipped (covered by exit 0 before the docs are written).
+    let dir = scratch("diff-explain");
+    let (a, b) = (dir.join("a"), dir.join("b"));
+    fs::create_dir_all(&a).unwrap();
+    fs::create_dir_all(&b).unwrap();
+    let metrics = r#"{"counters":{},"histograms":{}}"#;
+    for d in [&a, &b] {
+        fs::write(d.join("unit.metrics.json"), metrics).unwrap();
+        fs::write(d.join("unit.remarks.jsonl"), "").unwrap();
+    }
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_obs_diff"))
+            .args([a.to_str().unwrap(), b.to_str().unwrap(), "unit"])
+            .output()
+            .expect("spawn obs_diff")
+    };
+    // No explain.json on either side: skipped, exit 0.
+    assert_eq!(run().status.code(), Some(0));
+
+    let doc = |desired: &str| {
+        format!(
+            "{{\"bench\":\"explain-full\",\"seeds\":1,\"programs\":1,\"n\":16,\
+             \"margin_tie\":0.050000,\"decisions\":[{{\"program\":\"p\",\
+             \"nest\":\"p/nest0:I.J\",\"action\":\"permute\",\"outcome\":\"applied\",\
+             \"legal\":true,\"loopcost_desired\":\"{desired}\",\"achieved\":\"{desired}\",\
+             \"disagree\":false,\"near_tie\":false}}],\"divergence\":[]}}\n"
+        )
+    };
+    fs::write(a.join("unit.explain.json"), doc("J.I")).unwrap();
+    fs::write(b.join("unit.explain.json"), doc("J.I")).unwrap();
+    assert_eq!(run().status.code(), Some(0));
+
+    // Same key, different desired order: decision flip, exit 1.
+    fs::write(b.join("unit.explain.json"), doc("I.J")).unwrap();
+    let out = run();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("explain: decision flip"), "{text}");
+
+    // One-sided document: a finding, exit 1.
+    fs::remove_file(b.join("unit.explain.json")).unwrap();
+    let out = run();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("explain.json removed"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Malformed document: broken artifact, exit 2.
+    fs::write(b.join("unit.explain.json"), "{").unwrap();
+    assert_eq!(run().status.code(), Some(2));
+    let _ = fs::remove_dir_all(&dir);
+}

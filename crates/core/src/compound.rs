@@ -9,7 +9,7 @@
 use crate::distribute::distribute_nest_with;
 use crate::fuse::{fuse_adjacent_observed, fuse_all_inner};
 use crate::model::{CostModel, RankOracle};
-use crate::permute::{permute_loop_in_place_with, permute_nest_with, PermuteFailure};
+use crate::permute::{permute_loop_in_place_observed, permute_nest_observed, PermuteFailure};
 use crate::provenance::{NullProvenance, ProvenanceSink, TransformStep};
 use crate::report::{
     ideal_cost, inner_loop_in_position, nest_in_memory_order, realized_cost, TransformReport,
@@ -17,6 +17,7 @@ use crate::report::{
 use cmt_ir::node::Node;
 use cmt_ir::program::Program;
 use cmt_ir::visit::{all_loops, is_perfect, nest_label};
+use cmt_obs::DecisionRecord;
 use cmt_obs::{NullObs, ObsSink, Remark, RemarkKind, TraceArg};
 
 /// Switches for ablation studies; the defaults match the paper.
@@ -176,7 +177,7 @@ pub fn compound_oracle(
         if !orig_mem {
             // Step 1: permutation.
             let snap = prov.enabled().then(|| program.clone());
-            let out = permute_nest_with(program, idx, opts.reversal, oracle);
+            let out = permute_nest_observed(program, idx, opts.reversal, oracle, obs, &label);
             report.reversals += out.reversed.len();
             last_failure = out.failure;
             let mut achieved = out.memory_order;
@@ -220,8 +221,25 @@ pub fn compound_oracle(
                 let current = program.body()[idx].as_loop().expect("still a loop").clone();
                 match fuse_all_inner(program, &current) {
                     Some(fused) => {
-                        let (out2, rewritten) =
-                            permute_loop_in_place_with(program, &fused, opts.reversal, oracle);
+                        let (out2, rewritten) = permute_loop_in_place_observed(
+                            program,
+                            &fused,
+                            opts.reversal,
+                            oracle,
+                            obs,
+                            &label,
+                            "fuse.permute",
+                        );
+                        if obs.enabled() {
+                            let mut rec = DecisionRecord::new("fuse", label.clone(), "fuse-all");
+                            rec.oracle = oracle.name().to_string();
+                            rec.outcome = if out2.memory_order {
+                                "applied"
+                            } else {
+                                "rejected"
+                            };
+                            obs.decision(rec);
+                        }
                         if out2.memory_order {
                             let snap = prov.enabled().then(|| program.clone());
                             let new_root = rewritten.unwrap_or(fused);
@@ -263,6 +281,11 @@ pub fn compound_oracle(
                     }
                     None => {
                         if obs.enabled() {
+                            let mut rec = DecisionRecord::new("fuse", label.clone(), "fuse-all");
+                            rec.oracle = oracle.name().to_string();
+                            rec.legal = false;
+                            rec.outcome = "illegal";
+                            obs.decision(rec);
                             obs.remark(
                                 Remark::new("fuse-all", label.clone(), RemarkKind::Missed)
                                     .reason("inner loops cannot be fused legally"),
@@ -293,6 +316,11 @@ pub fn compound_oracle(
                         span = dist.top_level_span;
                         last_failure = None;
                         if obs.enabled() {
+                            let mut rec =
+                                DecisionRecord::new("distribute", label.clone(), "distribute");
+                            rec.oracle = oracle.name().to_string();
+                            rec.outcome = "applied";
+                            obs.decision(rec);
                             obs.remark(
                                 Remark::new("distribute", label.clone(), RemarkKind::Applied)
                                     .reason(format!(
@@ -305,6 +333,12 @@ pub fn compound_oracle(
                     }
                     None => {
                         if obs.enabled() {
+                            let mut rec =
+                                DecisionRecord::new("distribute", label.clone(), "distribute");
+                            rec.oracle = oracle.name().to_string();
+                            rec.legal = false;
+                            rec.outcome = "rejected";
+                            obs.decision(rec);
                             obs.remark(
                                 Remark::new("distribute", label.clone(), RemarkKind::Missed)
                                     .reason("no distribution enables memory order"),
@@ -682,6 +716,57 @@ mod tests {
         );
         assert_eq!(p1, p2);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn compound_emits_decision_records() {
+        // Cholesky drives distribute + permute; every decision the
+        // driver makes must leave a provenance record in the sink.
+        let mut b = ProgramBuilder::new("chol");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("K", 1, n, |b| {
+            let k = b.var("K");
+            let akk = b.at(a, [k, k]);
+            let rhs = Expr::sqrt(Expr::load(b.at(a, [k, k])));
+            b.assign(akk, rhs);
+            b.loop_("I", Affine::var(k) + 1, n, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i, k]);
+                let rhs = Expr::load(b.at(a, [i, k])) / Expr::load(b.at(a, [k, k]));
+                b.assign(lhs, rhs);
+                b.loop_("J", Affine::var(k) + 1, i, |b| {
+                    let j = b.var("J");
+                    let lhs = b.at(a, [i, j]);
+                    let rhs = Expr::load(b.at(a, [i, j]))
+                        - Expr::load(b.at(a, [i, k])) * Expr::load(b.at(a, [j, k]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let mut p = b.finish();
+        let mut sink = cmt_obs::CollectSink::new();
+        let model = CostModel::new(4);
+        let _ = compound_oracle(
+            &mut p,
+            &model,
+            &CompoundOptions::default(),
+            &mut sink,
+            &mut crate::provenance::NullProvenance,
+            &model,
+        );
+        assert!(!sink.decisions.is_empty());
+        // The distribute step on Cholesky must be recorded as applied.
+        assert!(sink
+            .decisions
+            .iter()
+            .any(|d| d.pass == "distribute" && d.outcome == "applied"));
+        // Every permutation record carries a nest label and the oracle.
+        for d in &sink.decisions {
+            assert!(!d.nest.is_empty(), "{d:?}");
+            assert_eq!(d.oracle, "loopcost");
+            assert!(cmt_obs::json::parse(&d.to_json()).is_ok());
+        }
     }
 
     #[test]

@@ -135,11 +135,42 @@ pub trait RankOracle {
     /// Must return exactly the loops of the nest rooted at `root`; ties
     /// keep their original relative order so results are deterministic.
     fn rank(&self, program: &Program, root: &Loop) -> Vec<LoopId>;
+
+    /// Stable oracle name for decision-provenance records.
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    /// Per-candidate scores backing [`RankOracle::rank`]: for each loop
+    /// of the nest, the scalar cost of running it innermost (lower is
+    /// better). Used only for decision provenance — the default returns
+    /// no scores, which produces records without a cost race.
+    fn scores(&self, program: &Program, root: &Loop) -> Vec<(LoopId, f64)> {
+        let _ = (program, root);
+        Vec::new()
+    }
 }
+
+/// Uniform evaluation point for scalarizing a symbolic [`CostPoly`] in
+/// provenance records and remarks (`LoopCost` at N=100, matching the
+/// compound driver's reporting).
+pub const SCORE_EVAL_AT: f64 = 100.0;
 
 impl RankOracle for CostModel {
     fn rank(&self, program: &Program, root: &Loop) -> Vec<LoopId> {
         self.memory_order(program, root)
+    }
+
+    fn name(&self) -> &'static str {
+        "loopcost"
+    }
+
+    fn scores(&self, program: &Program, root: &Loop) -> Vec<(LoopId, f64)> {
+        self.analyze(program, root)
+            .entries
+            .iter()
+            .map(|e| (e.loop_id, e.cost.eval_uniform(SCORE_EVAL_AT)))
+            .collect()
     }
 }
 

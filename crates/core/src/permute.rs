@@ -18,6 +18,7 @@ use cmt_ir::ids::LoopId;
 use cmt_ir::node::{Loop, Node};
 use cmt_ir::program::Program;
 use cmt_ir::visit::{is_perfect, perfect_chain};
+use cmt_obs::{DecisionCandidate, DecisionRecord, NullObs, ObsSink};
 use std::fmt;
 
 /// Why a permutation attempt could not reach memory order.
@@ -93,6 +94,24 @@ pub fn permute_nest_with(
     allow_reversal: bool,
     oracle: &dyn RankOracle,
 ) -> PermuteOutcome {
+    permute_nest_observed(program, nest_idx, allow_reversal, oracle, &mut NullObs, "")
+}
+
+/// [`permute_nest_with`] plus decision provenance: one
+/// [`DecisionRecord`] is emitted into `obs` for the permutation
+/// decision (candidates with per-oracle costs, the desired order, the
+/// legality verdict with the constraining dependence vector on
+/// rejection, the achieved order, and the win margin). `nest` is the
+/// stable label to stamp on the record; with a disabled sink no record
+/// is constructed and this is exactly `permute_nest_with`.
+pub fn permute_nest_observed(
+    program: &mut Program,
+    nest_idx: usize,
+    allow_reversal: bool,
+    oracle: &dyn RankOracle,
+    obs: &mut dyn ObsSink,
+    nest: &str,
+) -> PermuteOutcome {
     let root = program.body()[nest_idx]
         .as_loop()
         .expect("permute_nest requires a loop node")
@@ -101,6 +120,16 @@ pub fn permute_nest_with(
         let order = oracle.rank(program, &root);
         let chain_ids: Vec<LoopId> = perfect_chain(&root).iter().map(|l| l.id()).collect();
         let in_order = is_prefix_consistent(&chain_ids, &order);
+        if obs.enabled() {
+            let desired: Vec<LoopId> = order
+                .iter()
+                .filter(|id| chain_ids.contains(id))
+                .copied()
+                .collect();
+            let mut rec = decision_skeleton(program, &root, oracle, &desired, nest, "permute");
+            rec.outcome = "imperfect";
+            obs.decision(rec);
+        }
         return PermuteOutcome {
             memory_order: in_order && chain_ids.len() == order.len(),
             inner_in_position: false,
@@ -112,7 +141,15 @@ pub fn permute_nest_with(
         };
     }
 
-    let outcome = permute_loop_in_place_with(program, &root, allow_reversal, oracle);
+    let outcome = permute_loop_in_place_observed(
+        program,
+        &root,
+        allow_reversal,
+        oracle,
+        obs,
+        nest,
+        "permute",
+    );
     if let Some(new_root) = outcome.1 {
         program.body_mut()[nest_idx] = Node::Loop(new_root);
     }
@@ -143,6 +180,31 @@ pub fn permute_loop_in_place_with(
     allow_reversal: bool,
     oracle: &dyn RankOracle,
 ) -> (PermuteOutcome, Option<Loop>) {
+    permute_loop_in_place_observed(
+        program,
+        root,
+        allow_reversal,
+        oracle,
+        &mut NullObs,
+        "",
+        "permute",
+    )
+}
+
+/// [`permute_loop_in_place_with`] plus decision provenance: every return
+/// path emits one [`DecisionRecord`] into `obs` (guarded by
+/// [`ObsSink::enabled`], so [`NullObs`] runs are byte-identical).
+/// `nest` labels the record; `action` distinguishes the driver step that
+/// asked for the permutation (`"permute"`, `"fuse.permute"`, …).
+pub fn permute_loop_in_place_observed(
+    program: &Program,
+    root: &Loop,
+    allow_reversal: bool,
+    oracle: &dyn RankOracle,
+    obs: &mut dyn ObsSink,
+    nest: &str,
+    action: &'static str,
+) -> (PermuteOutcome, Option<Loop>) {
     let ranking = oracle.rank(program, root);
     let chain: Vec<LoopId> = perfect_chain(root).iter().map(|l| l.id()).collect();
     let depth = chain.len();
@@ -156,6 +218,11 @@ pub fn permute_loop_in_place_with(
         .collect();
     let already = desired == chain;
     if already || depth < 2 {
+        if obs.enabled() {
+            let mut rec = decision_skeleton(program, root, oracle, &desired, nest, action);
+            rec.outcome = "already";
+            obs.decision(rec);
+        }
         let out = PermuteOutcome {
             memory_order: true,
             inner_in_position: true,
@@ -186,7 +253,14 @@ pub fn permute_loop_in_place_with(
     let (perm, reversed_positions) = match build_legal_permutation(&vectors, &pref, allow_reversal)
     {
         Ok(found) => found,
-        Err(blocked_at) => {
+        Err((blocked_at, blocking_vec)) => {
+            if obs.enabled() {
+                let mut rec = decision_skeleton(program, root, oracle, &desired, nest, action);
+                rec.legal = false;
+                rec.blocking = blocking_vec.map(|vi| format!("{}", vectors[vi]));
+                rec.outcome = "blocked";
+                obs.decision(rec);
+            }
             let out = PermuteOutcome {
                 memory_order: false,
                 inner_in_position: false,
@@ -204,6 +278,13 @@ pub fn permute_loop_in_place_with(
     if perm == identity && reversed_positions.is_empty() {
         // Legal "permutation" is to stay put: memory order unreachable.
         let inner_ok = chain.last() == desired.last();
+        if obs.enabled() {
+            let mut rec = decision_skeleton(program, root, oracle, &desired, nest, action);
+            rec.legal = false;
+            rec.blocking = constraining_vector(&vectors, &pref).map(|v| format!("{v}"));
+            rec.outcome = "blocked";
+            obs.decision(rec);
+        }
         let out = PermuteOutcome {
             memory_order: false,
             inner_in_position: inner_ok,
@@ -222,6 +303,11 @@ pub fn permute_loop_in_place_with(
         reverse_chain_loop(&mut work, pos);
     }
     if apply_permutation(&mut work, &perm).is_err() {
+        if obs.enabled() {
+            let mut rec = decision_skeleton(program, root, oracle, &desired, nest, action);
+            rec.outcome = "complex-bounds";
+            obs.decision(rec);
+        }
         let out = PermuteOutcome {
             memory_order: false,
             inner_in_position: false,
@@ -237,7 +323,19 @@ pub fn permute_loop_in_place_with(
     let new_chain: Vec<LoopId> = perfect_chain(&work).iter().map(|l| l.id()).collect();
     let memory_order = new_chain == desired;
     let inner_ok = new_chain.last() == desired.last();
-    let reversed = reversed_positions.iter().map(|&p| chain[p]).collect();
+    let reversed: Vec<LoopId> = reversed_positions.iter().map(|&p| chain[p]).collect();
+    if obs.enabled() {
+        let mut rec = decision_skeleton(program, root, oracle, &desired, nest, action);
+        rec.achieved = chain_names(program, &work);
+        if memory_order {
+            rec.outcome = "applied";
+        } else {
+            rec.legal = false;
+            rec.blocking = constraining_vector(&vectors, &pref).map(|v| format!("{v}"));
+            rec.outcome = "partial";
+        }
+        obs.decision(rec);
+    }
     let out = PermuteOutcome {
         memory_order,
         inner_in_position: inner_ok,
@@ -252,6 +350,79 @@ pub fn permute_loop_in_place_with(
         blocked_level: None,
     };
     (out, Some(work))
+}
+
+/// Loop-variable names along the perfect chain of `root`, joined with
+/// `.` (the order notation used in nest labels and decision records).
+fn chain_names(program: &Program, root: &Loop) -> String {
+    perfect_chain(root)
+        .iter()
+        .map(|l| program.var_name(l.var()))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// The first dependence vector that forbids placing the most-preferred
+/// loop (`pref[0]`) outermost — the witness reported when the desired
+/// memory order is rejected wholesale.
+fn constraining_vector<'v>(vectors: &'v [DepVector], pref: &[usize]) -> Option<&'v DepVector> {
+    let want = *pref.first()?;
+    vectors
+        .iter()
+        .find(|v| v.elems()[want].direction().may_gt())
+}
+
+/// Builds the provenance skeleton for one permutation decision:
+/// candidates in original chain order with the oracle's per-candidate
+/// costs, the desired order, the current (achieved-so-far) order, and
+/// the innermost-position win margin. Callers override `achieved`,
+/// `legal`, `blocking`, and `outcome` per return path.
+fn decision_skeleton(
+    program: &Program,
+    root: &Loop,
+    oracle: &dyn RankOracle,
+    desired: &[LoopId],
+    nest: &str,
+    action: &'static str,
+) -> DecisionRecord {
+    let chain = perfect_chain(root);
+    let scores = oracle.scores(program, root);
+    let mut candidates = Vec::with_capacity(chain.len());
+    for (pos, l) in chain.iter().enumerate() {
+        let Some(&(_, cost)) = scores.iter().find(|(id, _)| *id == l.id()) else {
+            continue;
+        };
+        let rank = desired.iter().position(|id| *id == l.id()).unwrap_or(pos);
+        candidates.push(DecisionCandidate {
+            var: program.var_name(l.var()).to_string(),
+            cost,
+            rank,
+        });
+    }
+    // Innermost win margin: gap between the two cheapest candidates.
+    let mut costs: Vec<f64> = candidates.iter().map(|c| c.cost).collect();
+    costs.sort_by(f64::total_cmp);
+    let margin = (costs.len() >= 2).then(|| costs[1] - costs[0]);
+
+    let names = |ids: &[LoopId]| -> String {
+        ids.iter()
+            .map(|id| {
+                chain
+                    .iter()
+                    .find(|l| l.id() == *id)
+                    .map(|l| program.var_name(l.var()))
+                    .unwrap_or("?")
+            })
+            .collect::<Vec<_>>()
+            .join(".")
+    };
+    let mut rec = DecisionRecord::new("permute", nest, action);
+    rec.oracle = oracle.name().to_string();
+    rec.candidates = candidates;
+    rec.desired = names(desired);
+    rec.achieved = chain_names(program, root);
+    rec.margin = margin;
+    rec
 }
 
 /// Forces every perfect top-level nest into memory order **ignoring
@@ -308,13 +479,15 @@ fn is_prefix_consistent(chain: &[LoopId], ranking: &[LoopId]) -> bool {
 /// highest-preference remaining loop whose column cannot make any
 /// still-unsatisfied dependence vector negative; optionally reverse a loop
 /// to flip its column. Returns `perm` (original indices in new order) and
-/// the original positions reversed, or `Err(level)` with the nest level
-/// (0 = outermost) at which no remaining loop could be placed.
+/// the original positions reversed, or `Err((level, vector))` with the
+/// nest level (0 = outermost) at which no remaining loop could be placed
+/// and the index of the dependence vector that rejected the
+/// most-preferred remaining loop there (the decision record's witness).
 fn build_legal_permutation(
     vectors: &[DepVector],
     pref: &[usize],
     allow_reversal: bool,
-) -> Result<(Vec<usize>, Vec<usize>), usize> {
+) -> Result<(Vec<usize>, Vec<usize>), (usize, Option<usize>)> {
     let n = pref.len();
     let mut remaining: Vec<usize> = pref.to_vec();
     let mut satisfied = vec![false; vectors.len()];
@@ -372,7 +545,17 @@ fn build_legal_permutation(
             }
         }
         if !placed {
-            return Err(perm.len());
+            // Witness: the vector rejecting the most-preferred remaining
+            // loop at this level.
+            let witness = remaining.first().and_then(|&cand| {
+                let rev_cand = reversed.contains(&cand);
+                vectors
+                    .iter()
+                    .enumerate()
+                    .find(|(vi, v)| !satisfied[*vi] && entry_dir(v, cand, rev_cand).may_gt())
+                    .map(|(vi, _)| vi)
+            });
+            return Err((perm.len(), witness));
         }
     }
     Ok((perm, reversed))
@@ -759,5 +942,129 @@ mod tests {
         let out = permute_nest(&mut p, 0, &CostModel::new(4), true);
         assert_eq!(out.failure, Some(PermuteFailure::Imperfect));
         assert!(!out.changed);
+    }
+
+    #[test]
+    fn decision_record_applied_carries_candidates_and_margin() {
+        let mut b = ProgramBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        let bb = b.matrix("B", n);
+        let c = b.matrix("C", n);
+        b.loop_("I", 1, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                b.loop_("K", 1, n, |b| {
+                    let (i, j, k) = (b.var("I"), b.var("J"), b.var("K"));
+                    let lhs = b.at(c, [i, j]);
+                    let rhs = Expr::load(b.at(c, [i, j]))
+                        + Expr::load(b.at(a, [i, k])) * Expr::load(b.at(bb, [k, j]));
+                    b.assign(lhs, rhs);
+                });
+            });
+        });
+        let mut p = b.finish();
+        let model = CostModel::new(4);
+        let mut sink = cmt_obs::CollectSink::new();
+        let out = permute_nest_observed(&mut p, 0, true, &model, &mut sink, "mm/nest0:I.J.K");
+        assert!(out.memory_order);
+        assert_eq!(sink.decisions.len(), 1);
+        let rec = &sink.decisions[0];
+        assert_eq!(rec.pass, "permute");
+        assert_eq!(rec.action, "permute");
+        assert_eq!(rec.oracle, "loopcost");
+        assert_eq!(rec.nest, "mm/nest0:I.J.K");
+        assert_eq!(rec.outcome, "applied");
+        assert!(rec.legal);
+        assert_eq!(rec.candidates.len(), 3);
+        assert_eq!(rec.desired, "J.K.I");
+        assert_eq!(rec.achieved, "J.K.I");
+        // The innermost winner (I, rank 2 in the desired order) must be
+        // the cheapest candidate, and the margin is the gap to the
+        // runner-up.
+        let i = rec.candidates.iter().find(|c| c.var == "I").unwrap();
+        assert_eq!(i.rank, 2);
+        assert!(rec.candidates.iter().all(|c| c.cost >= i.cost));
+        assert!(rec.margin.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn decision_record_blocked_names_constraining_vector() {
+        // Same dependence as dependence_blocks_interchange: (1, -1).
+        let mut b = ProgramBuilder::new("blocked");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 2, n, |b| {
+            b.loop_("J", 1, n, |b| {
+                let (i, j) = (b.var("I"), b.var("J"));
+                let lhs = b.at(a, [i, j]);
+                let rhs = Expr::load(b.at_vec(a, vec![Affine::var(i) - 1, Affine::var(j) + 1]));
+                b.assign(lhs, rhs);
+            });
+        });
+        let mut p = b.finish();
+        let model = CostModel::new(4);
+        let mut sink = cmt_obs::CollectSink::new();
+        let out = permute_nest_observed(&mut p, 0, false, &model, &mut sink, "blocked/nest0");
+        assert!(!out.memory_order);
+        assert_eq!(sink.decisions.len(), 1);
+        let rec = &sink.decisions[0];
+        assert_eq!(rec.outcome, "blocked");
+        assert!(!rec.legal);
+        let witness = rec.blocking.as_deref().expect("blocking vector recorded");
+        assert!(!witness.is_empty());
+        // The record is self-consistent JSON.
+        let v = cmt_obs::json::parse(&rec.to_json()).unwrap();
+        assert_eq!(v.get("outcome").unwrap().as_str().unwrap(), "blocked");
+    }
+
+    #[test]
+    fn decision_records_on_degenerate_nests() {
+        // Zero-trip, single-iteration, and depth-1 nests all produce a
+        // well-formed "already" record (nothing to permute).
+        let cases: [(&str, i64, i64); 2] = [("zero-trip", 5, 4), ("single-iter", 3, 3)];
+        for (name, lo, hi) in cases {
+            let mut b = ProgramBuilder::new(name);
+            let n = b.param("N");
+            let a = b.matrix("A", n);
+            b.loop_("I", lo, hi, |b| {
+                let i = b.var("I");
+                let lhs = b.at(a, [i, i]);
+                b.assign(lhs, Expr::Const(0.0));
+            });
+            let mut p = b.finish();
+            let mut sink = cmt_obs::CollectSink::new();
+            let out =
+                permute_nest_observed(&mut p, 0, true, &CostModel::new(4), &mut sink, "nest0");
+            assert!(out.memory_order, "{name}: depth-1 is trivially in order");
+            assert_eq!(sink.decisions.len(), 1, "{name}");
+            let rec = &sink.decisions[0];
+            assert_eq!(rec.outcome, "already", "{name}");
+            assert!(rec.legal);
+            assert!(rec.margin.is_none(), "{name}: no runner-up at depth 1");
+            assert!(cmt_obs::json::parse(&rec.to_json()).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn decision_record_imperfect_outcome() {
+        let mut b = ProgramBuilder::new("imp");
+        let n = b.param("N");
+        let a = b.matrix("A", n);
+        b.loop_("I", 1, n, |b| {
+            let i = b.var("I");
+            let lhs = b.at(a, [i, i]);
+            b.assign(lhs, Expr::Const(0.0));
+            b.loop_("J", 1, n, |b| {
+                let j = b.var("J");
+                let lhs = b.at(a, [i, j]);
+                b.assign(lhs, Expr::Const(1.0));
+            });
+        });
+        let mut p = b.finish();
+        let mut sink = cmt_obs::CollectSink::new();
+        let out = permute_nest_observed(&mut p, 0, true, &CostModel::new(4), &mut sink, "imp/0");
+        assert_eq!(out.failure, Some(PermuteFailure::Imperfect));
+        assert_eq!(sink.decisions.len(), 1);
+        assert_eq!(sink.decisions[0].outcome, "imperfect");
     }
 }

@@ -1,0 +1,229 @@
+//! Decision provenance: one structured [`DecisionRecord`] per
+//! transformation choice the optimizer makes.
+//!
+//! Remarks ([`crate::remark`]) say *what* a pass did; a decision record
+//! says *why* — every candidate the pass weighed, the cost each oracle
+//! assigned it, which legality check rejected it (and on which
+//! dependence vector), the winner, and how close the race was. The
+//! `cmt-explain` harness joins these records with simulated ground
+//! truth to flag oracle disagreements and near-ties.
+//!
+//! Producers must guard record construction behind
+//! [`ObsSink::enabled`](crate::sink::ObsSink::enabled), exactly like
+//! remarks, so the [`NullObs`](crate::sink::NullObs) path stays
+//! byte-identical to an un-instrumented build.
+
+use crate::json::ObjectWriter;
+use std::fmt;
+
+/// One candidate the decision weighed: a loop of the nest considered as
+/// the innermost (memory-order) position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionCandidate {
+    /// Loop variable name (e.g. `"J"`).
+    pub var: String,
+    /// The active oracle's cost for running this loop innermost; lower
+    /// is better. For the paper oracle this is `LoopCost` evaluated at
+    /// the reference size, for the analytic oracle the predicted miss
+    /// ladder sum.
+    pub cost: f64,
+    /// Position in the oracle's desired order (0 = outermost).
+    pub rank: usize,
+}
+
+impl DecisionCandidate {
+    /// Renders the candidate as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_str("var", &self.var)
+            .field_f64("cost", self.cost)
+            .field_u64("rank", self.rank as u64);
+        o.finish()
+    }
+}
+
+/// One transformation decision, with full provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionRecord {
+    /// The emitting pass (`"permute"`, `"fuse"`, `"distribute"`).
+    pub pass: &'static str,
+    /// Stable label of the nest concerned, e.g. `"mm/nest0:I.J.K"`.
+    pub nest: String,
+    /// What was being decided: `"permute"`, `"fuse-all"`,
+    /// `"fuse.permute"`, `"distribute"`, `"cross-fuse"`.
+    pub action: &'static str,
+    /// Name of the cost oracle that ranked the candidates
+    /// (`"loopcost"` or `"analytic"`).
+    pub oracle: String,
+    /// Every candidate innermost loop with its cost, in original nest
+    /// order. Empty when the decision had no cost race (e.g. a pure
+    /// legality outcome).
+    pub candidates: Vec<DecisionCandidate>,
+    /// The oracle's desired loop order, outermost first (e.g.
+    /// `"K.I.J"`). Empty when not applicable.
+    pub desired: String,
+    /// The order actually achieved after legality filtering.
+    pub achieved: String,
+    /// Whether the desired order was legal as-is.
+    pub legal: bool,
+    /// The constraining dependence vector when the desired order was
+    /// rejected, e.g. `"(<,>)"`.
+    pub blocking: Option<String>,
+    /// Outcome label: `"applied"`, `"already"`, `"blocked"`,
+    /// `"imperfect"`, `"complex-bounds"`, `"rejected"`, …
+    pub outcome: &'static str,
+    /// Win margin: cost of the runner-up innermost candidate minus the
+    /// winner's (non-negative; `None` when fewer than two candidates).
+    pub margin: Option<f64>,
+}
+
+impl DecisionRecord {
+    /// Starts a record with no candidates and an `"applied"` outcome.
+    pub fn new(pass: &'static str, nest: impl Into<String>, action: &'static str) -> Self {
+        DecisionRecord {
+            pass,
+            nest: nest.into(),
+            action,
+            oracle: String::new(),
+            candidates: Vec::new(),
+            desired: String::new(),
+            achieved: String::new(),
+            legal: true,
+            blocking: None,
+            outcome: "applied",
+            margin: None,
+        }
+    }
+
+    /// Renders the record as one JSON object (one JSONL line, no
+    /// trailing newline). Field order is fixed, so equal records render
+    /// byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_str("pass", self.pass)
+            .field_str("nest", &self.nest)
+            .field_str("action", self.action)
+            .field_str("oracle", &self.oracle)
+            .field_raw(
+                "candidates",
+                &crate::json::array(self.candidates.iter().map(|c| c.to_json())),
+            )
+            .field_str("desired", &self.desired)
+            .field_str("achieved", &self.achieved)
+            .field_bool("legal", self.legal);
+        if let Some(b) = &self.blocking {
+            o.field_str("blocking", b);
+        }
+        o.field_str("outcome", self.outcome);
+        if let Some(m) = self.margin {
+            o.field_f64("margin", m);
+        }
+        o.finish()
+    }
+}
+
+impl fmt::Display for DecisionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}/{}] {} ({}): desired {} -> achieved {} ({})",
+            self.pass,
+            self.action,
+            self.nest,
+            self.oracle,
+            if self.desired.is_empty() {
+                "-"
+            } else {
+                &self.desired
+            },
+            if self.achieved.is_empty() {
+                "-"
+            } else {
+                &self.achieved
+            },
+            self.outcome,
+        )?;
+        if let Some(b) = &self.blocking {
+            write!(f, " blocked by {b}")?;
+        }
+        if let Some(m) = self.margin {
+            write!(f, " margin {m:.3e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionRecord {
+        DecisionRecord {
+            pass: "permute",
+            nest: "mm/nest0:I.J.K".into(),
+            action: "permute",
+            oracle: "loopcost".into(),
+            candidates: vec![
+                DecisionCandidate {
+                    var: "I".into(),
+                    cost: 300.0,
+                    rank: 1,
+                },
+                DecisionCandidate {
+                    var: "J".into(),
+                    cost: 10100.0,
+                    rank: 0,
+                },
+                DecisionCandidate {
+                    var: "K".into(),
+                    cost: 75.0,
+                    rank: 2,
+                },
+            ],
+            desired: "J.I.K".into(),
+            achieved: "J.I.K".into(),
+            legal: true,
+            blocking: None,
+            outcome: "applied",
+            margin: Some(225.0),
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"pass\":\"permute\""), "{j}");
+        assert!(j.contains("\"action\":\"permute\""));
+        assert!(j.contains("\"candidates\":[{\"var\":\"I\""));
+        assert!(j.contains("\"desired\":\"J.I.K\""));
+        assert!(j.contains("\"legal\":true"));
+        assert!(j.contains("\"margin\":225"));
+        assert!(!j.contains("blocking"));
+        // Parses back through the crate's own JSON reader.
+        let v = crate::json::parse(&j).expect("record parses");
+        assert_eq!(v.get("oracle").and_then(|x| x.as_str()), Some("loopcost"));
+        assert_eq!(
+            v.get("candidates").and_then(|x| x.as_array()).map(Vec::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn blocked_record_carries_vector() {
+        let mut r = sample();
+        r.legal = false;
+        r.blocking = Some("(<,>)".into());
+        r.outcome = "blocked";
+        let j = r.to_json();
+        assert!(j.contains("\"legal\":false"));
+        assert!(j.contains("\"blocking\":\"(<,>)\""));
+        assert!(j.contains("\"outcome\":\"blocked\""));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = format!("{}", sample());
+        assert!(s.contains("[permute/permute] mm/nest0:I.J.K"), "{s}");
+        assert!(s.contains("desired J.I.K -> achieved J.I.K"), "{s}");
+    }
+}

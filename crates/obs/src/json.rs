@@ -97,6 +97,13 @@ impl ObjectWriter {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Adds a pre-rendered JSON value verbatim.
     pub fn field_raw(&mut self, k: &str, v: &str) -> &mut Self {
         self.key(k);
@@ -150,6 +157,14 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }

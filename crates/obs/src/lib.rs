@@ -9,6 +9,10 @@
 //! * [`remark`] — structured [`Remark`] events (`Applied` / `Missed` /
 //!   `Analysis`) with a pass name, a stable nest label, a human-readable
 //!   reason, and optional `LoopCost` before/after values;
+//! * [`decision`] — [`DecisionRecord`] provenance events: every
+//!   candidate a transformation weighed, its per-oracle cost, the
+//!   legality verdict (with the constraining dependence vector on
+//!   rejection), the winner, and the win margin;
 //! * [`sink`] — the cheap [`ObsSink`] trait every producer writes to,
 //!   with a no-op default ([`NullObs`]) so hot paths stay fast when
 //!   observability is off, an in-memory collector ([`CollectSink`]), and
@@ -48,6 +52,7 @@
 //! assert!(line.contains("\"kind\":\"Applied\""));
 //! ```
 
+pub mod decision;
 pub mod diff;
 pub mod json;
 pub mod metrics;
@@ -57,6 +62,7 @@ pub mod rng;
 pub mod sink;
 pub mod trace;
 
+pub use decision::{DecisionCandidate, DecisionRecord};
 pub use diff::{diff_metrics, diff_remarks, DiffFinding};
 pub use metrics::{HistogramSummary, MetricsRegistry, SpanTimer};
 pub use pool::{cmt_jobs, par_map, par_map_traced, try_par_map, try_par_map_traced, WorkerPanic};

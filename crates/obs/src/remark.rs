@@ -96,6 +96,17 @@ impl Remark {
         self
     }
 
+    /// The decision's win margin: `before - after` cost, when both are
+    /// known. Positive means the pass improved the nest; magnitudes
+    /// near zero mark near-ties the explain harness flags as
+    /// noise-sensitive.
+    pub fn margin(&self) -> Option<f64> {
+        match (self.loopcost_before, self.loopcost_after) {
+            (Some(b), Some(a)) => Some(b - a),
+            _ => None,
+        }
+    }
+
     /// Renders the remark as one JSON object (one JSONL line, no
     /// trailing newline).
     pub fn to_json(&self) -> String {
@@ -151,6 +162,18 @@ mod tests {
         let r = Remark::new("verify", "gen-7/nest0:I.J", RemarkKind::Diverged)
             .reason("store set mismatch after permute");
         assert!(r.to_json().contains("\"kind\":\"Diverged\""));
+    }
+
+    #[test]
+    fn margin_needs_both_costs() {
+        let r = Remark::new("permute", "n", RemarkKind::Applied).costs(5.0, 3.0);
+        assert_eq!(r.margin(), Some(2.0));
+        let r = Remark::new("permute", "n", RemarkKind::Missed).cost_before(5.0);
+        assert_eq!(r.margin(), None);
+        assert_eq!(
+            Remark::new("permute", "n", RemarkKind::Analysis).margin(),
+            None
+        );
     }
 
     #[test]

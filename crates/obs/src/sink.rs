@@ -7,6 +7,7 @@
 //! allocation or formatting and its output stays byte-identical to the
 //! un-instrumented build.
 
+use crate::decision::DecisionRecord;
 use crate::metrics::MetricsRegistry;
 use crate::remark::Remark;
 use crate::trace::{TraceArg, TraceTrack};
@@ -27,6 +28,14 @@ pub trait ObsSink {
     /// Delivers one optimization remark.
     fn remark(&mut self, remark: Remark) {
         let _ = remark;
+    }
+
+    /// Delivers one decision-provenance record (see
+    /// [`crate::decision`]). Defaults to a no-op, so existing sinks —
+    /// and the [`NullObs`] fast path — are untouched by provenance
+    /// capture.
+    fn decision(&mut self, record: DecisionRecord) {
+        let _ = record;
     }
 
     /// Adds `delta` to counter `name`.
@@ -101,6 +110,10 @@ impl<S: ObsSink> ObsSink for Tracing<'_, S> {
         self.inner.remark(remark);
     }
 
+    fn decision(&mut self, record: DecisionRecord) {
+        self.inner.decision(record);
+    }
+
     fn counter(&mut self, name: &str, delta: u64) {
         self.inner.counter(name, delta);
     }
@@ -143,6 +156,8 @@ impl ObsSink for NullObs {}
 pub struct CollectSink {
     /// Remarks in emission order.
     pub remarks: Vec<Remark>,
+    /// Decision-provenance records in emission order.
+    pub decisions: Vec<DecisionRecord>,
     /// Counter/histogram store.
     pub metrics: MetricsRegistry,
 }
@@ -161,6 +176,7 @@ impl CollectSink {
     /// sequential run.
     pub fn absorb(&mut self, other: CollectSink) {
         self.remarks.extend(other.remarks);
+        self.decisions.extend(other.decisions);
         self.metrics.merge(&other.metrics);
     }
 
@@ -174,6 +190,16 @@ impl CollectSink {
         }
         out
     }
+
+    /// Renders all collected decision records as JSONL.
+    pub fn decisions_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.decisions {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl ObsSink for CollectSink {
@@ -183,6 +209,10 @@ impl ObsSink for CollectSink {
 
     fn remark(&mut self, remark: Remark) {
         self.remarks.push(remark);
+    }
+
+    fn decision(&mut self, record: DecisionRecord) {
+        self.decisions.push(record);
     }
 
     fn counter(&mut self, name: &str, delta: u64) {
@@ -308,16 +338,21 @@ mod tests {
     fn absorb_preserves_order_and_merges_metrics() {
         let mut total = CollectSink::new();
         total.remark(Remark::new("permute", "n0", RemarkKind::Applied));
+        total.decision(DecisionRecord::new("permute", "n0", "permute"));
         total.counter("c", 1);
         let mut part = CollectSink::new();
         part.remark(Remark::new("fuse", "n1", RemarkKind::Missed));
+        part.decision(DecisionRecord::new("fuse", "n1", "fuse-all"));
         part.counter("c", 2);
         part.record("h", 1.5);
         total.absorb(part);
         assert_eq!(total.remarks.len(), 2);
         assert_eq!(total.remarks[1].pass, "fuse");
+        assert_eq!(total.decisions.len(), 2);
+        assert_eq!(total.decisions[1].nest, "n1");
         assert_eq!(total.metrics.counter_value("c"), 3);
         assert_eq!(total.metrics.histogram("h").unwrap().count, 1);
+        assert_eq!(total.decisions_jsonl().lines().count(), 2);
     }
 
     #[test]

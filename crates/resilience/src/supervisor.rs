@@ -444,9 +444,16 @@ fn stage_divergence(before: &Program, after: &Program, param_values: &[i64]) -> 
 }
 
 fn flush_buffer(obs: &mut dyn ObsSink, buf: CollectSink) {
-    let CollectSink { remarks, metrics } = buf;
+    let CollectSink {
+        remarks,
+        decisions,
+        metrics,
+    } = buf;
     for r in remarks {
         obs.remark(r);
+    }
+    for d in decisions {
+        obs.decision(d);
     }
     for (name, v) in metrics.counters() {
         obs.counter(name, v);

@@ -15,6 +15,10 @@
 //! `--analytic N` instead (or additionally) predicts each nest's miss
 //! count symbolically with the analytic engine — no simulation — and
 //! interleaves the `analytic` remarks into the same stream.
+//! `--explain` additionally prints the decision-provenance records the
+//! passes captured — per-candidate oracle costs, the legality verdict
+//! with the constraining dependence vector on rejection, and the win
+//! margin (as `decisions.jsonl` lines under `--jsonl`).
 
 use cmt_locality_repro::analytic::{predict_program, MissModel};
 use cmt_locality_repro::cache::CacheConfig;
@@ -40,6 +44,7 @@ fn corpus_files() -> Vec<PathBuf> {
 
 fn main() {
     let mut jsonl = false;
+    let mut explain = false;
     let mut profile_n: Option<i64> = None;
     let mut analytic_n: Option<i64> = None;
     let mut files: Vec<PathBuf> = Vec::new();
@@ -47,6 +52,8 @@ fn main() {
     while let Some(arg) = args.next() {
         if arg == "--jsonl" {
             jsonl = true;
+        } else if arg == "--explain" {
+            explain = true;
         } else if arg == "--profile" {
             profile_n = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                 eprintln!("--profile needs a parameter value N");
@@ -110,6 +117,9 @@ fn main() {
 
         if jsonl {
             print!("{}", sink.remarks_jsonl());
+            if explain {
+                print!("{}", sink.decisions_jsonl());
+            }
             continue;
         }
 
@@ -119,6 +129,11 @@ fn main() {
         }
         for remark in &sink.remarks {
             println!("  {remark}");
+        }
+        if explain {
+            for d in &sink.decisions {
+                println!("  {d}");
+            }
         }
         println!();
     }

@@ -110,6 +110,24 @@ cargo run --release -q -p cmt-bench --bin cmt-report -- analytic_corpus --dir "$
 grep -q '## Analytic vs simulated' "$SMOKE_DIR/analytic_corpus.report.md" \
   || { echo "report missing analytic section" >&2; exit 1; }
 
+echo ">>> smoke-explain (decision provenance, oracle disagreement + regret gates)"
+# First gate the committed full-corpus provenance summary (256 seeds +
+# paper kernels): it must parse and satisfy the same thresholds the
+# live run is held to. Then a live sweep over the first 32 seeds plus
+# the paper kernels: run the compound driver under both rank oracles
+# with full decision capture, join the streams, simulate both
+# transformed corpora, and fail on an oracle-disagreement rate > 0.20
+# or LoopCost regret vs best-of-both > 0.05. Both gates are
+# deterministic. The explain.json artifact lands in results/ci; the
+# report's "Decisions" section renders from it.
+cargo run --release -q -p cmt-bench --bin cmt-explain -- --check BENCH_explain.json
+CMT_JOBS=4 CMT_OBS_DIR="$SMOKE_DIR" cargo run --release -q -p cmt-bench --bin cmt-explain -- \
+  --seeds 32 --max-disagreement 0.20 --max-regret 0.05 --name explain_corpus
+test -s "$SMOKE_DIR/explain_corpus.explain.json" || { echo "missing explain artifact" >&2; exit 1; }
+cargo run --release -q -p cmt-bench --bin cmt-report -- explain_corpus --dir "$SMOKE_DIR"
+grep -q '## Decisions' "$SMOKE_DIR/explain_corpus.report.md" \
+  || { echo "report missing decisions section" >&2; exit 1; }
+
 echo ">>> clippy unwrap gate (bench + resilience failure paths stay panic-free)"
 cargo clippy -q --no-deps -p cmt-bench -p cmt-resilience -- -D clippy::unwrap_used
 
