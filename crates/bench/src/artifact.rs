@@ -131,6 +131,14 @@ pub fn write_explain_json(name: &str, json: &str) -> Result<PathBuf, ArtifactErr
     write_artifact("explain.json", name, json)
 }
 
+/// Writes a server load-harness report (see
+/// [`crate::serving::ServerBenchReport`]) into
+/// `{artifact_dir}/{name}.server.json`, creating the directory as
+/// needed. Returns the path written.
+pub fn write_server_json(name: &str, json: &str) -> Result<PathBuf, ArtifactError> {
+    write_artifact("server.json", name, json)
+}
+
 /// Writes a rendered markdown run report into
 /// `{artifact_dir}/{name}.report.md`, creating the directory as needed.
 /// Returns the path written.

@@ -6,8 +6,8 @@
 //!
 //! Joins `{dir}/{name}.remarks.jsonl`, `{dir}/{name}.metrics.json`, and
 //! (when present) `{dir}/{name}.trace.json`, `{dir}/{name}.profile.json`,
-//! `{dir}/{name}.analytic.json`, and `{dir}/{name}.explain.json` into
-//! `{dir}/{name}.report.md`. `DIR` defaults to the artifact directory
+//! `{dir}/{name}.analytic.json`, `{dir}/{name}.explain.json`, and
+//! `{dir}/{name}.server.json` into `{dir}/{name}.report.md`. `DIR` defaults to the artifact directory
 //! (`$CMT_OBS_DIR`, or `results/`). The report reads only deterministic
 //! fields, so it is byte-identical across runs of the same workload.
 //!
@@ -60,12 +60,14 @@ fn main() -> ExitCode {
     };
     // The trace (only written under CMT_TRACE), hotspot profile (only
     // written by profiling sweeps), analytic accuracy report (only
-    // written by `cmt-analytic`), and decision provenance (only
-    // written by `cmt-explain`) are optional.
+    // written by `cmt-analytic`), decision provenance (only written by
+    // `cmt-explain`), and service load report (only written by
+    // `cmt-serve-bench`) are optional.
     let trace = read("trace.json").ok();
     let profile = read("profile.json").ok();
     let analytic = read("analytic.json").ok();
     let explain = read("explain.json").ok();
+    let server = read("server.json").ok();
 
     match cmt_bench::render_report(
         &name,
@@ -75,6 +77,7 @@ fn main() -> ExitCode {
         profile.as_deref(),
         analytic.as_deref(),
         explain.as_deref(),
+        server.as_deref(),
     ) {
         Ok(report) => {
             let path = dir.join(format!("{name}.report.md"));

@@ -1,0 +1,195 @@
+//! `cmt-serve-bench` — deterministic load harness for the optimization
+//! service.
+//!
+//! ```text
+//! cmt-serve-bench [--seeds N] [--no-kernels] [--clients C] [--passes P]
+//!                 [--n N] [--fault-seed S] [--hot PCT] [--mix-seed S]
+//!                 [--connect HOST:PORT] [--bench-json PATH]
+//!                 [--artifact NAME] [--min-hit FRAC]
+//!                 [--check PATH [--threshold REL]]
+//! ```
+//!
+//! Replays the verify corpus (plus the paper kernels) against a server —
+//! an in-process one by default, or a running `cmt-serve` via
+//! `--connect` — and writes the `BENCH_server.json` report (default
+//! path: the repo root copy; override with `--bench-json`).
+//! `--artifact NAME` additionally writes `{artifact_dir}/NAME.server.json`
+//! for `cmt-report` / `obs_diff`.
+//!
+//! Gates (any failure exits 1):
+//! * always: zero malformed replies and zero transport failures — every
+//!   request must get a structured answer;
+//! * `--min-hit F`: second-pass memo hit rate ≥ `F`;
+//! * `--check PATH` (or `CMT_BENCH_GATE=PATH`): deterministic fields
+//!   must match the committed report within `--threshold` (default
+//!   0.05); wall-clock latency findings are informational only and
+//!   printed without failing the gate.
+//!
+//! Exit codes: `0` all gates pass, `1` a gate failed, `2` usage error.
+
+use cmt_bench::{
+    diff_server, run_serve_bench, ServeBenchConfig, ServeTransport, ServerBenchReport,
+};
+use cmt_serve::ServeConfig;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cmt-serve-bench [--seeds N] [--no-kernels] [--clients C] [--passes P] \
+         [--n N] [--fault-seed S] [--hot PCT] [--mix-seed S] [--connect HOST:PORT] \
+         [--bench-json PATH] [--artifact NAME] [--min-hit FRAC] [--check PATH] [--threshold REL]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeBenchConfig::default();
+    let mut connect: Option<String> = None;
+    let mut bench_json: Option<String> = None;
+    let mut artifact: Option<String> = None;
+    let mut min_hit: Option<f64> = None;
+    let mut check: Option<String> = std::env::var("CMT_BENCH_GATE").ok();
+    let mut threshold = 0.05f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let r = (|| -> Result<(), String> {
+            let num = |s: String| -> Result<u64, String> {
+                s.parse().map_err(|_| format!("bad number {s}"))
+            };
+            match a.as_str() {
+                "--seeds" => cfg.seeds = num(val("--seeds")?)? as usize,
+                "--no-kernels" => cfg.kernels = false,
+                "--clients" => cfg.clients = (num(val("--clients")?)? as usize).max(1),
+                "--passes" => cfg.passes = (num(val("--passes")?)? as usize).max(1),
+                "--n" => cfg.n = (num(val("--n")?)? as i64).max(1),
+                "--fault-seed" => cfg.fault_seed = Some(num(val("--fault-seed")?)?),
+                "--hot" => cfg.hot_percent = num(val("--hot")?)?.min(100) as u32,
+                "--mix-seed" => cfg.mix_seed = num(val("--mix-seed")?)?,
+                "--connect" => connect = Some(val("--connect")?),
+                "--bench-json" => bench_json = Some(val("--bench-json")?),
+                "--artifact" => artifact = Some(val("--artifact")?),
+                "--min-hit" => {
+                    min_hit = Some(
+                        val("--min-hit")?
+                            .parse()
+                            .map_err(|_| "bad --min-hit".to_string())?,
+                    )
+                }
+                "--check" => check = Some(val("--check")?),
+                "--threshold" => {
+                    threshold = val("--threshold")?
+                        .parse()
+                        .map_err(|_| "bad --threshold".to_string())?
+                }
+                "--help" | "-h" => return Err("help".to_string()),
+                other => return Err(format!("unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            if e != "help" {
+                eprintln!("cmt-serve-bench: {e}");
+            }
+            return usage();
+        }
+    }
+
+    let transport = match connect {
+        Some(addr) => ServeTransport::Connect(addr),
+        None => ServeTransport::InProcess(ServeConfig::default()),
+    };
+    let report = match run_serve_bench(&cfg, &transport) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cmt-serve-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "[serve-bench] {} requests: {} ok ({} cached / {} simulated / {} analytic), \
+         {} overloaded, {} errors, {} degraded",
+        report.requests,
+        report.ok,
+        report.cached,
+        report.simulated,
+        report.analytic,
+        report.overloaded,
+        report.errors,
+        report.degraded,
+    );
+    println!(
+        "[serve-bench] second pass: {}/{} cached (hit rate {:.3}); latency p50 {:.0}us p99 {:.0}us (cold p99 {:.0}us)",
+        report.second_pass_cached,
+        report.second_pass_requests,
+        report.hit_rate_second_pass(),
+        report.p50_us,
+        report.p99_us,
+        report.p99_cold_us,
+    );
+
+    let json = report.to_json() + "\n";
+    let bench_path = bench_json.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
+    });
+    if let Some(parent) = std::path::Path::new(&bench_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&bench_path, &json) {
+        eprintln!("cmt-serve-bench: cannot write {bench_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("[serve-bench] report: {bench_path}");
+    if let Some(name) = artifact {
+        match cmt_bench::write_server_json(&name, &json) {
+            Ok(p) => println!("[serve-bench] artifact: {}", p.display()),
+            Err(e) => {
+                eprintln!("cmt-serve-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = false;
+    if report.malformed > 0 || report.transport_failures > 0 {
+        eprintln!(
+            "cmt-serve-bench: GATE FAILED: {} malformed replies, {} transport failures (want 0/0)",
+            report.malformed, report.transport_failures
+        );
+        failed = true;
+    }
+    if let Some(min) = min_hit {
+        let hit = report.hit_rate_second_pass();
+        if hit < min {
+            eprintln!("cmt-serve-bench: GATE FAILED: second-pass hit rate {hit:.3} < {min:.3}");
+            failed = true;
+        }
+    }
+    if let Some(path) = check {
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|t| ServerBenchReport::parse(&t));
+        match baseline {
+            Ok(baseline) => {
+                for finding in diff_server(&baseline, &report, threshold) {
+                    if finding.starts_with("latency:") {
+                        println!("[serve-bench] info {finding}");
+                    } else {
+                        eprintln!("cmt-serve-bench: GATE FAILED: {finding}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("cmt-serve-bench: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,15 +14,19 @@
 //! decision-provenance document: decision flips (different desired
 //! order or outcome for the same nest×action) always count, win-margin
 //! drift beyond `REL` counts, and a one-sided document is a finding.
-//! Wall-clock (`*.ns`) histograms are excluded — only deterministic
-//! fields participate. Prints one line per finding.
+//! A `{name}.server.json` service load report participates the same
+//! way: reply-count and hit-rate/shed-rate drift beyond `REL` counts,
+//! p99 cold-latency drift is reported with a `latency:` prefix, and a
+//! one-sided report is a finding. Wall-clock (`*.ns`) histograms are
+//! excluded — only deterministic fields participate. Prints one line
+//! per finding.
 //!
 //! Exit codes: `0` no differences, `1` differences found, `2` usage
 //! error or missing/malformed input artifacts — so CI gating on a
 //! committed `results/baseline/` can tell "drift" apart from "broken
 //! run".
 
-use cmt_bench::{diff_explain, ExplainDocument};
+use cmt_bench::{diff_explain, diff_server, ExplainDocument, ServerBenchReport};
 use cmt_obs::{diff_metrics, diff_remarks};
 use cmt_profile::{diff_profiles, HotspotProfile};
 use std::path::Path;
@@ -81,6 +85,10 @@ fn main() -> ExitCode {
     // write one.
     let be = read(baseline, name, "explain.json").ok();
     let ce = read(current, name, "explain.json").ok();
+    // And for the service load report: only `cmt-serve-bench` writes
+    // one.
+    let bs = read(baseline, name, "server.json").ok();
+    let cs = read(current, name, "server.json").ok();
 
     let findings = (|| -> Result<Vec<String>, String> {
         let mut f: Vec<String> = diff_metrics(&bm, &cm, threshold)?
@@ -114,6 +122,16 @@ fn main() -> ExitCode {
                         .into_iter()
                         .map(|d| format!("explain: {d}")),
                 );
+            }
+        }
+        match (&bs, &cs) {
+            (None, None) => {}
+            (Some(_), None) => f.push("server.json removed (baseline only)".to_string()),
+            (None, Some(_)) => f.push("server.json added (current only)".to_string()),
+            (Some(b), Some(c)) => {
+                let b = ServerBenchReport::parse(b).map_err(|e| format!("baseline server: {e}"))?;
+                let c = ServerBenchReport::parse(c).map_err(|e| format!("current server: {e}"))?;
+                f.extend(diff_server(&b, &c, threshold));
             }
         }
         Ok(f)

@@ -20,6 +20,7 @@ pub mod fmt;
 pub mod profiling;
 pub mod report;
 pub mod runner;
+pub mod serving;
 pub mod tables;
 pub mod timing;
 
@@ -29,7 +30,8 @@ pub use analytic::{
 };
 pub use artifact::{
     artifact_dir, emit, trace_enabled, write_analytic_json, write_explain_json, write_metrics_json,
-    write_profile_json, write_remarks_jsonl, write_report_md, write_trace_json, ArtifactError,
+    write_profile_json, write_remarks_jsonl, write_report_md, write_server_json, write_trace_json,
+    ArtifactError,
 };
 pub use explain::{
     diff_explain, explain_corpus, explain_sweep, render_decision_tree, DecisionJoin,
@@ -42,4 +44,7 @@ pub use runner::{
     simulate_program_observed, simulate_program_observed_traced, simulate_program_sharded_traced,
     simulate_versions, try_par_map, try_par_map_traced, ObservedSim, ProgramSim, VersionPair,
     WorkerPanic,
+};
+pub use serving::{
+    diff_server, run_serve_bench, serve_corpus, ServeBenchConfig, ServeTransport, ServerBenchReport,
 };

@@ -10,6 +10,7 @@
 
 use crate::analytic::AnalyticReport;
 use crate::explain::ExplainDocument;
+use crate::serving::ServerBenchReport;
 use cmt_obs::diff::WALL_CLOCK_SUFFIX;
 use cmt_obs::json::{parse, Value};
 use cmt_obs::validate_chrome_trace;
@@ -25,8 +26,11 @@ use std::fmt::Write as _;
 /// profiling sweep; `analytic_json` is the analytic-vs-simulated
 /// accuracy report when the run was an analytic sweep; `explain_json`
 /// is the decision-provenance document when the run was an explain
-/// sweep. Fails on malformed artifacts (a malformed trace or profile
-/// is a real bug — the validators run as part of rendering).
+/// sweep; `server_json` is the service load-harness report when the
+/// run exercised cmt-serve. Fails on malformed artifacts (a malformed
+/// trace or profile is a real bug — the validators run as part of
+/// rendering).
+#[allow(clippy::too_many_arguments)]
 pub fn render_report(
     name: &str,
     remarks_jsonl: &str,
@@ -35,6 +39,7 @@ pub fn render_report(
     profile_json: Option<&str>,
     analytic_json: Option<&str>,
     explain_json: Option<&str>,
+    server_json: Option<&str>,
 ) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "# Run report: {name}\n");
@@ -259,6 +264,42 @@ pub fn render_report(
         }
     }
 
+    // --- Service: the load harness's deterministic fields only ---
+    // (latency percentiles are wall-clock and elided, like `*.ns`
+    // histograms above).
+    if let Some(server) = server_json {
+        let r = ServerBenchReport::parse(server).map_err(|e| format!("server: {e}"))?;
+        let _ = writeln!(out, "\n## Service\n");
+        let _ = writeln!(
+            out,
+            "{} requests over {} pass(es) × {} client(s) at n={}{}: \
+             {} ok, {} overloaded, {} errors; second-pass hit rate {:.3}, shed rate {:.3}.\n",
+            r.requests,
+            r.passes,
+            r.clients,
+            r.n,
+            if r.fault_injected {
+                format!(" (fault seed {})", r.fault_seed)
+            } else {
+                String::new()
+            },
+            r.ok,
+            r.overloaded,
+            r.errors,
+            r.hit_rate_second_pass(),
+            r.shed_rate(),
+        );
+        out.push_str("| fidelity | replies |\n|---|---|\n");
+        let _ = writeln!(out, "| cached | {} |", r.cached);
+        let _ = writeln!(out, "| simulated | {} |", r.simulated);
+        let _ = writeln!(out, "| analytic | {} |", r.analytic);
+        let _ = writeln!(
+            out,
+            "\n{} degraded pipeline runs; memo cache: {} hits, {} misses, {} inserted, {} evicted.",
+            r.degraded, r.memo_hits, r.memo_misses, r.memo_inserted, r.memo_evictions,
+        );
+    }
+
     // --- Trace: structural summary only (no timestamps). ---
     if let Some(trace) = trace_json {
         let summary = validate_chrome_trace(trace).map_err(|e| format!("trace: {e}"))?;
@@ -306,6 +347,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("# Run report: unit"));
@@ -344,6 +386,7 @@ mod tests {
                 None,
                 None,
                 None,
+                None,
             )
             .unwrap()
         };
@@ -352,13 +395,14 @@ mod tests {
 
     #[test]
     fn malformed_inputs_error() {
-        assert!(render_report("x", "not json\n", "{}", None, None, None, None).is_err());
-        assert!(render_report("x", "", "{", None, None, None, None).is_err());
+        assert!(render_report("x", "not json\n", "{}", None, None, None, None, None).is_err());
+        assert!(render_report("x", "", "{", None, None, None, None, None).is_err());
         let ok_metrics = "{\"counters\":{},\"histograms\":{}}";
-        assert!(render_report("x", "", ok_metrics, Some("["), None, None, None).is_err());
-        assert!(render_report("x", "", ok_metrics, None, Some("{"), None, None).is_err());
-        assert!(render_report("x", "", ok_metrics, None, None, Some("{"), None).is_err());
-        assert!(render_report("x", "", ok_metrics, None, None, None, Some("{")).is_err());
+        assert!(render_report("x", "", ok_metrics, Some("["), None, None, None, None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, Some("{"), None, None, None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, None, Some("{"), None, None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, None, None, Some("{"), None).is_err());
+        assert!(render_report("x", "", ok_metrics, None, None, None, None, Some("{")).is_err());
     }
 
     #[test]
@@ -390,6 +434,7 @@ mod tests {
             Some(&ranked.to_json()),
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("## Hotspots (1 nests)"), "{report}");
@@ -418,12 +463,64 @@ mod tests {
             None,
             Some(&analytic.to_json()),
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("## Analytic vs simulated"), "{report}");
         assert!(report.contains("| geometry | pred misses |"), "{report}");
         // One table row per geometry.
         assert_eq!(report.matches("-way/").count(), 3, "{report}");
+    }
+
+    #[test]
+    fn service_section_renders_deterministic_fields_only() {
+        let server = ServerBenchReport {
+            seeds: 4,
+            clients: 2,
+            passes: 2,
+            n: 8,
+            fault_injected: true,
+            fault_seed: 7,
+            requests: 16,
+            ok: 15,
+            cached: 8,
+            simulated: 6,
+            analytic: 1,
+            degraded: 2,
+            errors: 1,
+            overloaded: 0,
+            malformed: 0,
+            transport_failures: 0,
+            second_pass_requests: 8,
+            second_pass_cached: 8,
+            memo_hits: 8,
+            memo_misses: 8,
+            memo_inserted: 7,
+            memo_evictions: 3,
+            p50_us: 123.4,
+            p99_us: 9_999.9,
+            p50_cold_us: 456.7,
+            p99_cold_us: 88_888.8,
+        };
+        let report = render_report(
+            "srv",
+            "",
+            "{\"counters\":{},\"histograms\":{}}",
+            None,
+            None,
+            None,
+            None,
+            Some(&server.to_json()),
+        )
+        .unwrap();
+        assert!(report.contains("## Service"), "{report}");
+        assert!(report.contains("second-pass hit rate 1.000"), "{report}");
+        assert!(report.contains("| simulated | 6 |"), "{report}");
+        assert!(report.contains("3 evicted"), "{report}");
+        assert!(report.contains("(fault seed 7)"), "{report}");
+        // Wall-clock latency never reaches the report.
+        assert!(!report.contains("9999"), "{report}");
+        assert!(!report.contains("88888"), "{report}");
     }
 
     #[test]
@@ -447,6 +544,7 @@ mod tests {
             None,
             None,
             Some(&doc.to_json()),
+            None,
         )
         .unwrap();
         assert!(report.contains("## Decisions ("), "{report}");

@@ -41,6 +41,7 @@
 pub mod affine;
 pub mod array;
 pub mod build;
+pub mod canon;
 pub mod expr;
 pub mod ids;
 pub mod node;
@@ -54,6 +55,7 @@ pub mod visit;
 pub use affine::Affine;
 pub use array::{ArrayInfo, Extent};
 pub use build::ProgramBuilder;
+pub use canon::{canonical_source, nest_key, NestKey};
 pub use expr::{BinOp, Expr, UnOp};
 pub use ids::{ArrayId, LoopId, ParamId, StmtId, VarId};
 pub use node::{Loop, Node};

@@ -68,5 +68,5 @@ pub use metrics::{HistogramSummary, MetricsRegistry, SpanTimer};
 pub use pool::{cmt_jobs, par_map, par_map_traced, try_par_map, try_par_map_traced, WorkerPanic};
 pub use remark::{Remark, RemarkKind};
 pub use rng::SplitMix64;
-pub use sink::{CollectSink, JsonlSink, NullObs, ObsSink, Tracing};
+pub use sink::{CollectSink, JsonlSink, NullObs, ObsSink, SharedSink, Tracing};
 pub use trace::{validate_chrome_trace, TraceArg, TraceSession, TraceSummary, TraceTrack};

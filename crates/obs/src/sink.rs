@@ -224,6 +224,82 @@ impl ObsSink for CollectSink {
     }
 }
 
+/// A thread-safe, cloneable handle to one shared [`CollectSink`]:
+/// the observability spine of the multi-threaded optimization service,
+/// where many worker threads account `server.*` counters and latency
+/// spans into a single registry.
+///
+/// Locking is per-event and panic-tolerant: a poisoned mutex (a worker
+/// panicked mid-event) is recovered, never propagated — observability
+/// must not take down the process it observes.
+#[derive(Clone, Debug, Default)]
+pub struct SharedSink {
+    inner: std::sync::Arc<std::sync::Mutex<CollectSink>>,
+}
+
+impl SharedSink {
+    /// Creates an empty shared collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CollectSink> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Snapshot of everything collected so far.
+    pub fn snapshot(&self) -> CollectSink {
+        self.lock().clone()
+    }
+
+    /// Current value of a counter (zero when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().metrics.counter_value(name)
+    }
+
+    /// Stable-JSON snapshot of the metrics registry.
+    pub fn metrics_json(&self) -> String {
+        self.lock().metrics.to_json()
+    }
+
+    /// JSONL snapshot of the collected remarks.
+    pub fn remarks_jsonl(&self) -> String {
+        self.lock().remarks_jsonl()
+    }
+
+    /// Folds a per-task collector into the shared one under a single
+    /// lock acquisition (cheaper and atomically ordered versus
+    /// event-at-a-time forwarding).
+    pub fn absorb(&self, other: CollectSink) {
+        self.lock().absorb(other);
+    }
+}
+
+impl ObsSink for SharedSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn remark(&mut self, remark: Remark) {
+        self.lock().remarks.push(remark);
+    }
+
+    fn decision(&mut self, record: DecisionRecord) {
+        self.lock().decisions.push(record);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.lock().metrics.counter(name, delta);
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        self.lock().metrics.record(name, value);
+    }
+}
+
 /// Streams each remark as one JSON line to an [`io::Write`], while
 /// accumulating metrics in memory (metrics only make sense as an
 /// end-of-run snapshot).

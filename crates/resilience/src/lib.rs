@@ -80,6 +80,6 @@ pub mod supervisor;
 pub use fault::{Fault, FaultKind, FaultPlan, FAULT_SITES};
 pub use quarantine::{write_quarantine, QuarantineRecord};
 pub use supervisor::{
-    corrupt_ir, silence_supervised_panics, supervise, supervise_default, Budget, Degradation,
-    FailureReason, PipelineSpec, StageFailure, SupervisePolicy, SupervisedRun,
+    corrupt_ir, silence_supervised_panics, supervise, supervise_default, Budget, Deadline,
+    Degradation, FailureReason, PipelineSpec, StageFailure, SupervisePolicy, SupervisedRun,
 };

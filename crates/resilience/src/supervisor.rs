@@ -70,6 +70,40 @@ impl Default for Budget {
     }
 }
 
+/// A cooperative wall-clock deadline for one supervised run.
+///
+/// Unlike [`Budget`] fuel (deterministic, counted in steps), a deadline
+/// is a *latency* bound: the optimization service hands every request a
+/// deadline and the supervisor checks it cooperatively before each
+/// committed step and each simple stage. An expired deadline aborts the
+/// current stage with [`FailureReason::DeadlineExceeded`] and rolls
+/// back exactly like any other failure — the pipeline never blocks past
+/// its budget, and the caller still gets a (degraded) answer.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: std::time::Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now. `Duration::ZERO` is already expired —
+    /// useful for deterministically exercising the degraded path.
+    pub fn after(d: std::time::Duration) -> Self {
+        Deadline {
+            at: std::time::Instant::now() + d,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        std::time::Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> std::time::Duration {
+        self.at.saturating_duration_since(std::time::Instant::now())
+    }
+}
+
 /// Where a failed stage rolls back to.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Degradation {
@@ -90,6 +124,9 @@ pub struct SupervisePolicy {
     pub degradation: Degradation,
     /// Run the IR structural validator after every step and stage.
     pub validate_ir: bool,
+    /// Optional wall-clock deadline, checked cooperatively before each
+    /// step and stage (see [`Deadline`]). `None` means unbounded.
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for SupervisePolicy {
@@ -98,6 +135,7 @@ impl Default for SupervisePolicy {
             budget: Budget::default(),
             degradation: Degradation::default(),
             validate_ir: true,
+            deadline: None,
         }
     }
 }
@@ -147,6 +185,11 @@ pub enum FailureReason {
         /// The validator's error.
         error: String,
     },
+    /// The request's wall-clock deadline expired mid-run.
+    DeadlineExceeded {
+        /// Site at which the cooperative check observed expiry.
+        site: String,
+    },
     /// The differential verifier rejected the rewrite.
     Divergence {
         /// Site that produced the diverging rewrite.
@@ -165,6 +208,7 @@ impl FailureReason {
         match self {
             FailureReason::Panic { .. } => "panics",
             FailureReason::BudgetExhausted { .. } => "budget_exhausted",
+            FailureReason::DeadlineExceeded { .. } => "deadline_exceeded",
             FailureReason::InvalidIr { .. } => "invalid_ir",
             FailureReason::Divergence { .. } => "divergences",
         }
@@ -180,6 +224,9 @@ impl fmt::Display for FailureReason {
             }
             FailureReason::BudgetExhausted { site } => {
                 write!(f, "fuel budget exhausted at {site}")
+            }
+            FailureReason::DeadlineExceeded { site } => {
+                write!(f, "deadline exceeded at {site}")
             }
             FailureReason::InvalidIr { site, error } => {
                 write!(f, "invalid IR after {site}: {error}")
@@ -361,7 +408,16 @@ impl ProvenanceSink for StepSupervisor<'_> {
             None => {}
         }
 
-        // 2. Fuel: one unit per applied step, against both budgets.
+        // 2. Cooperative deadline check: latency bound alongside fuel.
+        if let Some(d) = self.policy.deadline {
+            if d.expired() {
+                self.abort(FailureReason::DeadlineExceeded {
+                    site: site.to_string(),
+                });
+            }
+        }
+
+        // 3. Fuel: one unit per applied step, against both budgets.
         if self.fuel_total == 0 {
             self.abort(FailureReason::BudgetExhausted {
                 site: site.to_string(),
@@ -380,7 +436,7 @@ impl ProvenanceSink for StepSupervisor<'_> {
         }
         self.fuel_per_pass.insert(site, left - 1);
 
-        // 3. Structural validation of the step output.
+        // 4. Structural validation of the step output.
         if self.policy.validate_ir {
             if let Err(e) = validate(after) {
                 self.abort(FailureReason::InvalidIr {
@@ -390,7 +446,7 @@ impl ProvenanceSink for StepSupervisor<'_> {
             }
         }
 
-        // 4. Differential verification (VerifyMode::On only).
+        // 5. Differential verification (VerifyMode::On only).
         if let Some(v) = &mut self.verifier {
             let seen = v.report.divergences.len();
             v.check_step(step.pass, step.nest_index, step.reversed, before, after);
@@ -409,7 +465,7 @@ impl ProvenanceSink for StepSupervisor<'_> {
             }
         }
 
-        // 5. Commit: this snapshot is the new rollback target.
+        // 6. Commit: this snapshot is the new rollback target.
         self.last_good = Some(after.clone());
         self.steps_committed += 1;
     }
@@ -493,6 +549,13 @@ fn run_simple_stage<T>(
         return Err(FailureReason::BudgetExhausted {
             site: stage.to_string(),
         });
+    }
+    if let Some(d) = policy.deadline {
+        if d.expired() {
+            return Err(FailureReason::DeadlineExceeded {
+                site: stage.to_string(),
+            });
+        }
     }
     *fuel -= 1;
     *spent += 1;
@@ -956,5 +1019,58 @@ mod tests {
         );
         assert!(run.is_committed(), "{:?}", run.failures);
         assert!(!run.tiled);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_and_rolls_back() {
+        silence_supervised_panics();
+        let mut p = matmul();
+        let original = p.clone();
+        let policy = SupervisePolicy {
+            deadline: Some(Deadline::after(std::time::Duration::ZERO)),
+            ..Default::default()
+        };
+        let run = supervise(
+            &mut p,
+            &CostModel::new(4),
+            &PipelineSpec::default(),
+            &VerifyMode::Off,
+            &policy,
+            &mut FaultPlan::none(),
+            &mut NullObs,
+        );
+        assert!(run.degraded());
+        assert!(
+            run.failures
+                .iter()
+                .any(|f| matches!(f.reason, FailureReason::DeadlineExceeded { .. })),
+            "{:?}",
+            run.failures
+        );
+        // Deadline expiry is a rollback like any other failure.
+        assert_eq!(p, original);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        silence_supervised_panics();
+        let mut expected = matmul();
+        unsupervised(&mut expected);
+        let mut p = matmul();
+        let policy = SupervisePolicy {
+            deadline: Some(Deadline::after(std::time::Duration::from_secs(3600))),
+            ..Default::default()
+        };
+        let run = supervise(
+            &mut p,
+            &CostModel::new(4),
+            &PipelineSpec::default(),
+            &VerifyMode::Off,
+            &policy,
+            &mut FaultPlan::none(),
+            &mut NullObs,
+        );
+        assert!(run.is_committed(), "{:?}", run.failures);
+        assert_eq!(p, expected);
     }
 }

@@ -1,0 +1,153 @@
+//! `cmt-serve` — the memoizing optimization server, TCP front end.
+//!
+//! ```text
+//! cmt-serve [--port P] [--workers W] [--queue Q] [--degrade D]
+//!           [--memo M] [--deadline-ms MS] [--n N] [--chaos]
+//!           [--port-file PATH] [--obs-dir DIR] [--name NAME]
+//! ```
+//!
+//! Listens on `127.0.0.1:P` (`--port 0` picks a free port; the bound
+//! port is printed on stdout as `PORT=<p>` and, with `--port-file`,
+//! written there for scripts to pick up). On SIGTERM/SIGINT — or a
+//! `{"op":"shutdown"}` request — the server drains: admission stops,
+//! in-flight requests finish, `server.*` artifacts are flushed under
+//! the observability directory, and the process exits 0.
+
+use cmt_serve::{ServeConfig, Server};
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; the accept loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled signal(2) binding: the workspace is dependency-free,
+    // so no libc crate. The handler only flips an AtomicBool, which is
+    // async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    port: u16,
+    port_file: Option<PathBuf>,
+    name: String,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 0,
+        port_file: None,
+        name: "serve".to_string(),
+        cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| it.next().ok_or_else(|| format!("{what} needs a value"));
+        match flag.as_str() {
+            "--port" => args.port = parse_num(&val("--port")?)? as u16,
+            "--workers" => args.cfg.workers = parse_num(&val("--workers")?)? as usize,
+            "--queue" => args.cfg.queue_capacity = parse_num(&val("--queue")?)?.max(1) as usize,
+            "--degrade" => args.cfg.degrade_depth = parse_num(&val("--degrade")?)? as usize,
+            "--memo" => args.cfg.memo_capacity = parse_num(&val("--memo")?)?.max(1) as usize,
+            "--deadline-ms" => args.cfg.default_deadline_ms = parse_num(&val("--deadline-ms")?)?,
+            "--n" => args.cfg.default_n = parse_num(&val("--n")?)?.max(1) as i64,
+            "--chaos" => args.cfg.chaos_ops = true,
+            "--port-file" => args.port_file = Some(PathBuf::from(val("--port-file")?)),
+            "--obs-dir" => args.cfg.obs_dir = Some(PathBuf::from(val("--obs-dir")?)),
+            "--name" => args.name = val("--name")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: cmt-serve [--port P] [--workers W] [--queue Q] [--degrade D] \
+                     [--memo M] [--deadline-ms MS] [--n N] [--chaos] [--port-file PATH] \
+                     [--obs-dir DIR] [--name NAME]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("not a number: {s}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cmt-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let port = listener.local_addr().map(|a| a.port()).unwrap_or(0);
+    println!("PORT={port}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{port}\n")) {
+            eprintln!("cmt-serve: cannot write port file: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = Server::start(args.cfg.clone());
+    // The accept loop exits when admission stops; a watchdog thread
+    // turns the signal flag into begin_shutdown so both the op-based
+    // and signal-based paths drain identically.
+    let watchdog = {
+        let srv = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                srv.begin_shutdown();
+                return;
+            }
+            if !srv.accepting() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+    };
+
+    let listen_result = server.listen(listener);
+    server.shutdown();
+    let _ = watchdog.join();
+    if let Err(e) = server.flush_artifacts(&args.name) {
+        eprintln!("cmt-serve: artifact flush failed: {e}");
+    }
+    match listen_result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cmt-serve: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The eviction-bounded memo cache, with single-flight admission.
+//!
+//! Keys are canonical structural hashes ([`cmt_ir::canon::nest_key`])
+//! paired with the problem size, so alpha-renamed / re-serialized /
+//! declaration-shuffled programs all hit the same entry. Admission is
+//! **single-flight**: for any cold key, exactly one worker computes
+//! while duplicates wait on the in-flight slot and are answered from
+//! its published result. That is what makes hit/miss totals a function
+//! of the request stream alone — never of worker count or scheduling —
+//! which the determinism tests pin across `CMT_JOBS` {1,4}.
+//!
+//! Eviction is LRU with a hard capacity bound, counted in entries;
+//! hits, misses, insertions, and evictions are all counted and
+//! exported both as `server.*` counters and in the `stats` op reply.
+
+use crate::protocol::Answer;
+use cmt_ir::canon::NestKey;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Memo-cache key: structural program hash × problem size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemoKey {
+    /// Canonical structural hash of the program.
+    pub key: NestKey,
+    /// Problem size of the answer.
+    pub n: i64,
+}
+
+/// Deterministic counters of one cache's lifetime, the payload of the
+/// byte-identical-across-`CMT_JOBS` guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache or a coalesced in-flight
+    /// computation.
+    pub hits: u64,
+    /// Lookups that started a cold computation.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserted: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Capacity bound.
+    pub capacity: u64,
+}
+
+impl MemoStats {
+    /// Stable one-line JSON rendering (field order fixed).
+    pub fn to_json(&self) -> String {
+        let mut w = cmt_obs::json::ObjectWriter::new();
+        w.field_u64("hits", self.hits)
+            .field_u64("misses", self.misses)
+            .field_u64("inserted", self.inserted)
+            .field_u64("evictions", self.evictions)
+            .field_u64("entries", self.entries)
+            .field_u64("capacity", self.capacity);
+        w.finish()
+    }
+}
+
+/// One in-flight cold computation; duplicates block on it.
+#[derive(Debug, Default)]
+pub struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+enum FlightState {
+    #[default]
+    Pending,
+    Done(Answer),
+    Failed(String),
+}
+
+impl Flight {
+    /// Publishes the computation's outcome and wakes every waiter.
+    pub fn publish(&self, result: Result<Answer, String>) {
+        let mut st = lock_ok(&self.state);
+        *st = match result {
+            Ok(a) => FlightState::Done(a),
+            Err(e) => FlightState::Failed(e),
+        };
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the owner publishes; `Err` is the owner's failure
+    /// message (the waiter reports it as its own structured error).
+    pub fn wait(&self) -> Result<Answer, String> {
+        let mut st = lock_ok(&self.state);
+        loop {
+            match &*st {
+                FlightState::Done(a) => return Ok(a.clone()),
+                FlightState::Failed(e) => return Err(e.clone()),
+                FlightState::Pending => {
+                    st = match self.cv.wait(st) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Where a lookup routed the request.
+#[derive(Debug)]
+pub enum Route {
+    /// Warm: answer straight from the cache.
+    Hit(Answer),
+    /// An identical computation is in flight; wait on it.
+    Wait(Arc<Flight>),
+    /// Cold and unclaimed: the caller owns the computation and must
+    /// [`MemoCache::publish`] (success or failure) exactly once.
+    Compute(Arc<Flight>),
+}
+
+struct Slot {
+    answer: Answer,
+    stamp: u64,
+}
+
+/// The LRU memo cache plus the single-flight table, behind one lock so
+/// hit/miss/coalesce decisions are atomic.
+#[derive(Debug)]
+pub struct MemoCache {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    capacity: usize,
+    map: HashMap<MemoKey, Slot>,
+    lru: BTreeMap<u64, MemoKey>,
+    clock: u64,
+    flights: HashMap<MemoKey, Arc<Flight>>,
+    stats: MemoStats,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("capacity", &self.capacity)
+            .field("entries", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl MemoCache {
+    /// An empty cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        MemoCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                clock: 0,
+                flights: HashMap::new(),
+                stats: MemoStats::default(),
+            }),
+        }
+    }
+
+    /// Routes one request: cache hit, coalesce onto an in-flight
+    /// computation, or claim the cold computation. Hit/miss counting
+    /// happens here, atomically.
+    pub fn route(&self, key: MemoKey) -> Route {
+        let mut g = lock_ok(&self.inner);
+        g.clock += 1;
+        let stamp = g.clock;
+        if let Some(slot) = g.map.get_mut(&key) {
+            let old = std::mem::replace(&mut slot.stamp, stamp);
+            let answer = slot.answer.clone();
+            g.lru.remove(&old);
+            g.lru.insert(stamp, key);
+            g.stats.hits += 1;
+            return Route::Hit(answer);
+        }
+        if let Some(flight) = g.flights.get(&key).map(Arc::clone) {
+            g.stats.hits += 1;
+            return Route::Wait(flight);
+        }
+        g.stats.misses += 1;
+        let flight = Arc::new(Flight::default());
+        g.flights.insert(key, Arc::clone(&flight));
+        Route::Compute(flight)
+    }
+
+    /// Completes a computation claimed via [`Route::Compute`]: inserts
+    /// on success (evicting LRU entries past capacity), clears the
+    /// in-flight slot, and wakes waiters with the outcome. Failures are
+    /// never cached — a later retry recomputes.
+    pub fn publish(&self, key: MemoKey, flight: &Arc<Flight>, result: Result<Answer, String>) {
+        let mut g = lock_ok(&self.inner);
+        if let Ok(answer) = &result {
+            g.clock += 1;
+            let stamp = g.clock;
+            g.map.insert(
+                key,
+                Slot {
+                    answer: answer.clone(),
+                    stamp,
+                },
+            );
+            g.lru.insert(stamp, key);
+            g.stats.inserted += 1;
+            while g.map.len() > g.capacity {
+                let Some((&oldest, &victim)) = g.lru.iter().next() else {
+                    break;
+                };
+                g.lru.remove(&oldest);
+                g.map.remove(&victim);
+                g.stats.evictions += 1;
+            }
+        }
+        g.flights.remove(&key);
+        drop(g);
+        flight.publish(result);
+    }
+
+    /// Deterministic counters snapshot.
+    pub fn stats(&self) -> MemoStats {
+        let g = lock_ok(&self.inner);
+        let mut s = g.stats;
+        s.entries = g.map.len() as u64;
+        s.capacity = g.capacity as u64;
+        s
+    }
+}
+
+/// Clears the in-flight slot with a failure when the owning worker
+/// panics before publishing, so waiters get a structured error instead
+/// of hanging. Defuse with [`FlightGuard::defuse`] after a normal
+/// publish.
+pub struct FlightGuard<'a> {
+    cache: &'a MemoCache,
+    key: MemoKey,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl<'a> FlightGuard<'a> {
+    /// Arms a guard for a claimed computation.
+    pub fn new(cache: &'a MemoCache, key: MemoKey, flight: Arc<Flight>) -> Self {
+        FlightGuard {
+            cache,
+            key,
+            flight,
+            armed: true,
+        }
+    }
+
+    /// The computation published normally; the guard stands down.
+    pub fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.publish(
+                self.key,
+                &self.flight,
+                Err("request computation panicked before publishing".to_string()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Fidelity;
+
+    fn answer(tag: u64) -> Answer {
+        Answer {
+            key: format!("{tag:032x}"),
+            n: 8,
+            computed: Fidelity::Simulated,
+            degraded: false,
+            failures: 0,
+            steps: 1,
+            accesses: tag,
+            misses: 0,
+        }
+    }
+
+    fn key(tag: u64) -> MemoKey {
+        MemoKey {
+            key: cmt_ir::canon::NestKey([tag, !tag]),
+            n: 8,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_then_lru_eviction() {
+        let c = MemoCache::new(2);
+        for tag in 0..3u64 {
+            match c.route(key(tag)) {
+                Route::Compute(f) => c.publish(key(tag), &f, Ok(answer(tag))),
+                other => panic!("expected compute, got {other:?}"),
+            }
+        }
+        // Capacity 2: key 0 was evicted, 1 and 2 live.
+        assert!(matches!(c.route(key(2)), Route::Hit(_)));
+        assert!(matches!(c.route(key(1)), Route::Hit(_)));
+        assert!(matches!(c.route(key(0)), Route::Compute(_)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserted, s.evictions), (2, 4, 3, 1));
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn touching_an_entry_protects_it_from_eviction() {
+        let c = MemoCache::new(2);
+        for tag in 0..2u64 {
+            match c.route(key(tag)) {
+                Route::Compute(f) => c.publish(key(tag), &f, Ok(answer(tag))),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Touch 0 so 1 is now the LRU victim.
+        assert!(matches!(c.route(key(0)), Route::Hit(_)));
+        match c.route(key(2)) {
+            Route::Compute(f) => c.publish(key(2), &f, Ok(answer(2))),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(c.route(key(0)), Route::Hit(_)));
+        assert!(matches!(c.route(key(1)), Route::Compute(_)));
+    }
+
+    #[test]
+    fn coalesced_waiters_get_the_published_answer() {
+        let c = Arc::new(MemoCache::new(8));
+        let k = key(5);
+        let Route::Compute(owner) = c.route(k) else {
+            panic!("expected compute");
+        };
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || match c.route(k) {
+                Route::Wait(f) => f.wait(),
+                Route::Hit(a) => Ok(a),
+                Route::Compute(_) => panic!("single-flight violated"),
+            })
+        };
+        // Give the waiter a moment to coalesce, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.publish(k, &owner, Ok(answer(5)));
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(got.accesses, 5);
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn failed_computation_is_not_cached_and_guard_unblocks_waiters() {
+        let c = MemoCache::new(8);
+        let k = key(9);
+        let Route::Compute(f) = c.route(k) else {
+            panic!("expected compute");
+        };
+        // Simulate a panicking owner: the guard fires on drop.
+        drop(FlightGuard::new(&c, k, Arc::clone(&f)));
+        assert!(f.wait().is_err());
+        // The key is computable again (failures are not cached).
+        assert!(matches!(c.route(k), Route::Compute(_)));
+    }
+}

@@ -1,0 +1,271 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, always in
+//! order. Two request shapes share the stream:
+//!
+//! * **compile requests** — `{"id":1,"program":"PROGRAM …","n":64,
+//!   "deadline_ms":500,"fault_seed":7}`. `program` is loop-nest IR in
+//!   the `cmt_ir::parse` surface syntax (what
+//!   [`cmt_ir::pretty::program_to_source`] emits); everything but
+//!   `program` is optional.
+//! * **admin ops** — `{"op":"ping"}`, `{"op":"stats"}`,
+//!   `{"op":"shutdown"}`; plus the chaos ops `{"op":"panic"}` and
+//!   `{"op":"sleep","ms":25}` which exist only when the server was
+//!   started with [`crate::ServeConfig::chaos_ops`] (fault-injection
+//!   surface for tests and the load harness).
+//!
+//! Every response carries a `status` of `ok`, `overloaded`, or
+//! `error`; `ok` compile responses carry a `fidelity` of `cached`,
+//! `simulated`, or `analytic` (the degradation ladder, see
+//! `docs/SERVICE.md`). The server replies to *every* line it reads —
+//! malformed JSON and oversized lines get structured `error` replies.
+
+use cmt_obs::json::{self, ObjectWriter, Value};
+
+/// Upper bound on one request line, in bytes. Longer lines get a
+/// structured `error` reply (and a TCP connection streaming an
+/// unterminated line past this is cut) — the server's memory use is
+/// bounded by `line limit × connections`.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// An optimization request for one program.
+    Compile(CompileRequest),
+    /// An admin / chaos operation.
+    Op {
+        /// Operation name (`ping`, `stats`, `shutdown`, …).
+        op: String,
+        /// `ms` argument of `sleep`, when present.
+        ms: u64,
+        /// Echoed request id.
+        id: u64,
+    },
+}
+
+/// The body of a compile request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileRequest {
+    /// Client-chosen id, echoed verbatim in the response (0 when
+    /// omitted).
+    pub id: u64,
+    /// Loop-nest IR source (see [`cmt_ir::parse::parse_program`]).
+    pub program: String,
+    /// Problem size the answer is computed at; server default when
+    /// omitted.
+    pub n: Option<i64>,
+    /// Per-request wall-clock budget in milliseconds. `0` is an
+    /// already-expired deadline (deterministically exercises the
+    /// degraded path); omitted means the server default.
+    pub deadline_ms: Option<u64>,
+    /// Seed for a deterministic [`cmt_resilience::FaultPlan`] injected
+    /// into the supervised pipeline; omitted means no injected faults.
+    pub fault_seed: Option<u64>,
+}
+
+impl Request {
+    /// Parses one request line. `Err` is a human-readable reason that
+    /// becomes the `error` field of the reply.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes ({})",
+                line.len()
+            ));
+        }
+        let v = json::parse(line).map_err(|e| format!("malformed request JSON: {e}"))?;
+        if !matches!(v, Value::Object(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let id = v.get("id").and_then(Value::as_u64).unwrap_or(0);
+        if let Some(op) = v.get("op").and_then(Value::as_str) {
+            return Ok(Request::Op {
+                op: op.to_string(),
+                ms: v.get("ms").and_then(Value::as_u64).unwrap_or(0),
+                id,
+            });
+        }
+        let program = v
+            .get("program")
+            .and_then(Value::as_str)
+            .ok_or("request needs a string \"program\" field (or an \"op\")")?
+            .to_string();
+        let n = v.get("n").and_then(Value::as_u64).map(|x| x as i64);
+        Ok(Request::Compile(CompileRequest {
+            id,
+            program,
+            n,
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            fault_seed: v.get("fault_seed").and_then(Value::as_u64),
+        }))
+    }
+}
+
+/// How an `ok` answer was produced — the degradation ladder's rungs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Answered from the memo cache (or by waiting on an identical
+    /// in-flight computation).
+    Cached,
+    /// Cold path, full `ShardedCache` simulation.
+    Simulated,
+    /// Cold path under pressure: the analytic miss-model fold.
+    Analytic,
+}
+
+impl Fidelity {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Fidelity::Cached => "cached",
+            Fidelity::Simulated => "simulated",
+            Fidelity::Analytic => "analytic",
+        }
+    }
+}
+
+/// The memoized result of one cold computation; everything a cache hit
+/// needs to answer without recomputing. All fields are deterministic
+/// for a given request, which is what makes memo-cache stats and
+/// response bodies byte-identical across worker counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    /// Canonical structural key, lower-case hex.
+    pub key: String,
+    /// Problem size the answer was computed at.
+    pub n: i64,
+    /// `simulated` or `analytic` — how the cold computation ran.
+    pub computed: Fidelity,
+    /// Whether the supervised pipeline degraded (rolled back stages).
+    pub degraded: bool,
+    /// Number of rolled-back stages.
+    pub failures: u64,
+    /// Transformation steps that committed.
+    pub steps: u64,
+    /// Cache accesses (measured or predicted, per `computed`).
+    pub accesses: u64,
+    /// Cache misses (measured or predicted, per `computed`).
+    pub misses: u64,
+}
+
+impl Answer {
+    /// Miss rate over all accesses (0 for an empty trace).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Renders the `ok` response line for `answer`. `fidelity` is the rung
+/// this *reply* used (`cached` for hits), while `answer.computed` says
+/// how the underlying result was originally produced.
+pub fn ok_response(id: u64, fidelity: Fidelity, answer: &Answer) -> String {
+    let mut w = ObjectWriter::new();
+    w.field_u64("id", id)
+        .field_str("status", "ok")
+        .field_str("fidelity", fidelity.as_str())
+        .field_str("computed", answer.computed.as_str())
+        .field_str("key", &answer.key)
+        .field_u64("n", answer.n.max(0) as u64)
+        .field_bool("degraded", answer.degraded)
+        .field_u64("failures", answer.failures)
+        .field_u64("steps", answer.steps)
+        .field_u64("accesses", answer.accesses)
+        .field_u64("misses", answer.misses)
+        .field_f64("miss_rate", answer.miss_rate());
+    w.finish()
+}
+
+/// Renders a structured `error` reply.
+pub fn error_response(id: u64, error: &str) -> String {
+    let mut w = ObjectWriter::new();
+    w.field_u64("id", id)
+        .field_str("status", "error")
+        .field_str("error", error);
+    w.finish()
+}
+
+/// Renders the backpressure reply: admission refused, try again.
+pub fn overloaded_response(id: u64, reason: &str, depth: usize, limit: usize) -> String {
+    let mut w = ObjectWriter::new();
+    w.field_u64("id", id)
+        .field_str("status", "overloaded")
+        .field_str("reason", reason)
+        .field_u64("depth", depth as u64)
+        .field_u64("limit", limit as u64);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_request_round_trip() {
+        let r = Request::parse(
+            r#"{"id":7,"program":"PROGRAM x","n":32,"deadline_ms":100,"fault_seed":9}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Compile(c) => {
+                assert_eq!(c.id, 7);
+                assert_eq!(c.program, "PROGRAM x");
+                assert_eq!(c.n, Some(32));
+                assert_eq!(c.deadline_ms, Some(100));
+                assert_eq!(c.fault_seed, Some(9));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_request_parses() {
+        assert_eq!(
+            Request::parse(r#"{"op":"sleep","ms":25,"id":3}"#).unwrap(),
+            Request::Op {
+                op: "sleep".to_string(),
+                ms: 25,
+                id: 3
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        assert!(Request::parse("{").is_err());
+        assert!(Request::parse("42").is_err());
+        assert!(Request::parse(r#"{"program":7}"#).is_err());
+        assert!(Request::parse(r#"{"id":1}"#).is_err());
+        let long = format!(r#"{{"program":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+        assert!(Request::parse(&long).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let a = Answer {
+            key: "deadbeef".to_string(),
+            n: 64,
+            computed: Fidelity::Simulated,
+            degraded: false,
+            failures: 0,
+            steps: 3,
+            accesses: 100,
+            misses: 25,
+        };
+        for s in [
+            ok_response(1, Fidelity::Cached, &a),
+            error_response(2, "parse: line 3"),
+            overloaded_response(3, "queue full", 9, 8),
+        ] {
+            assert!(!s.contains('\n'));
+            cmt_obs::json::parse(&s).expect("valid json");
+        }
+        assert!(ok_response(1, Fidelity::Cached, &a).contains(r#""fidelity":"cached""#));
+        assert!(ok_response(1, Fidelity::Cached, &a).contains(r#""computed":"simulated""#));
+        assert!((a.miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

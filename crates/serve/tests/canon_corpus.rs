@@ -1,0 +1,188 @@
+//! Property tests for the canonical structural hash ([`cmt_ir::canon`])
+//! over the full 256-seed verification corpus plus the paper kernels:
+//! the memo cache is only sound if renaming and re-serialization
+//! preserve keys while structurally distinct programs never collide.
+
+use cmt_ir::canon::{canonical_source, nest_key};
+use cmt_ir::parse::parse_program;
+use cmt_ir::pretty::program_to_source;
+use cmt_ir::program::Program;
+use cmt_verify::{corpus_seeds, generate};
+use std::collections::HashMap;
+
+fn corpus() -> Vec<Program> {
+    let mut programs: Vec<Program> = corpus_seeds().into_iter().map(generate).collect();
+    programs.extend(cmt_suite::kernels::paper_kernels());
+    programs
+}
+
+const KEYWORDS: [&str; 9] = [
+    "PROGRAM", "PARAM", "REAL", "DO", "ENDDO", "SQRT", "ABS", "MIN", "MAX",
+];
+
+/// Rewrites every identifier in a program source to a fresh name
+/// (`W0`, `W1`, …) with a consistent mapping. Loop variables, arrays,
+/// parameters, and the program name all get renamed — none of them may
+/// influence the structural key.
+fn alpha_rename(source: &str) -> String {
+    let mut mapping: HashMap<String, String> = HashMap::new();
+    let mut out = String::new();
+    let mut word = String::new();
+    let mut flush = |word: &mut String, out: &mut String, mapping: &mut HashMap<String, String>| {
+        if word.is_empty() {
+            return;
+        }
+        let is_ident = word.chars().next().is_some_and(|c| c.is_ascii_alphabetic());
+        if is_ident && !KEYWORDS.contains(&word.as_str()) {
+            let next = format!("W{}", mapping.len());
+            out.push_str(mapping.entry(word.clone()).or_insert(next));
+        } else {
+            out.push_str(word);
+        }
+        word.clear();
+    };
+    for ch in source.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            word.push(ch);
+        } else {
+            flush(&mut word, &mut out, &mut mapping);
+            out.push(ch);
+        }
+    }
+    flush(&mut word, &mut out, &mut mapping);
+    out
+}
+
+/// Splits the array list of a `REAL` declaration line on top-level
+/// commas (commas inside extent parentheses don't count).
+fn split_arrays(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in list.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Re-emits the source with the array declarations reversed, one
+/// `REAL` line per array.
+fn reorder_declarations(source: &str) -> String {
+    let mut arrays: Vec<String> = Vec::new();
+    let mut body: Vec<String> = Vec::new();
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        if let Some(list) = trimmed.strip_prefix("REAL ") {
+            arrays.extend(split_arrays(list));
+        } else {
+            body.push(line.to_string());
+        }
+    }
+    arrays.reverse();
+    // Re-insert after the header and PARAM lines (array extents may
+    // reference parameters) but before the body.
+    let insert_at = body
+        .iter()
+        .rposition(|l| {
+            let t = l.trim_start();
+            t.starts_with("PROGRAM") || t.starts_with("PARAM")
+        })
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let mut out = body;
+    for a in arrays {
+        out.insert(insert_at, format!("REAL {a}"));
+    }
+    out.join("\n")
+}
+
+#[test]
+fn alpha_renaming_preserves_keys_corpus_wide() {
+    for p in corpus() {
+        let source = program_to_source(&p);
+        let renamed = parse_program(&alpha_rename(&source))
+            .unwrap_or_else(|e| panic!("renamed {} does not parse: {e}\n{source}", p.name()));
+        assert_eq!(
+            nest_key(&p),
+            nest_key(&renamed),
+            "alpha-renaming changed the key of {}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn array_declaration_order_does_not_affect_keys() {
+    for p in corpus() {
+        let source = program_to_source(&p);
+        let reordered = parse_program(&reorder_declarations(&source))
+            .unwrap_or_else(|e| panic!("reordered {} does not parse: {e}\n{source}", p.name()));
+        assert_eq!(
+            nest_key(&p),
+            nest_key(&reordered),
+            "declaration order changed the key of {}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn reserialization_round_trip_preserves_keys() {
+    for p in corpus() {
+        let round = parse_program(&program_to_source(&p))
+            .unwrap_or_else(|e| panic!("{} does not round-trip: {e}", p.name()));
+        assert_eq!(
+            nest_key(&p),
+            nest_key(&round),
+            "pretty/parse round trip changed the key of {}",
+            p.name()
+        );
+        assert_eq!(canonical_source(&p), canonical_source(&round));
+    }
+}
+
+#[test]
+fn distinct_structures_never_collide_across_the_corpus() {
+    // Equal keys must imply equal canonical renderings: a collision
+    // between structurally distinct programs would silently answer one
+    // request with another's result.
+    let mut by_key: HashMap<[u64; 2], (String, String)> = HashMap::new();
+    let mut distinct = 0usize;
+    for p in corpus() {
+        let key = nest_key(&p).0;
+        let canon = canonical_source(&p);
+        match by_key.get(&key) {
+            Some((seen_canon, seen_name)) => assert_eq!(
+                seen_canon,
+                &canon,
+                "key collision between {} and {}",
+                seen_name,
+                p.name()
+            ),
+            None => {
+                distinct += 1;
+                by_key.insert(key, (canon, p.name().to_string()));
+            }
+        }
+    }
+    // Sanity: the corpus is not degenerate — nearly every program is
+    // structurally distinct.
+    assert!(distinct > 250, "only {distinct} distinct keys");
+}

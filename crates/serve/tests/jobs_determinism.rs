@@ -1,0 +1,99 @@
+//! Worker-count independence: the same two-pass request schedule must
+//! yield byte-identical per-request replies and identical memo-cache
+//! statistics whether the server runs 1 worker or 4. Single-flight
+//! admission makes hits/misses schedule-independent; answers are pure
+//! functions of (program, n, fault seed).
+//!
+//! This file owns the `CMT_JOBS` environment variable — integration
+//! tests run as separate processes, so setting it here cannot race
+//! with other tests.
+
+use cmt_serve::{MemoStats, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn schedule() -> Vec<(u64, String)> {
+    // Pass 1: sixteen distinct programs, some with fault seeds.
+    // Pass 2: the same sixteen again under fresh ids — all cache hits.
+    let mut lines = Vec::new();
+    for pass in 0..2u64 {
+        for (k, seed) in (40..56u64).enumerate() {
+            let id = (pass << 16) | k as u64;
+            let program = cmt_ir::pretty::program_to_source(&cmt_verify::generate(seed));
+            let fault = if k % 3 == 0 {
+                format!(",\"fault_seed\":{seed}")
+            } else {
+                String::new()
+            };
+            lines.push((
+                id,
+                format!(
+                    "{{\"id\":{id},\"program\":{},\"n\":8{fault}}}",
+                    quote(&program)
+                ),
+            ));
+        }
+    }
+    lines
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::from("\"");
+    cmt_obs::json::escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Runs the schedule with `clients` concurrent submitters against a
+/// server with `workers` workers; returns replies keyed by request id
+/// plus the final memo statistics.
+fn run(workers: usize, clients: usize) -> (BTreeMap<u64, String>, MemoStats) {
+    let server = Server::start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    });
+    let all = schedule();
+    let (pass1, pass2): (Vec<_>, Vec<_>) = all.into_iter().partition(|(id, _)| id >> 16 == 0);
+    let mut replies = BTreeMap::new();
+    for pass in [pass1, pass2] {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let chunk: Vec<(u64, String)> = pass.iter().skip(c).step_by(clients).cloned().collect();
+            let srv = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                chunk
+                    .into_iter()
+                    .map(|(id, line)| (id, srv.handle_line(&line)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            replies.extend(h.join().expect("client thread ok"));
+        }
+    }
+    let stats = server.memo_stats();
+    server.shutdown();
+    (replies, stats)
+}
+
+#[test]
+fn replies_and_memo_stats_identical_across_worker_counts() {
+    std::env::set_var("CMT_JOBS", "4");
+    let (serial, serial_stats) = run(1, 1);
+    let (parallel, parallel_stats) = run(4, 4);
+    assert_eq!(serial.len(), 32);
+    assert_eq!(parallel.len(), 32);
+    for (id, reply) in &serial {
+        assert_eq!(
+            Some(reply),
+            parallel.get(id),
+            "reply for request {id} differs between 1 and 4 workers"
+        );
+    }
+    assert_eq!(serial_stats, parallel_stats, "memo stats diverged");
+    // Sanity on the shape: 16 distinct programs, each computed once,
+    // each hit at least once on the second pass.
+    assert_eq!(serial_stats.misses, 16);
+    assert_eq!(serial_stats.inserted, 16);
+    assert!(serial_stats.hits >= 16, "{serial_stats:?}");
+}

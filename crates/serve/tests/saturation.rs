@@ -1,0 +1,72 @@
+//! Saturating replay: the full 256-seed corpus with fault seeds, a
+//! deliberately tiny admission queue, and aggressive degradation,
+//! hammered by concurrent clients. Every single request must come back
+//! as a structured reply — `ok`, `overloaded`, or `error` — and the
+//! process must never abort.
+
+use cmt_obs::json::{self, Value};
+use cmt_serve::{ServeConfig, Server};
+use std::sync::Arc;
+
+fn quote(s: &str) -> String {
+    let mut out = String::from("\"");
+    json::escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+#[test]
+fn saturating_fault_injected_replay_never_aborts() {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 8,
+        degrade_depth: 2,
+        memo_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let seeds = cmt_verify::corpus_seeds();
+    let clients = 8usize;
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let chunk: Vec<u64> = seeds.iter().skip(c).step_by(clients).copied().collect();
+        let srv = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            let mut statuses = Vec::new();
+            for seed in chunk {
+                let program = cmt_ir::pretty::program_to_source(&cmt_verify::generate(seed));
+                let line = format!(
+                    "{{\"id\":{seed},\"program\":{},\"n\":8,\"fault_seed\":{seed}}}",
+                    quote(&program)
+                );
+                let reply = srv.handle_line(&line);
+                let v = json::parse(&reply).expect("every reply is valid JSON");
+                let status = v
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .expect("every reply carries a status")
+                    .to_string();
+                statuses.push(status);
+            }
+            statuses
+        }));
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for h in handles {
+        for status in h.join().expect("client thread finished") {
+            *counts.entry(status).or_insert(0u64) += 1;
+        }
+    }
+    let total: u64 = counts.values().sum();
+    assert_eq!(total, seeds.len() as u64, "{counts:?}");
+    for status in counts.keys() {
+        assert!(
+            ["ok", "overloaded", "error"].contains(&status.as_str()),
+            "unexpected status {status}"
+        );
+    }
+    // Under saturation most requests still succeed, and no request is
+    // ever allowed to take a worker down.
+    assert!(counts.get("ok").copied().unwrap_or(0) > 0, "{counts:?}");
+    assert_eq!(server.obs().counter_value("server.panics"), 0);
+    server.shutdown();
+}

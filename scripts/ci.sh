@@ -128,8 +128,8 @@ cargo run --release -q -p cmt-bench --bin cmt-report -- explain_corpus --dir "$S
 grep -q '## Decisions' "$SMOKE_DIR/explain_corpus.report.md" \
   || { echo "report missing decisions section" >&2; exit 1; }
 
-echo ">>> clippy unwrap gate (bench + resilience failure paths stay panic-free)"
-cargo clippy -q --no-deps -p cmt-bench -p cmt-resilience -- -D clippy::unwrap_used
+echo ">>> clippy unwrap gate (bench + resilience + serve failure paths stay panic-free)"
+cargo clippy -q --no-deps -p cmt-bench -p cmt-resilience -p cmt-serve -- -D clippy::unwrap_used
 
 echo ">>> chaos smoke (32 seeds, seeded fault plans, supervised rollback)"
 # Sweeps the first 32 verify-corpus seeds through the supervised
@@ -147,5 +147,42 @@ if grep -q ' degraded \[' "$SMOKE_DIR/chaos_summary.txt"; then
   ls "$SMOKE_DIR"/quarantine/quarantine_seed*.txt > /dev/null \
     || { echo "degraded items but no quarantine artifacts" >&2; exit 1; }
 fi
+
+echo ">>> smoke-serve (TCP service under fault-injected load, drain on SIGTERM)"
+# Starts the memoizing compile server on a free port and drives the
+# 32-seed corpus + paper kernels through it: 4 concurrent clients, two
+# passes (the second replays the first through the memo cache), and a
+# deterministic fault plan per request (seed 7). Gates: every request
+# answered structurally (zero malformed replies / transport failures),
+# second-pass hit rate ≥ 0.5, and the deterministic fields of the
+# committed BENCH_server.json (reply-class counts, hit/shed rates) —
+# wall-clock latency drift is informational only, so a slow runner
+# cannot fail the gate. `--deadline-ms 0` disables the wall-clock
+# budget for the same reason: fidelity counts must not depend on host
+# speed. SIGTERM then exercises the drain path; the flushed server
+# artifacts must exist. The binary runs directly (not under `cargo
+# run`) so the signal reaches the server process.
+SERVE_PORT_FILE=$(mktemp)
+rm -f "$SERVE_PORT_FILE"
+target/release/cmt-serve --port 0 --port-file "$SERVE_PORT_FILE" \
+  --deadline-ms 0 --obs-dir "$SMOKE_DIR" --name serve_smoke > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do test -s "$SERVE_PORT_FILE" && break; sleep 0.1; done
+test -s "$SERVE_PORT_FILE" || { echo "cmt-serve did not start" >&2; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+CMT_OBS_DIR="$SMOKE_DIR" CMT_BENCH_GATE="$PWD/BENCH_server.json" \
+  cargo run --release -q -p cmt-bench --bin cmt-serve-bench -- \
+  --connect "127.0.0.1:$(cat "$SERVE_PORT_FILE")" --seeds 32 --clients 4 --passes 2 \
+  --fault-seed 7 --min-hit 0.5 --bench-json "$SMOKE_DIR/BENCH_server.json" \
+  --artifact serve_smoke
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "cmt-serve exited non-zero" >&2; exit 1; }
+rm -f "$SERVE_PORT_FILE"
+for f in serve_smoke.metrics.json serve_smoke.remarks.jsonl serve_smoke.server.json; do
+  test -s "$SMOKE_DIR/$f" || { echo "missing serve artifact: $f" >&2; exit 1; }
+done
+grep -q '"server.requests"' "$SMOKE_DIR/serve_smoke.metrics.json"
+cargo run --release -q -p cmt-bench --bin cmt-report -- serve_smoke --dir "$SMOKE_DIR"
+grep -q '## Service' "$SMOKE_DIR/serve_smoke.report.md" \
+  || { echo "report missing service section" >&2; exit 1; }
 
 echo "CI OK"
